@@ -1,0 +1,384 @@
+package blobindex
+
+// One benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md §3), plus build/query microbenchmarks.
+// Each bench reports the paper's headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation at bench
+// scale; cmd/blobbench runs the same experiments with configurable scale
+// and full table output.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/amdb"
+	"blobindex/internal/experiments"
+	"blobindex/internal/gist"
+	"blobindex/internal/nn"
+	"blobindex/internal/page"
+	"blobindex/internal/workload"
+)
+
+// benchParams is the reduced scale the benchmarks run at; cmd/blobbench
+// defaults to 4× this.
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.Images = 2000
+	p.Queries = 64
+	return p
+}
+
+var bench struct {
+	once sync.Once
+	s    *experiments.Scenario
+	wl   *workload.Workload
+	err  error
+}
+
+func benchScenario(b *testing.B) *experiments.Scenario {
+	b.Helper()
+	bench.once.Do(func() {
+		bench.s, bench.err = experiments.NewScenario(benchParams())
+		if bench.err != nil {
+			return
+		}
+		bench.wl, bench.err = bench.s.Workload()
+	})
+	if bench.err != nil {
+		b.Fatal(bench.err)
+	}
+	return bench.s
+}
+
+// benchTree returns the bulk-loaded tree for the access method, built once.
+func benchTree(b *testing.B, kind am.Kind) *gist.Tree {
+	b.Helper()
+	tree, err := benchScenario(b).Tree(kind, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+// analyze runs a fresh (uncached) amdb analysis so every benchmark
+// iteration performs the full workload execution.
+func analyze(b *testing.B, tree *gist.Tree, skipOptimal bool) *amdb.Report {
+	b.Helper()
+	s := benchScenario(b)
+	rep, err := amdb.Analyze(tree, bench.wl.Queries, amdb.Config{
+		TargetUtil:  s.Params.TargetUtil,
+		Seed:        s.Params.Seed + 3,
+		SkipOptimal: skipOptimal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkFig6Recall regenerates Figure 6: recall of reduced-dimensionality
+// queries against the full Blobworld ranking. Reported metrics: recall at
+// 200 returned images for 1-D and 5-D data, and the 5-D/6-D gap the paper
+// calls negligible.
+func BenchmarkFig6Recall(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at := func(dim, size int) float64 {
+			for di, d := range res.Dims {
+				if d != dim {
+					continue
+				}
+				for si, sz := range res.Sizes {
+					if sz == size {
+						return res.Recall[di][si]
+					}
+				}
+			}
+			return -1
+		}
+		b.ReportMetric(at(1, 40), "recall1D@40")
+		b.ReportMetric(at(5, 40), "recall5D@40")
+		b.ReportMetric(at(6, 40)-at(5, 40), "gap5Dto6D@40")
+	}
+}
+
+// BenchmarkTable2Losses regenerates Table 2: bulk- vs insertion-loaded
+// R-tree losses.
+func BenchmarkTable2Losses(b *testing.B) {
+	s := benchScenario(b)
+	bulk, err := s.Tree(am.KindRTree, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ins, err := s.Tree(am.KindRTree, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bulkRep := analyze(b, bulk, false)
+		insRep := analyze(b, ins, false)
+		b.ReportMetric(bulkRep.Totals.ExcessLoss, "bulkExcess")
+		b.ReportMetric(insRep.Totals.ExcessLoss, "insExcess")
+		b.ReportMetric(insRep.Totals.UtilLoss, "insUtil")
+		b.ReportMetric(float64(insRep.Totals.LeafIOs)/float64(bulkRep.Totals.LeafIOs), "insOverBulk")
+	}
+}
+
+// BenchmarkFig7TraditionalLossPct regenerates Figure 7: loss percentages
+// for the R-, SR- and SS-tree.
+func BenchmarkFig7TraditionalLossPct(b *testing.B) {
+	rt := benchTree(b, am.KindRTree)
+	sr := benchTree(b, am.KindSRTree)
+	ss := benchTree(b, am.KindSSTree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(100*analyze(b, rt, false).Totals.ExcessPct(), "rtreeExcess%")
+		b.ReportMetric(100*analyze(b, sr, false).Totals.ExcessPct(), "srtreeExcess%")
+		b.ReportMetric(100*analyze(b, ss, false).Totals.ExcessPct(), "sstreeExcess%")
+	}
+}
+
+// BenchmarkFig8TraditionalLossIOs regenerates Figure 8: absolute leaf-level
+// losses. The paper's headline: the SS-tree's excess coverage alone exceeds
+// the R-tree's total I/Os.
+func BenchmarkFig8TraditionalLossIOs(b *testing.B) {
+	rt := benchTree(b, am.KindRTree)
+	ss := benchTree(b, am.KindSSTree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtRep := analyze(b, rt, false)
+		ssRep := analyze(b, ss, false)
+		b.ReportMetric(rtRep.Totals.ExcessLoss, "rtreeExcessIOs")
+		b.ReportMetric(ssRep.Totals.ExcessLoss, "sstreeExcessIOs")
+		b.ReportMetric(ssRep.Totals.ExcessLoss/float64(rtRep.Totals.TotalIOs()), "ssExcessOverRTotal")
+	}
+}
+
+// BenchmarkTable3BPSizes regenerates Table 3: bounding predicate sizes.
+func BenchmarkTable3BPSizes(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Words), r.AM+"Words")
+		}
+	}
+}
+
+// BenchmarkFig14NewAMLossPct regenerates Figure 14: leaf-level loss
+// percentages of the R-tree vs the new access methods.
+func BenchmarkFig14NewAMLossPct(b *testing.B) {
+	rt := benchTree(b, am.KindRTree)
+	amap := benchTree(b, am.KindAMAP)
+	jb := benchTree(b, am.KindJB)
+	xjb := benchTree(b, am.KindXJB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(100*analyze(b, rt, false).Totals.ExcessPct(), "rtreeExcess%")
+		b.ReportMetric(100*analyze(b, amap, false).Totals.ExcessPct(), "amapExcess%")
+		b.ReportMetric(100*analyze(b, jb, false).Totals.ExcessPct(), "jbExcess%")
+		b.ReportMetric(100*analyze(b, xjb, false).Totals.ExcessPct(), "xjbExcess%")
+	}
+}
+
+// BenchmarkFig15NewAMLossIOs regenerates Figure 15: absolute leaf-level
+// losses and leaf I/Os per query for the new access methods.
+func BenchmarkFig15NewAMLossIOs(b *testing.B) {
+	rt := benchTree(b, am.KindRTree)
+	jb := benchTree(b, am.KindJB)
+	xjb := benchTree(b, am.KindXJB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtRep := analyze(b, rt, false)
+		jbRep := analyze(b, jb, false)
+		xjbRep := analyze(b, xjb, false)
+		b.ReportMetric(rtRep.AvgLeafIOsPerQuery(), "rtreeLeafPerQuery")
+		b.ReportMetric(jbRep.AvgLeafIOsPerQuery(), "jbLeafPerQuery")
+		b.ReportMetric(xjbRep.AvgLeafIOsPerQuery(), "xjbLeafPerQuery")
+		b.ReportMetric(jbRep.Totals.ExcessLoss, "jbExcessIOs")
+	}
+}
+
+// BenchmarkFig16TotalIOs regenerates Figure 16: total workload I/Os (inner
+// plus leaf) for the R-tree vs the new access methods.
+func BenchmarkFig16TotalIOs(b *testing.B) {
+	rt := benchTree(b, am.KindRTree)
+	amap := benchTree(b, am.KindAMAP)
+	jb := benchTree(b, am.KindJB)
+	xjb := benchTree(b, am.KindXJB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(analyze(b, rt, true).Totals.TotalIOs()), "rtreeTotalIOs")
+		b.ReportMetric(float64(analyze(b, amap, true).Totals.TotalIOs()), "amapTotalIOs")
+		b.ReportMetric(float64(analyze(b, jb, true).Totals.TotalIOs()), "jbTotalIOs")
+		b.ReportMetric(float64(analyze(b, xjb, true).Totals.TotalIOs()), "xjbTotalIOs")
+	}
+}
+
+// BenchmarkScanThreshold regenerates the §3.2/§6 disk-economics checks: the
+// random:sequential cost ratio and the fraction of pages a query touches.
+func BenchmarkScanThreshold(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scan(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "randToSeqRatio")
+		for _, row := range res.Rows {
+			if row.AM == string(am.KindXJB) {
+				b.ReportMetric(1/row.PagesFraction, "xjbOneInNPages")
+				b.ReportMetric(row.Speedup, "xjbSpeedupVsScan")
+			}
+		}
+	}
+}
+
+// BenchmarkStructure regenerates the §5/§6 structural observations: tree
+// heights per access method.
+func BenchmarkStructure(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Structure(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(float64(r.Height), r.AM+"Height")
+		}
+	}
+}
+
+// BenchmarkAblationBulkOrder compares STR against a naive sort as the
+// bulk-load order (DESIGN.md §4 ablation).
+func BenchmarkAblationBulkOrder(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBulkOrder(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].LeafIOs)/float64(rows[0].LeafIOs), "naiveOverSTR")
+	}
+}
+
+// BenchmarkAblationXJBX sweeps XJB's X (DESIGN.md §4 ablation) and reports
+// the automatic selection.
+func BenchmarkAblationXJBX(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationXJB(s, []int{2, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AutoX), "autoX")
+		b.ReportMetric(float64(res.Rows[1].LeafIOs), "x10LeafIOs")
+	}
+}
+
+// BenchmarkBuild measures bulk-load throughput per access method.
+func BenchmarkBuild(b *testing.B) {
+	s := benchScenario(b)
+	pts := workload.Points(s.Reduced(s.Params.Dim))
+	for _, kind := range am.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			ext, err := am.New(kind, am.Options{
+				AMAPSamples: 64, // keep the aMAP build bench affordable
+				XJBX:        s.Params.XJBX,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gist.BulkLoad(ext, cfg, pts, 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkSearchKNN measures 200-NN query latency per access method.
+func BenchmarkSearchKNN(b *testing.B) {
+	s := benchScenario(b)
+	reduced := s.Reduced(s.Params.Dim)
+	rng := rand.New(rand.NewSource(99))
+	for _, kind := range am.Kinds() {
+		tree := benchTree(b, kind)
+		b.Run(string(kind), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := reduced[rng.Intn(len(reduced))]
+				if res := nn.Search(tree, q, s.Params.K, nil); len(res) != s.Params.K {
+					b.Fatalf("got %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchDFS measures the depth-first (Roussopoulos) k-NN against
+// the best-first default; the ratio of their ns/op quantifies what the
+// frontier queue buys.
+func BenchmarkSearchDFS(b *testing.B) {
+	s := benchScenario(b)
+	reduced := s.Reduced(s.Params.Dim)
+	tree := benchTree(b, am.KindRTree)
+	rng := rand.New(rand.NewSource(98))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := reduced[rng.Intn(len(reduced))]
+		if res := nn.SearchDFS(tree, q, s.Params.K, nil); len(res) != s.Params.K {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
+// BenchmarkQualityHarvest measures the production query plan end to end:
+// harvest 200 candidates and report the per-AM recall of the full top-40
+// (the §2.3 success criterion).
+func BenchmarkQualityHarvest(b *testing.B) {
+	s := benchScenario(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Quality(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.AM == "rtree" || r.AM == "sstree" || r.AM == "xjb" {
+				b.ReportMetric(r.Recall, r.AM+"Recall")
+			}
+		}
+	}
+}
+
+// BenchmarkCostModel exercises the disk cost model (micro).
+func BenchmarkCostModel(b *testing.B) {
+	model := page.Barracuda()
+	stats := page.IOStats{RandomReads: 100, SequentialReads: 1000}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += model.TimeMs(stats)
+	}
+	_ = sink
+}

@@ -1,0 +1,367 @@
+// Package blobindex is a Go reproduction of "Creating a Customized Access
+// Method for Blobworld" (Thomas, Carson, Hellerstein; ICDE 2000): a
+// Generalized Search Tree (GiST) with six multidimensional access methods —
+// the traditional R-tree, SS-tree and SR-tree, and the paper's custom aMAP,
+// JB ("jagged bites") and XJB predicates that remove empty corner volume
+// from bounding rectangles to speed nearest-neighbor search — together with
+// STR bulk loading, an amdb-style analysis framework, and a synthetic
+// Blobworld image-retrieval substrate for end-to-end experiments.
+//
+// The package is a facade: Build an Index over points, run exact
+// nearest-neighbor and range queries, and Analyze workloads with the
+// paper's loss metrics. The experiment harness reproducing every table and
+// figure of the paper lives in cmd/blobbench; see DESIGN.md and
+// EXPERIMENTS.md.
+//
+//	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.XJB, Dim: 5})
+//	...
+//	neighbors := idx.SearchKNN(query, 200)
+package blobindex
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/nn"
+	"blobindex/internal/pagefile"
+	"blobindex/internal/str"
+	"blobindex/internal/viz"
+)
+
+// Method names an access method (the bounding predicate family specializing
+// the GiST).
+type Method string
+
+// The implemented access methods.
+const (
+	// RTree is Guttman's R-tree: minimum bounding rectangles.
+	RTree Method = "rtree"
+	// SSTree is the SS-tree: centroid spheres.
+	SSTree Method = "sstree"
+	// SRTree is the SR-tree: rectangle ∩ sphere.
+	SRTree Method = "srtree"
+	// AMAP is the paper's aMAP: two rectangles of approximately minimal
+	// total volume (§5.1).
+	AMAP Method = "amap"
+	// JB is the paper's "jagged bites" predicate: the MBR plus the largest
+	// empty bite at each of its 2^D corners (§5.2).
+	JB Method = "jb"
+	// XJB keeps only the X largest bites (§5.3); the paper's preferred
+	// access method for Blobworld.
+	XJB Method = "xjb"
+)
+
+// Methods lists every access method.
+func Methods() []Method {
+	return []Method{RTree, SSTree, SRTree, AMAP, JB, XJB}
+}
+
+// Point is one indexed datum.
+type Point struct {
+	// Key is the point's coordinates; its length must equal Options.Dim.
+	Key []float64
+	// RID is the caller's record identifier (e.g. a blob id); the index
+	// returns it from searches. RIDs must be unique.
+	RID int64
+}
+
+// Neighbor is one search result.
+type Neighbor struct {
+	RID  int64
+	Key  []float64
+	Dist float64 // Euclidean distance to the query
+}
+
+// Options configures an Index.
+type Options struct {
+	// Method selects the access method. Default XJB.
+	Method Method
+	// Dim is the key dimensionality. Required.
+	Dim int
+	// PageSize is the page size in bytes; node fanout is derived from it
+	// and the predicate size. Default 8192 (the paper's).
+	PageSize int
+	// FillFactor is the bulk-load fill fraction in (0, 1]. Default 1.0
+	// (STR packs pages full).
+	FillFactor float64
+	// XJBBites is XJB's X. Default 10 (the paper's choice).
+	XJBBites int
+	// AMAPSamples is the number of candidate partitions aMAP examines.
+	// Default 1024 (the paper's choice).
+	AMAPSamples int
+	// BiteRestarts, when positive, builds JB/XJB bites with the
+	// randomized-restart construction (the improved algorithm of paper
+	// footnote 7). Default 0: the paper's Figure-13 heuristic.
+	BiteRestarts int
+	// Seed drives the deterministic randomness of aMAP and the restart
+	// construction.
+	Seed int64
+}
+
+func (o *Options) fillDefaults() error {
+	if o.Method == "" {
+		o.Method = XJB
+	}
+	if o.Dim <= 0 {
+		return fmt.Errorf("blobindex: Dim must be positive")
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.FillFactor == 0 {
+		o.FillFactor = 1.0
+	}
+	if o.XJBBites == 0 {
+		o.XJBBites = 10
+	}
+	if o.AMAPSamples == 0 {
+		o.AMAPSamples = 1024
+	}
+	return nil
+}
+
+func (o Options) extension() (gist.Extension, error) {
+	switch o.Method {
+	case JB:
+		if o.BiteRestarts > 0 {
+			return am.JBWithRestarts(o.BiteRestarts, o.Seed), nil
+		}
+	case XJB:
+		if o.BiteRestarts > 0 {
+			return am.XJBWithRestarts(o.XJBBites, o.BiteRestarts, o.Seed), nil
+		}
+	}
+	return am.New(am.Kind(o.Method), am.Options{
+		AMAPSamples: o.AMAPSamples,
+		AMAPSeed:    o.Seed,
+		XJBX:        o.XJBBites,
+	})
+}
+
+// Index is a searchable access method over a point set.
+type Index struct {
+	tree *gist.Tree
+	opts Options
+}
+
+// New returns an empty index that accepts Insert.
+func New(opts Options) (*Index, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ext, err := opts.extension()
+	if err != nil {
+		return nil, err
+	}
+	tree, err := gist.New(ext, gist.Config{Dim: opts.Dim, PageSize: opts.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, opts: opts}, nil
+}
+
+// Build bulk-loads an index: the points are arranged into STR tile order
+// (Leutenegger et al.) and packed bottom-up, the loading strategy the paper
+// uses for its static Blobworld data set (§3.2). The input slice is not
+// modified.
+func Build(points []Point, opts Options) (*Index, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ext, err := opts.extension()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: opts.Dim, PageSize: opts.PageSize}
+	probe, err := gist.New(ext, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]gist.Point, len(points))
+	for i, p := range points {
+		if len(p.Key) != opts.Dim {
+			return nil, fmt.Errorf("blobindex: point %d has dimension %d, want %d",
+				i, len(p.Key), opts.Dim)
+		}
+		pts[i] = gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID}
+	}
+	str.Order(pts, probe.LeafCapacity())
+	tree, err := gist.BulkLoad(ext, cfg, pts, opts.FillFactor)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, opts: opts}, nil
+}
+
+// Insert adds one point. Insertion maintains predicates conservatively; for
+// JB/XJB indexes call Tighten afterwards to restore bulk-load-quality
+// corner bites (the paper lists insertion support for JB/XJB as future
+// work, §8).
+func (ix *Index) Insert(p Point) error {
+	if len(p.Key) != ix.opts.Dim {
+		return fmt.Errorf("blobindex: key dimension %d, index dimension %d",
+			len(p.Key), ix.opts.Dim)
+	}
+	return ix.tree.Insert(gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID})
+}
+
+// Delete removes the (key, rid) pair, reporting whether it was present.
+func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
+	return ix.tree.Delete(geom.Vector(key), rid)
+}
+
+// Tighten recomputes every bounding predicate from the stored points,
+// restoring the predicate quality a fresh bulk load would produce.
+func (ix *Index) Tighten() { ix.tree.TightenPredicates() }
+
+// SearchKNN returns the exact k nearest neighbors of q, nearest first,
+// using best-first search.
+func (ix *Index) SearchKNN(q []float64, k int) []Neighbor {
+	return toNeighbors(nn.Search(ix.tree, geom.Vector(q), k, nil))
+}
+
+// SearchRange returns all points within Euclidean distance radius of q,
+// nearest first.
+func (ix *Index) SearchRange(q []float64, radius float64) []Neighbor {
+	return toNeighbors(nn.Range(ix.tree, geom.Vector(q), radius*radius, nil))
+}
+
+// NeighborIterator streams neighbors of a query point in increasing
+// distance order, reading index pages lazily — ask for results until
+// satisfied, as the Blobworld front end does. The iterator must not be used
+// across concurrent modifications of the index.
+type NeighborIterator struct {
+	it *nn.Iterator
+}
+
+// SearchIter starts an incremental nearest-neighbor scan from q.
+func (ix *Index) SearchIter(q []float64) *NeighborIterator {
+	return &NeighborIterator{it: nn.NewIterator(ix.tree, geom.Vector(q), nil)}
+}
+
+// Next returns the next-nearest neighbor, or ok == false when the index is
+// exhausted.
+func (ni *NeighborIterator) Next() (Neighbor, bool) {
+	r, ok := ni.it.Next()
+	if !ok {
+		return Neighbor{}, false
+	}
+	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}, true
+}
+
+// NextWithin returns the next neighbor within the given Euclidean radius,
+// or ok == false once the remaining neighbors are all farther; the scan can
+// be resumed with a larger radius.
+func (ni *NeighborIterator) NextWithin(radius float64) (Neighbor, bool) {
+	r, ok := ni.it.NextWithin(radius * radius)
+	if !ok {
+		return Neighbor{}, false
+	}
+	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}, true
+}
+
+// Save writes the index to a page-structured file: one fixed-size page per
+// tree node, predicates serialized in the float-word layout of the paper's
+// Table 3. Open reads it back.
+func (ix *Index) Save(path string) error {
+	return pagefile.Save(path, ix.tree)
+}
+
+// Open loads an index saved by Save. The access method, dimensionality,
+// page size and XJB parameter are recovered from the file.
+func Open(path string) (*Index, error) {
+	tree, err := pagefile.Load(path, am.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Method:   Method(tree.Ext().Name()),
+		Dim:      tree.Dim(),
+		PageSize: tree.PageSize(),
+	}
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, opts: opts}, nil
+}
+
+// WriteSVG renders the index's leaf geometry — bounding predicates
+// (including JB/XJB corner bites, shaded) and data points — to w as an SVG,
+// projected onto dimensions dimX and dimY. This is the Figure-10 view of
+// the paper: the empty MBR corners that motivated the bite predicates are
+// directly visible. maxLeaves caps the drawing (0 = all).
+func (ix *Index) WriteSVG(w io.Writer, dimX, dimY, maxLeaves int) error {
+	return viz.WriteSVG(w, ix.tree, viz.Options{DimX: dimX, DimY: dimY, MaxLeaves: maxLeaves})
+}
+
+// Stats describes the index shape.
+type Stats struct {
+	Method        Method
+	Len           int // stored points
+	Height        int // tree levels
+	Pages         int // total nodes
+	Leaves        int // leaf nodes
+	LeafCapacity  int // max entries per leaf
+	InnerCapacity int // max entries per internal node
+}
+
+// Stats returns the index shape.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Method:        ix.opts.Method,
+		Len:           ix.tree.Len(),
+		Height:        ix.tree.Height(),
+		Pages:         ix.tree.NumPages(),
+		Leaves:        ix.tree.NumLeaves(),
+		LeafCapacity:  ix.tree.LeafCapacity(),
+		InnerCapacity: ix.tree.InnerCapacity(),
+	}
+}
+
+// Len returns the number of stored points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// SampleKeys returns up to n stored keys sampled uniformly at random
+// (reservoir sampling over the leaves), e.g. to build a query workload for
+// Analyze in the paper's style — query foci drawn from the data itself.
+func (ix *Index) SampleKeys(n int, seed int64) [][]float64 {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := make([][]float64, 0, n)
+	seen := 0
+	ix.tree.Walk(func(node *gist.Node, _ gist.Predicate) {
+		if !node.IsLeaf() {
+			return
+		}
+		for i := 0; i < node.NumEntries(); i++ {
+			key := node.LeafKey(i).Clone()
+			if len(sample) < n {
+				sample = append(sample, key)
+			} else if j := rng.Intn(seen + 1); j < n {
+				sample[j] = key
+			}
+			seen++
+		}
+	})
+	return sample
+}
+
+// Check validates the index's structural invariants (predicates cover their
+// subtrees, nodes respect capacity, RIDs partition). Intended for tests and
+// debugging.
+func (ix *Index) Check() error { return ix.tree.CheckIntegrity() }
+
+func toNeighbors(res []nn.Result) []Neighbor {
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}

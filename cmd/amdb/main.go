@@ -1,0 +1,192 @@
+// Command amdb is a command-line stand-in for the amdb access-method
+// analysis tool: it builds (or loads) an index over a data set, runs a
+// nearest-neighbor workload, and prints the analysis report — the workload
+// loss decomposition plus the most access-hungry leaves, the information
+// amdb's GUI visualizes.
+//
+// Data sources, in order of precedence:
+//
+//	-index file.idx    analyze a previously saved index (see -save)
+//	-i blobs.gob       index a data set written by cmd/datagen
+//	(neither)          generate a synthetic corpus on the fly
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"blobindex"
+)
+
+// Dataset mirrors cmd/datagen's on-disk format.
+type Dataset struct {
+	Dim     int
+	Keys    [][]float64
+	RIDs    []int64
+	Images  []int32
+	NumImgs int
+}
+
+func main() {
+	var (
+		in      = flag.String("i", "", "dataset gob from cmd/datagen (empty: generate)")
+		idxFile = flag.String("index", "", "saved index file to analyze (see -save)")
+		save    = flag.String("save", "", "write the built index to this file")
+		images  = flag.Int("images", 4000, "corpus size when generating")
+		dim     = flag.Int("dim", 5, "dimensionality when generating")
+		method  = flag.String("method", "xjb", "access method: rtree|sstree|srtree|amap|jb|xjb|rstar")
+		queries = flag.Int("queries", 128, "workload size")
+		k       = flag.Int("k", 200, "neighbors per query")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		mode    = flag.String("mode", "sphere", "execution: sphere|bestfirst|expanding|harvest")
+		vizOut  = flag.String("viz", "", "write an SVG of the leaf geometry to this file")
+	)
+	flag.Parse()
+
+	var idx *blobindex.Index
+	if *idxFile != "" {
+		var err error
+		idx, err = blobindex.Open(*idxFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded index %s\n", *idxFile)
+	} else {
+		ds := loadOrGenerate(*in, *images, *dim, *seed)
+		fmt.Printf("data set: %d points, %d dimensions\n", len(ds.Keys), ds.Dim)
+		points := make([]blobindex.Point, len(ds.Keys))
+		for i := range ds.Keys {
+			points[i] = blobindex.Point{Key: ds.Keys[i], RID: ds.RIDs[i]}
+		}
+		var err error
+		idx, err = blobindex.Build(points, blobindex.Options{
+			Method: blobindex.Method(*method),
+			Dim:    ds.Dim,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *save != "" {
+			if err := idx.Save(*save); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved index to %s\n", *save)
+		}
+	}
+
+	st := idx.Stats()
+	fmt.Printf("index: %s, %d points, height %d, %d pages (%d leaves, cap %d/%d)\n",
+		st.Method, st.Len, st.Height, st.Pages, st.Leaves, st.LeafCapacity, st.InnerCapacity)
+	if *vizOut != "" {
+		f, err := os.Create(*vizOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := idx.WriteSVG(f, 0, 1, 0); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote leaf visualization to %s\n", *vizOut)
+	}
+	report(idx, *queries, *k, *seed, *mode)
+}
+
+func loadOrGenerate(in string, images, dim int, seed int64) Dataset {
+	var ds Dataset
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := gob.NewDecoder(f).Decode(&ds); err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	}
+	corpus, err := blobindex.GenerateCorpus(blobindex.CorpusConfig{Images: images, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reducer, err := blobindex.FitReducer(corpus.Features(), dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.Dim = dim
+	ds.Keys = reducer.ReduceAll(corpus.Features())
+	ds.RIDs = make([]int64, len(ds.Keys))
+	for i := range ds.RIDs {
+		ds.RIDs[i] = int64(i)
+	}
+	return ds
+}
+
+func report(idx *blobindex.Index, queries, k int, seed int64, mode string) {
+	// Workload: query foci sampled from the indexed data (§3.1).
+	centers := idx.SampleKeys(queries, seed)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(centers), func(i, j int) { centers[i], centers[j] = centers[j], centers[i] })
+	qs := make([]blobindex.Query, len(centers))
+	for i, c := range centers {
+		qs[i] = blobindex.Query{Center: c, K: k}
+	}
+
+	var execMode blobindex.ExecutionMode
+	switch mode {
+	case "sphere":
+		execMode = blobindex.ModeSphere
+	case "bestfirst":
+		execMode = blobindex.ModeBestFirst
+	case "expanding":
+		execMode = blobindex.ModeExpanding
+	case "harvest":
+		execMode = blobindex.ModeHarvest
+	default:
+		log.Fatalf("unknown mode %q", mode)
+	}
+	a, err := idx.Analyze(qs, blobindex.AnalyzeOptions{Seed: seed, Mode: execMode})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\nworkload\t%d queries × %d-NN (%s execution)\n", a.Queries, k, mode)
+	fmt.Fprintf(w, "leaf I/Os\t%d (%.2f per query; query touches 1 in %.0f pages)\n",
+		a.LeafIOs, a.AvgLeafIOsPerQuery, 1/a.PagesHitFraction)
+	fmt.Fprintf(w, "inner I/Os\t%d\n", a.InnerIOs)
+	fmt.Fprintf(w, "total I/Os\t%d\n", a.TotalIOs)
+	fmt.Fprintf(w, "\nloss decomposition\tleaf I/Os\tshare\n")
+	pct := func(x float64) string {
+		if a.LeafIOs == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*x/float64(a.LeafIOs))
+	}
+	fmt.Fprintf(w, "optimal (ideal tree)\t%.0f\t%s\n", a.OptimalIOs, pct(a.OptimalIOs))
+	fmt.Fprintf(w, "clustering loss\t%.0f\t%s\n", a.ClusteringLoss, pct(a.ClusteringLoss))
+	fmt.Fprintf(w, "utilization loss\t%.0f\t%s\n", a.UtilizationLoss, pct(a.UtilizationLoss))
+	fmt.Fprintf(w, "excess coverage loss\t%.0f\t%s\n", a.ExcessCoverageLoss, pct(a.ExcessCoverageLoss))
+	w.Flush()
+
+	// The "visualization": the leaves that attract the most useless reads,
+	// the nodes an AM designer would inspect in amdb's tree view.
+	worst := a.LeafProfiles
+	if len(worst) > 10 {
+		worst = worst[:10]
+	}
+	if len(worst) > 0 {
+		fmt.Println("\nleaves with the most excess (empty) reads:")
+		wl := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(wl, "page\taccesses\tempty\tutilization")
+		for _, lf := range worst {
+			fmt.Fprintf(wl, "%d\t%d\t%d\t%.0f%%\n",
+				lf.Page, lf.Accesses, lf.EmptyAccesses, 100*lf.Utilization)
+		}
+		wl.Flush()
+	}
+}

@@ -1,0 +1,207 @@
+// Command blobbench regenerates the paper's tables and figures. See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blobindex/internal/experiments"
+)
+
+func main() {
+	p := experiments.DefaultParams()
+	var which string
+	flag.IntVar(&p.Images, "images", p.Images, "synthetic corpus size in images")
+	flag.IntVar(&p.Queries, "queries", p.Queries, "workload query count")
+	flag.IntVar(&p.K, "k", p.K, "results per query")
+	flag.IntVar(&p.Dim, "dim", p.Dim, "indexed (SVD) dimensionality")
+	flag.IntVar(&p.PageSize, "pagesize", p.PageSize, "page size in bytes")
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "random seed")
+	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
+	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
+	flag.StringVar(&which, "experiment", "all",
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,ablations")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(which, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	has := func(names ...string) bool {
+		if want["all"] {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Printf("# blobbench: %d images, %d queries, k=%d, dim=%d, page=%dB, seed=%d\n",
+		p.Images, p.Queries, p.K, p.Dim, p.PageSize, p.Seed)
+	s, err := experiments.NewScenario(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# corpus: %d blobs in %d images; setup %.1fs\n\n",
+		len(s.Corpus.Blobs), s.Corpus.Images, time.Since(start).Seconds())
+
+	if has("fig6") {
+		run("fig6", func() (string, error) {
+			r, err := experiments.Fig6(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("tab2") {
+		run("tab2", func() (string, error) {
+			r, err := experiments.Table2(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("fig7", "fig8") {
+		run("fig7/fig8", func() (string, error) {
+			rows, err := experiments.Fig7And8(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLossRows(
+				"Figures 7 and 8: traditional AM losses (leaf level)", rows), nil
+		})
+	}
+	if has("tab3") {
+		run("tab3", func() (string, error) {
+			rows, err := experiments.Table3(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable3(rows, s.Params.Dim), nil
+		})
+	}
+	if has("fig14", "fig15", "fig16") {
+		run("fig14/fig15/fig16", func() (string, error) {
+			rows, err := experiments.Fig14To16(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLossRows(
+				"Figures 14, 15 and 16: new AM losses and total I/Os", rows), nil
+		})
+	}
+	if has("scan") {
+		run("scan", func() (string, error) {
+			r, err := experiments.Scan(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("structure") {
+		run("structure", func() (string, error) {
+			rows, err := experiments.Structure(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderStructure(rows), nil
+		})
+	}
+	if has("buffer") {
+		run("buffer", func() (string, error) {
+			r, err := experiments.BufferSweepDefault(s)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("quality") {
+		run("quality", func() (string, error) {
+			rows, err := experiments.Quality(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderQuality(rows), nil
+		})
+	}
+	if has("skew") {
+		run("skew", func() (string, error) {
+			rows, err := experiments.WorkloadSkew(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSkew(rows), nil
+		})
+	}
+	if has("dynamic") {
+		for _, kind := range []string{"jb", "xjb"} {
+			kind := kind
+			run("dynamic "+kind, func() (string, error) {
+				rows, err := experiments.Dynamic(s, experiments.AMKind(kind))
+				if err != nil {
+					return "", err
+				}
+				return experiments.RenderDynamic(experiments.AMKind(kind), rows), nil
+			})
+		}
+	}
+	if has("ablations") {
+		run("ablation: bulk order", func() (string, error) {
+			rows, err := experiments.AblationBulkOrder(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderOrderAblation(rows), nil
+		})
+		run("ablation: amap samples", func() (string, error) {
+			rows, err := experiments.AblationAMAPSamples(s, []int{64, 256, 1024, 4096})
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderAMAPAblation(rows), nil
+		})
+		run("ablation: rstar", func() (string, error) {
+			rows, err := experiments.AblationRStar(s)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderRStarAblation(rows), nil
+		})
+		run("ablation: xjb x", func() (string, error) {
+			r, err := experiments.AblationXJB(s, []int{2, 4, 6, 8, 10, 12, 16})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	fmt.Printf("# done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func run(name string, f func() (string, error)) {
+	start := time.Now()
+	out, err := f()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Println(out)
+	fmt.Printf("# [%s in %.1fs]\n\n", name, time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blobbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command datagen generates a synthetic Blobworld corpus, fits the SVD
+// reduction, and saves the reduced data set to a gob file that cmd/amdb can
+// analyze, so repeated analyses reuse one corpus.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"blobindex"
+)
+
+// Dataset is the on-disk format shared with cmd/amdb.
+type Dataset struct {
+	Dim     int
+	Keys    [][]float64
+	RIDs    []int64
+	Images  []int32 // Images[i] is the image owning blob i
+	NumImgs int
+}
+
+func main() {
+	var (
+		images = flag.Int("images", 8000, "number of synthetic images")
+		dim    = flag.Int("dim", 5, "reduced (indexed) dimensionality")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		out    = flag.String("o", "blobs.gob", "output file")
+	)
+	flag.Parse()
+
+	corpus, err := blobindex.GenerateCorpus(blobindex.CorpusConfig{Images: *images, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d blobs in %d images\n", corpus.NumBlobs(), corpus.NumImages())
+
+	reducer, err := blobindex.FitReducer(corpus.Features(), *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced := reducer.ReduceAll(corpus.Features())
+	fmt.Printf("SVD to %d dimensions captures %.1f%% of variance\n",
+		*dim, 100*reducer.ExplainedVariance()[*dim-1])
+
+	ds := Dataset{Dim: *dim, Keys: reduced, NumImgs: corpus.NumImages()}
+	ds.RIDs = make([]int64, len(reduced))
+	ds.Images = make([]int32, len(reduced))
+	for i := range reduced {
+		ds.RIDs[i] = int64(i)
+		ds.Images[i] = corpus.ImageOf(i)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

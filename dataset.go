@@ -1,0 +1,260 @@
+package blobindex
+
+import (
+	"math"
+	"math/rand"
+
+	"blobindex/internal/am"
+	"blobindex/internal/blobworld"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+	"blobindex/internal/svd"
+)
+
+// Corpus is a synthetic Blobworld image collection: images segmented into
+// "blobs", each described by a 218-dimensional color histogram. It stands
+// in for the paper's 35,000-image / 221,321-blob data set (see DESIGN.md
+// for the substitution argument) and provides the full-feature-vector
+// ranking that serves as ground truth for recall experiments.
+type Corpus struct {
+	c *blobworld.Corpus
+}
+
+// CorpusConfig parameterizes corpus generation. The zero value of every
+// field selects a default documented on the field.
+type CorpusConfig struct {
+	// Images is the number of images. Required.
+	Images int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Categories is the number of object categories; default Images/12
+	// (min 64).
+	Categories int
+	// FeatureDim is the full feature dimensionality; default 218 (the
+	// paper's).
+	FeatureDim int
+}
+
+// GenerateCorpus builds a synthetic corpus.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
+	c, err := blobworld.Generate(blobworld.Config{
+		NumImages:  cfg.Images,
+		Seed:       cfg.Seed,
+		Categories: cfg.Categories,
+		Dim:        cfg.FeatureDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// NumBlobs returns the number of blobs in the corpus.
+func (c *Corpus) NumBlobs() int { return len(c.c.Blobs) }
+
+// NumImages returns the number of images in the corpus.
+func (c *Corpus) NumImages() int { return c.c.Images }
+
+// Feature returns blob i's full feature vector. The returned slice is
+// shared; do not modify it.
+func (c *Corpus) Feature(i int) []float64 { return c.c.Blobs[i].Feature }
+
+// Features returns all blob feature vectors, indexed by blob.
+func (c *Corpus) Features() [][]float64 {
+	out := make([][]float64, len(c.c.Blobs))
+	for i := range c.c.Blobs {
+		out[i] = c.c.Blobs[i].Feature
+	}
+	return out
+}
+
+// ImageOf returns the image id owning blob i.
+func (c *Corpus) ImageOf(i int) int32 { return c.c.Blobs[i].ImageID }
+
+// BlobsOf returns the blob indexes of image img.
+func (c *Corpus) BlobsOf(img int32) []int {
+	ids := c.c.ImageBlobs(img)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// RankedImage is one full-ranking result.
+type RankedImage struct {
+	Image int32
+	Dist  float64
+}
+
+// RankImages performs the full Blobworld ranking — the quadratic-form
+// distance over complete feature vectors, scoring each image by its best
+// blob — and returns the top n images. This is the expensive exact
+// computation the access methods approximate (paper Figure 2).
+func (c *Corpus) RankImages(query []float64, n int) []RankedImage {
+	ranked := c.c.RankImages(geom.Vector(query), n)
+	out := make([]RankedImage, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedImage{Image: r.Image, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}
+
+// RankImagesAmong re-ranks only the images owning the given candidate
+// blobs, using full feature vectors — the final stage of the Blobworld
+// query pipeline, applied to an access method's candidate set.
+func (c *Corpus) RankImagesAmong(query []float64, blobIDs []int64, n int) []RankedImage {
+	ranked := c.c.RankImagesAmong(geom.Vector(query), blobIDs, n)
+	out := make([]RankedImage, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedImage{Image: r.Image, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}
+
+// RankImagesTwoBlobs performs the two-region Blobworld query of §2.3: an
+// image is scored by the sum of its best (distinct) blob matches to the two
+// query features. This is the full-feature-vector ground truth; the indexed
+// variant intersects two SearchKNN candidate sets and re-ranks them with
+// RankImagesAmong.
+func (c *Corpus) RankImagesTwoBlobs(queryA, queryB []float64, n int) []RankedImage {
+	ranked := c.c.RankImagesTwoBlobs(geom.Vector(queryA), geom.Vector(queryB), n)
+	out := make([]RankedImage, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedImage{Image: r.Image, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}
+
+// Weights are the descriptor importances of the paper's Figure 3 query
+// interface ("Color is very important, location is not, texture is
+// so-so..."). Values are relative; zero disables a descriptor.
+type Weights struct {
+	Color    float64
+	Texture  float64
+	Location float64
+}
+
+// QueryWeighted runs the weighted full Blobworld ranking from the given
+// blob: every blob's color, texture and location descriptors are compared
+// under the weights and images score by their best blob.
+func (c *Corpus) QueryWeighted(blob int, w Weights, n int) []RankedImage {
+	q := c.c.BlobQuery(blob, w.Color, w.Texture, w.Location)
+	ranked := c.c.RankImagesWeighted(q, n)
+	out := make([]RankedImage, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedImage{Image: r.Image, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}
+
+// QueryWeightedAmong is the indexed weighted pipeline's final stage: the
+// access method narrows candidates by color similarity (SearchKNN over the
+// SVD vectors), and the weights re-rank only those candidates' blobs.
+func (c *Corpus) QueryWeightedAmong(blob int, w Weights, blobIDs []int64, n int) []RankedImage {
+	q := c.c.BlobQuery(blob, w.Color, w.Texture, w.Location)
+	ranked := c.c.RankImagesWeightedAmong(q, blobIDs, n)
+	out := make([]RankedImage, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedImage{Image: r.Image, Dist: math.Sqrt(r.Dist2)}
+	}
+	return out
+}
+
+// Recall returns the fraction of reference images present among the
+// candidate images — the paper's Figure 6 metric.
+func Recall(reference []RankedImage, candidates []int32) float64 {
+	ref := make([]blobworld.ImageRank, len(reference))
+	for i, r := range reference {
+		ref[i] = blobworld.ImageRank{Image: r.Image}
+	}
+	return blobworld.Recall(ref, candidates)
+}
+
+// BlobRegion is one blob produced by SegmentImage: its size, mean pixel
+// feature and an indexable color histogram.
+type BlobRegion struct {
+	Pixels    int
+	Mean      []float64
+	Histogram []float64
+}
+
+// SegmentImage runs the Figure-1 pixel pipeline on a synthetic w×h image
+// of k objects: per-pixel color/texture features, EM grouping with MDL
+// model selection, and connected components — returning the blobs with
+// histDim-bin color histograms ready for indexing. noise is the per-pixel
+// feature noise; seed makes the image and segmentation deterministic.
+func SegmentImage(w, h, k int, noise float64, histDim int, seed int64) ([]BlobRegion, error) {
+	rng := rand.New(rand.NewSource(seed))
+	im := blobworld.SyntheticPixelImage(w, h, k, noise, rng)
+	regions, err := blobworld.SegmentEM(im, histDim, blobworld.EMConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BlobRegion, len(regions))
+	for i, r := range regions {
+		out[i] = BlobRegion{Pixels: r.Pixels, Mean: r.Mean, Histogram: r.Histogram}
+	}
+	return out, nil
+}
+
+// Reducer projects full feature vectors onto their top principal
+// components — the paper's SVD dimensionality reduction (§3).
+type Reducer struct {
+	pca *svd.PCA
+}
+
+// FitReducer computes the reduction from the data to dim dimensions.
+func FitReducer(features [][]float64, dim int) (*Reducer, error) {
+	vecs := make([]geom.Vector, len(features))
+	for i, f := range features {
+		vecs[i] = f
+	}
+	pca, err := svd.Fit(vecs, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &Reducer{pca: pca}, nil
+}
+
+// Dim returns the reduced dimensionality.
+func (r *Reducer) Dim() int { return r.pca.Dim() }
+
+// Reduce projects one vector.
+func (r *Reducer) Reduce(v []float64) []float64 { return r.pca.Project(v) }
+
+// ReduceAll projects every vector.
+func (r *Reducer) ReduceAll(vs [][]float64) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = r.pca.Project(v)
+	}
+	return out
+}
+
+// ExplainedVariance returns, for each retained component count k ≤ Dim(),
+// the fraction of total data variance the first k components capture.
+func (r *Reducer) ExplainedVariance() []float64 { return r.pca.ExplainedVariance() }
+
+// AutoX selects XJB's X automatically: the largest X whose bulk-loaded tree
+// is no taller than the X=1 tree (the rule of paper §5.3, automated as §8
+// proposes). points are indexed at the given dimensionality and page size;
+// maxX bounds the search.
+func AutoX(points []Point, dim, pageSize, maxX int) (int, error) {
+	if pageSize == 0 {
+		pageSize = 8192
+	}
+	cfg := gist.Config{Dim: dim, PageSize: pageSize}
+	probe, err := gist.New(am.XJB(1), cfg)
+	if err != nil {
+		return 0, err
+	}
+	pts := make([]gist.Point, len(points))
+	for i, p := range points {
+		pts[i] = gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID}
+	}
+	str.Order(pts, probe.LeafCapacity())
+	x, _, err := am.AutoXJB(pts, cfg, 1.0, maxX)
+	return x, err
+}

@@ -1,0 +1,110 @@
+package blobindex_test
+
+import (
+	"fmt"
+	"os"
+
+	"blobindex"
+)
+
+// Build an index over a handful of points and query it.
+func ExampleBuild() {
+	points := []blobindex.Point{
+		{Key: []float64{0, 0}, RID: 1},
+		{Key: []float64{1, 0}, RID: 2},
+		{Key: []float64{0, 1}, RID: 3},
+		{Key: []float64{9, 9}, RID: 4},
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.RTree, Dim: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range idx.SearchKNN([]float64{0.1, 0.1}, 2) {
+		fmt.Printf("rid=%d dist=%.2f\n", n.RID, n.Dist)
+	}
+	// Output:
+	// rid=1 dist=0.14
+	// rid=2 dist=0.91
+}
+
+// Stream neighbors lazily until satisfied.
+func ExampleIndex_SearchIter() {
+	points := []blobindex.Point{
+		{Key: []float64{1}, RID: 1},
+		{Key: []float64{2}, RID: 2},
+		{Key: []float64{4}, RID: 3},
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.XJB, Dim: 1})
+	if err != nil {
+		panic(err)
+	}
+	it := idx.SearchIter([]float64{0})
+	for {
+		n, ok := it.Next()
+		if !ok || n.Dist > 3 {
+			break
+		}
+		fmt.Println(n.RID)
+	}
+	// Output:
+	// 1
+	// 2
+}
+
+// Analyze a workload with the paper's amdb loss metrics.
+func ExampleIndex_Analyze() {
+	var points []blobindex.Point
+	for i := 0; i < 600; i++ {
+		points = append(points, blobindex.Point{
+			Key: []float64{float64(i % 30), float64(i / 30)},
+			RID: int64(i),
+		})
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.RTree, Dim: 2, PageSize: 1024})
+	if err != nil {
+		panic(err)
+	}
+	queries := []blobindex.Query{
+		{Center: []float64{5, 5}, K: 20},
+		{Center: []float64{25, 15}, K: 20},
+	}
+	a, err := idx.Analyze(queries, blobindex.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Queries, a.LeafIOs > 0, a.TotalIOs == a.LeafIOs+a.InnerIOs)
+	// Output:
+	// 2 true true
+}
+
+// Persist and reopen an index.
+func ExampleOpen() {
+	points := []blobindex.Point{
+		{Key: []float64{1, 2}, RID: 10},
+		{Key: []float64{3, 4}, RID: 11},
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.JB, Dim: 2})
+	if err != nil {
+		panic(err)
+	}
+	path := exampleTempDir() + "/demo.idx"
+	if err := idx.Save(path); err != nil {
+		panic(err)
+	}
+	loaded, err := blobindex.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(loaded.Len(), loaded.Stats().Method)
+	// Output:
+	// 2 jb
+}
+
+// exampleTempDir gives the examples a writable scratch directory.
+func exampleTempDir() string {
+	d, err := os.MkdirTemp("", "blobindex-example")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,97 @@
+// Imagesearch: the full Blobworld query pipeline of the paper's Figure 2,
+// end to end — from a toy pixel-level image through segmentation, feature
+// extraction, SVD reduction, access-method candidate retrieval, and
+// full-feature-vector re-ranking to a final list of matching images.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blobindex"
+)
+
+func main() {
+	// A corpus standing in for the paper's 35,000-image collection.
+	corpus, err := blobindex.GenerateCorpus(blobindex.CorpusConfig{Images: 2000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reducer, err := blobindex.FitReducer(corpus.Features(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced := reducer.ReduceAll(corpus.Features())
+
+	points := make([]blobindex.Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = blobindex.Point{Key: v, RID: int64(i)}
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.XJB, Dim: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d blobs from %d images (XJB, height %d)\n",
+		idx.Len(), corpus.NumImages(), idx.Stats().Height)
+
+	// The user picks a blob of a sample image as the query (paper Figure 3:
+	// "the user selects the blob she is interested in").
+	queryBlob := 1234
+	queryImage := corpus.ImageOf(queryBlob)
+	fmt.Printf("\nquery: blob %d of image %d\n", queryBlob, queryImage)
+
+	// Stage 1 (access method): retrieve a few hundred candidate blobs by
+	// nearest-neighbor search over the reduced vectors — the "quick and
+	// dirty estimate of the top few hundred" (§2.3).
+	candidates := idx.SearchKNN(reducer.Reduce(corpus.Feature(queryBlob)), 200)
+	blobIDs := make([]int64, len(candidates))
+	for i, c := range candidates {
+		blobIDs[i] = c.RID
+	}
+	fmt.Printf("access method returned %d candidate blobs\n", len(candidates))
+
+	// Stage 2 (Blobworld ranking): re-rank the candidates' images with the
+	// quadratic-form distance over the full 218-D feature vectors and show
+	// the top matches (paper Figure 4).
+	top := corpus.RankImagesAmong(corpus.Feature(queryBlob), blobIDs, 10)
+	fmt.Println("\ntop matching images (re-ranked on full feature vectors):")
+	for rank, r := range top {
+		marker := ""
+		if r.Image == queryImage {
+			marker = "   <- the query's own image"
+		}
+		fmt.Printf("  %2d. image %4d  distance %.5f%s\n", rank+1, r.Image, r.Dist, marker)
+	}
+
+	// Quality check: how much of the exact full ranking's top-40 did the
+	// index-assisted pipeline recover? (paper Figure 6's recall metric)
+	reference := corpus.RankImages(corpus.Feature(queryBlob), 40)
+	candidateImages := make([]int32, len(candidates))
+	for i, c := range candidates {
+		candidateImages[i] = corpus.ImageOf(int(c.RID))
+	}
+	fmt.Printf("\nrecall of the full ranking's top 40: %.2f\n",
+		blobindex.Recall(reference, candidateImages))
+
+	// Two-region query (§2.3: "one or two regions of interest"): find
+	// images containing blobs like two different query blobs — here, two
+	// blobs of the query image, so it should win its own query.
+	var second int
+	for _, bi := range corpus.BlobsOf(queryImage) {
+		if bi != queryBlob {
+			second = bi
+			break
+		}
+	}
+	if second != 0 {
+		two := corpus.RankImagesTwoBlobs(corpus.Feature(queryBlob), corpus.Feature(second), 5)
+		fmt.Printf("\ntwo-region query (blobs %d and %d):\n", queryBlob, second)
+		for rank, r := range two {
+			marker := ""
+			if r.Image == queryImage {
+				marker = "   <- the query's own image"
+			}
+			fmt.Printf("  %2d. image %4d  combined distance %.5f%s\n", rank+1, r.Image, r.Dist, marker)
+		}
+	}
+}

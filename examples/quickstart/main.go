@@ -1,0 +1,57 @@
+// Quickstart: build an XJB index over a small synthetic blob collection and
+// run a nearest-neighbor query — the minimal end-to-end use of the public
+// blobindex API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blobindex"
+)
+
+func main() {
+	// 1. Generate a small synthetic Blobworld corpus (images segmented
+	//    into blobs with 218-dimensional color histograms).
+	corpus, err := blobindex.GenerateCorpus(blobindex.CorpusConfig{Images: 500, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d images, %d blobs, %d-dimensional features\n",
+		corpus.NumImages(), corpus.NumBlobs(), len(corpus.Feature(0)))
+
+	// 2. Reduce the features to 5 dimensions with SVD, as the paper does
+	//    (218 dimensions are too many to index; 5 retain the neighborhoods).
+	reducer, err := blobindex.FitReducer(corpus.Features(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reduced := reducer.ReduceAll(corpus.Features())
+	fmt.Printf("5-D SVD captures %.0f%% of feature variance\n",
+		100*reducer.ExplainedVariance()[4])
+
+	// 3. Bulk-load an XJB index (the paper's custom access method) over the
+	//    reduced vectors.
+	points := make([]blobindex.Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = blobindex.Point{Key: v, RID: int64(i)}
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{
+		Method: blobindex.XJB,
+		Dim:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("index: %s, %d points, height %d, %d pages (%d leaves)\n",
+		st.Method, st.Len, st.Height, st.Pages, st.Leaves)
+
+	// 4. Query: the 10 nearest blobs to blob 0.
+	neighbors := idx.SearchKNN(reduced[0], 10)
+	fmt.Println("\n10 nearest blobs to blob 0:")
+	for rank, n := range neighbors {
+		fmt.Printf("  %2d. blob %5d (image %4d)  distance %.5f\n",
+			rank+1, n.RID, corpus.ImageOf(int(n.RID)), n.Dist)
+	}
+}

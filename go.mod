@@ -1,0 +1,3 @@
+module blobindex
+
+go 1.22

@@ -1,0 +1,91 @@
+// Package am implements the six access methods evaluated in the Blobworld
+// paper as GiST extensions (package blobindex/internal/gist):
+//
+//   - R-tree: minimum bounding rectangle predicates (Guttman 1984)
+//   - SS-tree: centroid-sphere predicates (White & Jain 1996)
+//   - SR-tree: rectangle ∩ sphere predicates (Katayama & Satoh 1997)
+//   - aMAP: two rectangles of approximately minimal total volume (paper §5.1)
+//   - JB: "jagged bites" — the MBR plus the largest empty bite at every
+//     corner (paper §5.2)
+//   - XJB: the MBR plus only the X largest bites (paper §5.3)
+//
+// All six share the tree machinery; only the bounding predicates, their
+// geometry, and the insertion heuristics differ, which is exactly the
+// modularity argument the paper makes for building custom access methods
+// inside GiST.
+package am
+
+import (
+	"fmt"
+
+	"blobindex/internal/gist"
+)
+
+// Kind names one of the implemented access methods.
+type Kind string
+
+// The implemented access-method kinds.
+const (
+	KindRTree  Kind = "rtree"
+	KindSSTree Kind = "sstree"
+	KindSRTree Kind = "srtree"
+	KindAMAP   Kind = "amap"
+	KindJB     Kind = "jb"
+	KindXJB    Kind = "xjb"
+	// KindRStar is the R*-tree, which the paper discusses only in footnote
+	// 5 ("bulk-loading the data eliminates any difference between the two
+	// AMs" — an ablation in internal/experiments tests that claim); it is
+	// not part of the paper's evaluated set.
+	KindRStar Kind = "rstar"
+)
+
+// Kinds lists the access methods of the paper's evaluation, in the order
+// the paper discusses them. KindRStar is implemented but excluded, as in
+// the paper.
+func Kinds() []Kind {
+	return []Kind{KindRTree, KindSSTree, KindSRTree, KindAMAP, KindJB, KindXJB}
+}
+
+// Options tunes the access methods that have parameters.
+type Options struct {
+	// AMAPSamples is the number of candidate partitions the aMAP predicate
+	// builder examines; the paper uses 1024. Defaults to 1024.
+	AMAPSamples int
+	// AMAPSeed seeds aMAP's deterministic partition sampling.
+	AMAPSeed int64
+	// XJBX is the number of bites an XJB predicate keeps; the paper settles
+	// on X = 10. Defaults to 10.
+	XJBX int
+}
+
+func (o *Options) fillDefaults() {
+	if o.AMAPSamples == 0 {
+		o.AMAPSamples = 1024
+	}
+	if o.XJBX == 0 {
+		o.XJBX = 10
+	}
+}
+
+// New returns the extension implementing the named access method.
+func New(kind Kind, opts Options) (gist.Extension, error) {
+	opts.fillDefaults()
+	switch kind {
+	case KindRTree:
+		return RTree(), nil
+	case KindSSTree:
+		return SSTree(), nil
+	case KindSRTree:
+		return SRTree(), nil
+	case KindAMAP:
+		return AMAP(opts.AMAPSamples, opts.AMAPSeed), nil
+	case KindJB:
+		return JB(), nil
+	case KindXJB:
+		return XJB(opts.XJBX), nil
+	case KindRStar:
+		return RStar(), nil
+	default:
+		return nil, fmt.Errorf("am: unknown access method %q", kind)
+	}
+}

@@ -1,0 +1,363 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+func randomVectors(rng *rand.Rand, n, dim int) []geom.Vector {
+	out := make([]geom.Vector, n)
+	for i := range out {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64() * 100
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func toPoints(vecs []geom.Vector) []gist.Point {
+	pts := make([]gist.Point, len(vecs))
+	for i, v := range vecs {
+		pts[i] = gist.Point{Key: v, RID: int64(i)}
+	}
+	return pts
+}
+
+func allExtensions(t *testing.T) []gist.Extension {
+	t.Helper()
+	var exts []gist.Extension
+	for _, k := range Kinds() {
+		ext, err := New(k, Options{AMAPSamples: 64, AMAPSeed: 42, XJBX: 4})
+		if err != nil {
+			t.Fatalf("New(%s): %v", k, err)
+		}
+		exts = append(exts, ext)
+	}
+	return exts
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("btree"), Options{}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	if len(Kinds()) != 6 {
+		t.Errorf("Kinds() = %v, want 6 access methods", Kinds())
+	}
+}
+
+// For every extension: FromPoints must cover all its points, MinDist2 must
+// be an admissible lower bound, and Extend must add coverage of the new
+// point without losing coverage of the old ones.
+func TestExtensionContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, ext := range allExtensions(t) {
+		t.Run(ext.Name(), func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				pts := randomVectors(rng, 3+rng.Intn(60), 3)
+				bp := ext.FromPoints(pts)
+				for _, p := range pts {
+					if !ext.Covers(bp, p) {
+						t.Fatalf("predicate does not cover its own point %v", p)
+					}
+				}
+				q := randomVectors(rng, 1, 3)[0]
+				lb := ext.MinDist2(bp, q)
+				for _, p := range pts {
+					if q.Dist2(p) < lb-1e-9 {
+						t.Fatalf("MinDist2 %.6f overestimates: point %v is at %.6f",
+							lb, p, q.Dist2(p))
+					}
+				}
+				// Extend covers the new point and keeps the old ones.
+				np := randomVectors(rng, 1, 3)[0]
+				ext2 := ext.Extend(bp, np)
+				if !ext.Covers(ext2, np) {
+					t.Fatalf("Extend result does not cover the new point")
+				}
+				for _, p := range pts {
+					if !ext.Covers(ext2, p) {
+						t.Fatalf("Extend lost coverage of existing point %v", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// UnionPreds must cover everything its inputs covered.
+func TestUnionPredsCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, ext := range allExtensions(t) {
+		t.Run(ext.Name(), func(t *testing.T) {
+			groups := make([][]geom.Vector, 3)
+			preds := make([]gist.Predicate, 3)
+			for i := range groups {
+				groups[i] = randomVectors(rng, 10, 3)
+				preds[i] = ext.FromPoints(groups[i])
+			}
+			u := ext.UnionPreds(preds)
+			for _, g := range groups {
+				for _, p := range g {
+					if !ext.Covers(u, p) {
+						t.Fatalf("union lost point %v", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// PickSplit must produce two non-empty groups partitioning the input.
+func TestPickSplitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, ext := range allExtensions(t) {
+		t.Run(ext.Name(), func(t *testing.T) {
+			pts := randomVectors(rng, 40, 3)
+			l, r := ext.PickSplitPoints(pts)
+			if len(l) == 0 || len(r) == 0 {
+				t.Fatalf("split produced an empty group: %d/%d", len(l), len(r))
+			}
+			seen := make(map[int]bool)
+			for _, i := range append(append([]int{}, l...), r...) {
+				if seen[i] || i < 0 || i >= len(pts) {
+					t.Fatalf("split index %d invalid or duplicated", i)
+				}
+				seen[i] = true
+			}
+			if len(seen) != len(pts) {
+				t.Fatalf("split covers %d of %d indices", len(seen), len(pts))
+			}
+
+			preds := make([]gist.Predicate, 20)
+			for i := range preds {
+				preds[i] = ext.FromPoints(randomVectors(rng, 5, 3))
+			}
+			l, r = ext.PickSplitPreds(preds)
+			if len(l) == 0 || len(r) == 0 {
+				t.Fatalf("pred split produced an empty group")
+			}
+			if len(l)+len(r) != len(preds) {
+				t.Fatalf("pred split covers %d of %d", len(l)+len(r), len(preds))
+			}
+		})
+	}
+}
+
+// Every access method must build a searchable, integral tree both by bulk
+// loading and by insertion, and k-range searches must agree with brute
+// force.
+func TestEndToEndTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	vecs := randomVectors(rng, 1500, 3)
+	pts := toPoints(vecs)
+	cfg := gist.Config{Dim: 3, PageSize: 2048}
+
+	for _, ext := range allExtensions(t) {
+		t.Run(ext.Name()+"/bulk", func(t *testing.T) {
+			ordered := make([]gist.Point, len(pts))
+			copy(ordered, pts)
+			str.Order(ordered, 50)
+			tree, err := gist.BulkLoad(ext, cfg, ordered, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.CheckIntegrity(); err != nil {
+				t.Fatalf("integrity: %v", err)
+			}
+			checkRangeAgainstBrute(t, tree, pts, rng)
+		})
+		t.Run(ext.Name()+"/insert", func(t *testing.T) {
+			tree, err := gist.New(ext, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pts[:600] {
+				if err := tree.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tree.CheckIntegrity(); err != nil {
+				t.Fatalf("integrity: %v", err)
+			}
+			checkRangeAgainstBrute(t, tree, pts[:600], rng)
+		})
+	}
+}
+
+func checkRangeAgainstBrute(t *testing.T, tree *gist.Tree, pts []gist.Point, rng *rand.Rand) {
+	t.Helper()
+	for trial := 0; trial < 8; trial++ {
+		center := randomVectors(rng, 1, 3)[0]
+		r2 := 25 + rng.Float64()*400
+		want := make(map[int64]bool)
+		for _, p := range pts {
+			if center.Dist2(p.Key) <= r2 {
+				want[p.RID] = true
+			}
+		}
+		got := tree.RangeSearch(center, r2, nil)
+		if len(got) != len(want) {
+			t.Fatalf("range search returned %d results, want %d", len(got), len(want))
+		}
+		for _, rid := range got {
+			if !want[rid] {
+				t.Fatalf("unexpected RID %d in range results", rid)
+			}
+		}
+	}
+}
+
+func TestTightenPredicatesRestoresBites(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := randomVectors(rng, 800, 2)
+	pts := toPoints(vecs)
+	ext := JB()
+	tree, err := gist.New(ext, gist.Config{Dim: 2, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countBites := func() int {
+		total := 0
+		tree.Walk(func(n *gist.Node, pp gist.Predicate) {
+			if pp != nil {
+				total += len(pp.(JBPred).Bites)
+			}
+		})
+		return total
+	}
+	before := countBites()
+	tree.TightenPredicates()
+	after := countBites()
+	if after <= before {
+		t.Errorf("TightenPredicates should add bites: before=%d after=%d", before, after)
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after tighten: %v", err)
+	}
+}
+
+func TestXJBKeepsAtMostXBites(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, x := range []int{0, 1, 4, 10} {
+		ext := XJB(x)
+		pts := randomVectors(rng, 100, 3)
+		bp := ext.FromPoints(pts).(JBPred)
+		if len(bp.Bites) > x {
+			t.Errorf("XJB(%d) kept %d bites", x, len(bp.Bites))
+		}
+	}
+}
+
+func TestBPWordsMatchTable3(t *testing.T) {
+	// Table 3 of the paper, D = 5.
+	const d = 5
+	cases := []struct {
+		ext  gist.Extension
+		want int
+	}{
+		{RTree(), 2 * d},           // MBR: 2D
+		{AMAP(16, 1), 4 * d},       // MAP: 4D
+		{JB(), (2 + (1 << d)) * d}, // JB: (2+2^D)D
+		{XJB(10), 2*d + (d+1)*10},  // XJB: 2D+(D+1)X
+	}
+	for _, c := range cases {
+		if got := c.ext.BPWords(d); got != c.want {
+			t.Errorf("%s BPWords(5) = %d, want %d", c.ext.Name(), got, c.want)
+		}
+	}
+	// Sanity for the traditional AMs not in Table 3.
+	if got := SSTree().BPWords(d); got != d+1 {
+		t.Errorf("sstree BPWords = %d, want %d", got, d+1)
+	}
+	if got := SRTree().BPWords(d); got != 3*d+1 {
+		t.Errorf("srtree BPWords = %d, want %d", got, 3*d+1)
+	}
+}
+
+// The JB predicate must be strictly tighter than the MBR for queries that
+// approach an empty corner.
+func TestJBTighterThanMBRAtCorners(t *testing.T) {
+	// Points filling everything except the (hi, hi) corner.
+	var pts []geom.Vector
+	rng := rand.New(rand.NewSource(13))
+	for len(pts) < 60 {
+		v := geom.Vector{rng.Float64() * 10, rng.Float64() * 10}
+		if v[0] > 6 && v[1] > 6 {
+			continue // keep the corner empty
+		}
+		pts = append(pts, v)
+	}
+	// Anchor the MBR so the empty corner is exactly at (10, 10).
+	pts = append(pts, geom.Vector{10, 0}, geom.Vector{0, 10})
+
+	jb := JB()
+	rt := RTree()
+	jbp := jb.FromPoints(pts)
+	rtp := rt.FromPoints(pts)
+	q := geom.Vector{11, 11}
+	if jb.MinDist2(jbp, q) <= rt.MinDist2(rtp, q) {
+		t.Errorf("JB corner distance %.4f should exceed MBR distance %.4f",
+			jb.MinDist2(jbp, q), rt.MinDist2(rtp, q))
+	}
+}
+
+// aMAP's pair volume must never exceed the single MBR's volume and usually
+// improves on it.
+func TestAMAPVolumeNotWorseThanMBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ext := AMAP(256, 99)
+	improved := 0
+	for trial := 0; trial < 20; trial++ {
+		pts := randomVectors(rng, 50, 2)
+		mp := ext.FromPoints(pts).(MAPPred)
+		mbrVol := geom.BoundingRect(pts).Volume()
+		pv := geom.PairVolume(mp.R1, mp.R2)
+		if pv > mbrVol+1e-9 {
+			t.Fatalf("aMAP pair volume %.4f exceeds MBR volume %.4f", pv, mbrVol)
+		}
+		if pv < mbrVol-1e-9 {
+			improved++
+		}
+	}
+	if improved < 15 {
+		t.Errorf("aMAP improved on the MBR in only %d/20 trials", improved)
+	}
+}
+
+func TestAMAPDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	pts := randomVectors(rng, 40, 3)
+	a := AMAP(128, 7).FromPoints(pts).(MAPPred)
+	b := AMAP(128, 7).FromPoints(pts).(MAPPred)
+	if !a.R1.Equal(b.R1) || !a.R2.Equal(b.R2) {
+		t.Error("same seed should produce identical aMAP predicates")
+	}
+}
+
+func TestSRPredTighterThanComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	ext := SRTree()
+	for trial := 0; trial < 10; trial++ {
+		pts := randomVectors(rng, 30, 3)
+		sp := ext.FromPoints(pts).(SRPred)
+		q := randomVectors(rng, 1, 3)[0]
+		d := ext.MinDist2(ext.FromPoints(pts), q)
+		if d < sp.Rect.MinDist2(q)-1e-12 || d < sp.Sphere.MinDist2(q)-1e-12 {
+			t.Fatal("SR distance must be ≥ both component distances")
+		}
+	}
+}

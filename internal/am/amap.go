@@ -1,0 +1,278 @@
+package am
+
+import (
+	"math"
+	"math/rand"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// MAPPred is the Minimum Area Predicate of paper §5.1: two hyper-rectangles
+// whose total enclosed volume (overlap counted once) approximately minimal
+// over the covered points. Unlike R-tree split heuristics, overlap between
+// the two rectangles is fine — they are halves of one predicate, not two
+// subtrees.
+type MAPPred struct {
+	R1, R2 geom.Rect
+}
+
+// amapExt implements aMAP, the sampled approximation of MAP: instead of the
+// exponential sweep over all 2-partitions of the points, it examines a
+// fixed number of candidate partitions and keeps the pair of MBRs with the
+// smallest total volume (paper §5.1 fixes 1024 candidates).
+//
+// The paper samples "randomly selected pairs of sets". Uniformly random
+// bipartitions of a point set are degenerate in practice — both halves spread
+// over the whole region, so both MBRs approach the full MBR. To give the
+// sampler a fighting chance of finding the L/T/+ shapes the paper
+// conjectures, half of our candidates are random axis cuts (a random
+// dimension and a random cut position), and half are random 2-seed
+// nearest-assignment partitions; both families are "random pairs of sets"
+// but concentrate probability on geometrically meaningful partitions. The
+// single-MBR degenerate pair is always included, so an aMAP predicate never
+// encloses more volume than the plain MBR.
+type amapExt struct {
+	samples int
+	seed    int64
+}
+
+// AMAP returns the aMAP extension examining the given number of candidate
+// partitions per predicate (the paper uses 1024). Each FromPoints call
+// derives its own random stream from the seed and a hash of its input, so
+// predicates are deterministic functions of their point sets — independent
+// of call order and safe to build concurrently.
+func AMAP(samples int, seed int64) gist.Extension {
+	if samples < 1 {
+		samples = 1
+	}
+	return &amapExt{samples: samples, seed: seed}
+}
+
+// callSeed mixes the extension seed with a cheap fingerprint of the point
+// set so each predicate build has its own deterministic stream.
+func (e *amapExt) callSeed(pts []geom.Vector) int64 {
+	h := uint64(e.seed) ^ 0x9e3779b97f4a7c15
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0x100000001b3
+	}
+	mix(uint64(len(pts)))
+	if len(pts) > 0 {
+		first, last := pts[0], pts[len(pts)-1]
+		for _, v := range []float64{first[0], first[len(first)-1], last[0], last[len(last)-1]} {
+			mix(math.Float64bits(v))
+		}
+	}
+	return int64(h)
+}
+
+func (*amapExt) Name() string { return "amap" }
+
+// BPWords: two MBRs, 4D floats (Table 3).
+func (*amapExt) BPWords(dim int) int { return 4 * dim }
+
+// scoreSample bounds the number of points each candidate partition is
+// scored on; above it, candidates are evaluated on a subsample and only
+// the winning rule is applied to the full set. Without this, building the
+// predicates of high internal nodes (whose subtrees hold most of the data
+// set) would cost samples × n per node.
+const scoreSample = 2048
+
+// mapRule is a parametric 2-partition of a point set: either an axis cut
+// (dim, threshold) or a 2-seed nearest assignment. Rules are scored on a
+// subsample and applied to the full set, so they must be functions of the
+// point, not of the sample.
+type mapRule struct {
+	axis      int // -1 for seed rule
+	threshold float64
+	seedA     geom.Vector
+	seedB     geom.Vector
+}
+
+func (r mapRule) inA(p geom.Vector) bool {
+	if r.axis >= 0 {
+		return p[r.axis] <= r.threshold
+	}
+	return p.Dist2(r.seedA) <= p.Dist2(r.seedB)
+}
+
+func (e *amapExt) FromPoints(pts []geom.Vector) gist.Predicate {
+	mbr := geom.BoundingRect(pts)
+	if len(pts) < 2 {
+		return MAPPred{R1: mbr, R2: mbr.Clone()}
+	}
+	dim := len(pts[0])
+	rng := rand.New(rand.NewSource(e.callSeed(pts)))
+
+	// Score candidates on a subsample when the set is large.
+	score := pts
+	if len(pts) > scoreSample {
+		stride := len(pts) / scoreSample
+		score = make([]geom.Vector, 0, scoreSample+1)
+		for i := 0; i < len(pts); i += stride {
+			score = append(score, pts[i])
+		}
+	}
+
+	bestVol := mbr.Volume()
+	bestRule := mapRule{axis: -1}
+	haveRule := false
+	for s := 0; s < e.samples; s++ {
+		var rule mapRule
+		if s%2 == 0 {
+			// Random axis cut: threshold at a random scored point's
+			// coordinate in a random dimension.
+			d := rng.Intn(dim)
+			rule = mapRule{axis: d, threshold: score[rng.Intn(len(score))][d]}
+		} else {
+			// Two random seeds; assign each point to the nearer seed.
+			sa := rng.Intn(len(score))
+			sb := rng.Intn(len(score))
+			if sb == sa {
+				sb = (sa + 1) % len(score)
+			}
+			rule = mapRule{axis: -1, seedA: score[sa], seedB: score[sb]}
+		}
+		if v, ok := rulePairVolume(rule, score); ok && v < bestVol {
+			bestVol = v
+			bestRule = rule
+			haveRule = true
+		}
+	}
+	if !haveRule {
+		return MAPPred{R1: mbr, R2: mbr.Clone()}
+	}
+	// Apply the winning rule to the full point set. One side can be empty
+	// when the rule was scored on a subsample; fall back to the MBR pair.
+	var a, b []geom.Vector
+	for _, p := range pts {
+		if bestRule.inA(p) {
+			a = append(a, p)
+		} else {
+			b = append(b, p)
+		}
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return MAPPred{R1: mbr, R2: mbr.Clone()}
+	}
+	r1, r2 := geom.BoundingRect(a), geom.BoundingRect(b)
+	// The rule was scored on a subsample; on the full set it may enclose
+	// more than the single MBR, in which case the MBR pair is safer.
+	if geom.PairVolume(r1, r2) > mbr.Volume() {
+		return MAPPred{R1: mbr, R2: mbr.Clone()}
+	}
+	return MAPPred{R1: r1, R2: r2}
+}
+
+// rulePairVolume scores a rule on the given points, returning the total
+// volume of the two bounding rectangles (overlap counted once).
+func rulePairVolume(rule mapRule, pts []geom.Vector) (float64, bool) {
+	var ra, rb geom.Rect
+	var haveA, haveB bool
+	for _, p := range pts {
+		if rule.inA(p) {
+			if !haveA {
+				ra = geom.NewRectFromPoint(p)
+				haveA = true
+			} else {
+				ra.ExpandToPoint(p)
+			}
+		} else {
+			if !haveB {
+				rb = geom.NewRectFromPoint(p)
+				haveB = true
+			} else {
+				rb.ExpandToPoint(p)
+			}
+		}
+	}
+	if !haveA || !haveB {
+		return 0, false
+	}
+	return geom.PairVolume(ra, rb), true
+}
+
+func (e *amapExt) UnionPreds(preds []gist.Predicate) gist.Predicate {
+	// Gather all component rectangles and re-pair them into the two groups
+	// a quadratic split finds least wasteful.
+	rects := make([]geom.Rect, 0, 2*len(preds))
+	for _, p := range preds {
+		mp := p.(MAPPred)
+		rects = append(rects, mp.R1, mp.R2)
+	}
+	li, ri := quadraticSplit(rects, 1)
+	if len(li) == 0 || len(ri) == 0 {
+		all := rects[0].Clone()
+		for _, r := range rects[1:] {
+			all.ExpandToRect(r)
+		}
+		return MAPPred{R1: all, R2: all.Clone()}
+	}
+	r1 := rects[li[0]].Clone()
+	for _, i := range li[1:] {
+		r1.ExpandToRect(rects[i])
+	}
+	r2 := rects[ri[0]].Clone()
+	for _, i := range ri[1:] {
+		r2.ExpandToRect(rects[i])
+	}
+	return MAPPred{R1: r1, R2: r2}
+}
+
+func (e *amapExt) Extend(bp gist.Predicate, p geom.Vector) gist.Predicate {
+	mp := bp.(MAPPred)
+	if mp.R1.Contains(p) || mp.R2.Contains(p) {
+		return mp
+	}
+	pr := geom.NewRectFromPoint(p)
+	if mp.R1.Enlargement(pr) <= mp.R2.Enlargement(pr) {
+		r := mp.R1.Clone()
+		r.ExpandToPoint(p)
+		return MAPPred{R1: r, R2: mp.R2}
+	}
+	r := mp.R2.Clone()
+	r.ExpandToPoint(p)
+	return MAPPred{R1: mp.R1, R2: r}
+}
+
+func (*amapExt) Covers(bp gist.Predicate, p geom.Vector) bool {
+	mp := bp.(MAPPred)
+	return mp.R1.Contains(p) || mp.R2.Contains(p)
+}
+
+// MinDist2 is the distance to the nearer of the two rectangles; the covered
+// region is their union, so the minimum is exact.
+func (*amapExt) MinDist2(bp gist.Predicate, q geom.Vector) float64 {
+	mp := bp.(MAPPred)
+	d1 := mp.R1.MinDist2(q)
+	d2 := mp.R2.MinDist2(q)
+	if d2 < d1 {
+		return d2
+	}
+	return d1
+}
+
+func (*amapExt) Penalty(bp gist.Predicate, p geom.Vector) float64 {
+	mp := bp.(MAPPred)
+	pr := geom.NewRectFromPoint(p)
+	e1 := mp.R1.Enlargement(pr)
+	e2 := mp.R2.Enlargement(pr)
+	if e2 < e1 {
+		e1 = e2
+	}
+	return e1 + 1e-9*geom.PairVolume(mp.R1, mp.R2)
+}
+
+func (*amapExt) PickSplitPoints(pts []geom.Vector) (left, right []int) {
+	return quadraticSplit(pointRects(pts), len(pts)*2/5)
+}
+
+func (*amapExt) PickSplitPreds(preds []gist.Predicate) (left, right []int) {
+	rects := make([]geom.Rect, len(preds))
+	for i, p := range preds {
+		mp := p.(MAPPred)
+		rects[i] = mp.R1.Union(mp.R2)
+	}
+	return quadraticSplit(rects, len(preds)*2/5)
+}

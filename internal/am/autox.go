@@ -1,0 +1,49 @@
+package am
+
+import (
+	"fmt"
+
+	"blobindex/internal/gist"
+)
+
+// AutoXJB implements the X-selection rule the paper uses manually in §5.3
+// and lists as future work in §8 ("a means for the best X to be
+// automatically selected"): X should be as large as possible without the
+// bigger predicates growing the bulk-loaded tree by another level.
+//
+// pts must already be in the desired bulk-load (STR) order; fill is the
+// bulk-load fill fraction. The search builds trees for candidate X values —
+// height is non-decreasing in X because larger predicates only shrink
+// fanout — and returns the largest X in [1, maxX] whose tree is no taller
+// than the X=1 tree, together with that tree.
+func AutoXJB(pts []gist.Point, cfg gist.Config, fill float64, maxX int) (int, *gist.Tree, error) {
+	if maxX < 1 {
+		return 0, nil, fmt.Errorf("am: maxX must be ≥ 1, got %d", maxX)
+	}
+	build := func(x int) (*gist.Tree, error) {
+		return gist.BulkLoad(XJB(x), cfg, pts, fill)
+	}
+	base, err := build(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	baseHeight := base.Height()
+
+	// Binary search the largest X with height == baseHeight.
+	lo, hi := 1, maxX // invariant: height(lo) == baseHeight
+	bestTree := base
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		tree, err := build(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if tree.Height() == baseHeight {
+			lo = mid
+			bestTree = tree
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, bestTree, nil
+}

@@ -1,0 +1,76 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+func TestAutoXJB(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	vecs := randomVectors(rng, 4000, 5)
+	pts := toPoints(vecs)
+	cfg := gist.Config{Dim: 5, PageSize: 4096}
+	tmp, err := gist.New(XJB(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str.Order(pts, tmp.LeafCapacity())
+
+	x, tree, err := AutoXJB(pts, cfg, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x < 1 || x > 32 {
+		t.Fatalf("AutoXJB chose X=%d", x)
+	}
+	if tree == nil || tree.Len() != 4000 {
+		t.Fatal("AutoXJB returned a bad tree")
+	}
+	// The chosen X keeps the baseline height...
+	base, err := gist.BulkLoad(XJB(1), cfg, pts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height() != base.Height() {
+		t.Errorf("X=%d tree height %d != baseline height %d", x, tree.Height(), base.Height())
+	}
+	// ...and X+1 (if within range) must grow the tree, or X was not maximal.
+	if x < 32 {
+		next, err := gist.BulkLoad(XJB(x+1), cfg, pts, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.Height() == base.Height() {
+			t.Errorf("X=%d is not maximal: X=%d keeps height %d", x, x+1, base.Height())
+		}
+	}
+}
+
+func TestAutoXJBValidation(t *testing.T) {
+	if _, _, err := AutoXJB(nil, gist.Config{Dim: 2}, 1.0, 0); err == nil {
+		t.Error("maxX=0 should error")
+	}
+}
+
+func TestAutoXJBHeightMonotoneInX(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	vecs := randomVectors(rng, 3000, 4)
+	pts := toPoints(vecs)
+	cfg := gist.Config{Dim: 4, PageSize: 2048}
+	tmp, _ := gist.New(XJB(1), cfg)
+	str.Order(pts, tmp.LeafCapacity())
+	prev := 0
+	for _, x := range []int{1, 2, 4, 8, 16} {
+		tree, err := gist.BulkLoad(XJB(x), cfg, pts, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Height() < prev {
+			t.Fatalf("height decreased from %d to %d at X=%d", prev, tree.Height(), x)
+		}
+		prev = tree.Height()
+	}
+}

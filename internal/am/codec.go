@@ -1,0 +1,187 @@
+package am
+
+import (
+	"fmt"
+	"math"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// PredicateCodec serializes an access method's bounding predicates to and
+// from the fixed number of float64 words declared by BPWords — the exact
+// on-page layout the paper's Table 3 accounts for. Every extension in this
+// package implements it; the page-file persistence (internal/pagefile)
+// relies on it.
+type PredicateCodec interface {
+	// EncodeBP appends bp's BPWords(dim) words to dst and returns it.
+	EncodeBP(dst []float64, bp gist.Predicate, dim int) []float64
+	// DecodeBP reads BPWords(dim) words and reconstructs the predicate.
+	DecodeBP(words []float64, dim int) (gist.Predicate, error)
+}
+
+// rectWords appends lo then hi.
+func rectWords(dst []float64, r geom.Rect) []float64 {
+	dst = append(dst, r.Lo...)
+	return append(dst, r.Hi...)
+}
+
+func wordsRect(words []float64, dim int) geom.Rect {
+	lo := make(geom.Vector, dim)
+	hi := make(geom.Vector, dim)
+	copy(lo, words[:dim])
+	copy(hi, words[dim:2*dim])
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+func checkLen(name string, words []float64, want int) error {
+	if len(words) != want {
+		return fmt.Errorf("am: %s predicate needs %d words, got %d", name, want, len(words))
+	}
+	return nil
+}
+
+// EncodeBP implements PredicateCodec for the R-tree: lo then hi corner.
+func (rtreeExt) EncodeBP(dst []float64, bp gist.Predicate, _ int) []float64 {
+	return rectWords(dst, bp.(geom.Rect))
+}
+
+// DecodeBP implements PredicateCodec for the R-tree.
+func (e rtreeExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("rtree", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	return wordsRect(words, dim), nil
+}
+
+// EncodeBP implements PredicateCodec for the SS-tree: center then radius.
+func (sstreeExt) EncodeBP(dst []float64, bp gist.Predicate, _ int) []float64 {
+	s := bp.(geom.Sphere)
+	dst = append(dst, s.Center...)
+	return append(dst, s.Radius)
+}
+
+// DecodeBP implements PredicateCodec for the SS-tree.
+func (e sstreeExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("sstree", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	c := make(geom.Vector, dim)
+	copy(c, words[:dim])
+	return geom.Sphere{Center: c, Radius: words[dim]}, nil
+}
+
+// EncodeBP implements PredicateCodec for the SR-tree: rectangle, center,
+// radius.
+func (srtreeExt) EncodeBP(dst []float64, bp gist.Predicate, _ int) []float64 {
+	sp := bp.(SRPred)
+	dst = rectWords(dst, sp.Rect)
+	dst = append(dst, sp.Sphere.Center...)
+	return append(dst, sp.Sphere.Radius)
+}
+
+// DecodeBP implements PredicateCodec for the SR-tree.
+func (e srtreeExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("srtree", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	r := wordsRect(words, dim)
+	c := make(geom.Vector, dim)
+	copy(c, words[2*dim:3*dim])
+	return SRPred{Rect: r, Sphere: geom.Sphere{Center: c, Radius: words[3*dim]}}, nil
+}
+
+// EncodeBP implements PredicateCodec for aMAP: both rectangles.
+func (*amapExt) EncodeBP(dst []float64, bp gist.Predicate, _ int) []float64 {
+	mp := bp.(MAPPred)
+	dst = rectWords(dst, mp.R1)
+	return rectWords(dst, mp.R2)
+}
+
+// DecodeBP implements PredicateCodec for aMAP.
+func (e *amapExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("amap", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	return MAPPred{R1: wordsRect(words, dim), R2: wordsRect(words[2*dim:], dim)}, nil
+}
+
+// EncodeBP implements PredicateCodec for JB: the MBR followed by one inner
+// point per corner in corner order. Corners without a bite store the corner
+// point itself (a zero-volume bite), which DecodeBP drops.
+func (e jbExt) EncodeBP(dst []float64, bp gist.Predicate, dim int) []float64 {
+	jp := bp.(JBPred)
+	dst = rectWords(dst, jp.MBR)
+	byCorner := make(map[int]geom.Bite, len(jp.Bites))
+	for _, b := range jp.Bites {
+		byCorner[b.Corner] = b
+	}
+	for corner := 0; corner < 1<<uint(dim); corner++ {
+		if b, ok := byCorner[corner]; ok {
+			dst = append(dst, b.Inner...)
+		} else {
+			dst = append(dst, jp.MBR.CornerPoint(corner)...)
+		}
+	}
+	return dst
+}
+
+// DecodeBP implements PredicateCodec for JB.
+func (e jbExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("jb", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	mbr := wordsRect(words, dim)
+	words = words[2*dim:]
+	var bites []geom.Bite
+	for corner := 0; corner < 1<<uint(dim); corner++ {
+		inner := make(geom.Vector, dim)
+		copy(inner, words[corner*dim:(corner+1)*dim])
+		b := geom.Bite{Corner: corner, Inner: inner}
+		if b.Volume(mbr) > 0 {
+			bites = append(bites, b)
+		}
+	}
+	return JBPred{MBR: mbr, Bites: bites}, nil
+}
+
+// EncodeBP implements PredicateCodec for XJB: the MBR followed by X slots
+// of (corner id, inner point); unused slots carry corner id -1.
+func (e xjbExt) EncodeBP(dst []float64, bp gist.Predicate, dim int) []float64 {
+	jp := bp.(JBPred)
+	dst = rectWords(dst, jp.MBR)
+	for i := 0; i < e.x; i++ {
+		if i < len(jp.Bites) {
+			dst = append(dst, float64(jp.Bites[i].Corner))
+			dst = append(dst, jp.Bites[i].Inner...)
+		} else {
+			dst = append(dst, -1)
+			dst = append(dst, make([]float64, dim)...)
+		}
+	}
+	return dst
+}
+
+// DecodeBP implements PredicateCodec for XJB.
+func (e xjbExt) DecodeBP(words []float64, dim int) (gist.Predicate, error) {
+	if err := checkLen("xjb", words, e.BPWords(dim)); err != nil {
+		return nil, err
+	}
+	mbr := wordsRect(words, dim)
+	words = words[2*dim:]
+	var bites []geom.Bite
+	for i := 0; i < e.x; i++ {
+		slot := words[i*(dim+1) : (i+1)*(dim+1)]
+		corner := int(slot[0])
+		if corner < 0 {
+			continue
+		}
+		if corner >= 1<<uint(dim) || slot[0] != math.Trunc(slot[0]) {
+			return nil, fmt.Errorf("am: xjb predicate has invalid corner id %v", slot[0])
+		}
+		inner := make(geom.Vector, dim)
+		copy(inner, slot[1:])
+		bites = append(bites, geom.Bite{Corner: corner, Inner: inner})
+	}
+	return JBPred{MBR: mbr, Bites: bites}, nil
+}

@@ -1,0 +1,109 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobindex/internal/gist"
+)
+
+// Every extension's codec must round-trip predicates exactly: identical
+// coverage and identical distances for arbitrary queries.
+func TestCodecRoundTripAllAMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, ext := range allExtensions(t) {
+		codec, ok := ext.(PredicateCodec)
+		if !ok {
+			t.Fatalf("%s does not implement PredicateCodec", ext.Name())
+		}
+		t.Run(ext.Name(), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				dim := 2 + rng.Intn(3)
+				pts := randomVectors(rng, 3+rng.Intn(40), dim)
+				bp := ext.FromPoints(pts)
+				words := codec.EncodeBP(nil, bp, dim)
+				if len(words) != ext.BPWords(dim) {
+					t.Fatalf("encoded %d words, BPWords(%d) = %d",
+						len(words), dim, ext.BPWords(dim))
+				}
+				decoded, err := codec.DecodeBP(words, dim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Coverage identical on data points and random probes.
+				for _, p := range pts {
+					if !ext.Covers(decoded, p) {
+						t.Fatalf("decoded predicate lost point %v", p)
+					}
+				}
+				for probe := 0; probe < 10; probe++ {
+					q := randomVectors(rng, 1, dim)[0]
+					if ext.Covers(bp, q) != ext.Covers(decoded, q) {
+						t.Fatalf("coverage differs at %v", q)
+					}
+					if ext.MinDist2(bp, q) != ext.MinDist2(decoded, q) {
+						t.Fatalf("distance differs at %v: %v vs %v",
+							q, ext.MinDist2(bp, q), ext.MinDist2(decoded, q))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCodecRejectsWrongLength(t *testing.T) {
+	for _, ext := range allExtensions(t) {
+		codec := ext.(PredicateCodec)
+		if _, err := codec.DecodeBP([]float64{1, 2, 3}, 5); err == nil {
+			t.Errorf("%s accepted a 3-word predicate at dim 5", ext.Name())
+		}
+	}
+}
+
+func TestXJBCodecRejectsBadCorner(t *testing.T) {
+	ext := XJB(2).(xjbExt)
+	dim := 2
+	words := make([]float64, ext.BPWords(dim))
+	// Valid MBR.
+	copy(words, []float64{0, 0, 1, 1})
+	words[4] = 99 // corner id out of range for 2-D (max 3)
+	if _, err := ext.DecodeBP(words, dim); err == nil {
+		t.Error("out-of-range corner id accepted")
+	}
+	words[4] = 1.5 // non-integral corner id
+	if _, err := ext.DecodeBP(words, dim); err == nil {
+		t.Error("non-integral corner id accepted")
+	}
+}
+
+// Property: encode∘decode∘encode is the identity on the word vector.
+func TestCodecIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		exts := []gist.Extension{RTree(), SSTree(), SRTree(), JB(), XJB(4)}
+		ext := exts[rng.Intn(len(exts))]
+		codec := ext.(PredicateCodec)
+		dim := 2 + rng.Intn(3)
+		pts := randomVectors(rng, 3+rng.Intn(20), dim)
+		bp := ext.FromPoints(pts)
+		w1 := codec.EncodeBP(nil, bp, dim)
+		decoded, err := codec.DecodeBP(w1, dim)
+		if err != nil {
+			return false
+		}
+		w2 := codec.EncodeBP(nil, decoded, dim)
+		if len(w1) != len(w2) {
+			return false
+		}
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package am
+
+import (
+	"blobindex/internal/geom"
+)
+
+// ExactMAP computes the idealized MAP predicate of paper §5.1 by cycling
+// through every possible splitting of the points into two non-empty sets
+// and keeping the pair of MBRs with the smallest total volume. The paper
+// rejects this construction as prohibitive — it is Θ(2^n) — which is
+// exactly why aMAP samples; it is exported so tests can measure how close
+// the sampled approximation comes on small sets. It panics if n > 24.
+func ExactMAP(pts []geom.Vector) MAPPred {
+	n := len(pts)
+	if n > 24 {
+		panic("am: ExactMAP is exponential; use AMAP for more than 24 points")
+	}
+	if n == 0 {
+		return MAPPred{}
+	}
+	mbr := geom.BoundingRect(pts)
+	if n < 2 {
+		return MAPPred{R1: mbr, R2: mbr.Clone()}
+	}
+	best := MAPPred{R1: mbr, R2: mbr.Clone()}
+	bestVol := mbr.Volume()
+	// Fix point 0 in group A to halve the symmetric enumeration.
+	for mask := 0; mask < 1<<uint(n-1); mask++ {
+		var a, b []geom.Vector
+		a = append(a, pts[0])
+		for i := 1; i < n; i++ {
+			if mask&(1<<uint(i-1)) != 0 {
+				a = append(a, pts[i])
+			} else {
+				b = append(b, pts[i])
+			}
+		}
+		if len(b) == 0 {
+			continue
+		}
+		r1 := geom.BoundingRect(a)
+		r2 := geom.BoundingRect(b)
+		if v := geom.PairVolume(r1, r2); v < bestVol {
+			bestVol = v
+			best = MAPPred{R1: r1, R2: r2}
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+func TestExactMAPSimple(t *testing.T) {
+	// Two well-separated pairs of points: the exact MAP is clearly the two
+	// small rectangles, not the big MBR.
+	pts := []geom.Vector{
+		{0, 0}, {1, 1},
+		{10, 10}, {11, 11},
+	}
+	mp := ExactMAP(pts)
+	vol := geom.PairVolume(mp.R1, mp.R2)
+	if vol != 2 {
+		t.Errorf("exact MAP volume = %v, want 2 (two unit boxes)", vol)
+	}
+}
+
+func TestExactMAPDegenerate(t *testing.T) {
+	one := []geom.Vector{{1, 2}}
+	mp := ExactMAP(one)
+	if !mp.R1.Contains(geom.Vector{1, 2}) {
+		t.Error("single point not covered")
+	}
+	ExactMAP(nil) // must not panic
+}
+
+func TestExactMAPPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 24")
+		}
+	}()
+	pts := make([]geom.Vector, 25)
+	for i := range pts {
+		pts[i] = geom.Vector{float64(i)}
+	}
+	ExactMAP(pts)
+}
+
+// aMAP's approximation quality: on small sets where the exact optimum is
+// computable, the sampled predicate's volume should land within 2× of the
+// exact MAP volume (it is usually much closer), and never above the MBR.
+func TestAMAPApproximatesExactMAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	ext := AMAP(1024, 7)
+	var ratioSum float64
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		pts := make([]geom.Vector, 6+rng.Intn(9)) // 6..14 points
+		for i := range pts {
+			pts[i] = geom.Vector{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		exact := geom.PairVolume(ExactMAP(pts).R1, ExactMAP(pts).R2)
+		approx := ext.FromPoints(pts).(MAPPred)
+		approxVol := geom.PairVolume(approx.R1, approx.R2)
+		if approxVol < exact-1e-9 {
+			t.Fatalf("approximation %v beat the exact optimum %v", approxVol, exact)
+		}
+		if exact > 0 {
+			ratioSum += approxVol / exact
+		} else {
+			ratioSum += 1
+		}
+	}
+	if mean := ratioSum / trials; mean > 2 {
+		t.Errorf("aMAP averages %.2f× the exact MAP volume; expected within 2×", mean)
+	}
+}

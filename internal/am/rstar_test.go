@@ -1,0 +1,154 @@
+package am
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+func TestRStarRegistered(t *testing.T) {
+	ext, err := New(KindRStar, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Name() != "rstar" {
+		t.Errorf("Name = %q", ext.Name())
+	}
+	// Not part of the paper's evaluated set.
+	for _, k := range Kinds() {
+		if k == KindRStar {
+			t.Error("rstar must not be in Kinds()")
+		}
+	}
+}
+
+func TestRStarSplitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(80)
+		rects := make([]geom.Rect, n)
+		for i := range rects {
+			a := randomVectors(rng, 1, 3)[0]
+			b := randomVectors(rng, 1, 3)[0]
+			rects[i] = geom.BoundingRect([]geom.Vector{a, b})
+		}
+		minFill := n * 2 / 5
+		l, r := rstarSplit(rects, minFill)
+		if len(l)+len(r) != n {
+			t.Fatalf("split covers %d of %d", len(l)+len(r), n)
+		}
+		if len(l) == 0 || len(r) == 0 {
+			t.Fatal("empty split group")
+		}
+		if minFill >= 1 && (len(l) < minFill || len(r) < minFill) {
+			t.Fatalf("min fill violated: %d/%d with minFill %d", len(l), len(r), minFill)
+		}
+		seen := make(map[int]bool)
+		for _, i := range append(append([]int{}, l...), r...) {
+			if seen[i] {
+				t.Fatalf("index %d duplicated", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestRStarSplitDegenerate(t *testing.T) {
+	one := []geom.Rect{geom.NewRectFromPoint(geom.Vector{1, 2})}
+	l, r := rstarSplit(one, 1)
+	if len(l) != 1 || len(r) != 0 {
+		t.Errorf("single-entry split: %v / %v", l, r)
+	}
+}
+
+// The R* split should produce less overlapping sibling MBRs than the
+// quadratic split on clustered inputs (its design goal).
+func TestRStarSplitLessOverlapThanQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	var rstarOverlap, quadOverlap float64
+	for trial := 0; trial < 40; trial++ {
+		// Two loose clusters of rectangles.
+		var rects []geom.Rect
+		for c := 0; c < 2; c++ {
+			cx := float64(c) * 30
+			for i := 0; i < 20; i++ {
+				lo := geom.Vector{cx + rng.Float64()*20, rng.Float64() * 20}
+				hi := geom.Vector{lo[0] + rng.Float64()*3, lo[1] + rng.Float64()*3}
+				rects = append(rects, geom.Rect{Lo: lo, Hi: hi})
+			}
+		}
+		overlapOf := func(l, r []int) float64 {
+			g1 := rects[l[0]].Clone()
+			for _, i := range l[1:] {
+				g1.ExpandToRect(rects[i])
+			}
+			g2 := rects[r[0]].Clone()
+			for _, i := range r[1:] {
+				g2.ExpandToRect(rects[i])
+			}
+			if inter, ok := g1.Intersect(g2); ok {
+				return inter.Volume()
+			}
+			return 0
+		}
+		l, r := rstarSplit(rects, len(rects)*2/5)
+		rstarOverlap += overlapOf(l, r)
+		l, r = quadraticSplit(rects, len(rects)*2/5)
+		quadOverlap += overlapOf(l, r)
+	}
+	if rstarOverlap > quadOverlap {
+		t.Errorf("R* split overlap %.2f should not exceed quadratic %.2f",
+			rstarOverlap, quadOverlap)
+	}
+}
+
+func TestRStarEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	vecs := randomVectors(rng, 1500, 3)
+	pts := toPoints(vecs)
+	ext := RStar()
+	tree, err := gist.New(ext, gist.Config{Dim: 3, PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+	checkRangeAgainstBrute(t, tree, pts, rng)
+	// And some deletes.
+	for _, p := range pts[:200] {
+		ok, err := tree.Delete(p.Key, p.RID)
+		if err != nil || !ok {
+			t.Fatalf("delete: %v %v", ok, err)
+		}
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after deletes: %v", err)
+	}
+}
+
+func TestRStarCodecViaRTreeEmbedding(t *testing.T) {
+	// R* embeds rtreeExt, so it inherits the rectangle codec.
+	ext := RStar()
+	codec, ok := ext.(PredicateCodec)
+	if !ok {
+		t.Fatal("rstar lost the predicate codec")
+	}
+	pts := randomVectors(rand.New(rand.NewSource(73)), 10, 2)
+	bp := ext.FromPoints(pts)
+	words := codec.EncodeBP(nil, bp, 2)
+	back, err := codec.DecodeBP(words, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.(geom.Rect).Equal(bp.(geom.Rect)) {
+		t.Error("codec round trip changed the rectangle")
+	}
+}

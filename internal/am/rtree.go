@@ -1,0 +1,64 @@
+package am
+
+import (
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// rtreeExt implements the classic R-tree: minimum bounding rectangle
+// predicates, least-enlargement insertion and Guttman's quadratic split.
+type rtreeExt struct{}
+
+// RTree returns the R-tree extension (Guttman 1984). Bulk-loaded through
+// STR order it is the paper's strongest traditional baseline.
+func RTree() gist.Extension { return rtreeExt{} }
+
+func (rtreeExt) Name() string { return "rtree" }
+
+// BPWords: an MBR stores its low and high corner, 2D floats (Table 3).
+func (rtreeExt) BPWords(dim int) int { return 2 * dim }
+
+func (rtreeExt) FromPoints(pts []geom.Vector) gist.Predicate {
+	return geom.BoundingRect(pts)
+}
+
+func (rtreeExt) UnionPreds(preds []gist.Predicate) gist.Predicate {
+	r := preds[0].(geom.Rect).Clone()
+	for _, p := range preds[1:] {
+		r.ExpandToRect(p.(geom.Rect))
+	}
+	return r
+}
+
+func (rtreeExt) Extend(bp gist.Predicate, p geom.Vector) gist.Predicate {
+	r := bp.(geom.Rect).Clone()
+	r.ExpandToPoint(p)
+	return r
+}
+
+func (rtreeExt) Covers(bp gist.Predicate, p geom.Vector) bool {
+	return bp.(geom.Rect).Contains(p)
+}
+
+func (rtreeExt) MinDist2(bp gist.Predicate, q geom.Vector) float64 {
+	return bp.(geom.Rect).MinDist2(q)
+}
+
+// Penalty is the volume enlargement needed to absorb p, with the current
+// volume as a tie-breaker (Guttman's ChooseLeaf).
+func (rtreeExt) Penalty(bp gist.Predicate, p geom.Vector) float64 {
+	r := bp.(geom.Rect)
+	return r.Enlargement(geom.NewRectFromPoint(p)) + 1e-9*r.Volume()
+}
+
+func (rtreeExt) PickSplitPoints(pts []geom.Vector) (left, right []int) {
+	return quadraticSplit(pointRects(pts), len(pts)*2/5)
+}
+
+func (rtreeExt) PickSplitPreds(preds []gist.Predicate) (left, right []int) {
+	rects := make([]geom.Rect, len(preds))
+	for i, p := range preds {
+		rects[i] = p.(geom.Rect)
+	}
+	return quadraticSplit(rects, len(preds)*2/5)
+}

@@ -1,0 +1,147 @@
+package am
+
+import (
+	"sort"
+
+	"blobindex/internal/geom"
+)
+
+// quadraticSplit partitions the indices [0, len(rects)) into two groups
+// using Guttman's quadratic split: pick the pair of entries whose combined
+// bounding rectangle wastes the most dead space as seeds, then assign each
+// remaining entry to the group whose rectangle it enlarges least, forcing
+// assignment when a group must absorb all remaining entries to reach the
+// minimum size. minFill is the minimum entries per group (≥ 1).
+func quadraticSplit(rects []geom.Rect, minFill int) (left, right []int) {
+	n := len(rects)
+	if minFill < 1 {
+		minFill = 1
+	}
+	if n < 2 {
+		// Degenerate: callers only split overflowing nodes, but stay safe.
+		left = make([]int, 0, 1)
+		for i := 0; i < n; i++ {
+			left = append(left, i)
+		}
+		return left, nil
+	}
+
+	// PickSeeds: maximize dead area.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rects[i].Union(rects[j]).Volume() - rects[i].Volume() - rects[j].Volume()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+
+	left = append(left, seedA)
+	right = append(right, seedB)
+	lRect := rects[seedA].Clone()
+	rRect := rects[seedB].Clone()
+
+	remaining := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, i)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// Force-assign when one group needs every remaining entry.
+		if len(left)+len(remaining) <= minFill {
+			for _, i := range remaining {
+				left = append(left, i)
+				lRect.ExpandToRect(rects[i])
+			}
+			break
+		}
+		if len(right)+len(remaining) <= minFill {
+			for _, i := range remaining {
+				right = append(right, i)
+				rRect.ExpandToRect(rects[i])
+			}
+			break
+		}
+		// PickNext: the entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		bestToLeft := true
+		for k, i := range remaining {
+			dl := lRect.Enlargement(rects[i])
+			dr := rRect.Enlargement(rects[i])
+			diff := dl - dr
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff = diff
+				bestIdx = k
+				bestToLeft = dl < dr || (dl == dr && lRect.Volume() < rRect.Volume())
+			}
+		}
+		i := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if bestToLeft {
+			left = append(left, i)
+			lRect.ExpandToRect(rects[i])
+		} else {
+			right = append(right, i)
+			rRect.ExpandToRect(rects[i])
+		}
+	}
+	return left, right
+}
+
+// varianceSplit partitions indices by the coordinate with the highest
+// variance among the given centers, cutting the sorted order in half — the
+// split strategy of the SS-tree (and, via the SS-tree's algorithms, the
+// SR-tree).
+func varianceSplit(centers []geom.Vector, minFill int) (left, right []int) {
+	n := len(centers)
+	if n < 2 {
+		left = make([]int, 0, 1)
+		for i := 0; i < n; i++ {
+			left = append(left, i)
+		}
+		return left, nil
+	}
+	dim := len(centers[0])
+	bestDim, bestVar := 0, -1.0
+	for d := 0; d < dim; d++ {
+		var sum, sum2 float64
+		for _, c := range centers {
+			sum += c[d]
+			sum2 += c[d] * c[d]
+		}
+		mean := sum / float64(n)
+		v := sum2/float64(n) - mean*mean
+		if v > bestVar {
+			bestVar, bestDim = v, d
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return centers[idx[a]][bestDim] < centers[idx[b]][bestDim] })
+	half := n / 2
+	if half < minFill {
+		half = minFill
+	}
+	if half > n-minFill {
+		half = n - minFill
+	}
+	return idx[:half], idx[half:]
+}
+
+// pointRects wraps points as degenerate rectangles for the split helpers.
+func pointRects(pts []geom.Vector) []geom.Rect {
+	rects := make([]geom.Rect, len(pts))
+	for i, p := range pts {
+		rects[i] = geom.Rect{Lo: p, Hi: p}
+	}
+	return rects
+}

@@ -1,0 +1,86 @@
+package am
+
+import (
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// SRPred is the SR-tree bounding predicate: the intersection of a minimum
+// bounding rectangle and a centroid sphere (Katayama & Satoh 1997). A point
+// is covered only if it lies in both, and the distance lower bound is the
+// larger of the two components' bounds, so the SR predicate is always at
+// least as tight as either alone.
+type SRPred struct {
+	Rect   geom.Rect
+	Sphere geom.Sphere
+}
+
+// srtreeExt implements the SR-tree.
+type srtreeExt struct{}
+
+// SRTree returns the SR-tree extension.
+func SRTree() gist.Extension { return srtreeExt{} }
+
+func (srtreeExt) Name() string { return "srtree" }
+
+// BPWords: MBR (2D) plus sphere (D+1), 3D+1 floats.
+func (srtreeExt) BPWords(dim int) int { return 3*dim + 1 }
+
+func (srtreeExt) FromPoints(pts []geom.Vector) gist.Predicate {
+	return SRPred{Rect: geom.BoundingRect(pts), Sphere: geom.BoundingSphere(pts)}
+}
+
+func (srtreeExt) UnionPreds(preds []gist.Predicate) gist.Predicate {
+	first := preds[0].(SRPred)
+	r := first.Rect.Clone()
+	s := first.Sphere.Clone()
+	for _, p := range preds[1:] {
+		sp := p.(SRPred)
+		r.ExpandToRect(sp.Rect)
+		s = s.Union(sp.Sphere)
+	}
+	return SRPred{Rect: r, Sphere: s}
+}
+
+func (srtreeExt) Extend(bp gist.Predicate, p geom.Vector) gist.Predicate {
+	sp := bp.(SRPred)
+	r := sp.Rect.Clone()
+	r.ExpandToPoint(p)
+	return SRPred{Rect: r, Sphere: sp.Sphere.Union(geom.Sphere{Center: p.Clone()})}
+}
+
+func (srtreeExt) Covers(bp gist.Predicate, p geom.Vector) bool {
+	sp := bp.(SRPred)
+	return sp.Rect.Contains(p) && sp.Sphere.Contains(p)
+}
+
+// MinDist2 is the max of the rectangle and sphere bounds: the true region
+// is their intersection, so both bounds are admissible and the larger one
+// is tighter.
+func (srtreeExt) MinDist2(bp gist.Predicate, q geom.Vector) float64 {
+	sp := bp.(SRPred)
+	dr := sp.Rect.MinDist2(q)
+	ds := sp.Sphere.MinDist2(q)
+	if ds > dr {
+		return ds
+	}
+	return dr
+}
+
+// Penalty follows the SS-tree (the SR-tree reuses its insertion algorithm):
+// squared distance to the centroid.
+func (srtreeExt) Penalty(bp gist.Predicate, p geom.Vector) float64 {
+	return bp.(SRPred).Sphere.Center.Dist2(p)
+}
+
+func (srtreeExt) PickSplitPoints(pts []geom.Vector) (left, right []int) {
+	return varianceSplit(pts, len(pts)*2/5)
+}
+
+func (srtreeExt) PickSplitPreds(preds []gist.Predicate) (left, right []int) {
+	centers := make([]geom.Vector, len(preds))
+	for i, p := range preds {
+		centers[i] = p.(SRPred).Sphere.Center
+	}
+	return varianceSplit(centers, len(preds)*2/5)
+}

@@ -1,0 +1,60 @@
+package am
+
+import (
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// sstreeExt implements the SS-tree (White & Jain 1996): centroid-sphere
+// predicates, centroid-proximity insertion and highest-variance splits.
+type sstreeExt struct{}
+
+// SSTree returns the SS-tree extension.
+func SSTree() gist.Extension { return sstreeExt{} }
+
+func (sstreeExt) Name() string { return "sstree" }
+
+// BPWords: a sphere stores its center and radius, D+1 floats.
+func (sstreeExt) BPWords(dim int) int { return dim + 1 }
+
+func (sstreeExt) FromPoints(pts []geom.Vector) gist.Predicate {
+	return geom.BoundingSphere(pts)
+}
+
+func (sstreeExt) UnionPreds(preds []gist.Predicate) gist.Predicate {
+	s := preds[0].(geom.Sphere).Clone()
+	for _, p := range preds[1:] {
+		s = s.Union(p.(geom.Sphere))
+	}
+	return s
+}
+
+func (sstreeExt) Extend(bp gist.Predicate, p geom.Vector) gist.Predicate {
+	return bp.(geom.Sphere).Union(geom.Sphere{Center: p.Clone()})
+}
+
+func (sstreeExt) Covers(bp gist.Predicate, p geom.Vector) bool {
+	return bp.(geom.Sphere).Contains(p)
+}
+
+func (sstreeExt) MinDist2(bp gist.Predicate, q geom.Vector) float64 {
+	return bp.(geom.Sphere).MinDist2(q)
+}
+
+// Penalty is the squared distance to the sphere's centroid: the SS-tree
+// descends toward the subtree whose centroid is nearest the new point.
+func (sstreeExt) Penalty(bp gist.Predicate, p geom.Vector) float64 {
+	return bp.(geom.Sphere).Center.Dist2(p)
+}
+
+func (sstreeExt) PickSplitPoints(pts []geom.Vector) (left, right []int) {
+	return varianceSplit(pts, len(pts)*2/5)
+}
+
+func (sstreeExt) PickSplitPreds(preds []gist.Predicate) (left, right []int) {
+	centers := make([]geom.Vector, len(preds))
+	for i, p := range preds {
+		centers[i] = p.(geom.Sphere).Center
+	}
+	return varianceSplit(centers, len(preds)*2/5)
+}

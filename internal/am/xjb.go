@@ -1,0 +1,49 @@
+package am
+
+import (
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// xjbExt implements XJB ("Top X Jagged Bites", paper §5.3): a JB predicate
+// that keeps only the X largest-volume bites, trading a little filtering
+// power for a predicate small enough — 2D + (D+1)·X floats — to keep the
+// tree two levels shorter than JB at the paper's scale.
+type xjbExt struct {
+	jbExt
+	x int
+}
+
+// XJB returns the XJB extension keeping x bites per predicate. The paper
+// settles on x = 10, the largest value that does not grow the tree by
+// another level on its data set; AutoX discovers that value automatically.
+func XJB(x int) gist.Extension {
+	if x < 0 {
+		x = 0
+	}
+	return xjbExt{x: x}
+}
+
+// XJBWithRestarts returns an XJB extension whose candidate bites are built
+// with the randomized-restart construction before the top-x selection.
+func XJBWithRestarts(x, restarts int, seed int64) gist.Extension {
+	if x < 0 {
+		x = 0
+	}
+	return xjbExt{jbExt: jbExt{restarts: restarts, seed: seed}, x: x}
+}
+
+func (e xjbExt) Name() string { return "xjb" }
+
+// X returns the configured number of retained bites.
+func (e xjbExt) X() int { return e.x }
+
+// BPWords: the MBR (2D) plus, per retained bite, the inner point (D floats)
+// and the corner identifier (1 float) — Table 3.
+func (e xjbExt) BPWords(dim int) int { return 2*dim + (dim+1)*e.x }
+
+func (e xjbExt) FromPoints(pts []geom.Vector) gist.Predicate {
+	mbr := geom.BoundingRect(pts)
+	bites := e.bites(mbr, pts)
+	return JBPred{MBR: mbr, Bites: geom.TopBitesByVolume(mbr, bites, e.x)}
+}

@@ -1,0 +1,99 @@
+package amdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+)
+
+// All exact modes must report identical result sets; their I/O profiles may
+// differ but never below the leaves that hold results.
+func TestModesConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	pts := clusteredPoints(rng, 3000, 3, 10)
+	tree := buildBulk(t, am.KindRTree, pts, 3)
+	queries := makeWorkload(rng, pts, 20, 25)
+
+	reports := map[string]*Report{}
+	for name, mode := range map[string]SearchMode{
+		"sphere":    ModeSphere,
+		"bestfirst": ModeBestFirst,
+		"expanding": ModeExpanding,
+	} {
+		rep, err := Analyze(tree, queries, Config{Seed: 1, Mode: mode, SkipOptimal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[name] = rep
+	}
+	// Exact modes agree on result distances.
+	for qi := range queries {
+		a := reports["sphere"].PerQuery[qi].Results
+		b := reports["bestfirst"].PerQuery[qi].Results
+		c := reports["expanding"].PerQuery[qi].Results
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("query %d: result counts differ", qi)
+		}
+		for i := range a {
+			if a[i].Dist2 != b[i].Dist2 || a[i].Dist2 != c[i].Dist2 {
+				t.Fatalf("query %d result %d: distances differ across modes", qi, i)
+			}
+		}
+	}
+	// Best-first is I/O-optimal: no exact mode can read fewer leaves.
+	bf := reports["bestfirst"].Totals.LeafIOs
+	if reports["sphere"].Totals.LeafIOs < bf {
+		t.Errorf("sphere mode read fewer leaves (%d) than best-first (%d)",
+			reports["sphere"].Totals.LeafIOs, bf)
+	}
+	if reports["expanding"].Totals.LeafIOs < bf {
+		t.Errorf("expanding mode read fewer leaves (%d) than best-first (%d)",
+			reports["expanding"].Totals.LeafIOs, bf)
+	}
+}
+
+func TestModeHarvestApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pts := clusteredPoints(rng, 2000, 2, 8)
+	tree := buildBulk(t, am.KindRTree, pts, 2)
+	queries := makeWorkload(rng, pts, 15, 30)
+	rep, err := Analyze(tree, queries, Config{Seed: 1, Mode: ModeHarvest, SkipOptimal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, qp := range rep.PerQuery {
+		if len(qp.Results) != 30 {
+			t.Fatalf("query %d returned %d results", qi, len(qp.Results))
+		}
+	}
+	// The harvest reads the fewest leaves of all modes.
+	exact, err := Analyze(tree, queries, Config{Seed: 1, Mode: ModeBestFirst, SkipOptimal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.LeafIOs > exact.Totals.LeafIOs {
+		t.Errorf("harvest read more leaves (%d) than exact best-first (%d)",
+			rep.Totals.LeafIOs, exact.Totals.LeafIOs)
+	}
+}
+
+// Per-query deduplication: expanding mode re-visits pages across sphere
+// iterations, but the report counts distinct pages per query.
+func TestExpandingDedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	pts := clusteredPoints(rng, 1500, 2, 6)
+	tree := buildBulk(t, am.KindRTree, pts, 2)
+	queries := makeWorkload(rng, pts, 10, 20)
+	rep, err := Analyze(tree, queries, Config{Seed: 1, Mode: ModeExpanding, SkipOptimal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPerQuery := tree.NumLeaves()
+	for qi, qp := range rep.PerQuery {
+		if qp.LeafIOs > maxPerQuery {
+			t.Fatalf("query %d counted %d leaf IOs, tree has only %d leaves",
+				qi, qp.LeafIOs, maxPerQuery)
+		}
+	}
+}

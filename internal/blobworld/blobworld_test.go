@@ -1,0 +1,351 @@
+package blobworld
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/svd"
+)
+
+func smallCorpus(t *testing.T, images int) *Corpus {
+	t.Helper()
+	c, err := Generate(Config{NumImages: images, Dim: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("NumImages=0 should error")
+	}
+	if _, err := Generate(Config{NumImages: 5, MinBlobs: 5, MaxBlobs: 2}); err == nil {
+		t.Error("inverted blob range should error")
+	}
+	if _, err := Generate(Config{NumImages: 5, Dim: 4, Latent: 10}); err == nil {
+		t.Error("Latent > Dim should error")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	c := smallCorpus(t, 100)
+	if c.Images != 100 {
+		t.Errorf("Images = %d", c.Images)
+	}
+	if len(c.Blobs) < 200 || len(c.Blobs) > 1000 {
+		t.Errorf("blob count %d outside the 2–10 per image envelope", len(c.Blobs))
+	}
+	blobsSeen := 0
+	for img := int32(0); img < int32(c.Images); img++ {
+		ids := c.ImageBlobs(img)
+		if len(ids) < 2 || len(ids) > 10 {
+			t.Errorf("image %d has %d blobs", img, len(ids))
+		}
+		for _, bi := range ids {
+			if c.Blobs[bi].ImageID != img {
+				t.Errorf("blob %d attributed to wrong image", bi)
+			}
+			blobsSeen++
+		}
+	}
+	if blobsSeen != len(c.Blobs) {
+		t.Errorf("image->blob lists cover %d of %d blobs", blobsSeen, len(c.Blobs))
+	}
+}
+
+func TestGenerateFeaturesOnSimplex(t *testing.T) {
+	c := smallCorpus(t, 60)
+	for _, b := range c.Blobs {
+		var sum float64
+		for _, x := range b.Feature {
+			if x < 0 {
+				t.Fatalf("blob %d has negative bin %v", b.ID, x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("blob %d histogram sums to %v", b.ID, sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumImages: 30, Dim: 40, Seed: 9}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blobs) != len(b.Blobs) {
+		t.Fatal("different blob counts for same seed")
+	}
+	for i := range a.Blobs {
+		if !a.Blobs[i].Feature.Equal(b.Blobs[i].Feature) {
+			t.Fatal("same seed produced different features")
+		}
+	}
+}
+
+// The corpus must have low intrinsic dimensionality: ~Latent components
+// should explain nearly all variance (this is what makes the paper's 5-D
+// indexing viable, Figure 6).
+func TestGenerateLowIntrinsicDim(t *testing.T) {
+	c, err := Generate(Config{NumImages: 150, Dim: 60, Latent: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := svd.Fit(c.Features(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.ExplainedVariance()
+	if ev[5] < 0.9 {
+		t.Errorf("6 components explain %.3f of variance, want ≥0.9", ev[5])
+	}
+	// And one dimension should NOT suffice, or Figure 6 would be flat.
+	if ev[0] > 0.9 {
+		t.Errorf("1 component explains %.3f — corpus too degenerate", ev[0])
+	}
+}
+
+func TestQFDist2Basics(t *testing.T) {
+	x := geom.Vector{0.5, 0.5, 0, 0}
+	if got := QFDist2(x, x); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	y := geom.Vector{0, 0, 0.5, 0.5}
+	if got := QFDist2(x, y); got <= 0 {
+		t.Errorf("distinct histograms distance = %v", got)
+	}
+	// Symmetry.
+	if QFDist2(x, y) != QFDist2(y, x) {
+		t.Error("QFDist2 not symmetric")
+	}
+}
+
+func TestQFDist2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QFDist2(geom.Vector{1}, geom.Vector{1, 2})
+}
+
+// Cross-bin similarity: mass moving to an adjacent bin must cost less than
+// mass moving to a distant bin (the point of the quadratic form).
+func TestQFDist2CrossBinSimilarity(t *testing.T) {
+	dim := 10
+	base := make(geom.Vector, dim)
+	base[0] = 1
+	near := make(geom.Vector, dim)
+	near[1] = 1
+	far := make(geom.Vector, dim)
+	far[5] = 1
+	if QFDist2(base, near) >= QFDist2(base, far) {
+		t.Error("adjacent-bin shift should cost less than distant-bin shift")
+	}
+}
+
+// Property: QFDist2 is non-negative (positive definiteness of the banded A).
+func TestQFDist2NonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		x := make(geom.Vector, n)
+		y := make(geom.Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		return QFDist2(x, y) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankImages(t *testing.T) {
+	c := smallCorpus(t, 80)
+	q := c.Blobs[7].Feature
+	top := c.RankImages(q, 10)
+	if len(top) != 10 {
+		t.Fatalf("got %d ranked images", len(top))
+	}
+	// The query blob's own image must rank first with distance 0.
+	if top[0].Image != c.Blobs[7].ImageID || top[0].Dist2 != 0 {
+		t.Errorf("top image = %+v, want the query's own image at distance 0", top[0])
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Dist2 < top[i-1].Dist2 {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestRankImagesAmongSubset(t *testing.T) {
+	c := smallCorpus(t, 50)
+	q := c.Blobs[3].Feature
+	// Candidates: blobs 0..19.
+	var cand []int64
+	for i := int64(0); i < 20; i++ {
+		cand = append(cand, i)
+	}
+	top := c.RankImagesAmong(q, cand, 5)
+	if len(top) == 0 {
+		t.Fatal("no candidates ranked")
+	}
+	// Every ranked image must own at least one candidate blob.
+	owns := make(map[int32]bool)
+	for _, bi := range cand {
+		owns[c.Blobs[bi].ImageID] = true
+	}
+	for _, r := range top {
+		if !owns[r.Image] {
+			t.Errorf("image %d ranked without a candidate blob", r.Image)
+		}
+	}
+}
+
+func TestRankImagesTwoBlobs(t *testing.T) {
+	c := smallCorpus(t, 80)
+	// Pick two blobs of the same image: that image should win the
+	// two-region query outright (both distances zero on distinct blobs).
+	var img int32 = -1
+	var a, b int
+	for i := int32(0); i < int32(c.Images); i++ {
+		if ids := c.ImageBlobs(i); len(ids) >= 2 {
+			img, a, b = i, int(ids[0]), int(ids[1])
+			break
+		}
+	}
+	if img < 0 {
+		t.Fatal("no image with two blobs")
+	}
+	top := c.RankImagesTwoBlobs(c.Blobs[a].Feature, c.Blobs[b].Feature, 5)
+	if len(top) == 0 || top[0].Image != img {
+		t.Fatalf("top = %+v, want image %d first", top, img)
+	}
+	if top[0].Dist2 != 0 {
+		t.Errorf("perfect two-blob match scored %v, want 0", top[0].Dist2)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Dist2 < top[i-1].Dist2 {
+			t.Fatal("two-blob ranking not sorted")
+		}
+	}
+}
+
+func TestRankImagesTwoBlobsDistinctBlobRule(t *testing.T) {
+	// One image with a single blob matching both queries perfectly, another
+	// image with two mediocre but distinct matches: querying with the same
+	// feature twice must charge the single-blob image its second-best blob
+	// (infinite — no second blob), so the two-blob image can win.
+	c := &Corpus{Images: 2}
+	f := func(vals ...float64) geom.Vector { return geom.Vector(vals) }
+	c.Blobs = []Blob{
+		{ID: 0, ImageID: 0, Feature: f(1, 0, 0)},
+		{ID: 1, ImageID: 1, Feature: f(0.9, 0.1, 0)},
+		{ID: 2, ImageID: 1, Feature: f(0.8, 0.2, 0)},
+	}
+	q := f(1, 0, 0)
+	top := c.RankImagesTwoBlobs(q, q, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d images", len(top))
+	}
+	// Image 0 has only one blob: its score keeps the single best (the rule
+	// only reassigns when an alternative exists), so it may still win; the
+	// important invariant is that image 1's score uses two distinct blobs.
+	var img1 float64
+	for _, r := range top {
+		if r.Image == 1 {
+			img1 = r.Dist2
+		}
+	}
+	want := QFDist2(q, c.Blobs[1].Feature) + QFDist2(q, c.Blobs[2].Feature)
+	if math.Abs(img1-want) > 1e-12 {
+		t.Errorf("image 1 score %v, want best-two-blobs %v", img1, want)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	ref := []ImageRank{{Image: 1}, {Image: 2}, {Image: 3}, {Image: 4}}
+	if got := Recall(ref, []int32{1, 2, 9, 10}); got != 0.5 {
+		t.Errorf("Recall = %v, want 0.5", got)
+	}
+	if got := Recall(ref, nil); got != 0 {
+		t.Errorf("Recall with no candidates = %v", got)
+	}
+	if got := Recall(nil, []int32{1}); got != 0 {
+		t.Errorf("Recall with no reference = %v", got)
+	}
+	if got := Recall(ref, []int32{1, 2, 3, 4}); got != 1 {
+		t.Errorf("full Recall = %v", got)
+	}
+}
+
+func TestSyntheticImageAndSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im := SyntheticImage(48, 32, 6, 30, rng)
+	if im.W != 48 || im.H != 32 || len(im.Bins) != 48*32 {
+		t.Fatalf("image shape wrong: %+v", im)
+	}
+	for _, b := range im.Bins {
+		if b < 0 || b >= 30 {
+			t.Fatalf("pixel bin %d out of range", b)
+		}
+	}
+	regions, err := Segment(im, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) < 2 {
+		t.Fatalf("expected several regions, got %d", len(regions))
+	}
+	totalPx := 0
+	for _, r := range regions {
+		if r.Pixels < 20 {
+			t.Errorf("region smaller than minPixels survived: %d", r.Pixels)
+		}
+		var sum float64
+		for _, x := range r.Histogram {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("region histogram sums to %v", sum)
+		}
+		totalPx += r.Pixels
+	}
+	if totalPx > 48*32 {
+		t.Error("regions cover more pixels than the image has")
+	}
+}
+
+func TestSegmentValidation(t *testing.T) {
+	im := &RasterImage{W: 2, H: 2, Bins: []int{0, 0, 0, 0}}
+	if _, err := Segment(im, 2, 1); err == nil {
+		t.Error("tiny dim should error")
+	}
+}
+
+func TestSegmentDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(4))
+	rng2 := rand.New(rand.NewSource(4))
+	a, _ := Segment(SyntheticImage(32, 32, 4, 20, rng1), 20, 10)
+	b, _ := Segment(SyntheticImage(32, 32, 4, 20, rng2), 20, 10)
+	if len(a) != len(b) {
+		t.Fatal("segmenting identical images gave different region counts")
+	}
+	for i := range a {
+		if a[i].Pixels != b[i].Pixels {
+			t.Fatal("region order not deterministic")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package blobworld
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blobindex/internal/geom"
+)
+
+// This file holds a deliberately small pixel-level pipeline that exercises
+// the documented Blobworld stages of paper Figure 1 — pixels → grouped
+// regions → per-region feature vectors — for the end-to-end example. The
+// statistical corpus generator (corpus.go) is what the experiments use; the
+// real system's EM-based segmentation is out of scope (its output, not its
+// mechanics, is what the access methods consume).
+
+// RasterImage is a toy image: a grid of color-bin indexes in [0, Dim).
+type RasterImage struct {
+	W, H int
+	Bins []int // row-major, length W*H
+}
+
+// At returns the color bin of pixel (x, y).
+func (im *RasterImage) At(x, y int) int { return im.Bins[y*im.W+x] }
+
+// SyntheticImage renders a w×h image of k color regions: k random seed
+// pixels are assigned random color bins and every pixel takes the bin of
+// its nearest seed (a Voronoi partition), plus per-pixel noise flips.
+func SyntheticImage(w, h, k, dim int, rng *rand.Rand) *RasterImage {
+	if k < 1 || w < 1 || h < 1 {
+		panic("blobworld: SyntheticImage needs positive dimensions and k")
+	}
+	type seed struct{ x, y, bin int }
+	seeds := make([]seed, k)
+	for i := range seeds {
+		seeds[i] = seed{x: rng.Intn(w), y: rng.Intn(h), bin: rng.Intn(dim)}
+	}
+	im := &RasterImage{W: w, H: h, Bins: make([]int, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			best, bestD := 0, 1<<62
+			for i, s := range seeds {
+				d := (s.x-x)*(s.x-x) + (s.y-y)*(s.y-y)
+				if d < bestD {
+					best, bestD = i, d
+				}
+			}
+			bin := seeds[best].bin
+			if rng.Float64() < 0.02 {
+				bin = rng.Intn(dim) // sensor noise
+			}
+			im.Bins[y*im.W+x] = bin
+		}
+	}
+	return im
+}
+
+// Region is one segmented blob: its pixel count and color histogram.
+type Region struct {
+	Pixels    int
+	Histogram geom.Vector
+}
+
+// Segment groups the image into connected regions of identical color bin
+// (union-find over 4-connectivity), discards regions smaller than minPixels,
+// and returns each surviving region's smoothed color histogram over dim
+// bins — the "blob descriptions" of Figure 1.
+func Segment(im *RasterImage, dim, minPixels int) ([]Region, error) {
+	if dim < 3 {
+		return nil, fmt.Errorf("blobworld: dim %d too small", dim)
+	}
+	n := im.W * im.H
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			if x+1 < im.W && im.Bins[i] == im.Bins[i+1] {
+				union(i, i+1)
+			}
+			if y+1 < im.H && im.Bins[i] == im.Bins[i+im.W] {
+				union(i, i+im.W)
+			}
+		}
+	}
+	counts := make(map[int]int)
+	var roots []int // in first-seen pixel order, for deterministic output
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if counts[r] == 0 {
+			roots = append(roots, r)
+		}
+		counts[r]++
+	}
+	var regions []Region
+	for _, root := range roots {
+		cnt := counts[root]
+		if cnt < minPixels {
+			continue
+		}
+		// Histogram: concentrate mass at the region's bin, smoothed onto the
+		// two neighboring bins so the quadratic-form distance has structure
+		// to exploit.
+		h := make(geom.Vector, dim)
+		bin := im.Bins[root]
+		h[bin] = 0.8
+		h[(bin+1)%dim] += 0.1
+		h[(bin+dim-1)%dim] += 0.1
+		regions = append(regions, Region{Pixels: cnt, Histogram: h})
+	}
+	return regions, nil
+}

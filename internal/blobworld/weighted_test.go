@@ -1,0 +1,115 @@
+package blobworld
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlobsCarryDescriptors(t *testing.T) {
+	c := smallCorpus(t, 50)
+	for _, b := range c.Blobs {
+		for _, v := range b.Texture {
+			if v < 0 || v > 1 {
+				t.Fatalf("texture %v out of range", b.Texture)
+			}
+		}
+		for _, v := range b.Location {
+			if v < 0 || v > 1 {
+				t.Fatalf("location %v out of range", b.Location)
+			}
+		}
+	}
+	// Blobs of one category share texture (within jitter); distinct
+	// categories usually differ.
+	byCat := map[int][][2]float64{}
+	for _, b := range c.Blobs {
+		byCat[b.Category] = append(byCat[b.Category], b.Texture)
+	}
+	for cat, texs := range byCat {
+		if len(texs) < 2 {
+			continue
+		}
+		for _, tx := range texs[1:] {
+			d := math.Hypot(tx[0]-texs[0][0], tx[1]-texs[0][1])
+			if d > 0.5 {
+				t.Fatalf("category %d texture spread %v too wide", cat, d)
+			}
+		}
+	}
+}
+
+func TestRankImagesWeightedColorOnlyMatchesPlainRanking(t *testing.T) {
+	c := smallCorpus(t, 60)
+	q := c.BlobQuery(5, 1, 0, 0) // color only
+	weighted := c.RankImagesWeighted(q, 10)
+	plain := c.RankImages(c.Blobs[5].Feature, 10)
+	for i := range weighted {
+		if weighted[i].Image != plain[i].Image {
+			t.Fatalf("rank %d: weighted %d vs plain %d — color-only weights must agree",
+				i, weighted[i].Image, plain[i].Image)
+		}
+	}
+}
+
+func TestRankImagesWeightedQueryBlobWins(t *testing.T) {
+	c := smallCorpus(t, 60)
+	q := c.BlobQuery(7, 1, 1, 1)
+	top := c.RankImagesWeighted(q, 3)
+	if top[0].Image != c.Blobs[7].ImageID || top[0].Dist2 != 0 {
+		t.Fatalf("query blob's own image should win with zero distance: %+v", top[0])
+	}
+}
+
+func TestRankImagesWeightedLocationChangesOrder(t *testing.T) {
+	c := smallCorpus(t, 150)
+	blob := 11
+	colorOnly := c.RankImagesWeighted(c.BlobQuery(blob, 1, 0, 0), 30)
+	withLoc := c.RankImagesWeighted(c.BlobQuery(blob, 1, 0, 5), 30)
+	same := true
+	for i := range colorOnly {
+		if colorOnly[i].Image != withLoc[i].Image {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("a strong location weight should reorder the ranking")
+	}
+}
+
+func TestRankImagesWeightedAmongSubset(t *testing.T) {
+	c := smallCorpus(t, 50)
+	q := c.BlobQuery(3, 1, 0.5, 0)
+	cand := []int64{0, 1, 2, 3, 4, 5}
+	top := c.RankImagesWeightedAmong(q, cand, 10)
+	owns := map[int32]bool{}
+	for _, bi := range cand {
+		owns[c.Blobs[bi].ImageID] = true
+	}
+	for _, r := range top {
+		if !owns[r.Image] {
+			t.Fatalf("image %d ranked without candidate blob", r.Image)
+		}
+	}
+	// Full weighted ranking restricted to the same images must agree on
+	// the winner.
+	if top[0].Image != c.Blobs[3].ImageID {
+		t.Errorf("candidate set containing the query blob should rank its image first")
+	}
+}
+
+func TestWeightedZeroWeights(t *testing.T) {
+	c := smallCorpus(t, 30)
+	q := c.BlobQuery(0, 0, 0, 0)
+	top := c.RankImagesWeighted(q, 5)
+	// Everything scores zero; ranking degrades to image-id order but must
+	// not panic and must return n results.
+	if len(top) != 5 {
+		t.Fatalf("got %d results", len(top))
+	}
+	for _, r := range top {
+		if r.Dist2 != 0 {
+			t.Errorf("zero weights should score zero, got %v", r.Dist2)
+		}
+	}
+}

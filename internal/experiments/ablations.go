@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"sort"
+
+	"blobindex/internal/am"
+	"blobindex/internal/amdb"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+	"blobindex/internal/workload"
+)
+
+// This file holds the ablation experiments for the design decisions called
+// out in DESIGN.md §4. They are not figures of the paper, but quantify the
+// choices the paper makes in passing: STR as the bulk-load order, 1024
+// partition samples for aMAP, and X = 10 for XJB.
+
+// OrderRow compares bulk-load orders for the R-tree.
+type OrderRow struct {
+	Order   string
+	Totals  amdb.Totals
+	LeafIOs int
+}
+
+// AblationBulkOrder compares STR tiling against a Hilbert-curve order (the
+// strongest packing competitor of the paper's era) and a naive
+// single-dimension sort as the R-tree bulk-load order. The paper credits
+// STR with minimizing utilization and clustering loss (§4); the naive order
+// shows what STR buys, and Hilbert shows how close the alternatives run.
+func AblationBulkOrder(s *Scenario) ([]OrderRow, error) {
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	base := workload.Points(s.Reduced(s.Params.Dim))
+
+	build := func(order string) (*amdb.Report, error) {
+		ext, err := s.extension(am.KindRTree)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := gist.New(ext, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]gist.Point, len(base))
+		copy(pts, base)
+		switch order {
+		case "str":
+			str.Order(pts, probe.LeafCapacity())
+		case "hilbert":
+			str.HilbertOrder(pts)
+		case "sort-dim0":
+			sort.SliceStable(pts, func(i, j int) bool { return pts[i].Key[0] < pts[j].Key[0] })
+		}
+		tree, err := gist.BulkLoad(ext, cfg, pts, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return amdb.Analyze(tree, wl.Queries, amdb.Config{
+			TargetUtil: s.Params.TargetUtil,
+			Seed:       s.Params.Seed + 3,
+		})
+	}
+
+	var rows []OrderRow
+	for _, order := range []string{"str", "hilbert", "sort-dim0"} {
+		rep, err := build(order)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, OrderRow{Order: order, Totals: rep.Totals, LeafIOs: rep.Totals.LeafIOs})
+	}
+	return rows, nil
+}
+
+// RStarRow compares the R-tree and R*-tree under one loading mode.
+type RStarRow struct {
+	Loading string // "bulk" or "insertion"
+	RTree   amdb.Totals
+	RStar   amdb.Totals
+}
+
+// AblationRStar tests the paper's footnote 5: "While R*-trees are
+// considered better than R-trees, bulk-loading the data eliminates any
+// difference between the two AMs." Both trees are built bulk-loaded (same
+// STR order — identical trees expected, since bulk loading never calls the
+// split heuristics that distinguish them) and insertion-loaded (where the
+// R* topological split may help).
+func AblationRStar(s *Scenario) ([]RStarRow, error) {
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	base := workload.Points(s.Reduced(s.Params.Dim))
+
+	analyzeTree := func(tree *gist.Tree) (amdb.Totals, error) {
+		rep, err := amdb.Analyze(tree, wl.Queries, amdb.Config{
+			TargetUtil:  s.Params.TargetUtil,
+			Seed:        s.Params.Seed + 3,
+			SkipOptimal: true,
+		})
+		if err != nil {
+			return amdb.Totals{}, err
+		}
+		return rep.Totals, nil
+	}
+	build := func(kind am.Kind, inserted bool) (amdb.Totals, error) {
+		ext, err := am.New(kind, am.Options{})
+		if err != nil {
+			return amdb.Totals{}, err
+		}
+		pts := make([]gist.Point, len(base))
+		copy(pts, base)
+		var tree *gist.Tree
+		if inserted {
+			tree, err = gist.New(ext, cfg)
+			if err != nil {
+				return amdb.Totals{}, err
+			}
+			for _, p := range pts {
+				if err := tree.Insert(p); err != nil {
+					return amdb.Totals{}, err
+				}
+			}
+		} else {
+			probe, perr := gist.New(ext, cfg)
+			if perr != nil {
+				return amdb.Totals{}, perr
+			}
+			str.Order(pts, probe.LeafCapacity())
+			tree, err = gist.BulkLoad(ext, cfg, pts, 1.0)
+			if err != nil {
+				return amdb.Totals{}, err
+			}
+		}
+		return analyzeTree(tree)
+	}
+
+	var rows []RStarRow
+	for _, inserted := range []bool{false, true} {
+		label := "bulk"
+		if inserted {
+			label = "insertion"
+		}
+		rt, err := build(am.KindRTree, inserted)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := build(am.KindRStar, inserted)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RStarRow{Loading: label, RTree: rt, RStar: rs})
+	}
+	return rows, nil
+}
+
+// AMAPSamplesRow is one sample-count setting of the aMAP ablation.
+type AMAPSamplesRow struct {
+	Samples int
+	LeafIOs int
+}
+
+// AblationAMAPSamples sweeps the number of candidate partitions the aMAP
+// predicate builder examines (the paper fixes 1024) and reports workload
+// leaf I/Os.
+func AblationAMAPSamples(s *Scenario, sampleCounts []int) ([]AMAPSamplesRow, error) {
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	base := workload.Points(s.Reduced(s.Params.Dim))
+
+	var rows []AMAPSamplesRow
+	for _, count := range sampleCounts {
+		ext, err := am.New(am.KindAMAP, am.Options{AMAPSamples: count, AMAPSeed: s.Params.Seed + 2})
+		if err != nil {
+			return nil, err
+		}
+		probe, err := gist.New(ext, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]gist.Point, len(base))
+		copy(pts, base)
+		str.Order(pts, probe.LeafCapacity())
+		tree, err := gist.BulkLoad(ext, cfg, pts, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := amdb.Analyze(tree, wl.Queries, amdb.Config{
+			TargetUtil:  s.Params.TargetUtil,
+			Seed:        s.Params.Seed + 3,
+			SkipOptimal: true, // leaf I/Os are the metric; skip the partitioner
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AMAPSamplesRow{Samples: count, LeafIOs: rep.Totals.LeafIOs})
+	}
+	return rows, nil
+}
+
+// XJBXRow is one X setting of the XJB sweep.
+type XJBXRow struct {
+	X        int
+	Height   int
+	LeafIOs  int
+	TotalIOs int
+}
+
+// XJBSweepResult is the X ablation plus the automatic choice.
+type XJBSweepResult struct {
+	Rows  []XJBXRow
+	AutoX int // the X AutoXJB selects (paper §8 future work, implemented)
+}
+
+// AblationXJB sweeps X (the paper picks 10 because larger values grow the
+// tree another level; lower values filter worse) and runs the automatic
+// selection.
+func AblationXJB(s *Scenario, xs []int) (*XJBSweepResult, error) {
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	base := workload.Points(s.Reduced(s.Params.Dim))
+
+	res := &XJBSweepResult{}
+	orderedFor := func(x int) ([]gist.Point, error) {
+		ext := am.XJB(x)
+		probe, err := gist.New(ext, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]gist.Point, len(base))
+		copy(pts, base)
+		str.Order(pts, probe.LeafCapacity())
+		return pts, nil
+	}
+	for _, x := range xs {
+		pts, err := orderedFor(x)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := gist.BulkLoad(am.XJB(x), cfg, pts, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := amdb.Analyze(tree, wl.Queries, amdb.Config{
+			TargetUtil:  s.Params.TargetUtil,
+			Seed:        s.Params.Seed + 3,
+			SkipOptimal: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, XJBXRow{
+			X:        x,
+			Height:   tree.Height(),
+			LeafIOs:  rep.Totals.LeafIOs,
+			TotalIOs: rep.Totals.TotalIOs(),
+		})
+	}
+	pts, err := orderedFor(1)
+	if err != nil {
+		return nil, err
+	}
+	autoX, _, err := am.AutoXJB(pts, cfg, 1.0, 64)
+	if err != nil {
+		return nil, err
+	}
+	res.AutoX = autoX
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blobindex/internal/am"
+	"blobindex/internal/amdb"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+	"blobindex/internal/workload"
+)
+
+// DynamicRow is one phase of the dynamic-workload experiment.
+type DynamicRow struct {
+	Phase  string
+	Height int
+	Totals amdb.Totals
+}
+
+// Dynamic runs the dynamic-workload study the paper lists as future work
+// (§8: "testing aMAP, JB and XJB on ... workloads both static and
+// dynamic"): the tree is bulk-loaded from half the corpus, then the other
+// half is inserted and a slice of the original data deleted, and the same
+// query workload is analyzed at three points —
+//
+//  1. "bulk" — the freshly bulk-loaded half-corpus tree;
+//  2. "after updates" — after the inserts and deletes, where conservative
+//     predicate maintenance (JB/XJB drop corner bites as MBRs grow) has
+//     degraded the tree;
+//  3. "tightened" — after TightenPredicates recomputes every predicate
+//     from the stored points, the insertion story that makes JB/XJB usable
+//     on dynamic data.
+//
+// Queries whose results change across phases change the loss baseline too,
+// so the comparison runs the final data set's workload against all three
+// snapshots of structure: phases 2 and 3 hold identical data and differ
+// only in predicate quality.
+func Dynamic(s *Scenario, kind am.Kind) ([]DynamicRow, error) {
+	pts := workload.Points(s.Reduced(s.Params.Dim))
+	if len(pts) < 100 {
+		return nil, fmt.Errorf("experiments: corpus too small for the dynamic study")
+	}
+	half := len(pts) / 2
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	ext, err := s.extension(kind)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: bulk-load the first half.
+	first := make([]gist.Point, half)
+	copy(first, pts[:half])
+	probe, err := gist.New(ext, cfg)
+	if err != nil {
+		return nil, err
+	}
+	str.Order(first, probe.LeafCapacity())
+	tree, err := gist.BulkLoad(ext, cfg, first, 1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	queries := func(data []gist.Point, n int) []amdb.Query {
+		rng := rand.New(rand.NewSource(s.Params.Seed + 17))
+		qs := make([]amdb.Query, n)
+		for i := range qs {
+			qs[i] = amdb.Query{Center: data[rng.Intn(len(data))].Key.Clone(), K: s.Params.K}
+		}
+		return qs
+	}
+	analyzeTree := func(phase string, qs []amdb.Query) (DynamicRow, error) {
+		rep, err := amdb.Analyze(tree, qs, amdb.Config{
+			TargetUtil:  s.Params.TargetUtil,
+			Seed:        s.Params.Seed + 3,
+			SkipOptimal: true,
+		})
+		if err != nil {
+			return DynamicRow{}, err
+		}
+		return DynamicRow{Phase: phase, Height: rep.TreeHeight, Totals: rep.Totals}, nil
+	}
+
+	nq := s.Params.Queries / 2
+	if nq < 16 {
+		nq = 16
+	}
+	var rows []DynamicRow
+	row, err := analyzeTree("bulk (half corpus)", queries(pts[:half], nq))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	// Phase 2: insert the second half, delete a tenth of the first.
+	for _, p := range pts[half:] {
+		if err := tree.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range pts[:half/10] {
+		if _, err := tree.Delete(p.Key, p.RID); err != nil {
+			return nil, err
+		}
+	}
+	finalData := append(append([]gist.Point(nil), pts[half/10:half]...), pts[half:]...)
+	qs := queries(finalData, nq)
+	row, err = analyzeTree("after inserts+deletes", qs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+
+	// Phase 3: tighten and re-analyze the same workload.
+	tree.TightenPredicates()
+	row, err = analyzeTree("after TightenPredicates", qs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row)
+	return rows, nil
+}
+
+// RenderDynamic formats the dynamic-workload phases.
+func RenderDynamic(kind am.Kind, rows []DynamicRow) string {
+	header := []string{"phase", "height", "leaf I/Os", "excess", "total I/Os"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Phase,
+			fmt.Sprintf("%d", r.Height),
+			fmt.Sprintf("%d", r.Totals.LeafIOs),
+			fmt.Sprintf("%.0f", r.Totals.ExcessLoss),
+			fmt.Sprintf("%d", r.Totals.TotalIOs()),
+		})
+	}
+	return fmt.Sprintf("Dynamic workload (%s, §8 future work)\n%s", kind, table(header, out))
+}

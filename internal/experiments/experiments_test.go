@@ -1,0 +1,473 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"blobindex/internal/am"
+)
+
+// One small scenario shared by all tests in this package; the assertions
+// below are shape assertions that hold at this reduced scale.
+var (
+	testOnce sync.Once
+	testScen *Scenario
+	testErr  error
+)
+
+func scenario(t *testing.T) *Scenario {
+	t.Helper()
+	testOnce.Do(func() {
+		p := DefaultParams()
+		p.Images = 1200
+		p.Queries = 48
+		p.AMAPSamples = 64
+		testScen, testErr = NewScenario(p)
+	})
+	if testErr != nil {
+		t.Fatal(testErr)
+	}
+	return testScen
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	if _, err := NewScenario(Params{}); err == nil {
+		t.Error("zero Images should error")
+	}
+}
+
+func TestScenarioCaches(t *testing.T) {
+	s := scenario(t)
+	a := s.Reduced(5)
+	b := s.Reduced(5)
+	if &a[0][0] != &b[0][0] {
+		t.Error("Reduced should cache")
+	}
+	t1, err := s.Tree(am.KindRTree, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Tree(am.KindRTree, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("Tree should cache")
+	}
+	w1, err := s.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Queries) != 48 {
+		t.Errorf("workload size %d", len(w1.Queries))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s := scenario(t)
+	res, err := Fig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dims) == 0 || len(res.Sizes) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for di := range res.Dims {
+		row := res.Recall[di]
+		if len(row) != len(res.Sizes) {
+			t.Fatalf("row %d has %d entries", di, len(row))
+		}
+		for si := 1; si < len(row); si++ {
+			// Recall is non-decreasing in the number of returned images.
+			if row[si] < row[si-1]-1e-9 {
+				t.Errorf("dim %d: recall fell from %f to %f as result size grew",
+					res.Dims[di], row[si-1], row[si])
+			}
+		}
+		for _, r := range row {
+			if r < 0 || r > 1 {
+				t.Errorf("recall %f out of range", r)
+			}
+		}
+	}
+	// Figure 6's key claim: recall strictly improves with dimensionality up
+	// to 5-D, and the 1-D curve is lowest.
+	last := len(res.Sizes) - 2 // compare at the second-largest cutoff
+	var oneD, fiveD float64
+	for di, d := range res.Dims {
+		if d == 1 {
+			oneD = res.Recall[di][last]
+		}
+		if d == 5 {
+			fiveD = res.Recall[di][last]
+		}
+	}
+	if oneD >= fiveD {
+		t.Errorf("1-D recall %f should be below 5-D recall %f", oneD, fiveD)
+	}
+	if got := res.Render(); !strings.Contains(got, "Figure 6") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := scenario(t)
+	res, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk loading nearly eliminates utilization loss (STR packs pages
+	// full); insertion loading cannot.
+	if res.Bulk.UtilLoss > res.Inserted.UtilLoss {
+		t.Errorf("bulk util loss %f exceeds insertion's %f",
+			res.Bulk.UtilLoss, res.Inserted.UtilLoss)
+	}
+	if got := res.Render(); !strings.Contains(got, "Bulk Loaded") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestFig7And8Shape(t *testing.T) {
+	s := scenario(t)
+	rows, err := Fig7And8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 traditional AMs, got %d", len(rows))
+	}
+	byAM := map[string]LossRow{}
+	for _, r := range rows {
+		byAM[r.AM] = r
+	}
+	// The SS-tree is the worst of the three by a wide margin, and its
+	// excess coverage dominates its leaf I/Os (Figures 7 and 8).
+	if byAM["sstree"].Totals.LeafIOs <= byAM["rtree"].Totals.LeafIOs {
+		t.Error("SS-tree should read more leaves than the R-tree")
+	}
+	if byAM["sstree"].Totals.ExcessPct() < 0.5 {
+		t.Errorf("SS-tree excess share %.2f should be the majority loss",
+			byAM["sstree"].Totals.ExcessPct())
+	}
+	// Excess coverage is the largest loss for the bulk-loaded R-tree.
+	rt := byAM["rtree"].Totals
+	if rt.ExcessLoss < rt.UtilLoss {
+		t.Error("R-tree: utilization loss should be negligible after bulk load")
+	}
+	if got := RenderLossRows("t", rows); !strings.Contains(got, "sstree") {
+		t.Error("Render missing AM rows")
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	s := scenario(t)
+	rows, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"rtree":  10,  // 2D, D=5
+		"amap":   20,  // 4D
+		"jb":     170, // (2+2^5)·5
+		"xjb":    70,  // 2·5+(5+1)·10
+		"sstree": 6,   // D+1
+		"srtree": 16,  // 3D+1
+	}
+	for _, r := range rows {
+		if want[r.AM] != r.Words {
+			t.Errorf("%s: %d words, want %d", r.AM, r.Words, want[r.AM])
+		}
+	}
+	if got := RenderTable3(rows, 5); !strings.Contains(got, "(2+2^D)D") {
+		t.Error("Render missing formulas")
+	}
+}
+
+func TestFig14To16Shape(t *testing.T) {
+	s := scenario(t)
+	rows, err := Fig14To16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAM := map[string]LossRow{}
+	for _, r := range rows {
+		byAM[r.AM] = r
+	}
+	// The corner-biting predicates cut leaf-level excess coverage below the
+	// R-tree's (Figures 14/15) and the height ordering is R ≤ XJB ≤ JB
+	// (§6: bigger predicates, taller trees).
+	if byAM["jb"].Totals.ExcessLoss > byAM["rtree"].Totals.ExcessLoss {
+		t.Errorf("JB excess %.0f exceeds R-tree %.0f",
+			byAM["jb"].Totals.ExcessLoss, byAM["rtree"].Totals.ExcessLoss)
+	}
+	if byAM["jb"].Totals.LeafIOs > byAM["rtree"].Totals.LeafIOs {
+		t.Errorf("JB leaf I/Os %d exceed R-tree %d",
+			byAM["jb"].Totals.LeafIOs, byAM["rtree"].Totals.LeafIOs)
+	}
+	if !(byAM["rtree"].Height <= byAM["xjb"].Height && byAM["xjb"].Height <= byAM["jb"].Height) {
+		t.Errorf("heights r=%d xjb=%d jb=%d violate R ≤ XJB ≤ JB",
+			byAM["rtree"].Height, byAM["xjb"].Height, byAM["jb"].Height)
+	}
+	// JB pays for its filtering with inner-node I/Os (Figure 16's tension).
+	if byAM["jb"].Totals.InnerIOs <= byAM["rtree"].Totals.InnerIOs {
+		t.Error("JB's taller tree should cost more inner I/Os")
+	}
+}
+
+func TestScanResult(t *testing.T) {
+	s := scenario(t)
+	res, err := Scan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 10 || res.Ratio > 20 {
+		t.Errorf("random:sequential ratio %.1f outside the paper's ~14-15 ballpark", res.Ratio)
+	}
+	if res.ScanPages <= 0 {
+		t.Error("flat file must occupy pages")
+	}
+	if len(res.Rows) != 6 {
+		t.Errorf("want 6 AM rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.AvgRandomIOs <= 0 || row.PagesFraction <= 0 {
+			t.Errorf("%s: degenerate scan row %+v", row.AM, row)
+		}
+	}
+	if got := res.Render(); !strings.Contains(got, "flat file") {
+		t.Error("Render missing scan info")
+	}
+}
+
+func TestStructureRows(t *testing.T) {
+	s := scenario(t)
+	rows, err := Structure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Leaves <= 0 || r.Pages < r.Leaves || r.Height < 1 {
+			t.Errorf("%s: impossible structure %+v", r.AM, r)
+		}
+		if r.RootChildren < 1 {
+			t.Errorf("%s: empty root", r.AM)
+		}
+	}
+	if got := RenderStructure(rows); !strings.Contains(got, "root children") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestBufferSweep(t *testing.T) {
+	s := scenario(t)
+	res, err := BufferSweepDefault(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 AMs, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.MissesPerQuery) != len(res.Sizes) {
+			t.Fatalf("%s: %d entries for %d sizes", row.AM, len(row.MissesPerQuery), len(res.Sizes))
+		}
+		for i := 1; i < len(row.MissesPerQuery); i++ {
+			// More buffer never causes more faults (LRU inclusion property
+			// does not hold in general, but holds here since sizes double
+			// and the workload is identical — assert weak monotonicity with
+			// tolerance).
+			if row.MissesPerQuery[i] > row.MissesPerQuery[i-1]*1.05+1e-9 {
+				t.Errorf("%s: faults rose from %.2f to %.2f as buffer grew",
+					row.AM, row.MissesPerQuery[i-1], row.MissesPerQuery[i])
+			}
+		}
+		// Zero buffer faults every access.
+		if row.MissesPerQuery[0] <= 0 {
+			t.Errorf("%s: no faults without a buffer?", row.AM)
+		}
+	}
+	// §6's point: JB's taller tree costs more page faults than XJB's at
+	// small buffer sizes.
+	var jb, xjb BufferRow
+	for _, row := range res.Rows {
+		switch row.AM {
+		case "jb":
+			jb = row
+		case "xjb":
+			xjb = row
+		}
+	}
+	if jb.MissesPerQuery[0] <= xjb.MissesPerQuery[0] {
+		t.Errorf("unbuffered JB (%.2f) should fault more than XJB (%.2f)",
+			jb.MissesPerQuery[0], xjb.MissesPerQuery[0])
+	}
+	if got := res.Render(); !strings.Contains(got, "Buffer sweep") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := scenario(t)
+	orders, err := AblationBulkOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 3 {
+		t.Fatalf("want 3 order rows, got %d", len(orders))
+	}
+	// STR and Hilbert must both beat the naive single-dimension sort by a
+	// wide margin.
+	naive := orders[2].LeafIOs
+	if orders[0].LeafIOs >= naive {
+		t.Errorf("STR (%d leaf I/Os) should beat naive sort (%d)", orders[0].LeafIOs, naive)
+	}
+	if orders[1].LeafIOs >= naive {
+		t.Errorf("Hilbert (%d leaf I/Os) should beat naive sort (%d)", orders[1].LeafIOs, naive)
+	}
+
+	amapRows, err := AblationAMAPSamples(s, []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(amapRows) != 2 || amapRows[0].LeafIOs <= 0 {
+		t.Errorf("amap ablation rows: %+v", amapRows)
+	}
+
+	xjb, err := AblationXJB(s, []int{2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xjb.AutoX < 1 {
+		t.Errorf("AutoX = %d", xjb.AutoX)
+	}
+	if len(xjb.Rows) != 2 {
+		t.Fatalf("want 2 X rows")
+	}
+	if xjb.Rows[0].Height > xjb.Rows[1].Height {
+		t.Error("height must not decrease with X")
+	}
+	for _, render := range []string{
+		RenderOrderAblation(orders),
+		RenderAMAPAblation(amapRows),
+		xjb.Render(),
+	} {
+		if render == "" {
+			t.Error("empty render")
+		}
+	}
+}
+
+func TestQualityProductionPlan(t *testing.T) {
+	s := scenario(t)
+	rows, err := Quality(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 AMs, got %d", len(rows))
+	}
+	byAM := map[string]QualityRow{}
+	for _, r := range rows {
+		byAM[r.AM] = r
+		if r.Recall < 0 || r.Recall > 1 {
+			t.Fatalf("%s recall %f out of range", r.AM, r.Recall)
+		}
+		if r.AvgLeafIOs < 1 {
+			t.Fatalf("%s read %f leaves per query", r.AM, r.AvgLeafIOs)
+		}
+	}
+	// The rectangle-family predicates steer the harvest to the right
+	// leaves; the SS-tree's spheres should deliver visibly worse
+	// candidates for the same I/O budget.
+	if byAM["sstree"].Recall >= byAM["rtree"].Recall {
+		t.Errorf("sstree harvest recall %.3f should trail rtree %.3f",
+			byAM["sstree"].Recall, byAM["rtree"].Recall)
+	}
+	if got := RenderQuality(rows); !strings.Contains(got, "production plan") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestWorkloadSkew(t *testing.T) {
+	s := scenario(t)
+	rows, err := WorkloadSkew(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 workloads, got %d", len(rows))
+	}
+	covering, skewed := rows[0], rows[1]
+	if covering.Totals.LeafIOs <= 0 || skewed.Totals.LeafIOs <= 0 {
+		t.Fatal("degenerate analysis")
+	}
+	// The skewed workload repeats 8 foci, so its optimal-clustering
+	// baseline packs those few result sets perfectly: optimal I/Os per
+	// query must be at most the covering workload's.
+	covOpt := covering.Totals.OptimalIOs / float64(covering.Totals.Queries)
+	skOpt := skewed.Totals.OptimalIOs / float64(skewed.Totals.Queries)
+	if skOpt > covOpt+1e-9 {
+		t.Errorf("skewed optimal/query %.2f exceeds covering %.2f", skOpt, covOpt)
+	}
+	if got := RenderSkew(rows); !strings.Contains(got, "Workload skew") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestDynamicWorkloadPhases(t *testing.T) {
+	s := scenario(t)
+	rows, err := Dynamic(s, "jb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 phases, got %d", len(rows))
+	}
+	degraded, tightened := rows[1], rows[2]
+	// Tightening recomputes predicates over identical data and structure,
+	// so it can only help (or leave unchanged) both leaf and total I/Os.
+	if tightened.Totals.LeafIOs > degraded.Totals.LeafIOs {
+		t.Errorf("tighten raised leaf I/Os: %d → %d",
+			degraded.Totals.LeafIOs, tightened.Totals.LeafIOs)
+	}
+	if tightened.Totals.TotalIOs() > degraded.Totals.TotalIOs() {
+		t.Errorf("tighten raised total I/Os: %d → %d",
+			degraded.Totals.TotalIOs(), tightened.Totals.TotalIOs())
+	}
+	if tightened.Height != degraded.Height {
+		t.Error("tighten must not change the tree structure")
+	}
+	if got := RenderDynamic("jb", rows); !strings.Contains(got, "Dynamic workload") {
+		t.Error("Render missing title")
+	}
+}
+
+func TestAblationRStarFootnote5(t *testing.T) {
+	s := scenario(t)
+	rows, err := AblationRStar(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want bulk + insertion rows, got %d", len(rows))
+	}
+	// Footnote 5: bulk loading eliminates the difference — identical trees,
+	// identical I/O profiles.
+	bulk := rows[0]
+	if bulk.Loading != "bulk" {
+		t.Fatalf("row order: %+v", rows)
+	}
+	if bulk.RTree.LeafIOs != bulk.RStar.LeafIOs ||
+		bulk.RTree.ExcessLoss != bulk.RStar.ExcessLoss {
+		t.Errorf("bulk-loaded R (%d/%.0f) and R* (%d/%.0f) should be identical",
+			bulk.RTree.LeafIOs, bulk.RTree.ExcessLoss,
+			bulk.RStar.LeafIOs, bulk.RStar.ExcessLoss)
+	}
+	if got := RenderRStarAblation(rows); !strings.Contains(got, "footnote 5") {
+		t.Error("Render missing title")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blobindex/internal/blobworld"
+	"blobindex/internal/nn"
+	"blobindex/internal/workload"
+)
+
+// Fig6Result reproduces paper Figure 6: the recall of nearest-neighbor
+// queries over d-dimensional SVD-reduced vectors against the top images of
+// a full Blobworld ranking, as a function of how many images the reduced
+// query returns. The paper's reading: recall rises sharply up to five
+// dimensions and adding a sixth changes almost nothing.
+type Fig6Result struct {
+	Dims    []int       // swept dimensionalities
+	Sizes   []int       // AM result-set sizes (images returned)
+	Recall  [][]float64 // Recall[i][j]: dim Dims[i], size Sizes[j]
+	RefTop  int         // reference: top-RefTop images of the full ranking
+	Queries int         // number of queries averaged
+}
+
+// Fig6 runs the recall sweep. To keep the full-ranking ground truth
+// affordable it uses up to 64 of the workload's queries; the paper averages
+// over all 5,531.
+func Fig6(s *Scenario) (*Fig6Result, error) {
+	const refTop = 40 // "the top forty images returned by a full Blobworld query"
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	nq := len(wl.Foci)
+	if nq > 64 {
+		nq = 64
+	}
+	if nq == 0 {
+		return nil, fmt.Errorf("experiments: empty workload")
+	}
+
+	var dims []int
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 10, 20} {
+		if d <= s.Params.MaxDim {
+			dims = append(dims, d)
+		}
+	}
+	sizes := []int{10, 20, 40, 100, 200, 400}
+
+	// Ground truth: full-vector ranking per query focus.
+	refs := make([][]blobworld.ImageRank, nq)
+	for qi := 0; qi < nq; qi++ {
+		focus := wl.Foci[qi]
+		refs[qi] = s.Corpus.RankImages(s.Corpus.Blobs[focus].Feature, refTop)
+	}
+
+	res := &Fig6Result{Dims: dims, Sizes: sizes, RefTop: refTop, Queries: nq}
+	res.Recall = make([][]float64, len(dims))
+	maxSize := sizes[len(sizes)-1]
+
+	for di, dim := range dims {
+		reduced := s.Reduced(dim)
+		pts := workload.Points(reduced)
+		res.Recall[di] = make([]float64, len(sizes))
+		for qi := 0; qi < nq; qi++ {
+			focus := wl.Foci[qi]
+			// Retrieve enough blob neighbors to cover maxSize distinct
+			// images (blobs of one image may be adjacent in feature space).
+			k := maxSize * 3
+			if k > len(pts) {
+				k = len(pts)
+			}
+			neighbors := nn.BruteForce(pts, reduced[focus], k)
+			// Walk neighbors, accumulating distinct images, and measure
+			// recall at each cutoff.
+			images := make([]int32, 0, maxSize)
+			seen := make(map[int32]bool, maxSize)
+			si := 0
+			for _, nb := range neighbors {
+				img := s.Corpus.Blobs[nb.RID].ImageID
+				if !seen[img] {
+					seen[img] = true
+					images = append(images, img)
+				}
+				for si < len(sizes) && len(images) == sizes[si] {
+					res.Recall[di][si] += blobworld.Recall(refs[qi], images)
+					si++
+				}
+				if si == len(sizes) {
+					break
+				}
+			}
+			// If the corpus ran out of images before a cutoff, score the
+			// full candidate list at the remaining cutoffs.
+			for ; si < len(sizes); si++ {
+				res.Recall[di][si] += blobworld.Recall(refs[qi], images)
+			}
+		}
+		for si := range sizes {
+			res.Recall[di][si] /= float64(nq)
+		}
+	}
+	return res, nil
+}

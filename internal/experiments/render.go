@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Rendering helpers: each experiment result renders as a plain-text table
+// mirroring the corresponding paper artifact. cmd/blobbench prints these and
+// EXPERIMENTS.md embeds them.
+
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Render formats the Figure 6 recall sweep.
+func (r *Fig6Result) Render() string {
+	header := []string{"dim \\ images"}
+	for _, sz := range r.Sizes {
+		header = append(header, fmt.Sprintf("%d", sz))
+	}
+	var rows [][]string
+	for i, d := range r.Dims {
+		row := []string{fmt.Sprintf("%dD", d)}
+		for _, rec := range r.Recall[i] {
+			row = append(row, fmt.Sprintf("%.3f", rec))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Figure 6: recall vs top-%d of full Blobworld ranking (%d queries)\n%s",
+		r.RefTop, r.Queries, table(header, rows))
+}
+
+// Render formats the Table 2 comparison.
+func (t *Table2Result) Render() string {
+	rows := [][]string{
+		{"Excess Coverage Loss", fmt.Sprintf("%.0f", t.Bulk.ExcessLoss), fmt.Sprintf("%.0f", t.Inserted.ExcessLoss)},
+		{"Utilization Loss", fmt.Sprintf("%.0f", t.Bulk.UtilLoss), fmt.Sprintf("%.0f", t.Inserted.UtilLoss)},
+		{"Clustering Loss", fmt.Sprintf("%.0f", t.Bulk.ClusterLoss), fmt.Sprintf("%.0f", t.Inserted.ClusterLoss)},
+		{"(workload leaf I/Os)", fmt.Sprintf("%d", t.Bulk.LeafIOs), fmt.Sprintf("%d", t.Inserted.LeafIOs)},
+	}
+	return "Table 2: R-tree performance losses (leaf I/Os)\n" +
+		table([]string{"Losses", "Bulk Loaded", "Insertion Loaded"}, rows)
+}
+
+// RenderLossRows formats Figure 7/8- and 14/15/16-style loss tables: one
+// access method per row with absolute losses and their share of leaf I/Os.
+func RenderLossRows(title string, rows []LossRow) string {
+	header := []string{"AM", "height", "leaf I/Os", "avg/query",
+		"excess", "util", "cluster", "excess%", "util%", "cluster%",
+		"inner I/Os", "inner excess", "total I/Os"}
+	var out [][]string
+	for _, r := range rows {
+		t := r.Totals
+		out = append(out, []string{
+			r.AM,
+			fmt.Sprintf("%d", r.Height),
+			fmt.Sprintf("%d", t.LeafIOs),
+			fmt.Sprintf("%.2f", r.AvgLeafIOs),
+			fmt.Sprintf("%.0f", t.ExcessLoss),
+			fmt.Sprintf("%.0f", t.UtilLoss),
+			fmt.Sprintf("%.0f", t.ClusterLoss),
+			fmt.Sprintf("%.1f%%", 100*t.ExcessPct()),
+			fmt.Sprintf("%.1f%%", 100*t.UtilPct()),
+			fmt.Sprintf("%.1f%%", 100*t.ClusterPct()),
+			fmt.Sprintf("%d", t.InnerIOs),
+			fmt.Sprintf("%.0f", t.InnerExcessLoss),
+			fmt.Sprintf("%d", t.TotalIOs()),
+		})
+	}
+	return title + "\n" + table(header, out)
+}
+
+// RenderTable3 formats the bounding predicate sizes.
+func RenderTable3(rows []Table3Row, dim int) string {
+	header := []string{"Bounding Predicate", "BP Size", fmt.Sprintf("floats at D=%d", dim)}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.AM, r.Formula, fmt.Sprintf("%d", r.Words)})
+	}
+	return "Table 3: bounding predicate sizes\n" + table(header, out)
+}
+
+// Render formats the scan-vs-index economics.
+func (r *ScanResult) Render() string {
+	header := []string{"AM", "avg I/Os/query", "pages hit", "beats scan", "speedup vs scan"}
+	var out [][]string
+	for _, row := range r.Rows {
+		out = append(out, []string{
+			row.AM,
+			fmt.Sprintf("%.1f", row.AvgRandomIOs),
+			fmt.Sprintf("1 in %.0f", 1/row.PagesFraction),
+			fmt.Sprintf("%v", row.BeatsScan),
+			fmt.Sprintf("%.1fx", row.Speedup),
+		})
+	}
+	return fmt.Sprintf(
+		"Scan check (§3.2/§6): random:sequential = %.1f:1, flat file = %d pages\n%s",
+		r.Ratio, r.ScanPages, table(header, out))
+}
+
+// RenderStructure formats the tree shape comparison.
+func RenderStructure(rows []StructureRow) string {
+	header := []string{"AM", "height", "pages", "leaves", "leaf cap", "inner cap", "root children"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.AM,
+			fmt.Sprintf("%d", r.Height),
+			fmt.Sprintf("%d", r.Pages),
+			fmt.Sprintf("%d", r.Leaves),
+			fmt.Sprintf("%d", r.LeafCap),
+			fmt.Sprintf("%d", r.InnerCap),
+			fmt.Sprintf("%d", r.RootChildren),
+		})
+	}
+	return "Tree structure (§5/§6)\n" + table(header, out)
+}
+
+// Render formats the buffer-pool sweep.
+func (r *BufferSweepResult) Render() string {
+	header := []string{"AM \\ buffer pages"}
+	for _, sz := range r.Sizes {
+		header = append(header, fmt.Sprintf("%d", sz))
+	}
+	var out [][]string
+	for _, row := range r.Rows {
+		line := []string{row.AM}
+		for _, m := range row.MissesPerQuery {
+			line = append(line, fmt.Sprintf("%.2f", m))
+		}
+		out = append(out, line)
+	}
+	return "Buffer sweep (§6): page faults per query vs LRU buffer size\n" +
+		table(header, out)
+}
+
+// RenderOrderAblation formats the bulk-load order ablation.
+func RenderOrderAblation(rows []OrderRow) string {
+	header := []string{"order", "leaf I/Os", "excess", "util", "cluster"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Order,
+			fmt.Sprintf("%d", r.LeafIOs),
+			fmt.Sprintf("%.0f", r.Totals.ExcessLoss),
+			fmt.Sprintf("%.0f", r.Totals.UtilLoss),
+			fmt.Sprintf("%.0f", r.Totals.ClusterLoss),
+		})
+	}
+	return "Ablation: bulk-load order (STR vs Hilbert vs naive sort), R-tree\n" + table(header, out)
+}
+
+// RenderQuality formats the production-plan quality comparison.
+func RenderQuality(rows []QualityRow) string {
+	header := []string{"AM", "leaf I/Os/query", "recall of full top-40"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.AM,
+			fmt.Sprintf("%.2f", r.AvgLeafIOs),
+			fmt.Sprintf("%.3f", r.Recall),
+		})
+	}
+	return "AM quality under the production plan (§2.3: top-200 harvest vs full top-40)\n" +
+		table(header, out)
+}
+
+// RenderSkew formats the workload-skew comparison.
+func RenderSkew(rows []SkewRow) string {
+	header := []string{"workload", "coverage", "leaf I/Os", "excess", "cluster", "optimal"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			fmt.Sprintf("%.1f×", r.Coverage),
+			fmt.Sprintf("%d", r.Totals.LeafIOs),
+			fmt.Sprintf("%.0f", r.Totals.ExcessLoss),
+			fmt.Sprintf("%.0f", r.Totals.ClusterLoss),
+			fmt.Sprintf("%.0f", r.Totals.OptimalIOs),
+		})
+	}
+	return "Workload skew (§3.1): the same R-tree under covering vs welcome-page queries\n" +
+		table(header, out)
+}
+
+// RenderRStarAblation formats the footnote-5 R vs R* comparison.
+func RenderRStarAblation(rows []RStarRow) string {
+	header := []string{"loading", "rtree leaf I/Os", "rstar leaf I/Os", "rtree excess", "rstar excess"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Loading,
+			fmt.Sprintf("%d", r.RTree.LeafIOs),
+			fmt.Sprintf("%d", r.RStar.LeafIOs),
+			fmt.Sprintf("%.0f", r.RTree.ExcessLoss),
+			fmt.Sprintf("%.0f", r.RStar.ExcessLoss),
+		})
+	}
+	return "Ablation: R-tree vs R*-tree (footnote 5)\n" + table(header, out)
+}
+
+// RenderAMAPAblation formats the aMAP sample-count ablation.
+func RenderAMAPAblation(rows []AMAPSamplesRow) string {
+	header := []string{"samples", "leaf I/Os"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprintf("%d", r.Samples), fmt.Sprintf("%d", r.LeafIOs)})
+	}
+	return "Ablation: aMAP candidate partition count\n" + table(header, out)
+}
+
+// Render formats the XJB X sweep.
+func (r *XJBSweepResult) Render() string {
+	header := []string{"X", "height", "leaf I/Os", "total I/Os"}
+	var out [][]string
+	for _, row := range r.Rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", row.X),
+			fmt.Sprintf("%d", row.Height),
+			fmt.Sprintf("%d", row.LeafIOs),
+			fmt.Sprintf("%d", row.TotalIOs),
+		})
+	}
+	return fmt.Sprintf("Ablation: XJB X sweep (AutoX selects X=%d)\n%s",
+		r.AutoX, table(header, out))
+}

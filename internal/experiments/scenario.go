@@ -1,0 +1,251 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each experiment is
+// a function from a shared Scenario — one synthetic corpus, its SVD, and a
+// query workload — to a renderable result table mirroring the paper's rows.
+//
+// The default scale is laptop-sized (see DefaultParams); cmd/blobbench's
+// flags raise it toward the paper's 221k-blob scale. Absolute counts then
+// grow, but the comparisons the paper draws — who wins, by what factor,
+// where the crossovers fall — hold at both scales.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"blobindex/internal/am"
+	"blobindex/internal/amdb"
+	"blobindex/internal/blobworld"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+	"blobindex/internal/svd"
+	"blobindex/internal/workload"
+)
+
+// AMKind aliases the access-method identifier so command-line tools can
+// name methods without importing internal/am directly.
+type AMKind = am.Kind
+
+// Params scales the experiments.
+type Params struct {
+	// Images is the synthetic corpus size; the paper uses 35,000 (yielding
+	// 221,321 blobs). Default 8000 (≈48k blobs), the smallest scale at
+	// which query spheres are small relative to leaf tiles the way they
+	// are at the paper's 221k-blob scale.
+	Images int
+	// Queries is the workload size; the paper uses 5,531. Default 192.
+	Queries int
+	// K is the per-query result count; the paper retrieves 200 images per
+	// AM query. Default 200.
+	K int
+	// Dim is the indexed (SVD-reduced) dimensionality; the paper settles on
+	// 5. Default 5.
+	Dim int
+	// MaxDim is the largest dimensionality the recall experiment (Figure 6)
+	// sweeps; the paper plots up to 20. Default 20.
+	MaxDim int
+	// PageSize in bytes; the paper uses 8 KB. Default 8192.
+	PageSize int
+	// Seed drives corpus generation, workload sampling and every stochastic
+	// component; a fixed seed reproduces every number exactly.
+	Seed int64
+	// AMAPSamples and XJBX configure those access methods (paper: 1024 and
+	// 10).
+	AMAPSamples int
+	XJBX        int
+	// TargetUtil is the amdb target utilization.
+	TargetUtil float64
+}
+
+// DefaultParams returns the laptop-scale defaults described in DESIGN.md §5.
+func DefaultParams() Params {
+	return Params{
+		Images:      8000,
+		Queries:     256,
+		K:           200,
+		Dim:         5,
+		MaxDim:      20,
+		PageSize:    8192,
+		Seed:        1,
+		AMAPSamples: 1024,
+		XJBX:        10,
+		TargetUtil:  0.8,
+	}
+}
+
+// Scenario is the shared experimental setup: the corpus, its PCA, the
+// reduced data sets per dimensionality, the workload, and a cache of built
+// trees and amdb reports so independent experiments do not repeat work.
+type Scenario struct {
+	Params Params
+	Corpus *blobworld.Corpus
+	PCA    *svd.PCA
+
+	mu       sync.Mutex
+	reduced  map[int][]geom.Vector
+	wl       *workload.Workload
+	trees    map[treeKey]*gist.Tree
+	analyses map[treeKey]*amdb.Report
+}
+
+type treeKey struct {
+	kind     am.Kind
+	inserted bool // insertion-loaded instead of bulk-loaded
+}
+
+// NewScenario generates the corpus and fits the PCA. This is the expensive
+// shared setup; everything else is computed lazily.
+func NewScenario(p Params) (*Scenario, error) {
+	if p.Images <= 0 {
+		return nil, fmt.Errorf("experiments: Images must be positive")
+	}
+	corpus, err := blobworld.Generate(blobworld.Config{
+		NumImages: p.Images,
+		Seed:      p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.MaxDim < p.Dim {
+		p.MaxDim = p.Dim
+	}
+	pca, err := svd.Fit(corpus.Features(), p.MaxDim)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Params:   p,
+		Corpus:   corpus,
+		PCA:      pca,
+		reduced:  make(map[int][]geom.Vector),
+		trees:    make(map[treeKey]*gist.Tree),
+		analyses: make(map[treeKey]*amdb.Report),
+	}, nil
+}
+
+// Reduced returns the corpus features projected to dim dimensions (dim ≤
+// Params.MaxDim), cached.
+func (s *Scenario) Reduced(dim int) []geom.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reducedLocked(dim)
+}
+
+func (s *Scenario) reducedLocked(dim int) []geom.Vector {
+	if r, ok := s.reduced[dim]; ok {
+		return r
+	}
+	full := s.PCA.ProjectAll(s.Corpus.Features())
+	out := make([]geom.Vector, len(full))
+	for i, v := range full {
+		out[i] = v[:dim]
+	}
+	s.reduced[dim] = out
+	return out
+}
+
+// Workload returns the query workload over the Params.Dim-reduced data,
+// sampled once and shared by every experiment (as in the paper, the same
+// 5,531-query workload drives every analysis).
+func (s *Scenario) Workload() (*workload.Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wl != nil {
+		return s.wl, nil
+	}
+	reduced := s.reducedLocked(s.Params.Dim)
+	n := s.Params.Queries
+	if n > len(reduced) {
+		n = len(reduced)
+	}
+	wl, err := workload.Sample(reduced, n, s.Params.K, s.Params.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	s.wl = wl
+	return wl, nil
+}
+
+func (s *Scenario) extension(kind am.Kind) (gist.Extension, error) {
+	return am.New(kind, am.Options{
+		AMAPSamples: s.Params.AMAPSamples,
+		AMAPSeed:    s.Params.Seed + 2,
+		XJBX:        s.Params.XJBX,
+	})
+}
+
+// Tree returns the tree for the given access method, bulk-loaded via STR
+// order (or insertion-loaded when inserted is true), cached.
+func (s *Scenario) Tree(kind am.Kind, inserted bool) (*gist.Tree, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := treeKey{kind, inserted}
+	if t, ok := s.trees[key]; ok {
+		return t, nil
+	}
+	ext, err := s.extension(kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: s.Params.Dim, PageSize: s.Params.PageSize}
+	pts := workload.Points(s.reducedLocked(s.Params.Dim))
+	var tree *gist.Tree
+	if inserted {
+		tree, err = gist.New(ext, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if err := tree.Insert(p); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		ordered := make([]gist.Point, len(pts))
+		copy(ordered, pts)
+		probe, perr := gist.New(ext, cfg)
+		if perr != nil {
+			return nil, perr
+		}
+		str.Order(ordered, probe.LeafCapacity())
+		tree, err = gist.BulkLoad(ext, cfg, ordered, 1.0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.trees[key] = tree
+	return tree, nil
+}
+
+// Analyze returns the amdb report for the given access method and loading
+// mode under the shared workload, cached.
+func (s *Scenario) Analyze(kind am.Kind, inserted bool) (*amdb.Report, error) {
+	tree, err := s.Tree(kind, inserted)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	key := treeKey{kind, inserted}
+	if rep, ok := s.analyses[key]; ok {
+		s.mu.Unlock()
+		return rep, nil
+	}
+	s.mu.Unlock()
+
+	rep, err := amdb.Analyze(tree, wl.Queries, amdb.Config{
+		TargetUtil: s.Params.TargetUtil,
+		Seed:       s.Params.Seed + 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.analyses[key] = rep
+	s.mu.Unlock()
+	return rep, nil
+}

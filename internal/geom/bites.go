@@ -1,0 +1,373 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// A Bite is an empty axis-aligned box removed from one corner of a minimum
+// bounding rectangle. It is identified by the corner it is attached to and by
+// its single "internal" corner point, the one that does not touch any MBR
+// hyper-edge (paper §5.2).
+//
+// The removed region is half-open: inclusive on the faces it shares with the
+// MBR (so the empty corner itself, including the MBR corner point, is
+// removed and cannot attract nearest-neighbor queries) and exclusive on its
+// internal faces (so the data points whose coordinates stopped the nibbling
+// heuristic remain covered by the predicate). This half-open convention is
+// what lets a bite extend exactly up to the coordinates of the blocking
+// points while still guaranteeing that every stored point satisfies the
+// bounding predicate.
+type Bite struct {
+	// Corner indexes the MBR corner in [0, 2^D): bit j set means the corner
+	// sits at Hi[j] in dimension j, clear means Lo[j].
+	Corner int
+	// Inner is the bite's internal corner point.
+	Inner Vector
+}
+
+// CornerPoint returns the corner of r selected by the bitmask corner
+// (bit j set ⇒ Hi[j], clear ⇒ Lo[j]).
+func (r Rect) CornerPoint(corner int) Vector {
+	p := make(Vector, len(r.Lo))
+	for j := range p {
+		if corner&(1<<uint(j)) != 0 {
+			p[j] = r.Hi[j]
+		} else {
+			p[j] = r.Lo[j]
+		}
+	}
+	return p
+}
+
+// NumCorners returns 2^D, the number of corners of a D-dimensional rectangle.
+func (r Rect) NumCorners() int { return 1 << uint(len(r.Lo)) }
+
+// Box returns the axis-aligned box removed by bite b from rectangle r.
+func (b Bite) Box(r Rect) Rect {
+	c := r.CornerPoint(b.Corner)
+	out := Rect{Lo: make(Vector, len(c)), Hi: make(Vector, len(c))}
+	for j := range c {
+		out.Lo[j] = math.Min(c[j], b.Inner[j])
+		out.Hi[j] = math.Max(c[j], b.Inner[j])
+	}
+	return out
+}
+
+// Volume returns the volume of the region bite b removes from r.
+func (b Bite) Volume(r Rect) float64 { return b.Box(r).Volume() }
+
+// insideHalfOpen reports whether p lies in the half-open region removed by a
+// bite with the given corner mask and box: inclusive on the MBR-corner side
+// of every dimension, exclusive on the inner-face side. A zero-extent
+// dimension makes the region empty.
+func insideHalfOpen(p Vector, box Rect, corner int) bool {
+	for j := range p {
+		if corner&(1<<uint(j)) != 0 {
+			// Corner at Hi[j]: MBR face is box.Hi (inclusive), inner face is
+			// box.Lo (exclusive).
+			if p[j] > box.Hi[j] || p[j] <= box.Lo[j] {
+				return false
+			}
+		} else {
+			if p[j] < box.Lo[j] || p[j] >= box.Hi[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InsideBite reports whether p lies inside the half-open region bite b
+// removes from r. Points on the bite's internal faces are outside the bite
+// (still covered by the JB predicate); points on the faces shared with the
+// MBR — including the MBR corner itself — are inside the bite.
+func (b Bite) InsideBite(p Vector, r Rect) bool {
+	return insideHalfOpen(p, b.Box(r), b.Corner)
+}
+
+// MinDist2RectMinusBite returns the squared distance from p to the region of
+// r that survives bite b. The surviving region decomposes into D overlapping
+// slabs (one per dimension, on the far side of the bite's inner face), each
+// of which is itself a rectangle; the distance to the region is the minimum
+// distance over the slabs. This is exact for a single bite.
+func MinDist2RectMinusBite(p Vector, r Rect, b Bite) float64 {
+	base := r.MinDist2(p)
+	box := b.Box(r)
+	q := r.Clamp(p)
+	if !insideHalfOpen(q, box, b.Corner) {
+		// The nearest point of r to p survives the bite.
+		return base
+	}
+	best := math.Inf(1)
+	slab := r.Clone()
+	for j := range r.Lo {
+		if box.Hi[j] <= box.Lo[j] {
+			continue // zero-extent dimension: bite removes nothing here
+		}
+		// The slab beyond the bite's inner face in dimension j.
+		lo, hi := slab.Lo[j], slab.Hi[j]
+		if b.Corner&(1<<uint(j)) != 0 {
+			// Corner at Hi[j]; the remaining region extends from Lo[j] to
+			// the inner face at box.Lo[j].
+			slab.Hi[j] = box.Lo[j]
+		} else {
+			slab.Lo[j] = box.Hi[j]
+		}
+		if slab.Lo[j] <= slab.Hi[j] {
+			if d2 := slab.MinDist2(p); d2 < best {
+				best = d2
+			}
+		}
+		slab.Lo[j], slab.Hi[j] = lo, hi
+	}
+	if math.IsInf(best, 1) {
+		// The bite spans the full rectangle (cannot happen for bites built by
+		// NibbleBites, but be safe for hand-constructed predicates).
+		return base
+	}
+	return best
+}
+
+// MinDist2RectMinusBites returns a lower bound on the squared distance from p
+// to the region r \ ∪ interior(bites). Because the region is contained in
+// r \ interior(b) for every single bite b, the maximum of the per-bite exact
+// distances is an admissible (never over-estimating) bound; it is exact
+// whenever at most one bite is "active" for p, which is the overwhelmingly
+// common case since bites sit at distinct corners. Admissibility keeps
+// best-first nearest-neighbor search exact (paper §5.2–5.3).
+func MinDist2RectMinusBites(p Vector, r Rect, bites []Bite) float64 {
+	d2 := r.MinDist2(p)
+	for i := range bites {
+		if bd := MinDist2RectMinusBite(p, r, bites[i]); bd > d2 {
+			d2 = bd
+		}
+	}
+	return d2
+}
+
+// ContainsOutsideBites reports whether p is covered by the jagged-bites
+// predicate (inside r and not inside the half-open region of any bite).
+func ContainsOutsideBites(p Vector, r Rect, bites []Bite) bool {
+	if !r.Contains(p) {
+		return false
+	}
+	for i := range bites {
+		if bites[i].InsideBite(p, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// NibbleBites constructs the largest "squarish" empty bite at every corner of
+// the MBR of pts, following the heuristic of paper Figure 13: for each corner
+// the bite is grown by simultaneously nibbling off the next data-point
+// projection in each dimension (ordered away from the corner) until a data
+// point would fall inside the half-open bite in every dimension. Bites with
+// zero volume are omitted. r must contain all pts.
+//
+// The blocking test is implemented as one sweep per dimension: when the bite
+// grows along dimension d, only the points whose d-coordinate newly entered
+// the bite's footprint need checking. A point lies inside the final bite iff
+// all its per-dimension constraints hold, the constraints only ever loosen,
+// and the sweep of whichever dimension loosens a point's last failing
+// constraint examines that point at exactly that moment — so every blocker
+// is caught, and each point is scanned at most once per (corner, dimension).
+func NibbleBites(r Rect, pts []Vector) []Bite {
+	return nibble(r, pts, sortByDim(pts, r.Dim()), nil)
+}
+
+// sortByDim returns, per dimension, the point indices sorted ascending by
+// that coordinate.
+func sortByDim(pts []Vector, dim int) [][]int {
+	byDim := make([][]int, dim)
+	n := len(pts)
+	for d := 0; d < dim; d++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		dd := d
+		sort.Slice(idx, func(a, b int) bool { return pts[idx[a]][dd] < pts[idx[b]][dd] })
+		byDim[d] = idx
+	}
+	return byDim
+}
+
+// nibble runs the Figure-13 heuristic over every corner. With a nil rng the
+// growth is the paper's deterministic round-robin; with an rng, each round
+// visits the dimensions in random order and randomly skips some, which
+// yields bites of different aspect ratios (see NibbleBitesBest).
+func nibble(r Rect, pts []Vector, byDim [][]int, rng *rand.Rand) []Bite {
+	if len(pts) == 0 {
+		return nil
+	}
+	dim := r.Dim()
+	n := len(pts)
+
+	var bites []Bite
+	howFar := make([]int, dim)
+	done := make([]bool, dim)
+	ptr := make([]int, dim) // sweep position into byDim[d], direction-aware
+	inner := make(Vector, dim)
+
+	for corner := 0; corner < r.NumCorners(); corner++ {
+		cp := r.CornerPoint(corner)
+		stopped := 0
+		for d := 0; d < dim; d++ {
+			howFar[d] = 0
+			done[d] = false
+			ptr[d] = 0
+			inner[d] = cp[d] // zero-extent bite
+		}
+		hiDir := func(d int) bool { return corner&(1<<uint(d)) != 0 }
+		// proj(d, k) is the k-th point coordinate counting outward from the
+		// corner along d.
+		proj := func(d, k int) float64 {
+			if hiDir(d) {
+				return pts[byDim[d][n-1-k]][d]
+			}
+			return pts[byDim[d][k]][d]
+		}
+		// insideOthers reports whether p satisfies the half-open bite
+		// constraints in every dimension except d (p's own d-coordinate is
+		// inside by construction of the sweep).
+		insideOthers := func(p Vector, d int) bool {
+			for j := 0; j < dim; j++ {
+				if j == d {
+					continue
+				}
+				if hiDir(j) {
+					if p[j] <= inner[j] {
+						return false
+					}
+				} else if p[j] >= inner[j] {
+					return false
+				}
+			}
+			return true
+		}
+
+		dimOrder := make([]int, dim)
+		for d := range dimOrder {
+			dimOrder[d] = d
+		}
+		for stopped < dim {
+			if rng != nil {
+				rng.Shuffle(dim, func(i, j int) {
+					dimOrder[i], dimOrder[j] = dimOrder[j], dimOrder[i]
+				})
+			}
+			progressed := false
+			for _, d := range dimOrder {
+				if done[d] {
+					continue
+				}
+				if rng != nil && progressed && rng.Intn(2) == 0 {
+					continue // randomly sit this round out (vary aspect ratio)
+				}
+				progressed = true
+				if howFar[d] >= n {
+					done[d] = true
+					stopped++
+					continue
+				}
+				newInner := proj(d, howFar[d])
+				// Sweep the points whose d-coordinate enters the footprint
+				// when inner[d] moves to newInner.
+				blocked := false
+				for ptr[d] < n {
+					var p Vector
+					if hiDir(d) {
+						p = pts[byDim[d][n-1-ptr[d]]]
+						if p[d] <= newInner {
+							break
+						}
+					} else {
+						p = pts[byDim[d][ptr[d]]]
+						if p[d] >= newInner {
+							break
+						}
+					}
+					if insideOthers(p, d) {
+						blocked = true
+						break
+					}
+					ptr[d]++
+				}
+				if blocked {
+					done[d] = true
+					stopped++
+				} else {
+					howFar[d]++
+					inner[d] = newInner
+				}
+			}
+		}
+		bite := Bite{Corner: corner, Inner: inner.Clone()}
+		if bite.Volume(r) > 0 {
+			bites = append(bites, bite)
+		}
+	}
+	return bites
+}
+
+// NibbleBitesBest improves on NibbleBites with randomized restarts, standing
+// in for the "efficient algorithm for constructing a better JB BP" that
+// footnote 7 of the paper describes but defers: the deterministic heuristic
+// produces one squarish maximal bite per corner, while restarts with random
+// growth order and random per-round skips explore differently-elongated
+// maximal bites; the largest-volume bite found at each corner is kept. The
+// output is a valid bite set for the same predicate representation, so JB
+// and XJB trees can use it as a drop-in replacement.
+func NibbleBitesBest(r Rect, pts []Vector, restarts int, seed int64) []Bite {
+	base := NibbleBites(r, pts)
+	if restarts <= 0 || len(pts) == 0 {
+		return base
+	}
+	best := make(map[int]Bite, len(base))
+	vol := make(map[int]float64, len(base))
+	for _, b := range base {
+		best[b.Corner] = b
+		vol[b.Corner] = b.Volume(r)
+	}
+	byDim := sortByDim(pts, r.Dim())
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < restarts; t++ {
+		for _, b := range nibble(r, pts, byDim, rng) {
+			if v := b.Volume(r); v > vol[b.Corner] {
+				best[b.Corner] = b
+				vol[b.Corner] = v
+			}
+		}
+	}
+	out := make([]Bite, 0, len(best))
+	for corner := 0; corner < r.NumCorners(); corner++ {
+		if b, ok := best[corner]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// TopBitesByVolume returns the x largest-volume bites of r (all of them when
+// x ≥ len(bites)), the selection rule of the XJB predicate (paper §5.3).
+// The input slice is not modified.
+func TopBitesByVolume(r Rect, bites []Bite, x int) []Bite {
+	if x >= len(bites) {
+		out := make([]Bite, len(bites))
+		copy(out, bites)
+		return out
+	}
+	if x <= 0 {
+		return nil
+	}
+	out := make([]Bite, len(bites))
+	copy(out, bites)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Volume(r) > out[j].Volume(r)
+	})
+	return out[:x]
+}

@@ -1,0 +1,299 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCornerPoint(t *testing.T) {
+	r := Rect{Lo: Vector{0, 10}, Hi: Vector{1, 20}}
+	cases := []struct {
+		corner int
+		want   Vector
+	}{
+		{0, Vector{0, 10}}, // lo,lo
+		{1, Vector{1, 10}}, // hi,lo
+		{2, Vector{0, 20}}, // lo,hi
+		{3, Vector{1, 20}}, // hi,hi
+	}
+	for _, c := range cases {
+		if got := r.CornerPoint(c.corner); !got.Equal(c.want) {
+			t.Errorf("CornerPoint(%d) = %v, want %v", c.corner, got, c.want)
+		}
+	}
+	if got := r.NumCorners(); got != 4 {
+		t.Errorf("NumCorners = %d, want 4", got)
+	}
+}
+
+func TestBiteBoxAndVolume(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	b := Bite{Corner: 0, Inner: Vector{2, 3}} // bite at lo,lo corner
+	box := b.Box(r)
+	want := Rect{Lo: Vector{0, 0}, Hi: Vector{2, 3}}
+	if !box.Equal(want) {
+		t.Errorf("Box = %v, want %v", box, want)
+	}
+	if got := b.Volume(r); got != 6 {
+		t.Errorf("Volume = %v, want 6", got)
+	}
+	// Bite at the hi,hi corner.
+	b2 := Bite{Corner: 3, Inner: Vector{8, 7}}
+	box2 := b2.Box(r)
+	want2 := Rect{Lo: Vector{8, 7}, Hi: Vector{10, 10}}
+	if !box2.Equal(want2) {
+		t.Errorf("Box = %v, want %v", box2, want2)
+	}
+}
+
+func TestInsideBiteBoundaryExcluded(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	b := Bite{Corner: 0, Inner: Vector{2, 3}}
+	if !b.InsideBite(Vector{1, 1}, r) {
+		t.Error("interior point should be inside bite")
+	}
+	// Points on the bite's inner faces are outside the bite (covered).
+	if b.InsideBite(Vector{2, 1}, r) {
+		t.Error("inner-face point should not be inside bite")
+	}
+	if b.InsideBite(Vector{1, 3}, r) {
+		t.Error("inner-face point should not be inside bite")
+	}
+	// Points on the faces the bite shares with the MBR — including the MBR
+	// corner itself — are inside the bite (removed).
+	if !b.InsideBite(Vector{0, 1}, r) {
+		t.Error("MBR-edge point inside the corner footprint should be inside bite")
+	}
+	if !b.InsideBite(Vector{0, 0}, r) {
+		t.Error("the MBR corner point should be inside the bite")
+	}
+	if b.InsideBite(Vector{5, 5}, r) {
+		t.Error("distant point should not be inside bite")
+	}
+}
+
+func TestMinDist2RectMinusBiteExact(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	b := Bite{Corner: 0, Inner: Vector{4, 4}}
+	// Query outside the MBR near the bitten corner: nearest surviving region
+	// point is at distance to the nearer slab.
+	p := Vector{-1, -1}
+	// Slabs: x ≥ 4 (distance² = 25 + 1 = 26) or y ≥ 4 (same by symmetry).
+	if got := MinDist2RectMinusBite(p, r, b); got != 26 {
+		t.Errorf("MinDist2RectMinusBite = %v, want 26", got)
+	}
+	// Query for which the clamp point is not in the bite: plain MINDIST.
+	p2 := Vector{5, -2}
+	if got := MinDist2RectMinusBite(p2, r, b); got != 4 {
+		t.Errorf("MinDist2RectMinusBite = %v, want 4", got)
+	}
+	// Query inside the bite itself.
+	p3 := Vector{1, 1}
+	if got := MinDist2RectMinusBite(p3, r, b); got != 9 {
+		t.Errorf("MinDist2RectMinusBite inside bite = %v, want 9", got)
+	}
+	// Query inside the surviving region.
+	p4 := Vector{5, 5}
+	if got := MinDist2RectMinusBite(p4, r, b); got != 0 {
+		t.Errorf("MinDist2RectMinusBite in region = %v, want 0", got)
+	}
+}
+
+func TestMinDist2RectMinusBitesIncreasesDistance(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	bites := []Bite{
+		{Corner: 0, Inner: Vector{4, 4}},
+		{Corner: 3, Inner: Vector{6, 6}},
+	}
+	p := Vector{-1, -1}
+	plain := r.MinDist2(p) // 2
+	jb := MinDist2RectMinusBites(p, r, bites)
+	if jb <= plain {
+		t.Errorf("bitten distance %v should exceed plain MINDIST %v", jb, plain)
+	}
+}
+
+func TestContainsOutsideBites(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	bites := []Bite{{Corner: 0, Inner: Vector{4, 4}}}
+	if ContainsOutsideBites(Vector{1, 1}, r, bites) {
+		t.Error("point inside bite should not be covered")
+	}
+	if !ContainsOutsideBites(Vector{5, 5}, r, bites) {
+		t.Error("point in surviving region should be covered")
+	}
+	if !ContainsOutsideBites(Vector{4, 1}, r, bites) {
+		t.Error("point on bite inner face should be covered")
+	}
+	if ContainsOutsideBites(Vector{11, 5}, r, bites) {
+		t.Error("point outside MBR should not be covered")
+	}
+}
+
+func TestNibbleBitesSimple2D(t *testing.T) {
+	// Points forming an L shape leaving the hi,hi corner empty.
+	pts := []Vector{{0, 0}, {10, 0}, {0, 10}, {2, 2}, {5, 1}, {1, 5}}
+	r := BoundingRect(pts)
+	bites := NibbleBites(r, pts)
+	if len(bites) == 0 {
+		t.Fatal("expected at least one bite")
+	}
+	// No data point may be strictly inside any bite.
+	for _, b := range bites {
+		for _, p := range pts {
+			if b.InsideBite(p, r) {
+				t.Errorf("point %v strictly inside bite %+v", p, b)
+			}
+		}
+	}
+	// The hi,hi corner (corner index 3) should carry a large bite, since the
+	// nearest point to it is (2,2)... actually (10,0),(0,10) block full
+	// expansion; the bite should still have positive volume.
+	var hiHi *Bite
+	for i := range bites {
+		if bites[i].Corner == 3 {
+			hiHi = &bites[i]
+		}
+	}
+	if hiHi == nil {
+		t.Fatal("expected a bite at the hi,hi corner")
+	}
+	if hiHi.Volume(r) <= 0 {
+		t.Error("hi,hi bite should have positive volume")
+	}
+}
+
+func TestNibbleBitesEmptyAndSinglePoint(t *testing.T) {
+	if got := NibbleBites(Rect{Lo: Vector{0}, Hi: Vector{1}}, nil); got != nil {
+		t.Errorf("NibbleBites(no points) = %v, want nil", got)
+	}
+	// A single point: the MBR is degenerate, all bites have zero volume.
+	p := []Vector{{1, 2}}
+	r := BoundingRect(p)
+	if got := NibbleBites(r, p); len(got) != 0 {
+		t.Errorf("NibbleBites(single point) = %v, want none", got)
+	}
+}
+
+func TestTopBitesByVolume(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	bites := []Bite{
+		{Corner: 0, Inner: Vector{1, 1}}, // vol 1
+		{Corner: 1, Inner: Vector{7, 3}}, // vol 9
+		{Corner: 2, Inner: Vector{2, 8}}, // vol 4
+	}
+	top := TopBitesByVolume(r, bites, 2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d, want 2", len(top))
+	}
+	if top[0].Corner != 1 || top[1].Corner != 2 {
+		t.Errorf("top bites = %+v, want corners 1 then 2", top)
+	}
+	if got := TopBitesByVolume(r, bites, 10); len(got) != 3 {
+		t.Errorf("x larger than available should return all bites, got %d", len(got))
+	}
+	if got := TopBitesByVolume(r, bites, 0); got != nil {
+		t.Errorf("x=0 should return nil, got %v", got)
+	}
+	// Input must not be reordered.
+	if bites[0].Corner != 0 || bites[1].Corner != 1 || bites[2].Corner != 2 {
+		t.Error("TopBitesByVolume mutated its input")
+	}
+}
+
+// Property: bites produced by NibbleBites never strictly contain any input
+// point, and the JB lower bound is admissible: for every data point p and
+// query q, MinDist2RectMinusBites(q) ≤ |q−p|².
+func TestNibbleBitesAdmissible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(3)
+		n := 3 + rng.Intn(30)
+		pts := make([]Vector, n)
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		r := BoundingRect(pts)
+		bites := NibbleBites(r, pts)
+		for _, b := range bites {
+			for _, p := range pts {
+				if b.InsideBite(p, r) {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			q := randVec(rng, dim)
+			lb := MinDist2RectMinusBites(q, r, bites)
+			for _, p := range pts {
+				if q.Dist2(p) < lb-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every data point remains covered by the jagged-bites predicate.
+func TestNibbleBitesCoverData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(3)
+		n := 3 + rng.Intn(40)
+		pts := make([]Vector, n)
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		r := BoundingRect(pts)
+		bites := NibbleBites(r, pts)
+		for _, p := range pts {
+			if !ContainsOutsideBites(p, r, bites) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bitten MINDIST is sandwiched between the plain rectangle
+// MINDIST and the true nearest data point distance.
+func TestBittenMinDistSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(2)
+		n := 4 + rng.Intn(20)
+		pts := make([]Vector, n)
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		r := BoundingRect(pts)
+		bites := NibbleBites(r, pts)
+		q := randVec(rng, dim)
+		lb := MinDist2RectMinusBites(q, r, bites)
+		if lb < r.MinDist2(q)-1e-12 {
+			return false
+		}
+		nearest := math.Inf(1)
+		for _, p := range pts {
+			if d := q.Dist2(p); d < nearest {
+				nearest = d
+			}
+		}
+		return lb <= nearest+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package geom
+
+// MinDist2JB returns the squared distance from p to the region of r that
+// survives all bites, computed exactly by branch and bound over the
+// disjunctive structure of the region: a point is in the region iff for
+// every bite it lies beyond the bite's inner face in at least one
+// dimension. The search state is a sub-box of r (an intersection of such
+// slab constraints); at each node the point of the sub-box nearest to p is
+// either in the region (a candidate answer) or inside some bite, in which
+// case the state branches on which dimension escapes that bite.
+//
+// Branches whose sub-box is farther than the best candidate are pruned, so
+// the search typically completes in a handful of expansions. If it exceeds
+// maxNodes expansions the exact answer is abandoned and the (admissible,
+// weaker) per-bite bound MinDist2RectMinusBites is returned, so the result
+// is always a valid lower bound — and is the exact distance whenever the
+// search completes, which keeps nearest-neighbor search exact while
+// filtering as hard as the JB predicate allows.
+func MinDist2JB(p Vector, r Rect, bites []Bite) float64 {
+	if len(bites) == 0 {
+		return r.MinDist2(p)
+	}
+	// Precompute bite boxes once.
+	boxes := make([]Rect, len(bites))
+	for i := range bites {
+		boxes[i] = bites[i].Box(r)
+	}
+
+	const maxNodes = 4096
+	nodes := 0
+	best := -1.0 // best (smallest) completed candidate distance; -1 = none
+	truncated := false
+
+	var rec func(box Rect)
+	rec = func(box Rect) {
+		if truncated {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			truncated = true
+			return
+		}
+		q := box.Clamp(p)
+		d := p.Dist2(q)
+		if best >= 0 && d >= best {
+			return // cannot beat the best candidate
+		}
+		// Is q inside some bite?
+		blocking := -1
+		for i := range bites {
+			if insideHalfOpen(q, boxes[i], bites[i].Corner) {
+				blocking = i
+				break
+			}
+		}
+		if blocking == -1 {
+			best = d
+			return
+		}
+		// Branch: escape the blocking bite along each dimension.
+		b := bites[blocking]
+		bb := boxes[blocking]
+		for j := 0; j < len(p); j++ {
+			lo, hi := box.Lo[j], box.Hi[j]
+			if b.Corner&(1<<uint(j)) != 0 {
+				// Corner at Hi: escape means x_j ≤ inner face (bb.Lo[j]).
+				if bb.Lo[j] < box.Hi[j] {
+					box.Hi[j] = bb.Lo[j]
+				} else {
+					continue // escape constraint is not binding; same box ⇒ skip
+				}
+			} else {
+				// Corner at Lo: escape means x_j ≥ inner face (bb.Hi[j]).
+				if bb.Hi[j] > box.Lo[j] {
+					box.Lo[j] = bb.Hi[j]
+				} else {
+					continue
+				}
+			}
+			if box.Lo[j] <= box.Hi[j] {
+				rec(box)
+			}
+			box.Lo[j], box.Hi[j] = lo, hi
+		}
+	}
+	rec(r.Clone())
+
+	if truncated {
+		BnBTruncations++
+	}
+	if truncated || best < 0 {
+		return MinDist2RectMinusBites(p, r, bites)
+	}
+	return best
+}
+
+// BnBTruncations counts how often MinDist2JB abandoned the exact search;
+// exposed for diagnostics and tests.
+var BnBTruncations int

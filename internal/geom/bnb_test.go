@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinDist2JBNoBites(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	p := Vector{-3, 4}
+	if got := MinDist2JB(p, r, nil); got != r.MinDist2(p) {
+		t.Errorf("no bites: got %v, want plain MINDIST %v", got, r.MinDist2(p))
+	}
+}
+
+func TestMinDist2JBSingleBiteExact(t *testing.T) {
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	b := Bite{Corner: 0, Inner: Vector{4, 4}}
+	// Same cases as the slab-decomposition test: single bites are exact in
+	// both implementations, so they must agree.
+	for _, p := range []Vector{{-1, -1}, {5, -2}, {1, 1}, {5, 5}, {-4, 2}} {
+		slab := MinDist2RectMinusBite(p, r, b)
+		bnb := MinDist2JB(p, r, []Bite{b})
+		if math.Abs(slab-bnb) > 1e-12 {
+			t.Errorf("p=%v: slab %v != bnb %v", p, slab, bnb)
+		}
+	}
+}
+
+func TestMinDist2JBOverlappingBitesTighter(t *testing.T) {
+	// Two overlapping bites carve the whole low-x half; the weak per-bite
+	// bound cannot see their union, the exact search can.
+	r := Rect{Lo: Vector{0, 0}, Hi: Vector{10, 10}}
+	bites := []Bite{
+		{Corner: 0, Inner: Vector{6, 7}}, // lo,lo
+		{Corner: 2, Inner: Vector{6, 3}}, // lo,hi
+	}
+	// Bite 1 removes [0,6)×[0,7); bite 2 removes [0,6)×(3,10]. Their union
+	// removes everything with x < 6, so the nearest surviving point to
+	// (-1, 5) lies on the x = 6 plane, at squared distance 49.
+	p := Vector{-1, 5}
+	weak := MinDist2RectMinusBites(p, r, bites)
+	exact := MinDist2JB(p, r, bites)
+	if exact < weak-1e-12 {
+		t.Fatalf("exact %v below weak bound %v", exact, weak)
+	}
+	if want := 49.0; math.Abs(exact-want) > 1e-9 {
+		t.Errorf("exact = %v, want %v (distance to x=6 plane)", exact, want)
+	}
+}
+
+// Property: MinDist2JB is sandwiched between the weak bound and the true
+// nearest covered data point, for bites built by both constructions.
+func TestMinDist2JBAdmissibleAndTight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(3)
+		n := 4 + rng.Intn(40)
+		pts := make([]Vector, n)
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		r := BoundingRect(pts)
+		for _, bites := range [][]Bite{
+			NibbleBites(r, pts),
+			NibbleBitesBest(r, pts, 4, seed),
+		} {
+			for trial := 0; trial < 4; trial++ {
+				q := randVec(rng, dim)
+				weak := MinDist2RectMinusBites(q, r, bites)
+				exact := MinDist2JB(q, r, bites)
+				if exact < weak-1e-9 {
+					return false // exact must dominate the weak bound
+				}
+				nearest := math.Inf(1)
+				for _, p := range pts {
+					if d := q.Dist2(p); d < nearest {
+						nearest = d
+					}
+				}
+				if exact > nearest+1e-9 {
+					return false // never past the nearest covered point
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNibbleBitesBestNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		dim := 2 + rng.Intn(3)
+		pts := make([]Vector, 30+rng.Intn(60))
+		for i := range pts {
+			pts[i] = randVec(rng, dim)
+		}
+		r := BoundingRect(pts)
+		base := NibbleBites(r, pts)
+		best := NibbleBitesBest(r, pts, 8, int64(trial))
+		baseVol := make(map[int]float64)
+		for _, b := range base {
+			baseVol[b.Corner] = b.Volume(r)
+		}
+		for _, b := range best {
+			if b.Volume(r) < baseVol[b.Corner]-1e-12 {
+				t.Fatalf("corner %d: best volume %v below base %v",
+					b.Corner, b.Volume(r), baseVol[b.Corner])
+			}
+			// No data point may fall inside an improved bite either.
+			for _, p := range pts {
+				if b.InsideBite(p, r) {
+					t.Fatalf("improved bite contains data point %v", p)
+				}
+			}
+		}
+	}
+}
+
+func TestNibbleBitesBestZeroRestarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := []Vector{randVec(rng, 2), randVec(rng, 2), randVec(rng, 2)}
+	r := BoundingRect(pts)
+	base := NibbleBites(r, pts)
+	got := NibbleBitesBest(r, pts, 0, 1)
+	if len(got) != len(base) {
+		t.Fatalf("restarts=0 should be the plain heuristic")
+	}
+}

@@ -1,0 +1,275 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Rect is an axis-aligned hyper-rectangle, stored as its low and high corner
+// points. A Rect with Lo[i] == Hi[i] in some dimension is degenerate but
+// valid: single points are represented as zero-volume rectangles.
+type Rect struct {
+	Lo, Hi Vector
+}
+
+// NewRectFromPoint returns the degenerate rectangle covering exactly p.
+func NewRectFromPoint(p Vector) Rect {
+	return Rect{Lo: p.Clone(), Hi: p.Clone()}
+}
+
+// BoundingRect returns the minimum bounding rectangle of the given points.
+// It panics if pts is empty.
+func BoundingRect(pts []Vector) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingRect of empty point set")
+	}
+	r := NewRectFromPoint(pts[0])
+	for _, p := range pts[1:] {
+		r.ExpandToPoint(p)
+	}
+	return r
+}
+
+// Dim returns the dimensionality of the rectangle.
+func (r Rect) Dim() int { return len(r.Lo) }
+
+// Clone returns an independent copy of r.
+func (r Rect) Clone() Rect {
+	return Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+}
+
+// Valid reports whether the rectangle is well formed: matching dimensions and
+// Lo ≤ Hi coordinate-wise.
+func (r Rect) Valid() bool {
+	if len(r.Lo) != len(r.Hi) || len(r.Lo) == 0 {
+		return false
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether r and s cover the identical region.
+func (r Rect) Equal(s Rect) bool {
+	return r.Lo.Equal(s.Lo) && r.Hi.Equal(s.Hi)
+}
+
+// Volume returns the D-dimensional volume of r. Degenerate rectangles have
+// zero volume.
+func (r Rect) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Margin returns the sum of the edge lengths of r (the L1 analogue of
+// surface area, as used by R*-tree style heuristics).
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// Contains reports whether point p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Vector) bool {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundary inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether r and s share any point (boundary inclusive).
+func (r Rect) Overlaps(s Rect) bool {
+	for i := range r.Lo {
+		if r.Hi[i] < s.Lo[i] || s.Hi[i] < r.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of r and s and whether it is non-empty.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{Lo: make(Vector, len(r.Lo)), Hi: make(Vector, len(r.Hi))}
+	for i := range r.Lo {
+		out.Lo[i] = math.Max(r.Lo[i], s.Lo[i])
+		out.Hi[i] = math.Min(r.Hi[i], s.Hi[i])
+		if out.Lo[i] > out.Hi[i] {
+			return Rect{}, false
+		}
+	}
+	return out, true
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	out := Rect{Lo: make(Vector, len(r.Lo)), Hi: make(Vector, len(r.Hi))}
+	for i := range r.Lo {
+		out.Lo[i] = math.Min(r.Lo[i], s.Lo[i])
+		out.Hi[i] = math.Max(r.Hi[i], s.Hi[i])
+	}
+	return out
+}
+
+// ExpandToPoint grows r in place so that it contains p.
+func (r *Rect) ExpandToPoint(p Vector) {
+	for i := range r.Lo {
+		if p[i] < r.Lo[i] {
+			r.Lo[i] = p[i]
+		}
+		if p[i] > r.Hi[i] {
+			r.Hi[i] = p[i]
+		}
+	}
+}
+
+// ExpandToRect grows r in place so that it contains s.
+func (r *Rect) ExpandToRect(s Rect) {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] {
+			r.Lo[i] = s.Lo[i]
+		}
+		if s.Hi[i] > r.Hi[i] {
+			r.Hi[i] = s.Hi[i]
+		}
+	}
+}
+
+// Enlargement returns the increase in volume required for r to contain s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Volume() - r.Volume()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Vector {
+	c := make(Vector, len(r.Lo))
+	for i := range r.Lo {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// MinDist2 returns the squared Euclidean distance from p to the nearest point
+// of r, or 0 if p lies inside r. This is the classic MINDIST of Roussopoulos
+// et al., the admissible lower bound driving best-first NN search.
+func (r Rect) MinDist2(p Vector) float64 {
+	var sum float64
+	for i := range r.Lo {
+		switch {
+		case p[i] < r.Lo[i]:
+			d := r.Lo[i] - p[i]
+			sum += d * d
+		case p[i] > r.Hi[i]:
+			d := p[i] - r.Hi[i]
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// MinMaxDist2 returns the squared MINMAXDIST of Roussopoulos et al.: the
+// smallest distance within which a point of the underlying data set is
+// guaranteed, given the MBR property that every face of the rectangle
+// touches at least one data point. For each dimension k the bound assumes
+// the guaranteed point sits on the nearer k-face and at the farther corner
+// in every other dimension; the minimum over k is the bound. It upper
+// bounds the nearest neighbor's distance and drives the branch-and-bound
+// pruning of the depth-first NN search.
+func (r Rect) MinMaxDist2(p Vector) float64 {
+	dim := len(r.Lo)
+	// far[i]: squared distance to the farther face in dimension i;
+	// near[i]: squared distance to the nearer face.
+	total := 0.0
+	far := make([]float64, dim)
+	near := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		mid := (r.Lo[i] + r.Hi[i]) / 2
+		var rm, rM float64
+		if p[i] <= mid {
+			rm, rM = r.Lo[i], r.Hi[i]
+		} else {
+			rm, rM = r.Hi[i], r.Lo[i]
+		}
+		near[i] = (p[i] - rm) * (p[i] - rm)
+		far[i] = (p[i] - rM) * (p[i] - rM)
+		total += far[i]
+	}
+	best := math.Inf(1)
+	for k := 0; k < dim; k++ {
+		if d := total - far[k] + near[k]; d < best {
+			best = d
+		}
+	}
+	if dim == 0 {
+		return 0
+	}
+	return best
+}
+
+// MaxDist2 returns the squared distance from p to the farthest point of r.
+func (r Rect) MaxDist2(p Vector) float64 {
+	var sum float64
+	for i := range r.Lo {
+		d := math.Max(math.Abs(p[i]-r.Lo[i]), math.Abs(p[i]-r.Hi[i]))
+		sum += d * d
+	}
+	return sum
+}
+
+// Clamp returns the point of r nearest to p (p itself when p is inside r).
+func (r Rect) Clamp(p Vector) Vector {
+	q := p.Clone()
+	for i := range q {
+		if q[i] < r.Lo[i] {
+			q[i] = r.Lo[i]
+		} else if q[i] > r.Hi[i] {
+			q[i] = r.Hi[i]
+		}
+	}
+	return q
+}
+
+// PairVolume returns the total volume enclosed by rectangles a and b,
+// counting any overlapped region only once: vol(a) + vol(b) − vol(a∩b).
+// This is the objective minimized by the MAP bounding predicate.
+func PairVolume(a, b Rect) float64 {
+	v := a.Volume() + b.Volume()
+	if inter, ok := a.Intersect(b); ok {
+		v -= inter.Volume()
+	}
+	return v
+}
+
+// String renders the rectangle as [lo…hi] per dimension, for debugging.
+func (r Rect) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := range r.Lo {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g..%.4g", r.Lo[i], r.Hi[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

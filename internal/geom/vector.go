@@ -1,0 +1,110 @@
+// Package geom provides the low-dimensional vector geometry used by the
+// access methods in this repository: points, hyper-rectangles, hyper-spheres
+// and the corner-"bite" regions introduced by the JB and XJB bounding
+// predicates of Thomas, Carson and Hellerstein, "Creating a Customized Access
+// Method for Blobworld" (ICDE 2000).
+//
+// All distances in this package are squared Euclidean distances unless a name
+// says otherwise. Nearest-neighbor search only ever compares distances, so
+// working with squared values avoids gratuitous math.Sqrt calls on the hot
+// path; callers that need metric distances take the square root once at the
+// boundary.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point in D-dimensional Euclidean space.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether v and w have identical coordinates.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dist2 returns the squared Euclidean distance between v and w.
+// It panics if the dimensionalities differ.
+func (v Vector) Dist2(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var sum float64
+	for i := range v {
+		d := v[i] - w[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vector) Dist(w Vector) float64 {
+	return math.Sqrt(v.Dist2(w))
+}
+
+// Add returns v + w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	out := v.Clone()
+	for i := range out {
+		out[i] += w[i]
+	}
+	return out
+}
+
+// Scale returns s·v as a new vector.
+func (v Vector) Scale(s float64) Vector {
+	out := v.Clone()
+	for i := range out {
+		out[i] *= s
+	}
+	return out
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Centroid returns the arithmetic mean of the given points.
+// It panics if pts is empty.
+func Centroid(pts []Vector) Vector {
+	if len(pts) == 0 {
+		panic("geom: Centroid of empty point set")
+	}
+	c := make(Vector, len(pts[0]))
+	for _, p := range pts {
+		for i := range c {
+			c[i] += p[i]
+		}
+	}
+	inv := 1 / float64(len(pts))
+	for i := range c {
+		c[i] *= inv
+	}
+	return c
+}

@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestVectorDist2(t *testing.T) {
+	v := Vector{0, 0, 0}
+	w := Vector{1, 2, 2}
+	if got := v.Dist2(w); got != 9 {
+		t.Errorf("Dist2 = %v, want 9", got)
+	}
+	if got := v.Dist(w); got != 3 {
+		t.Errorf("Dist = %v, want 3", got)
+	}
+}
+
+func TestVectorDist2SelfIsZero(t *testing.T) {
+	v := Vector{1.5, -2.5, 3.25}
+	if got := v.Dist2(v); got != 0 {
+		t.Errorf("Dist2(self) = %v, want 0", got)
+	}
+}
+
+func TestVectorDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vector{1}.Dist2(Vector{1, 2})
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestVectorAddScaleDot(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, -1}
+	if got := v.Add(w); !got.Equal(Vector{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Vector{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 1 {
+		t.Errorf("Dot = %v, want 1", got)
+	}
+	if got := (Vector{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	if !(Vector{1, 2}).Equal(Vector{1, 2}) {
+		t.Error("equal vectors reported unequal")
+	}
+	if (Vector{1, 2}).Equal(Vector{1, 3}) {
+		t.Error("unequal vectors reported equal")
+	}
+	if (Vector{1, 2}).Equal(Vector{1}) {
+		t.Error("different dims reported equal")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Vector{{0, 0}, {2, 0}, {1, 3}}
+	c := Centroid(pts)
+	if !c.Equal(Vector{1, 1}) {
+		t.Errorf("Centroid = %v, want (1,1)", c)
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty centroid")
+		}
+	}()
+	Centroid(nil)
+}
+
+func randVec(r *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = r.NormFloat64() * 10
+	}
+	return v
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistMetricProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVec(r, 5), randVec(r, 5), randVec(r, 5)
+		if !almostEqual(a.Dist(b), b.Dist(a), 1e-12) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the centroid minimizes the sum of squared distances compared to
+// any of the input points themselves.
+func TestCentroidMinimizesSquaredError(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		pts := make([]Vector, n)
+		for i := range pts {
+			pts[i] = randVec(r, 3)
+		}
+		c := Centroid(pts)
+		sum := func(q Vector) float64 {
+			var s float64
+			for _, p := range pts {
+				s += q.Dist2(p)
+			}
+			return s
+		}
+		sc := sum(c)
+		for _, p := range pts {
+			if sum(p) < sc-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package gist
+
+import "fmt"
+
+// CheckIntegrity validates the structural invariants of the tree:
+//
+//   - all leaves are at level 0 and levels decrease by one per tree edge
+//     (height balance);
+//   - every bounding predicate covers every key stored beneath it;
+//   - no node exceeds its capacity, and non-root nodes are non-empty;
+//   - the leaves partition the stored RIDs (each RID appears exactly once);
+//   - the recorded size matches the number of stored points.
+//
+// It returns the first violation found, or nil.
+func (t *Tree) CheckIntegrity() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	seen := make(map[int64]bool, t.size)
+	total := 0
+
+	var check func(n *Node, depth int) error
+	check = func(n *Node, depth int) error {
+		if wantLevel := t.height - 1 - depth; n.level != wantLevel {
+			return fmt.Errorf("node %d at depth %d has level %d, want %d",
+				n.id, depth, n.level, wantLevel)
+		}
+		if n.IsLeaf() {
+			if len(n.keys) != len(n.rids) {
+				return fmt.Errorf("leaf %d: %d keys, %d rids", n.id, len(n.keys), len(n.rids))
+			}
+			if len(n.keys) > t.leafCap {
+				return fmt.Errorf("leaf %d overflows: %d > %d", n.id, len(n.keys), t.leafCap)
+			}
+			for i, rid := range n.rids {
+				if seen[rid] {
+					return fmt.Errorf("RID %d appears in more than one leaf entry", rid)
+				}
+				seen[rid] = true
+				if len(n.keys[i]) != t.dim {
+					return fmt.Errorf("leaf %d entry %d has dimension %d, want %d",
+						n.id, i, len(n.keys[i]), t.dim)
+				}
+			}
+			total += len(n.keys)
+			return nil
+		}
+		if len(n.preds) != len(n.children) {
+			return fmt.Errorf("node %d: %d preds, %d children", n.id, len(n.preds), len(n.children))
+		}
+		if len(n.children) > t.innerCap {
+			return fmt.Errorf("node %d overflows: %d > %d", n.id, len(n.children), t.innerCap)
+		}
+		if len(n.children) == 0 && n != t.root {
+			return fmt.Errorf("non-root node %d is empty", n.id)
+		}
+		for i, child := range n.children {
+			if err := predCovers(t.ext, n.preds[i], child); err != nil {
+				return fmt.Errorf("node %d entry %d: %w", n.id, i, err)
+			}
+			if err := check(child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(t.root, 0); err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("stored points %d != recorded size %d", total, t.size)
+	}
+	return nil
+}
+
+// predCovers verifies that pred covers every key in the subtree under n.
+func predCovers(ext Extension, pred Predicate, n *Node) error {
+	if n.IsLeaf() {
+		for i, k := range n.keys {
+			if !ext.Covers(pred, k) {
+				return fmt.Errorf("predicate does not cover key %v (leaf %d entry %d)", k, n.id, i)
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if err := predCovers(ext, pred, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

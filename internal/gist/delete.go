@@ -1,0 +1,124 @@
+package gist
+
+import "fmt"
+
+import "blobindex/internal/geom"
+
+// Delete removes the (key, rid) pair from the tree, returning whether it was
+// found. Underflowing nodes are dissolved and their remaining contents
+// reinserted (the "condense tree" strategy), and ancestor predicates along
+// the deletion path are recomputed so they stay tight (DELETE template of
+// GiST §2.1). The Blobworld data set is static, so deletion exists for
+// framework completeness and dynamic-workload experiments rather than the
+// paper's core evaluation.
+func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
+	if len(key) != t.dim {
+		return false, fmt.Errorf("gist: key dimension %d, tree dimension %d", len(key), t.dim)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	type step struct {
+		node *Node
+		idx  int
+	}
+	var path []step
+	var findLeaf func(n *Node) *Node
+	findLeaf = func(n *Node) *Node {
+		if n.IsLeaf() {
+			for i := range n.keys {
+				if n.rids[i] == rid && n.keys[i].Equal(key) {
+					return n
+				}
+			}
+			return nil
+		}
+		for i, pred := range n.preds {
+			if !t.ext.Covers(pred, key) {
+				continue
+			}
+			path = append(path, step{n, i})
+			if leaf := findLeaf(n.children[i]); leaf != nil {
+				return leaf
+			}
+			path = path[:len(path)-1]
+		}
+		return nil
+	}
+	leaf := findLeaf(t.root)
+	if leaf == nil {
+		return false, nil
+	}
+
+	// Remove the entry from the leaf.
+	for i := range leaf.keys {
+		if leaf.rids[i] == rid && leaf.keys[i].Equal(key) {
+			leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+			leaf.rids = append(leaf.rids[:i], leaf.rids[i+1:]...)
+			break
+		}
+	}
+	t.size--
+
+	// Condense: dissolve underflowing non-root nodes, collecting orphans.
+	var orphans []Point
+	minLeaf := int(t.minFill * float64(t.leafCap))
+	node := leaf
+	for i := len(path) - 1; i >= 0; i-- {
+		parent, idx := path[i].node, path[i].idx
+		under := false
+		if node.IsLeaf() {
+			under = len(node.keys) < minLeaf
+		} else {
+			under = len(node.children) < 2
+		}
+		if under {
+			collectPoints(node, &orphans)
+			parent.preds = append(parent.preds[:idx], parent.preds[idx+1:]...)
+			parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
+		} else {
+			// Recompute this child's predicate so it stays tight.
+			parent.preds[idx] = t.tightPred(node)
+		}
+		node = parent
+	}
+
+	// Shrink the root while it is an internal node with a single child.
+	for !t.root.IsLeaf() && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	if !t.root.IsLeaf() && len(t.root.children) == 0 {
+		t.root = t.newNode(0)
+		t.height = 1
+	}
+
+	// Reinsert orphans. insertLocked increments size, so subtract the
+	// collected points first to keep the count consistent.
+	t.size -= len(orphans)
+	for _, p := range orphans {
+		t.insertLocked(p)
+	}
+	return true, nil
+}
+
+// collectPoints gathers every point stored beneath n into out.
+func collectPoints(n *Node, out *[]Point) {
+	if n.IsLeaf() {
+		for i := range n.keys {
+			*out = append(*out, Point{Key: n.keys[i], RID: n.rids[i]})
+		}
+		return
+	}
+	for _, c := range n.children {
+		collectPoints(c, out)
+	}
+}
+
+// tightPred recomputes a node's predicate from its current contents.
+func (t *Tree) tightPred(n *Node) Predicate {
+	if n.IsLeaf() {
+		return t.ext.FromPoints(n.keys)
+	}
+	return t.ext.UnionPreds(n.preds)
+}

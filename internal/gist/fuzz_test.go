@@ -1,0 +1,165 @@
+package gist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+// TestConcurrentReadersWithWriter runs searches from several goroutines
+// while a writer inserts and deletes, exercising the tree's RWMutex
+// discipline (meaningful under -race).
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr, err := New(mbrExt{}, Config{Dim: 2, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randomPoints(rng, 1000, 2)
+	for _, p := range pts[:500] {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	errs := make(chan error, 4)
+	for g := 0; g < 3; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					errs <- nil
+					return
+				default:
+				}
+				center := geom.Vector{r.Float64() * 100, r.Float64() * 100}
+				got := tr.RangeSearch(center, r.Float64()*200, nil)
+				seen := make(map[int64]bool, len(got))
+				for _, rid := range got {
+					if seen[rid] {
+						errs <- errDuplicate
+						return
+					}
+					seen[rid] = true
+				}
+			}
+		}(int64(g))
+	}
+	// Writer: insert the second half, delete some of the first.
+	for _, p := range pts[500:] {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts[:200] {
+		if _, err := tr.Delete(p.Key, p.RID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	for g := 0; g < 3; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after concurrent load: %v", err)
+	}
+}
+
+var errDuplicate = fmt.Errorf("duplicate RID in search result")
+
+// TestRandomOperationSequence drives the tree with a long random mix of
+// inserts, deletes and range searches, checking every search against a
+// brute-force oracle and the structural invariants periodically. This is
+// the workhorse correctness test for the maintenance algorithms.
+func TestRandomOperationSequence(t *testing.T) {
+	const (
+		dim   = 3
+		ops   = 4000
+		check = 500
+	)
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := New(mbrExt{}, Config{Dim: dim, PageSize: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[int64]Point)
+		var nextRID int64
+
+		randKey := func() Point {
+			v := make([]float64, dim)
+			for d := range v {
+				v[d] = rng.Float64() * 100
+			}
+			p := Point{Key: v, RID: nextRID}
+			nextRID++
+			return p
+		}
+		anyOracle := func() (Point, bool) {
+			for _, p := range oracle {
+				return p, true
+			}
+			return Point{}, false
+		}
+
+		for op := 0; op < ops; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.55: // insert
+				p := randKey()
+				if err := tr.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+				oracle[p.RID] = p
+			case r < 0.80: // delete (an existing point when possible)
+				if p, ok := anyOracle(); ok {
+					found, err := tr.Delete(p.Key, p.RID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !found {
+						t.Fatalf("seed %d op %d: stored RID %d not found by Delete", seed, op, p.RID)
+					}
+					delete(oracle, p.RID)
+				}
+			default: // range search vs oracle
+				center := randKey().Key
+				r2 := rng.Float64() * 500
+				got := tr.RangeSearch(center, r2, nil)
+				want := 0
+				for _, p := range oracle {
+					if center.Dist2(p.Key) <= r2 {
+						want++
+					}
+				}
+				if len(got) != want {
+					t.Fatalf("seed %d op %d: range returned %d, oracle has %d",
+						seed, op, len(got), want)
+				}
+				seen := make(map[int64]bool, len(got))
+				for _, rid := range got {
+					if _, ok := oracle[rid]; !ok {
+						t.Fatalf("seed %d op %d: range returned deleted RID %d", seed, op, rid)
+					}
+					if seen[rid] {
+						t.Fatalf("seed %d op %d: duplicate RID %d", seed, op, rid)
+					}
+					seen[rid] = true
+				}
+			}
+			if op%check == check-1 {
+				if tr.Len() != len(oracle) {
+					t.Fatalf("seed %d op %d: tree Len %d, oracle %d", seed, op, tr.Len(), len(oracle))
+				}
+				if err := tr.CheckIntegrity(); err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+			}
+		}
+	}
+}

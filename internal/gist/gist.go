@@ -1,0 +1,318 @@
+// Package gist implements a Generalized Search Tree (GiST) in the spirit of
+// Hellerstein, Naughton and Pfeffer (VLDB 1995): a height-balanced, multi-way
+// tree whose search, insertion and deletion "template" algorithms are
+// parameterized by a small set of extension methods supplied by each access
+// method. The six access methods of the Blobworld paper (R-tree, SS-tree,
+// SR-tree, aMAP, JB, XJB) are all implemented as Extensions over this one
+// tree (package blobindex/internal/am).
+//
+// Leaves store (key, RID) pairs, where keys are points; internal nodes store
+// (bounding predicate, child) pairs. The bounding predicate (BP) of an entry
+// covers every key stored beneath it. Node fanout is derived from the page
+// size and the BP's on-page footprint, so access methods with bigger BPs
+// build shorter-fanout, taller trees — the central tension the paper's XJB
+// design navigates.
+//
+// A Tree is safe for concurrent searches. Mutating operations (Insert,
+// Delete) take an exclusive lock and must not run concurrently with each
+// other or with searches that share a Trace.
+package gist
+
+import (
+	"fmt"
+	"sync"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/page"
+)
+
+// Predicate is an opaque bounding predicate value. Its concrete type is
+// owned by the Extension that produced it; the tree only moves predicates
+// around and passes them back to the extension.
+type Predicate any
+
+// Extension supplies the access-method-specific behavior that specializes
+// the GiST into a particular tree (GiST "extension methods", paper §2.1).
+type Extension interface {
+	// Name identifies the access method in reports ("rtree", "xjb", ...).
+	Name() string
+
+	// BPWords returns the number of float64 words one bounding predicate
+	// occupies on a page for dim-dimensional data. It determines internal
+	// node fanout (paper Table 3).
+	BPWords(dim int) int
+
+	// FromPoints builds a predicate covering the given points. Bulk loading
+	// calls it at every level with the full set of points stored beneath the
+	// node, which is what lets JB/XJB place tight bites on inner nodes too.
+	FromPoints(pts []geom.Vector) Predicate
+
+	// UnionPreds builds a predicate covering all the given child predicates.
+	// Used on insertion splits of internal nodes, where the original points
+	// are no longer at hand.
+	UnionPreds(preds []Predicate) Predicate
+
+	// Extend returns a predicate covering both bp and point p, used to adjust
+	// ancestor predicates along an insertion path.
+	Extend(bp Predicate, p geom.Vector) Predicate
+
+	// Covers reports whether bp covers point p. Search correctness and the
+	// tree integrity checker rely on it.
+	Covers(bp Predicate, p geom.Vector) bool
+
+	// MinDist2 returns an admissible lower bound on the squared distance
+	// from q to any point covered by bp. It drives both range consistency
+	// (MinDist2 ≤ r²) and best-first nearest-neighbor search.
+	MinDist2(bp Predicate, q geom.Vector) float64
+
+	// Penalty returns the cost of inserting p into the subtree under bp;
+	// insertion descends into the child with the smallest penalty.
+	Penalty(bp Predicate, p geom.Vector) float64
+
+	// PickSplitPoints partitions the indices of an overflowing leaf's points
+	// into two non-empty groups.
+	PickSplitPoints(pts []geom.Vector) (left, right []int)
+
+	// PickSplitPreds partitions the indices of an overflowing internal
+	// node's child predicates into two non-empty groups.
+	PickSplitPreds(preds []Predicate) (left, right []int)
+}
+
+// Point is one indexed datum: a key vector and its record identifier.
+type Point struct {
+	Key geom.Vector
+	RID int64
+}
+
+// Node is one tree node, occupying exactly one page.
+type Node struct {
+	id    page.PageID
+	level int // 0 = leaf; root has the highest level
+
+	// Leaf payload (level == 0).
+	keys []geom.Vector
+	rids []int64
+
+	// Internal payload (level > 0).
+	preds    []Predicate
+	children []*Node
+}
+
+// ID returns the node's page id.
+func (n *Node) ID() page.PageID { return n.id }
+
+// Level returns the node's level; leaves are level 0.
+func (n *Node) Level() int { return n.level }
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.level == 0 }
+
+// NumEntries returns the number of entries stored in the node.
+func (n *Node) NumEntries() int {
+	if n.IsLeaf() {
+		return len(n.keys)
+	}
+	return len(n.children)
+}
+
+// LeafKey returns the i-th key of a leaf node.
+func (n *Node) LeafKey(i int) geom.Vector { return n.keys[i] }
+
+// LeafRID returns the i-th record identifier of a leaf node.
+func (n *Node) LeafRID(i int) int64 { return n.rids[i] }
+
+// ChildPred returns the bounding predicate of the i-th child entry.
+func (n *Node) ChildPred(i int) Predicate { return n.preds[i] }
+
+// Child returns the i-th child node.
+func (n *Node) Child(i int) *Node { return n.children[i] }
+
+// Tree is a GiST specialized by an Extension.
+type Tree struct {
+	mu sync.RWMutex
+
+	ext      Extension
+	dim      int
+	pageSize int
+	leafCap  int
+	innerCap int
+	minFill  float64 // minimum fill fraction enforced on splits/deletes
+
+	root     *Node
+	height   int // number of levels (a lone leaf root has height 1)
+	size     int // number of stored points
+	nextPage page.PageID
+}
+
+// Config carries the tree construction parameters.
+type Config struct {
+	// Dim is the dimensionality of the indexed keys. Required.
+	Dim int
+	// PageSize is the page size in bytes. Defaults to page.DefaultPageSize.
+	PageSize int
+	// MinFill is the minimum node fill fraction for insertion splits,
+	// in (0, 0.5]. Defaults to 0.4 (Guttman's recommendation).
+	MinFill float64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("gist: Dim must be positive, got %d", c.Dim)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = page.DefaultPageSize
+	}
+	if c.PageSize < 256 {
+		return fmt.Errorf("gist: PageSize %d too small", c.PageSize)
+	}
+	if c.MinFill == 0 {
+		c.MinFill = 0.4
+	}
+	if c.MinFill < 0 || c.MinFill > 0.5 {
+		return fmt.Errorf("gist: MinFill %v outside (0, 0.5]", c.MinFill)
+	}
+	return nil
+}
+
+// New returns an empty tree for the given extension and configuration.
+func New(ext Extension, cfg Config) (*Tree, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		ext:      ext,
+		dim:      cfg.Dim,
+		pageSize: cfg.PageSize,
+		leafCap:  page.LeafCapacity(cfg.PageSize, cfg.Dim),
+		innerCap: page.Capacity(cfg.PageSize, ext.BPWords(cfg.Dim)),
+		minFill:  cfg.MinFill,
+	}
+	t.root = t.newNode(0)
+	t.height = 1
+	return t, nil
+}
+
+func (t *Tree) newNode(level int) *Node {
+	n := &Node{id: t.nextPage, level: level}
+	t.nextPage++
+	return n
+}
+
+// Ext returns the extension specializing this tree.
+func (t *Tree) Ext() Extension { return t.ext }
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Height returns the number of levels in the tree (1 for a lone leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the key dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// LeafCapacity returns the maximum number of entries per leaf.
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// InnerCapacity returns the maximum number of entries per internal node.
+func (t *Tree) InnerCapacity() int { return t.innerCap }
+
+// PageSize returns the configured page size in bytes.
+func (t *Tree) PageSize() int { return t.pageSize }
+
+// NumPages returns the total number of pages (nodes) in the tree.
+func (t *Tree) NumPages() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		total := 1
+		if !n.IsLeaf() {
+			for _, c := range n.children {
+				total += count(c)
+			}
+		}
+		return total
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return count(t.root)
+}
+
+// NumLeaves returns the number of leaf pages.
+func (t *Tree) NumLeaves() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		if n.IsLeaf() {
+			return 1
+		}
+		total := 0
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return count(t.root)
+}
+
+// LevelStat summarizes one tree level.
+type LevelStat struct {
+	Level   int
+	Nodes   int
+	Entries int
+	// MeanFill is the mean entries-per-node divided by the level's
+	// capacity (leaf or inner).
+	MeanFill float64
+}
+
+// LevelStats returns per-level node counts and fill factors, root level
+// first. It is the numeric form of the paper's structural observations
+// (§5: "the root node had only 24 children, and space for about 80").
+func (t *Tree) LevelStats() []LevelStat {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	stats := make([]LevelStat, t.height)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		s := &stats[t.height-1-n.level]
+		s.Level = n.level
+		s.Nodes++
+		s.Entries += n.NumEntries()
+		if !n.IsLeaf() {
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	for i := range stats {
+		capEntries := t.innerCap
+		if stats[i].Level == 0 {
+			capEntries = t.leafCap
+		}
+		if stats[i].Nodes > 0 {
+			stats[i].MeanFill = float64(stats[i].Entries) /
+				float64(stats[i].Nodes) / float64(capEntries)
+		}
+	}
+	return stats
+}
+
+// Walk visits every node in depth-first pre-order. It is intended for
+// analysis tooling; fn must not mutate the tree.
+func (t *Tree) Walk(fn func(n *Node, parentPred Predicate)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var walk func(n *Node, pp Predicate)
+	walk = func(n *Node, pp Predicate) {
+		fn(n, pp)
+		if !n.IsLeaf() {
+			for i, c := range n.children {
+				walk(c, n.preds[i])
+			}
+		}
+	}
+	walk(t.root, nil)
+}

@@ -1,0 +1,113 @@
+package gist
+
+import "fmt"
+
+import "blobindex/internal/geom"
+
+// Insert adds a (key, RID) pair to the tree, descending along minimal
+// penalty children, splitting overflowing nodes with the extension's
+// PickSplit methods, and propagating splits and predicate adjustments to the
+// root (INSERT template of GiST §2.1).
+func (t *Tree) Insert(p Point) error {
+	if len(p.Key) != t.dim {
+		return fmt.Errorf("gist: key dimension %d, tree dimension %d", len(p.Key), t.dim)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(p)
+	return nil
+}
+
+func (t *Tree) insertLocked(p Point) {
+	// Descend to a leaf, remembering the path and chosen child indexes.
+	type step struct {
+		node *Node
+		idx  int
+	}
+	var path []step
+	n := t.root
+	for !n.IsLeaf() {
+		best, bestPenalty := 0, t.ext.Penalty(n.preds[0], p.Key)
+		for i := 1; i < len(n.preds); i++ {
+			if pen := t.ext.Penalty(n.preds[i], p.Key); pen < bestPenalty {
+				best, bestPenalty = i, pen
+			}
+		}
+		path = append(path, step{n, best})
+		n = n.children[best]
+	}
+
+	n.keys = append(n.keys, p.Key.Clone())
+	n.rids = append(n.rids, p.RID)
+	t.size++
+
+	// Adjust predicates along the path so every ancestor covers the new key.
+	for _, s := range path {
+		s.node.preds[s.idx] = t.ext.Extend(s.node.preds[s.idx], p.Key)
+	}
+
+	// Split overflowing nodes bottom-up. path[i] is the parent of the node
+	// at path[i+1] (or of the leaf, for the last element).
+	over := n
+	for i := len(path) - 1; ; i-- {
+		if !t.overflows(over) {
+			return
+		}
+		sibling, leftPred, rightPred := t.split(over)
+		if i < 0 {
+			// Splitting the root: grow the tree by one level.
+			newRoot := t.newNode(over.level + 1)
+			newRoot.preds = []Predicate{leftPred, rightPred}
+			newRoot.children = []*Node{over, sibling}
+			t.root = newRoot
+			t.height++
+			return
+		}
+		parent, idx := path[i].node, path[i].idx
+		parent.preds[idx] = leftPred
+		parent.preds = append(parent.preds, rightPred)
+		parent.children = append(parent.children, sibling)
+		over = parent
+	}
+}
+
+func (t *Tree) overflows(n *Node) bool {
+	if n.IsLeaf() {
+		return len(n.keys) > t.leafCap
+	}
+	return len(n.children) > t.innerCap
+}
+
+// split divides an overflowing node in two, returning the new sibling and
+// the predicates of the (now smaller) original node and the sibling.
+func (t *Tree) split(n *Node) (sibling *Node, leftPred, rightPred Predicate) {
+	sibling = t.newNode(n.level)
+	if n.IsLeaf() {
+		li, ri := t.ext.PickSplitPoints(n.keys)
+		leftKeys := make([]geom.Vector, 0, len(li))
+		leftRIDs := make([]int64, 0, len(li))
+		for _, i := range li {
+			leftKeys = append(leftKeys, n.keys[i])
+			leftRIDs = append(leftRIDs, n.rids[i])
+		}
+		for _, i := range ri {
+			sibling.keys = append(sibling.keys, n.keys[i])
+			sibling.rids = append(sibling.rids, n.rids[i])
+		}
+		n.keys, n.rids = leftKeys, leftRIDs
+		return sibling, t.ext.FromPoints(n.keys), t.ext.FromPoints(sibling.keys)
+	}
+	li, ri := t.ext.PickSplitPreds(n.preds)
+	leftPreds := make([]Predicate, 0, len(li))
+	leftChildren := make([]*Node, 0, len(li))
+	for _, i := range li {
+		leftPreds = append(leftPreds, n.preds[i])
+		leftChildren = append(leftChildren, n.children[i])
+	}
+	for _, i := range ri {
+		sibling.preds = append(sibling.preds, n.preds[i])
+		sibling.children = append(sibling.children, n.children[i])
+	}
+	n.preds, n.children = leftPreds, leftChildren
+	return sibling, t.ext.UnionPreds(n.preds), t.ext.UnionPreds(sibling.preds)
+}

@@ -1,0 +1,56 @@
+package gist
+
+import "blobindex/internal/geom"
+
+// RangeSearch returns the RIDs of all points within distance² radius2 of
+// center, recursively descending every subtree whose bounding predicate is
+// consistent with the query sphere (SEARCH template of GiST §2.1). If trace
+// is non-nil, every visited node is recorded in it.
+func (t *Tree) RangeSearch(center geom.Vector, radius2 float64, trace *Trace) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int64
+	t.rangeSearch(t.root, center, radius2, trace, &out)
+	return out
+}
+
+func (t *Tree) rangeSearch(n *Node, center geom.Vector, radius2 float64, trace *Trace, out *[]int64) {
+	trace.Record(n)
+	if n.IsLeaf() {
+		for i, k := range n.keys {
+			if center.Dist2(k) <= radius2 {
+				*out = append(*out, n.rids[i])
+			}
+		}
+		return
+	}
+	for i, pred := range n.preds {
+		if t.ext.MinDist2(pred, center) <= radius2 {
+			t.rangeSearch(n.children[i], center, radius2, trace, out)
+		}
+	}
+}
+
+// Lookup returns whether the exact (key, rid) pair is stored in the tree.
+func (t *Tree) Lookup(key geom.Vector, rid int64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookup(t.root, key, rid)
+}
+
+func (t *Tree) lookup(n *Node, key geom.Vector, rid int64) bool {
+	if n.IsLeaf() {
+		for i, k := range n.keys {
+			if n.rids[i] == rid && k.Equal(key) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, pred := range n.preds {
+		if t.ext.Covers(pred, key) && t.lookup(n.children[i], key, rid) {
+			return true
+		}
+	}
+	return false
+}

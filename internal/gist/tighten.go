@@ -1,0 +1,36 @@
+package gist
+
+import "blobindex/internal/geom"
+
+// TightenPredicates recomputes every bounding predicate in the tree from the
+// raw points stored beneath it, using the extension's FromPoints at every
+// level. Insertion maintains predicates conservatively — in particular the
+// JB/XJB extensions drop corner bites whenever an MBR grows — so an
+// insertion-built tree accumulates slack. One tightening pass restores the
+// bulk-load-quality predicates; together with Insert it provides the
+// insertion support for JB and XJB that the paper lists as future work (§8).
+//
+// The pass visits every node once and costs one FromPoints call per entry
+// over the points of the entry's subtree.
+func (t *Tree) TightenPredicates() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tightenNode(t.ext, t.root)
+}
+
+// tightenNode recomputes the predicates of n's entries and returns all
+// points stored beneath n.
+func tightenNode(ext Extension, n *Node) []geom.Vector {
+	if n.IsLeaf() {
+		return n.keys
+	}
+	var all []geom.Vector
+	for i, child := range n.children {
+		pts := tightenNode(ext, child)
+		if len(pts) > 0 {
+			n.preds[i] = ext.FromPoints(pts)
+		}
+		all = append(all, pts...)
+	}
+	return all
+}

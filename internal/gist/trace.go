@@ -1,0 +1,52 @@
+package gist
+
+import "blobindex/internal/page"
+
+// Access records one node (page) visit during a traversal.
+type Access struct {
+	Page  page.PageID
+	Level int // 0 = leaf
+}
+
+// Trace collects the page accesses of one query execution in traversal
+// order. It is the raw material of the amdb analysis (package
+// blobindex/internal/amdb). A nil *Trace disables collection.
+type Trace struct {
+	Accesses []Access
+}
+
+// Record appends node n to the trace. A nil receiver is a no-op, so search
+// code can record unconditionally.
+func (tr *Trace) Record(n *Node) {
+	if tr == nil {
+		return
+	}
+	tr.Accesses = append(tr.Accesses, Access{Page: n.id, Level: n.level})
+}
+
+// LeafAccesses returns the number of leaf pages visited.
+func (tr *Trace) LeafAccesses() int {
+	c := 0
+	for _, a := range tr.Accesses {
+		if a.Level == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// InnerAccesses returns the number of internal pages visited.
+func (tr *Trace) InnerAccesses() int {
+	return len(tr.Accesses) - tr.LeafAccesses()
+}
+
+// LeafPages returns the ids of the visited leaf pages, in traversal order.
+func (tr *Trace) LeafPages() []page.PageID {
+	var out []page.PageID
+	for _, a := range tr.Accesses {
+		if a.Level == 0 {
+			out = append(out, a.Page)
+		}
+	}
+	return out
+}

@@ -1,0 +1,424 @@
+// Package hypergraph implements a multilevel hypergraph partitioner in the
+// style of Karypis et al. (hMETIS), the tool amdb uses to compute the
+// "optimal clustering" baseline for its loss metrics (paper §2.2): vertices
+// are data items, each query's result set is a hyperedge, and a partition of
+// the vertices into capacity-bounded blocks models an ideal assignment of
+// data items to leaf pages. The connectivity of the partition — the total
+// number of distinct blocks each hyperedge spans — is exactly the number of
+// leaf I/Os an ideal tree would perform for the workload, so minimizing it
+// yields the baseline against which clustering loss is measured.
+//
+// Finding the optimal partition is NP-hard; like hMETIS this package uses
+// the multilevel heuristic: coarsen by matching strongly co-occurring
+// vertices, partition the coarse graph greedily, then project back and
+// refine with Fiduccia–Mattheyses-style single-vertex moves. The paper notes
+// the heuristic "works well in practice", which is all the analysis needs.
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Hypergraph is a set of hyperedges over vertices 0..NumVertices-1.
+// Vertices may appear in any number of edges (including none).
+type Hypergraph struct {
+	NumVertices int
+	Edges       [][]int
+}
+
+// Partition assigns every vertex to a block. Blocks are numbered densely
+// from 0.
+type Partition struct {
+	Assign    []int
+	NumBlocks int
+}
+
+// Connectivity returns the total number of (edge, block) incidences: for
+// each hyperedge, the number of distinct blocks its vertices occupy, summed
+// over edges. For the amdb analysis this is the leaf I/O count of the ideal
+// tree executing the workload.
+func (p Partition) Connectivity(h Hypergraph) int {
+	total := 0
+	seen := make(map[int]bool)
+	for _, e := range h.Edges {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, v := range e {
+			seen[p.Assign[v]] = true
+		}
+		total += len(seen)
+	}
+	return total
+}
+
+// EdgeSpans returns, for each hyperedge, the number of distinct blocks its
+// vertices occupy — the per-query optimal leaf I/Os.
+func (p Partition) EdgeSpans(h Hypergraph) []int {
+	out := make([]int, len(h.Edges))
+	seen := make(map[int]bool)
+	for i, e := range h.Edges {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, v := range e {
+			seen[p.Assign[v]] = true
+		}
+		out[i] = len(seen)
+	}
+	return out
+}
+
+// BlockSizes returns the number of vertices in each block.
+func (p Partition) BlockSizes() []int {
+	sizes := make([]int, p.NumBlocks)
+	for _, b := range p.Assign {
+		sizes[b]++
+	}
+	return sizes
+}
+
+// Options tunes the partitioner.
+type Options struct {
+	// Capacity is the maximum number of vertices per block (the ideal leaf
+	// capacity). Required, ≥ 1.
+	Capacity int
+	// Seed drives the randomized refinement order.
+	Seed int64
+	// RefinePasses is the number of FM refinement sweeps per level.
+	// Defaults to 4.
+	RefinePasses int
+	// CoarsenTo stops coarsening when at most this many supervertices
+	// remain. Defaults to 8× the number of blocks implied by Capacity.
+	CoarsenTo int
+}
+
+// PartitionConnectivity partitions h into blocks of at most opts.Capacity
+// vertices, heuristically minimizing connectivity.
+func PartitionConnectivity(h Hypergraph, opts Options) Partition {
+	if opts.Capacity < 1 {
+		panic("hypergraph: Capacity must be ≥ 1")
+	}
+	if opts.RefinePasses == 0 {
+		opts.RefinePasses = 4
+	}
+	numBlocks := (h.NumVertices + opts.Capacity - 1) / opts.Capacity
+	if opts.CoarsenTo == 0 {
+		opts.CoarsenTo = 8 * numBlocks
+	}
+	if opts.CoarsenTo < 2 {
+		opts.CoarsenTo = 2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	lvl := &level{
+		weights: ones(h.NumVertices),
+		edges:   h.Edges,
+	}
+	var stack []*level
+	for lvl.numVertices() > opts.CoarsenTo {
+		next := lvl.coarsen(opts.Capacity, rng)
+		if next == nil {
+			break // matching made no progress
+		}
+		stack = append(stack, lvl)
+		lvl = next
+	}
+
+	assign := lvl.initialPartition(opts.Capacity)
+	lvl.refine(assign, opts.Capacity, opts.RefinePasses, rng)
+
+	// Uncoarsen, projecting the assignment and refining at each level.
+	for len(stack) > 0 {
+		fine := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fineAssign := make([]int, fine.numVertices())
+		for v := range fineAssign {
+			fineAssign[v] = assign[fine.mapTo[v]]
+		}
+		assign = fineAssign
+		lvl = fine
+		lvl.refine(assign, opts.Capacity, opts.RefinePasses, rng)
+	}
+
+	return densify(assign)
+}
+
+// level is one coarsening level of the multilevel scheme.
+type level struct {
+	weights []int   // supervertex weights (original vertices contained)
+	edges   [][]int // hyperedges over this level's vertices, deduplicated
+	mapTo   []int   // fine vertex -> coarse vertex (set on the finer level)
+}
+
+func ones(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func (l *level) numVertices() int { return len(l.weights) }
+
+// coarsen merges strongly co-occurring vertex pairs (heavy-edge matching on
+// the clique expansion, sampled from the hyperedges) and returns the coarse
+// level, or nil when matching cannot shrink the graph further.
+func (l *level) coarsen(capacity int, rng *rand.Rand) *level {
+	type pair struct{ a, b int }
+	score := make(map[pair]int)
+	addPair := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		score[pair{a, b}]++
+	}
+	for _, e := range l.edges {
+		if len(e) <= 6 {
+			for i := 0; i < len(e); i++ {
+				for j := i + 1; j < len(e); j++ {
+					addPair(e[i], e[j])
+				}
+			}
+		} else {
+			// Sample: consecutive pairs plus a few random ones, keeping the
+			// cost linear in the edge size.
+			for i := 1; i < len(e); i++ {
+				addPair(e[i-1], e[i])
+			}
+			for i := 0; i < len(e); i++ {
+				addPair(e[i], e[rng.Intn(len(e))])
+			}
+		}
+	}
+	pairs := make([]pair, 0, len(score))
+	for p := range score {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if score[pairs[i]] != score[pairs[j]] {
+			return score[pairs[i]] > score[pairs[j]]
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	match := make([]int, l.numVertices())
+	for i := range match {
+		match[i] = -1
+	}
+	merged := 0
+	for _, p := range pairs {
+		if match[p.a] != -1 || match[p.b] != -1 {
+			continue
+		}
+		if l.weights[p.a]+l.weights[p.b] > capacity {
+			continue
+		}
+		match[p.a], match[p.b] = p.b, p.a
+		merged++
+	}
+	if merged == 0 {
+		return nil
+	}
+
+	// Number the coarse vertices.
+	mapTo := make([]int, l.numVertices())
+	for i := range mapTo {
+		mapTo[i] = -1
+	}
+	coarse := 0
+	var weights []int
+	for v := 0; v < l.numVertices(); v++ {
+		if mapTo[v] != -1 {
+			continue
+		}
+		mapTo[v] = coarse
+		w := l.weights[v]
+		if m := match[v]; m != -1 {
+			mapTo[m] = coarse
+			w += l.weights[m]
+		}
+		weights = append(weights, w)
+		coarse++
+	}
+
+	// Project and deduplicate the edges.
+	edges := make([][]int, 0, len(l.edges))
+	seen := make(map[int]bool)
+	for _, e := range l.edges {
+		for k := range seen {
+			delete(seen, k)
+		}
+		ce := make([]int, 0, len(e))
+		for _, v := range e {
+			cv := mapTo[v]
+			if !seen[cv] {
+				seen[cv] = true
+				ce = append(ce, cv)
+			}
+		}
+		if len(ce) > 1 {
+			edges = append(edges, ce)
+		}
+	}
+
+	l.mapTo = mapTo
+	return &level{weights: weights, edges: edges}
+}
+
+// initialPartition packs vertices into blocks in an edge-affinity order:
+// vertices of the same hyperedge are placed consecutively when capacity
+// allows, then any untouched vertices are first-fit packed.
+func (l *level) initialPartition(capacity int) []int {
+	n := l.numVertices()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	blockWeight := []int{0}
+	cur := 0
+	place := func(v int) {
+		if assign[v] != -1 {
+			return
+		}
+		if blockWeight[cur]+l.weights[v] > capacity {
+			blockWeight = append(blockWeight, 0)
+			cur++
+		}
+		assign[v] = cur
+		blockWeight[cur] += l.weights[v]
+	}
+	// Order edges by increasing size so small, selective queries cluster
+	// their results first.
+	order := make([]int, len(l.edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(l.edges[order[a]]) < len(l.edges[order[b]]) })
+	for _, ei := range order {
+		for _, v := range l.edges[ei] {
+			place(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		place(v)
+	}
+	return assign
+}
+
+// refine performs FM-style single-vertex moves: each pass visits the
+// vertices in random order and moves a vertex to the adjacent block with the
+// best positive connectivity gain, capacity permitting.
+func (l *level) refine(assign []int, capacity int, passes int, rng *rand.Rand) {
+	n := l.numVertices()
+	if n == 0 {
+		return
+	}
+	numBlocks := 0
+	for _, b := range assign {
+		if b+1 > numBlocks {
+			numBlocks = b + 1
+		}
+	}
+	blockWeight := make([]int, numBlocks)
+	for v, b := range assign {
+		blockWeight[b] += l.weights[v]
+	}
+	// vertexEdges[v] lists the edges containing v.
+	vertexEdges := make([][]int, n)
+	for ei, e := range l.edges {
+		for _, v := range e {
+			vertexEdges[v] = append(vertexEdges[v], ei)
+		}
+	}
+	// edgeBlockCount[ei] maps block -> number of the edge's vertices there.
+	edgeBlockCount := make([]map[int]int, len(l.edges))
+	for ei, e := range l.edges {
+		m := make(map[int]int, 4)
+		for _, v := range e {
+			m[assign[v]]++
+		}
+		edgeBlockCount[ei] = m
+	}
+
+	order := rng.Perm(n)
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for _, v := range order {
+			from := assign[v]
+			// totalLeaving: spans freed in `from` if v departs (one per edge
+			// in which v is from's only representative). Candidate
+			// destinations are the blocks of co-edge vertices — any other
+			// block costs one new span per edge and can never win.
+			totalLeaving := 0
+			candidates := make(map[int]bool)
+			for _, ei := range vertexEdges[v] {
+				m := edgeBlockCount[ei]
+				if m[from] == 1 {
+					totalLeaving++
+				}
+				for b := range m {
+					if b != from {
+						candidates[b] = true
+					}
+				}
+			}
+			bestBlock, bestGain := -1, 0
+			for b := range candidates {
+				// Moving into b costs one span for every edge of v with no
+				// vertex in b yet.
+				cost := 0
+				for _, ei := range vertexEdges[v] {
+					if edgeBlockCount[ei][b] == 0 {
+						cost++
+					}
+				}
+				net := totalLeaving - cost
+				if net > bestGain && blockWeight[b]+l.weights[v] <= capacity {
+					bestGain, bestBlock = net, b
+				}
+			}
+			if bestBlock == -1 {
+				continue
+			}
+			// Apply the move.
+			for _, ei := range vertexEdges[v] {
+				m := edgeBlockCount[ei]
+				m[from]--
+				if m[from] == 0 {
+					delete(m, from)
+				}
+				m[bestBlock]++
+			}
+			blockWeight[from] -= l.weights[v]
+			blockWeight[bestBlock] += l.weights[v]
+			assign[v] = bestBlock
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// densify renumbers blocks densely from 0.
+func densify(assign []int) Partition {
+	remap := make(map[int]int)
+	out := make([]int, len(assign))
+	for i, b := range assign {
+		nb, ok := remap[b]
+		if !ok {
+			nb = len(remap)
+			remap[b] = nb
+		}
+		out[i] = nb
+	}
+	return Partition{Assign: out, NumBlocks: len(remap)}
+}

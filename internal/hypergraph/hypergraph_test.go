@@ -1,0 +1,196 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validPartition(t *testing.T, h Hypergraph, p Partition, capacity int) {
+	t.Helper()
+	if len(p.Assign) != h.NumVertices {
+		t.Fatalf("Assign has %d entries, want %d", len(p.Assign), h.NumVertices)
+	}
+	sizes := p.BlockSizes()
+	for b, s := range sizes {
+		if s > capacity {
+			t.Fatalf("block %d holds %d vertices, capacity %d", b, s, capacity)
+		}
+		if s == 0 {
+			t.Fatalf("block %d is empty after densify", b)
+		}
+	}
+	for v, b := range p.Assign {
+		if b < 0 || b >= p.NumBlocks {
+			t.Fatalf("vertex %d assigned to invalid block %d", v, b)
+		}
+	}
+}
+
+func TestPartitionRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomHypergraph(rng, 500, 100, 8)
+	p := PartitionConnectivity(h, Options{Capacity: 32, Seed: 1})
+	validPartition(t, h, p, 32)
+}
+
+func TestPartitionPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartitionConnectivity(Hypergraph{NumVertices: 3}, Options{Capacity: 0})
+}
+
+func TestPartitionNoEdges(t *testing.T) {
+	h := Hypergraph{NumVertices: 10}
+	p := PartitionConnectivity(h, Options{Capacity: 4, Seed: 2})
+	validPartition(t, h, p, 4)
+	if p.Connectivity(h) != 0 {
+		t.Error("no edges → zero connectivity")
+	}
+}
+
+func TestPartitionClusteredWorkloadIsNearOptimal(t *testing.T) {
+	// 10 disjoint groups of 8 vertices; every edge stays within one group.
+	// With capacity 8 the optimal partition puts each group in one block,
+	// for connectivity = #edges.
+	const groups, per = 10, 8
+	h := Hypergraph{NumVertices: groups * per}
+	rng := rand.New(rand.NewSource(3))
+	for g := 0; g < groups; g++ {
+		for q := 0; q < 15; q++ {
+			var e []int
+			for _, i := range rng.Perm(per)[:4] {
+				e = append(e, g*per+i)
+			}
+			h.Edges = append(h.Edges, e)
+		}
+	}
+	p := PartitionConnectivity(h, Options{Capacity: per, Seed: 3})
+	validPartition(t, h, p, per)
+	conn := p.Connectivity(h)
+	// Optimal = 150 (one block per edge); allow modest slack for the
+	// heuristic.
+	if conn > 170 {
+		t.Errorf("connectivity = %d, want near-optimal 150", conn)
+	}
+}
+
+func TestPartitionBeatsRandomAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := clusteredHypergraph(rng, 400, 50, 60)
+	p := PartitionConnectivity(h, Options{Capacity: 25, Seed: 4})
+	validPartition(t, h, p, 25)
+
+	// Random balanced assignment with the same capacity.
+	perm := rng.Perm(h.NumVertices)
+	randAssign := make([]int, h.NumVertices)
+	for i, v := range perm {
+		randAssign[v] = i / 25
+	}
+	randP := densify(randAssign)
+	if got, rnd := p.Connectivity(h), randP.Connectivity(h); got >= rnd {
+		t.Errorf("heuristic connectivity %d should beat random %d", got, rnd)
+	}
+}
+
+func TestEdgeSpansMatchesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randomHypergraph(rng, 200, 40, 6)
+	p := PartitionConnectivity(h, Options{Capacity: 16, Seed: 5})
+	spans := p.EdgeSpans(h)
+	total := 0
+	for _, s := range spans {
+		total += s
+	}
+	if total != p.Connectivity(h) {
+		t.Errorf("sum of spans %d != connectivity %d", total, p.Connectivity(h))
+	}
+	for i, s := range spans {
+		if s < 1 || s > len(h.Edges[i]) {
+			t.Errorf("edge %d spans %d blocks, impossible for size %d", i, s, len(h.Edges[i]))
+		}
+	}
+}
+
+// Property: every partition is valid and spans are bounded by edge size.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		h := randomHypergraph(rng, n, 5+rng.Intn(40), 2+rng.Intn(8))
+		cap := 4 + rng.Intn(20)
+		p := PartitionConnectivity(h, Options{Capacity: cap, Seed: seed})
+		if len(p.Assign) != n {
+			return false
+		}
+		for _, s := range p.BlockSizes() {
+			if s > cap || s == 0 {
+				return false
+			}
+		}
+		for i, s := range p.EdgeSpans(h) {
+			if s < 1 || s > len(h.Edges[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h := randomHypergraph(rng, 300, 60, 6)
+	a := PartitionConnectivity(h, Options{Capacity: 20, Seed: 7})
+	b := PartitionConnectivity(h, Options{Capacity: 20, Seed: 7})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must give identical partitions")
+		}
+	}
+}
+
+// randomHypergraph builds edges over uniformly random vertices.
+func randomHypergraph(rng *rand.Rand, n, edges, edgeSize int) Hypergraph {
+	h := Hypergraph{NumVertices: n}
+	for e := 0; e < edges; e++ {
+		size := 2 + rng.Intn(edgeSize)
+		seen := make(map[int]bool)
+		var edge []int
+		for len(edge) < size {
+			v := rng.Intn(n)
+			if !seen[v] {
+				seen[v] = true
+				edge = append(edge, v)
+			}
+		}
+		h.Edges = append(h.Edges, edge)
+	}
+	return h
+}
+
+// clusteredHypergraph builds edges whose vertices are near each other in
+// index space, mimicking nearest-neighbor result sets.
+func clusteredHypergraph(rng *rand.Rand, n, edges, spread int) Hypergraph {
+	h := Hypergraph{NumVertices: n}
+	for e := 0; e < edges; e++ {
+		center := rng.Intn(n)
+		seen := make(map[int]bool)
+		var edge []int
+		for len(edge) < 8 {
+			v := center + rng.Intn(spread) - spread/2
+			if v < 0 || v >= n || seen[v] {
+				continue
+			}
+			seen[v] = true
+			edge = append(edge, v)
+		}
+		h.Edges = append(h.Edges, edge)
+	}
+	return h
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// SearchDFS is the branch-and-bound depth-first k-NN algorithm of
+// Roussopoulos, Kelley and Vincent (SIGMOD 1995) — the standard tree NN
+// search of the paper's era, included as a historical comparison point to
+// the best-first search. At each internal node the children are visited in
+// MINDIST order; a branch is pruned when its MINDIST exceeds the current
+// k-th candidate distance, and for rectangle predicates (which carry the
+// MBR face property) the MINMAXDIST bound seeds the candidate distance
+// before any leaf has been read.
+//
+// The results are exact and identical to Search's; the I/O cost is at
+// least the best-first search's (best-first is optimal for the given
+// bounds) but the memory footprint is a single path rather than a frontier
+// queue.
+func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
+	if k <= 0 || t.Len() == 0 {
+		return nil
+	}
+	ext := t.Ext()
+	// best is a max-heap of the k nearest candidates so far.
+	best := &resultHeap{}
+
+	kth := func() float64 {
+		if best.Len() < k {
+			return math.Inf(1)
+		}
+		return (*best)[0].Dist2
+	}
+
+	var visit func(n *gist.Node)
+	visit = func(n *gist.Node) {
+		trace.Record(n)
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				key := n.LeafKey(i)
+				d := q.Dist2(key)
+				if best.Len() < k {
+					heap.Push(best, Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()})
+				} else if d < (*best)[0].Dist2 {
+					(*best)[0] = Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()}
+					heap.Fix(best, 0)
+				}
+			}
+			return
+		}
+		type branch struct {
+			idx     int
+			minDist float64
+		}
+		branches := make([]branch, 0, n.NumEntries())
+		bound := kth()
+		for i := 0; i < n.NumEntries(); i++ {
+			pred := n.ChildPred(i)
+			md := ext.MinDist2(pred, q)
+			// MINMAXDIST pruning for rectangle predicates: some data point
+			// is guaranteed within that distance, so it can only lower the
+			// kth-candidate bound (valid when k results fit in any single
+			// subtree, i.e. as a bound on the 1st neighbor; apply it only
+			// for k == 1, the classical formulation).
+			if k == 1 {
+				if r, ok := pred.(geom.Rect); ok {
+					if mm := r.MinMaxDist2(q); mm < bound {
+						bound = mm
+					}
+				}
+			}
+			branches = append(branches, branch{idx: i, minDist: md})
+		}
+		sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+		for _, b := range branches {
+			// Re-read the bound: deeper visits tighten it.
+			cur := kth()
+			if k == 1 && bound < cur {
+				cur = bound
+			}
+			if b.minDist > cur {
+				break // MINDIST-sorted: all remaining branches prune too
+			}
+			visit(n.Child(b.idx))
+		}
+	}
+	visit(t.Root())
+
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Result)
+	}
+	return out
+}
+
+// resultHeap is a max-heap of results by distance (farthest on top).
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Dist2 > h[j].Dist2 }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); r := old[n-1]; *h = old[:n-1]; return r }

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+func TestSearchDFSExactAllAMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	pts := randomPoints(rng, 3000, 3)
+	for _, kind := range am.Kinds() {
+		tree := buildTree(t, kind, pts, 3)
+		for trial := 0; trial < 10; trial++ {
+			q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+			k := 1 + rng.Intn(40)
+			want := Search(tree, q, k, nil)
+			got := SearchDFS(tree, q, k, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, want %d", kind, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist2 != want[i].Dist2 {
+					t.Fatalf("%s: result %d dist %v, want %v", kind, i, got[i].Dist2, want[i].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchDFSEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts := randomPoints(rng, 50, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	if got := SearchDFS(tree, geom.Vector{1, 1}, 0, nil); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := SearchDFS(tree, geom.Vector{1, 1}, 500, nil); len(got) != 50 {
+		t.Errorf("oversized k returned %d", len(got))
+	}
+	empty, err := gist.New(tree.Ext(), gist.Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SearchDFS(empty, geom.Vector{1, 1}, 3, nil); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+// Best-first search is I/O-optimal for the given bounds: DFS must never
+// read fewer leaves.
+func TestSearchDFSNeverBeatsBestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	pts := randomPoints(rng, 4000, 3)
+	tree := buildTree(t, am.KindRTree, pts, 3)
+	var bfTotal, dfsTotal int
+	for trial := 0; trial < 25; trial++ {
+		q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		var bf, dfs gist.Trace
+		Search(tree, q, 10, &bf)
+		SearchDFS(tree, q, 10, &dfs)
+		bfTotal += len(bf.Accesses)
+		dfsTotal += len(dfs.Accesses)
+	}
+	if dfsTotal < bfTotal {
+		t.Errorf("DFS read %d pages, best-first %d — optimality violated", dfsTotal, bfTotal)
+	}
+}
+
+func TestMinMaxDist2(t *testing.T) {
+	r := geom.Rect{Lo: geom.Vector{0, 0}, Hi: geom.Vector{4, 2}}
+	// Query left of the rectangle, centered vertically.
+	p := geom.Vector{-2, 1}
+	// The guaranteed point: nearest face in x (x=0) with far corner in y
+	// (either, distance 1): (0-(-2))² + 1² = 5; or nearest face in y
+	// (y=0 or 2 at distance 1) with far corner in x (x=4): 36+1 = 37.
+	if got := r.MinMaxDist2(p); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MinMaxDist2 = %v, want 5", got)
+	}
+	// MINMAXDIST is sandwiched between MINDIST and MAXDIST.
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 200; trial++ {
+		lo := geom.Vector{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		hi := lo.Add(geom.Vector{rng.Float64(), rng.Float64(), rng.Float64()})
+		rect := geom.Rect{Lo: lo, Hi: hi}
+		q := geom.Vector{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		mm := rect.MinMaxDist2(q)
+		if mm < rect.MinDist2(q)-1e-12 || mm > rect.MaxDist2(q)+1e-12 {
+			t.Fatalf("MINMAXDIST %v outside [MINDIST %v, MAXDIST %v]",
+				mm, rect.MinDist2(q), rect.MaxDist2(q))
+		}
+	}
+}
+
+// The MINMAXDIST guarantee: for any point set, the nearest point to q in
+// the set lies within MINMAXDIST of q's distance to the set's MBR.
+func TestMinMaxDistGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(30)
+		pts := make([]geom.Vector, n)
+		for i := range pts {
+			pts[i] = geom.Vector{rng.Float64() * 10, rng.Float64() * 10}
+		}
+		r := geom.BoundingRect(pts)
+		q := geom.Vector{rng.Float64()*30 - 10, rng.Float64()*30 - 10}
+		mm := r.MinMaxDist2(q)
+		nearest := math.Inf(1)
+		for _, p := range pts {
+			if d := q.Dist2(p); d < nearest {
+				nearest = d
+			}
+		}
+		if nearest > mm+1e-9 {
+			t.Fatalf("nearest point at %v exceeds MINMAXDIST %v", nearest, mm)
+		}
+	}
+}

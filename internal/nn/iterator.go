@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"container/heap"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// Iterator yields the neighbors of a query point one at a time in
+// increasing distance order — the incremental form of the Hjaltason–Samet
+// best-first search. It reads tree pages lazily: asking for the first few
+// neighbors of a selective access method touches only a handful of pages,
+// which is what makes the "give me images until the user is satisfied"
+// interaction of the Blobworld front end cheap.
+//
+// An Iterator must not outlive modifications to the tree.
+type Iterator struct {
+	tree  *gist.Tree
+	query geom.Vector
+	trace *gist.Trace
+	queue pq
+	seq   int
+}
+
+// NewIterator starts an incremental nearest-neighbor scan from q. If trace
+// is non-nil every page read is recorded as the iteration proceeds.
+func NewIterator(t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
+	it := &Iterator{tree: t, query: q, trace: trace}
+	if t.Len() > 0 {
+		it.push(item{dist2: 0, node: t.Root()})
+	}
+	return it
+}
+
+func (it *Iterator) push(x item) {
+	x.seq = it.seq
+	it.seq++
+	heap.Push(&it.queue, x)
+}
+
+// Next returns the next-nearest neighbor, or ok == false when the tree is
+// exhausted.
+func (it *Iterator) Next() (Result, bool) {
+	ext := it.tree.Ext()
+	for it.queue.Len() > 0 {
+		top := heap.Pop(&it.queue).(item)
+		if top.node == nil {
+			return top.res, true
+		}
+		n := top.node
+		it.trace.Record(n)
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				key := n.LeafKey(i)
+				d := it.query.Dist2(key)
+				it.push(item{
+					dist2: d,
+					res:   Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()},
+				})
+			}
+			continue
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			it.push(item{
+				dist2: ext.MinDist2(n.ChildPred(i), it.query),
+				node:  n.Child(i),
+			})
+		}
+	}
+	return Result{}, false
+}
+
+// NextWithin returns the next neighbor only if it lies within squared
+// distance radius2; otherwise it reports ok == false without consuming it
+// (subsequent calls with a larger radius continue the scan).
+func (it *Iterator) NextWithin(radius2 float64) (Result, bool) {
+	ext := it.tree.Ext()
+	for it.queue.Len() > 0 {
+		top := it.queue[0]
+		if top.dist2 > radius2 {
+			return Result{}, false
+		}
+		heap.Pop(&it.queue)
+		if top.node == nil {
+			return top.res, true
+		}
+		n := top.node
+		it.trace.Record(n)
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				key := n.LeafKey(i)
+				d := it.query.Dist2(key)
+				it.push(item{
+					dist2: d,
+					res:   Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()},
+				})
+			}
+			continue
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			it.push(item{
+				dist2: ext.MinDist2(n.ChildPred(i), it.query),
+				node:  n.Child(i),
+			})
+		}
+	}
+	return Result{}, false
+}

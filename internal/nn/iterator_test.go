@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+func TestIteratorMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	pts := randomPoints(rng, 2500, 3)
+	for _, kind := range []am.Kind{am.KindRTree, am.KindJB} {
+		tree := buildTree(t, kind, pts, 3)
+		for trial := 0; trial < 10; trial++ {
+			q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+			want := Search(tree, q, 30, nil)
+			it := NewIterator(tree, q, nil)
+			for i, w := range want {
+				got, ok := it.Next()
+				if !ok {
+					t.Fatalf("%s: iterator exhausted at %d", kind, i)
+				}
+				if got.Dist2 != w.Dist2 {
+					t.Fatalf("%s: result %d dist %v, want %v", kind, i, got.Dist2, w.Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestIteratorExhaustsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	pts := randomPoints(rng, 321, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	it := NewIterator(tree, geom.Vector{0, 0}, nil)
+	count := 0
+	prev := -1.0
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r.Dist2 < prev {
+			t.Fatal("iterator not in distance order")
+		}
+		prev = r.Dist2
+		count++
+	}
+	if count != 321 {
+		t.Errorf("iterated %d results, want 321", count)
+	}
+	// Exhausted iterator keeps returning false.
+	if _, ok := it.Next(); ok {
+		t.Error("exhausted iterator yielded a result")
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	tree, err := gist.New(am.RTree(), gist.Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewIterator(tree, geom.Vector{1, 1}, nil)
+	if _, ok := it.Next(); ok {
+		t.Error("empty tree yielded a result")
+	}
+}
+
+// Early termination is the point: taking 5 of 5000 neighbors must touch far
+// fewer pages than a full scan of the tree.
+func TestIteratorLazyIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	pts := randomPoints(rng, 5000, 3)
+	tree := buildTree(t, am.KindRTree, pts, 3)
+	var trace gist.Trace
+	it := NewIterator(tree, pts[77].Key, &trace)
+	for i := 0; i < 5; i++ {
+		if _, ok := it.Next(); !ok {
+			t.Fatal("iterator exhausted early")
+		}
+	}
+	if got, total := len(trace.Accesses), tree.NumPages(); got > total/4 {
+		t.Errorf("5-NN touched %d of %d pages", got, total)
+	}
+}
+
+func TestIteratorNextWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	pts := randomPoints(rng, 1000, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	q := geom.Vector{50, 50}
+
+	it := NewIterator(tree, q, nil)
+	var got []Result
+	for {
+		r, ok := it.NextWithin(25) // radius 5
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	want := tree.RangeSearch(q, 25, nil)
+	if len(got) != len(want) {
+		t.Fatalf("NextWithin found %d, range search %d", len(got), len(want))
+	}
+	// Widening the radius resumes the same scan without losing results.
+	var more []Result
+	for {
+		r, ok := it.NextWithin(100) // radius 10
+		if !ok {
+			break
+		}
+		more = append(more, r)
+	}
+	wider := tree.RangeSearch(q, 100, nil)
+	if len(got)+len(more) != len(wider) {
+		t.Errorf("resumed scan found %d total, want %d", len(got)+len(more), len(wider))
+	}
+	for _, r := range more {
+		if r.Dist2 <= 25 {
+			t.Error("resumed scan re-yielded an inner result")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// SearchSphere and SearchExpanding are exact: their result distances must
+// match the best-first search for every access method.
+func TestSphereAndExpandingExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	pts := randomPoints(rng, 3000, 3)
+	for _, kind := range am.Kinds() {
+		tree := buildTree(t, kind, pts, 3)
+		for trial := 0; trial < 10; trial++ {
+			q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+			k := 1 + rng.Intn(40)
+			want := Search(tree, q, k, nil)
+			for name, fn := range map[string]func(*gist.Tree, geom.Vector, int, *gist.Trace) []Result{
+				"sphere":    SearchSphere,
+				"expanding": SearchExpanding,
+			} {
+				got := fn(tree, q, k, nil)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: %d results, want %d", kind, name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Dist2 != want[i].Dist2 {
+						t.Fatalf("%s/%s: result %d dist %v, want %v",
+							kind, name, i, got[i].Dist2, want[i].Dist2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSphereEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randomPoints(rng, 100, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	if got := SearchSphere(tree, geom.Vector{1, 1}, 0, nil); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	empty, err := gist.New(tree.Ext(), gist.Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SearchSphere(empty, geom.Vector{1, 1}, 3, nil); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	if got := SearchExpanding(empty, geom.Vector{1, 1}, 3, nil); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	if got := SearchApprox(empty, geom.Vector{1, 1}, 3, nil); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+func TestExpandingKLargerThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randomPoints(rng, 60, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	got := SearchExpanding(tree, geom.Vector{50, 50}, 1000, nil)
+	if len(got) != 60 {
+		t.Errorf("got %d results, want all 60", len(got))
+	}
+}
+
+func TestExpandingDuplicatePoints(t *testing.T) {
+	// All points identical: the probe's radius estimate degenerates to
+	// zero; the search must still terminate and return k copies.
+	pts := make([]gist.Point, 50)
+	for i := range pts {
+		pts[i] = gist.Point{Key: geom.Vector{3, 3}, RID: int64(i)}
+	}
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	got := SearchExpanding(tree, geom.Vector{3, 3}, 10, nil)
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+	for _, r := range got {
+		if r.Dist2 != 0 {
+			t.Errorf("dist = %v, want 0", r.Dist2)
+		}
+	}
+}
+
+// The harvest search is approximate but must return k results sorted by
+// distance, and with a quality no better than exact (sanity).
+func TestApproxHarvestBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := randomPoints(rng, 2000, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	q := geom.Vector{50, 50}
+	var trace gist.Trace
+	got := SearchApprox(tree, q, 100, &trace)
+	if len(got) != 100 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist2 < got[i-1].Dist2 {
+			t.Fatal("harvest results not sorted")
+		}
+	}
+	// Harvest reads the minimum number of leaves needed for k candidates.
+	minLeaves := (100 + tree.LeafCapacity() - 1) / tree.LeafCapacity()
+	if trace.LeafAccesses() < minLeaves {
+		t.Errorf("harvest read %d leaves, cannot be under %d", trace.LeafAccesses(), minLeaves)
+	}
+	// The exact k-th distance lower-bounds the harvest's k-th distance.
+	exact := Search(tree, q, 100, nil)
+	if got[99].Dist2 < exact[99].Dist2-1e-12 {
+		t.Error("approximate k-th distance beat the exact one")
+	}
+}
+
+// Sphere-mode traces must be supersets of nothing extra: every access method
+// visits at least the leaves containing results, and JB visits no more
+// leaves than the R-tree on the same sphere.
+func TestSphereTraceMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := randomPoints(rng, 4000, 3)
+	rt := buildTree(t, am.KindRTree, pts, 3)
+	jb := buildTree(t, am.KindJB, pts, 3)
+	var rtLeaves, jbLeaves int
+	for trial := 0; trial < 20; trial++ {
+		q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		var rtTrace, jbTrace gist.Trace
+		SearchSphere(rt, q, 50, &rtTrace)
+		SearchSphere(jb, q, 50, &jbTrace)
+		rtLeaves += rtTrace.LeafAccesses()
+		jbLeaves += jbTrace.LeafAccesses()
+	}
+	if jbLeaves > rtLeaves {
+		t.Errorf("JB sphere accesses %d exceed R-tree %d", jbLeaves, rtLeaves)
+	}
+}

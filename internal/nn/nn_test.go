@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) []gist.Point {
+	pts := make([]gist.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64() * 100
+		}
+		pts[i] = gist.Point{Key: v, RID: int64(i)}
+	}
+	return pts
+}
+
+func buildTree(t *testing.T, kind am.Kind, pts []gist.Point, dim int) *gist.Tree {
+	t.Helper()
+	ext, err := am.New(kind, am.Options{AMAPSamples: 64, AMAPSeed: 3, XJBX: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := make([]gist.Point, len(pts))
+	copy(ordered, pts)
+	cfg := gist.Config{Dim: dim, PageSize: 2048}
+	tree, err := gist.New(ext, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str.Order(ordered, tree.LeafCapacity())
+	tree, err = gist.BulkLoad(ext, cfg, ordered, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// Exactness: for every access method, index k-NN must return exactly the
+// brute-force k-NN (same RIDs in the same distance order).
+func TestSearchExactAllAMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	pts := randomPoints(rng, 3000, 3)
+	for _, kind := range am.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			tree := buildTree(t, kind, pts, 3)
+			for trial := 0; trial < 15; trial++ {
+				q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+				k := 1 + rng.Intn(50)
+				got := Search(tree, q, k, nil)
+				want := BruteForce(pts, q, k)
+				if len(got) != len(want) {
+					t.Fatalf("got %d results, want %d", len(got), len(want))
+				}
+				for i := range got {
+					// Distances must agree; ties may order RIDs differently.
+					if got[i].Dist2 > want[i].Dist2+1e-9 || got[i].Dist2 < want[i].Dist2-1e-9 {
+						t.Fatalf("result %d: dist2 %.9f, want %.9f", i, got[i].Dist2, want[i].Dist2)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSearchReturnsAllWhenKExceedsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randomPoints(rng, 57, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	got := Search(tree, geom.Vector{0, 0}, 1000, nil)
+	if len(got) != 57 {
+		t.Errorf("got %d results, want all 57", len(got))
+	}
+	// Results are sorted by distance.
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist2 < got[i-1].Dist2 {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := randomPoints(rng, 100, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	if got := Search(tree, geom.Vector{1, 1}, 0, nil); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := Search(tree, geom.Vector{1, 1}, -5, nil); got != nil {
+		t.Error("negative k should return nil")
+	}
+	empty, err := gist.New(tree.Ext(), gist.Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Search(empty, geom.Vector{1, 1}, 3, nil); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}
+
+func TestSearchTraceAndLeafAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randomPoints(rng, 2000, 2)
+	tree := buildTree(t, am.KindRTree, pts, 2)
+	var trace gist.Trace
+	res := Search(tree, geom.Vector{50, 50}, 20, &trace)
+	if len(res) != 20 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if len(trace.Accesses) == 0 || trace.Accesses[0].Page != tree.Root().ID() {
+		t.Error("trace must start at the root")
+	}
+	// Every result's Leaf must appear in the trace as a leaf access.
+	leafSet := make(map[int64]bool)
+	for _, p := range trace.LeafPages() {
+		leafSet[int64(p)] = true
+	}
+	for _, r := range res {
+		if !leafSet[int64(r.Leaf)] {
+			t.Errorf("result RID %d attributed to leaf %d not in trace", r.RID, r.Leaf)
+		}
+	}
+}
+
+// Best-first search should touch far fewer leaves than exist in the tree.
+func TestSearchIsSelective(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := randomPoints(rng, 5000, 3)
+	tree := buildTree(t, am.KindRTree, pts, 3)
+	var trace gist.Trace
+	Search(tree, geom.Vector{50, 50, 50}, 10, &trace)
+	leaves := tree.NumLeaves()
+	if trace.LeafAccesses() > leaves/4 {
+		t.Errorf("10-NN touched %d of %d leaves", trace.LeafAccesses(), leaves)
+	}
+}
+
+func TestBruteForceEdgeCases(t *testing.T) {
+	if got := BruteForce(nil, geom.Vector{1}, 3); len(got) != 0 {
+		t.Error("empty input should return empty")
+	}
+	pts := []gist.Point{{Key: geom.Vector{1}, RID: 5}}
+	if got := BruteForce(pts, geom.Vector{0}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got := BruteForce(pts, geom.Vector{0}, 10)
+	if len(got) != 1 || got[0].RID != 5 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// Property: BruteForce returns a sorted prefix of the full distance order.
+func TestBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 1+rng.Intn(200), 2)
+		q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		k := 1 + rng.Intn(20)
+		got := BruteForce(pts, q, k)
+		wantLen := k
+		if len(pts) < k {
+			wantLen = len(pts)
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist2 < got[i-1].Dist2 {
+				return false
+			}
+		}
+		// No unreturned point may be closer than the worst returned one.
+		if len(got) > 0 {
+			worst := got[len(got)-1].Dist2
+			returned := make(map[int64]bool)
+			for _, r := range got {
+				returned[r.RID] = true
+			}
+			for _, p := range pts {
+				if !returned[p.RID] && q.Dist2(p.Key) < worst-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// JB's tighter predicates must not make NN search inexact (admissibility in
+// the full pipeline) and should access no more leaves than the R-tree.
+func TestJBSelectivityVsRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pts := randomPoints(rng, 4000, 2)
+	rt := buildTree(t, am.KindRTree, pts, 2)
+	jb := buildTree(t, am.KindJB, pts, 2)
+
+	var rtLeaves, jbLeaves int
+	for trial := 0; trial < 30; trial++ {
+		q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		var rtTrace, jbTrace gist.Trace
+		rres := Search(rt, q, 20, &rtTrace)
+		jres := Search(jb, q, 20, &jbTrace)
+		for i := range rres {
+			if rres[i].Dist2 != jres[i].Dist2 {
+				t.Fatalf("JB and R-tree disagree at %d: %.9f vs %.9f",
+					i, rres[i].Dist2, jres[i].Dist2)
+			}
+		}
+		rtLeaves += rtTrace.LeafAccesses()
+		jbLeaves += jbTrace.LeafAccesses()
+	}
+	if jbLeaves > rtLeaves {
+		t.Errorf("JB accessed %d leaves, R-tree %d; JB should not be worse", jbLeaves, rtLeaves)
+	}
+}

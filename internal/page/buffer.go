@@ -1,0 +1,82 @@
+package page
+
+import "container/list"
+
+// BufferPool is a fixed-capacity LRU page cache. The paper's §6 discussion
+// ("this analysis does not take into account memory buffer effects... XJB's
+// inner nodes are more likely to fit in memory") motivates experiments that
+// replay workload traversals through a buffer pool; this type provides the
+// hit/miss accounting for them.
+//
+// BufferPool is not safe for concurrent use; the experiments replay
+// traversals single-threaded, as amdb does.
+type BufferPool struct {
+	capacity int
+	ll       *list.List               // front = most recently used
+	pages    map[PageID]*list.Element // page id → list element holding PageID
+	hits     int
+	misses   int
+}
+
+// PageID identifies a page within one tree. The tree assigns ids densely
+// starting from 0 (the root).
+type PageID int64
+
+// NewBufferPool returns a pool that caches up to capacity pages.
+// A capacity of 0 disables caching (every access misses).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		ll:       list.New(),
+		pages:    make(map[PageID]*list.Element),
+	}
+}
+
+// Access touches page id, returning true on a buffer hit. On a miss the page
+// is brought in, evicting the least recently used page if the pool is full.
+func (b *BufferPool) Access(id PageID) bool {
+	if el, ok := b.pages[id]; ok {
+		b.ll.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.misses++
+	if b.capacity <= 0 {
+		return false
+	}
+	if b.ll.Len() >= b.capacity {
+		oldest := b.ll.Back()
+		b.ll.Remove(oldest)
+		delete(b.pages, oldest.Value.(PageID))
+	}
+	b.pages[id] = b.ll.PushFront(id)
+	return false
+}
+
+// Pin marks a page resident without counting an access, used to model the
+// "inner nodes are all in memory" assumption of §3.2.
+func (b *BufferPool) Pin(id PageID) {
+	if _, ok := b.pages[id]; ok {
+		return
+	}
+	if b.capacity > 0 && b.ll.Len() >= b.capacity {
+		oldest := b.ll.Back()
+		b.ll.Remove(oldest)
+		delete(b.pages, oldest.Value.(PageID))
+	}
+	if b.capacity > 0 {
+		b.pages[id] = b.ll.PushFront(id)
+	}
+}
+
+// Hits returns the number of accesses served from the pool.
+func (b *BufferPool) Hits() int { return b.hits }
+
+// Misses returns the number of accesses that required an I/O.
+func (b *BufferPool) Misses() int { return b.misses }
+
+// Len returns the number of resident pages.
+func (b *BufferPool) Len() int { return b.ll.Len() }
+
+// ResetStats zeroes the hit/miss counters without evicting pages.
+func (b *BufferPool) ResetStats() { b.hits, b.misses = 0, 0 }

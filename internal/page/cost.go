@@ -1,0 +1,65 @@
+package page
+
+// CostModel converts page-access counts into estimated I/O time, following
+// the disk parameters in the paper's §3.2 (footnote 4): a Seagate Barracuda
+// ultra-wide SCSI-2 drive with 7.1 ms average seek, 4.17 ms rotational
+// delay and 9 MB/s throughput, read in 8 KB pages. With those numbers one
+// random I/O costs about as much as 14 sequential I/Os, which is where the
+// paper's "the AM must not hit more than one fifteenth of the leaf pages"
+// threshold comes from.
+type CostModel struct {
+	SeekMs        float64 // average seek time, milliseconds
+	RotateMs      float64 // average rotational delay, milliseconds
+	TransferMBps  float64 // sustained sequential throughput, MB/s
+	PageSizeBytes int     // transfer unit
+}
+
+// Barracuda returns the cost model for the paper's reference drive.
+func Barracuda() CostModel {
+	return CostModel{
+		SeekMs:        7.1,
+		RotateMs:      4.17,
+		TransferMBps:  9,
+		PageSizeBytes: DefaultPageSize,
+	}
+}
+
+// TransferMs returns the time to transfer one page, in milliseconds.
+func (c CostModel) TransferMs() float64 {
+	return float64(c.PageSizeBytes) / (c.TransferMBps * 1e6) * 1e3
+}
+
+// RandomIOMs returns the cost of one random page read: seek plus rotational
+// delay plus transfer.
+func (c CostModel) RandomIOMs() float64 {
+	return c.SeekMs + c.RotateMs + c.TransferMs()
+}
+
+// SequentialIOMs returns the cost of one sequential page read: transfer only.
+func (c CostModel) SequentialIOMs() float64 {
+	return c.TransferMs()
+}
+
+// RandomToSequentialRatio returns how many sequential page reads cost the
+// same as one random read (≈14–15 for the Barracuda).
+func (c CostModel) RandomToSequentialRatio() float64 {
+	return c.RandomIOMs() / c.SequentialIOMs()
+}
+
+// TimeMs returns the estimated time for the given access counts.
+func (c CostModel) TimeMs(s IOStats) float64 {
+	return float64(s.RandomReads)*c.RandomIOMs() +
+		float64(s.SequentialReads)*c.SequentialIOMs()
+}
+
+// ScanCostMs returns the cost of sequentially scanning n pages.
+func (c CostModel) ScanCostMs(n int) float64 {
+	return float64(n) * c.SequentialIOMs()
+}
+
+// IndexBeatsScan reports whether an index execution performing randomIOs
+// random page reads is cheaper than sequentially scanning scanPages pages —
+// the paper's §3.2 viability criterion for the access method.
+func (c CostModel) IndexBeatsScan(randomIOs, scanPages int) bool {
+	return float64(randomIOs)*c.RandomIOMs() < c.ScanCostMs(scanPages)
+}

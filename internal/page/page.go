@@ -1,0 +1,76 @@
+// Package page models the disk page layer underneath the access methods:
+// page capacity accounting, the random-vs-sequential I/O cost model of the
+// paper's Seagate Barracuda drive (§3.2 footnote 4), page-access statistics,
+// and a small LRU buffer pool used by the buffered-execution experiments.
+//
+// The paper's primary performance metric is page accesses, not wall-clock
+// time, so the access methods themselves never touch real disks; this
+// package provides the bookkeeping that turns tree traversals into the I/O
+// counts and cost estimates reported in the evaluation.
+package page
+
+import "fmt"
+
+// DefaultPageSize is the 8 KB page size used throughout the paper.
+const DefaultPageSize = 8192
+
+const (
+	// WordSize is the size of one stored float64 key coordinate in bytes.
+	WordSize = 8
+	// PointerSize is the size of a child page pointer or record identifier.
+	PointerSize = 8
+	// PageHeaderSize approximates the fixed per-page header (page id, entry
+	// count, level, free-space bookkeeping).
+	PageHeaderSize = 32
+)
+
+// EntrySize returns the on-page size in bytes of one index entry whose
+// bounding predicate stores bpWords float64 values: the predicate plus one
+// pointer (child page pointer in internal nodes, RID in leaves).
+func EntrySize(bpWords int) int {
+	return bpWords*WordSize + PointerSize
+}
+
+// Capacity returns how many entries with a bpWords-float predicate fit on a
+// page of pageSize bytes. It returns at least 2 so that a pathologically
+// large predicate still yields a functioning (if tall) tree, mirroring the
+// paper's observation that the JB tree stays usable even when its huge BPs
+// drive the height from 3 to 6.
+func Capacity(pageSize, bpWords int) int {
+	c := (pageSize - PageHeaderSize) / EntrySize(bpWords)
+	if c < 2 {
+		return 2
+	}
+	return c
+}
+
+// LeafCapacity returns how many data entries (a dim-dimensional point plus a
+// RID) fit on a page of pageSize bytes.
+func LeafCapacity(pageSize, dim int) int {
+	return Capacity(pageSize, dim)
+}
+
+// IOStats counts page accesses during workload execution. The access methods
+// perform random I/Os; sequential counts are used by the flat-file scan
+// baseline. The zero value is ready to use.
+type IOStats struct {
+	RandomReads     int // index page reads (random I/O)
+	SequentialReads int // scan page reads (sequential I/O)
+	Writes          int // page writes during loading
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.RandomReads += other.RandomReads
+	s.SequentialReads += other.SequentialReads
+	s.Writes += other.Writes
+}
+
+// Reset zeroes all counters.
+func (s *IOStats) Reset() { *s = IOStats{} }
+
+// String renders the counters compactly.
+func (s *IOStats) String() string {
+	return fmt.Sprintf("random=%d sequential=%d writes=%d",
+		s.RandomReads, s.SequentialReads, s.Writes)
+}

@@ -1,0 +1,161 @@
+package page
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEntrySize(t *testing.T) {
+	// A 5-D MBR stores 10 floats plus a pointer.
+	if got := EntrySize(10); got != 88 {
+		t.Errorf("EntrySize(10) = %d, want 88", got)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	// 8 KB page, 5-D MBR entries of 88 bytes: (8192-32)/88 = 92.
+	if got := Capacity(DefaultPageSize, 10); got != 92 {
+		t.Errorf("Capacity = %d, want 92", got)
+	}
+	// Larger BPs reduce fanout.
+	if Capacity(DefaultPageSize, 20) >= Capacity(DefaultPageSize, 10) {
+		t.Error("larger BP should reduce capacity")
+	}
+	// Minimum capacity is 2 even for absurd predicates.
+	if got := Capacity(DefaultPageSize, 1<<20); got != 2 {
+		t.Errorf("huge BP capacity = %d, want 2", got)
+	}
+}
+
+func TestLeafCapacityPaperRange(t *testing.T) {
+	// The paper reports 100-200 data points per leaf for 5-D data on 8 KB
+	// pages (§6); our accounting should land in that range.
+	got := LeafCapacity(DefaultPageSize, 5)
+	if got < 100 || got > 200 {
+		t.Errorf("LeafCapacity(8K, 5D) = %d, want within [100,200]", got)
+	}
+}
+
+func TestIOStatsAddReset(t *testing.T) {
+	var s IOStats
+	s.Add(IOStats{RandomReads: 3, SequentialReads: 5, Writes: 1})
+	s.Add(IOStats{RandomReads: 2})
+	if s.RandomReads != 5 || s.SequentialReads != 5 || s.Writes != 1 {
+		t.Errorf("after Add: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+	s.Reset()
+	if s != (IOStats{}) {
+		t.Errorf("after Reset: %+v", s)
+	}
+}
+
+func TestBarracudaRatioNearFifteen(t *testing.T) {
+	c := Barracuda()
+	ratio := c.RandomToSequentialRatio()
+	// Footnote 4 computes ~14 sequential I/Os per random I/O; allow 13–16.
+	if ratio < 13 || ratio > 16 {
+		t.Errorf("random:sequential ratio = %.2f, want ≈14–15", ratio)
+	}
+}
+
+func TestCostModelTimes(t *testing.T) {
+	c := Barracuda()
+	if got := c.TransferMs(); math.Abs(got-8192.0/9e6*1e3) > 1e-9 {
+		t.Errorf("TransferMs = %v", got)
+	}
+	if c.RandomIOMs() <= c.SequentialIOMs() {
+		t.Error("random I/O must cost more than sequential")
+	}
+	s := IOStats{RandomReads: 10, SequentialReads: 100}
+	want := 10*c.RandomIOMs() + 100*c.SequentialIOMs()
+	if got := c.TimeMs(s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TimeMs = %v, want %v", got, want)
+	}
+}
+
+func TestIndexBeatsScan(t *testing.T) {
+	c := Barracuda()
+	// Hitting 1 page in 50 randomly clearly beats scanning 50 sequentially...
+	if !c.IndexBeatsScan(1, 50) {
+		t.Error("1 random IO should beat a 50-page scan")
+	}
+	// ...but hitting 1 in 10 does not (ratio ≈ 14).
+	if c.IndexBeatsScan(10, 100) {
+		t.Error("10 random IOs should not beat a 100-page scan")
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	b := NewBufferPool(2)
+	if b.Access(1) {
+		t.Error("first access should miss")
+	}
+	if b.Access(2) {
+		t.Error("first access should miss")
+	}
+	if !b.Access(1) {
+		t.Error("resident page should hit")
+	}
+	// Access 3 evicts 2 (LRU), not 1.
+	if b.Access(3) {
+		t.Error("new page should miss")
+	}
+	if b.Access(2) {
+		t.Error("evicted page should miss")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	if b.Hits() != 1 || b.Misses() != 4 {
+		t.Errorf("hits=%d misses=%d, want 1/4", b.Hits(), b.Misses())
+	}
+	b.ResetStats()
+	if b.Hits() != 0 || b.Misses() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+	if b.Len() != 2 {
+		t.Error("ResetStats must not evict pages")
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	b := NewBufferPool(0)
+	for i := 0; i < 5; i++ {
+		if b.Access(PageID(1)) {
+			t.Fatal("zero-capacity pool must always miss")
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d, want 0", b.Len())
+	}
+}
+
+func TestBufferPoolPin(t *testing.T) {
+	b := NewBufferPool(4)
+	b.Pin(7)
+	if b.Hits() != 0 || b.Misses() != 0 {
+		t.Error("Pin must not count an access")
+	}
+	if !b.Access(7) {
+		t.Error("pinned page should hit")
+	}
+	b.Pin(7) // repinning is a no-op
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBufferPoolPinEvicts(t *testing.T) {
+	b := NewBufferPool(1)
+	b.Pin(1)
+	b.Pin(2)
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+	if b.Access(2) != true {
+		t.Error("most recently pinned page should be resident")
+	}
+}

@@ -1,0 +1,71 @@
+package pagefile
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+// FuzzLoad feeds arbitrary bytes to the loader: it must never panic —
+// corrupt files yield errors, and the rare mutation that still parses must
+// produce a structurally valid tree (FromRaw re-checks integrity).
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid index file and a few degenerate inputs.
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]gist.Point, 400)
+	for i := range pts {
+		v := make(geom.Vector, 3)
+		for d := range v {
+			v[d] = rng.Float64() * 100
+		}
+		pts[i] = gist.Point{Key: v, RID: int64(i)}
+	}
+	ext, err := am.New(am.KindXJB, am.Options{XJBX: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := gist.Config{Dim: 3, PageSize: 1024}
+	probe, err := gist.New(ext, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	str.Order(pts, probe.LeafCapacity())
+	tree, err := gist.BulkLoad(ext, cfg, pts, 1.0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.idx")
+	if err := Save(path, tree); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:40])
+	f.Add([]byte("BLOBIDX1 garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.idx")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		loaded, err := Load(p, am.Options{})
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted: the tree must be internally consistent.
+		if err := loaded.CheckIntegrity(); err != nil {
+			t.Fatalf("loader accepted an inconsistent tree: %v", err)
+		}
+	})
+}

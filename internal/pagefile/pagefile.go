@@ -1,0 +1,287 @@
+// Package pagefile persists a GiST to a page-structured file: one fixed
+// -size page per tree node, bounding predicates serialized through the
+// access methods' PredicateCodec in exactly the float-word layout the
+// paper's Table 3 accounts for. The format makes the paper's fanout
+// arithmetic concrete — a node's entries must genuinely fit its page — and
+// lets tools (cmd/amdb) analyze previously built indexes without
+// rebuilding.
+//
+// Layout (little endian):
+//
+//	header page:  magic "BLOBIDX1", pageSize, dim, height, numPages,
+//	              rootPage, xjbX, count, method name
+//	node pages:   level uint16, numEntries uint16, pad; then entries:
+//	              leaf:  key (dim float64s) + RID int64
+//	              inner: predicate (BPWords float64s) + child page uint64
+package pagefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+const magic = "BLOBIDX1"
+
+const headerFixed = len(magic) + 4*6 + 8 + 16 // fixed header bytes
+
+// Save writes the tree to path. The tree's extension must implement
+// am.PredicateCodec (every access method in internal/am does).
+func Save(path string, t *gist.Tree) error {
+	codec, ok := t.Ext().(am.PredicateCodec)
+	if !ok {
+		return fmt.Errorf("pagefile: access method %q has no predicate codec", t.Ext().Name())
+	}
+	pageSize := t.PageSize()
+	dim := t.Dim()
+
+	// Assign sequential page numbers in pre-order.
+	var nodes []*gist.Node
+	index := make(map[*gist.Node]uint64)
+	t.Walk(func(n *gist.Node, _ gist.Predicate) {
+		index[n] = uint64(len(nodes))
+		nodes = append(nodes, n)
+	})
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	// Header page.
+	hdr := make([]byte, pageSize)
+	copy(hdr, magic)
+	off := len(magic)
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(hdr[off:], v)
+		off += 4
+	}
+	put32(uint32(pageSize))
+	put32(uint32(dim))
+	put32(uint32(t.Height()))
+	put32(uint32(len(nodes)))
+	put32(uint32(index[t.Root()]))
+	x := 0
+	if xe, ok := t.Ext().(interface{ X() int }); ok {
+		x = xe.X()
+	}
+	put32(uint32(x))
+	binary.LittleEndian.PutUint64(hdr[off:], uint64(t.Len()))
+	off += 8
+	name := t.Ext().Name()
+	if len(name) > 16 {
+		return fmt.Errorf("pagefile: method name %q too long", name)
+	}
+	copy(hdr[off:off+16], name)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Node pages.
+	buf := make([]byte, pageSize)
+	var words []float64
+	for _, n := range nodes {
+		for i := range buf {
+			buf[i] = 0
+		}
+		binary.LittleEndian.PutUint16(buf[0:], uint16(n.Level()))
+		binary.LittleEndian.PutUint16(buf[2:], uint16(n.NumEntries()))
+		pos := 8
+		fit := func(need int) error {
+			if pos+need > pageSize {
+				return fmt.Errorf("pagefile: node %d overflows its page", n.ID())
+			}
+			return nil
+		}
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				if err := fit(dim*8 + 8); err != nil {
+					return err
+				}
+				for _, c := range n.LeafKey(i) {
+					binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(c))
+					pos += 8
+				}
+				binary.LittleEndian.PutUint64(buf[pos:], uint64(n.LeafRID(i)))
+				pos += 8
+			}
+		} else {
+			bpWords := t.Ext().BPWords(dim)
+			for i := 0; i < n.NumEntries(); i++ {
+				if err := fit(bpWords*8 + 8); err != nil {
+					return err
+				}
+				words = codec.EncodeBP(words[:0], n.ChildPred(i), dim)
+				if len(words) != bpWords {
+					return fmt.Errorf("pagefile: %s encoded %d words, BPWords says %d",
+						t.Ext().Name(), len(words), bpWords)
+				}
+				for _, wv := range words {
+					binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(wv))
+					pos += 8
+				}
+				binary.LittleEndian.PutUint64(buf[pos:], index[n.Child(i)])
+				pos += 8
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Load reads a tree saved by Save, reconstructing the access method from
+// the stored name. opts supplies the parameters that are not part of the
+// on-disk format (aMAP sampling, bite restarts) for subsequent inserts.
+func Load(path string, opts am.Options) (*gist.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+
+	// Header: read the fixed prefix first to learn the page size.
+	fixed := make([]byte, headerFixed)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return nil, fmt.Errorf("pagefile: short header: %w", err)
+	}
+	if string(fixed[:len(magic)]) != magic {
+		return nil, fmt.Errorf("pagefile: bad magic")
+	}
+	off := len(magic)
+	get32 := func() int {
+		v := binary.LittleEndian.Uint32(fixed[off:])
+		off += 4
+		return int(v)
+	}
+	pageSize := get32()
+	dim := get32()
+	height := get32()
+	numPages := get32()
+	rootPage := get32()
+	xjbX := get32()
+	count := int(binary.LittleEndian.Uint64(fixed[off:]))
+	off += 8
+	name := trimZero(fixed[off : off+16])
+	if pageSize < 256 || dim < 1 || numPages < 1 || rootPage >= numPages {
+		return nil, fmt.Errorf("pagefile: corrupt header (page=%d dim=%d pages=%d root=%d)",
+			pageSize, dim, numPages, rootPage)
+	}
+	// Skip the rest of the header page.
+	if _, err := r.Discard(pageSize - headerFixed); err != nil {
+		return nil, err
+	}
+
+	if xjbX > 0 {
+		opts.XJBX = xjbX
+	}
+	ext, err := am.New(am.Kind(name), opts)
+	if err != nil {
+		return nil, err
+	}
+	codec, ok := ext.(am.PredicateCodec)
+	if !ok {
+		return nil, fmt.Errorf("pagefile: access method %q has no predicate codec", name)
+	}
+	bpWords := ext.BPWords(dim)
+
+	type pendingNode struct {
+		raw      *gist.RawNode
+		children []uint64
+	}
+	pend := make([]pendingNode, numPages)
+	buf := make([]byte, pageSize)
+	for p := 0; p < numPages; p++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("pagefile: short page %d: %w", p, err)
+		}
+		level := int(binary.LittleEndian.Uint16(buf[0:]))
+		entries := int(binary.LittleEndian.Uint16(buf[2:]))
+		pos := 8
+		rn := &gist.RawNode{Level: level}
+		if level == 0 {
+			if pos+entries*(dim*8+8) > pageSize {
+				return nil, fmt.Errorf("pagefile: leaf page %d overflows", p)
+			}
+			for i := 0; i < entries; i++ {
+				key := make(geom.Vector, dim)
+				for d := 0; d < dim; d++ {
+					key[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+					pos += 8
+				}
+				rid := int64(binary.LittleEndian.Uint64(buf[pos:]))
+				pos += 8
+				rn.Keys = append(rn.Keys, key)
+				rn.RIDs = append(rn.RIDs, rid)
+			}
+		} else {
+			if pos+entries*(bpWords*8+8) > pageSize {
+				return nil, fmt.Errorf("pagefile: inner page %d overflows", p)
+			}
+			words := make([]float64, bpWords)
+			for i := 0; i < entries; i++ {
+				for wi := 0; wi < bpWords; wi++ {
+					words[wi] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+					pos += 8
+				}
+				pred, err := codec.DecodeBP(words, dim)
+				if err != nil {
+					return nil, fmt.Errorf("pagefile: page %d entry %d: %w", p, i, err)
+				}
+				child := binary.LittleEndian.Uint64(buf[pos:])
+				pos += 8
+				if child >= uint64(numPages) {
+					return nil, fmt.Errorf("pagefile: page %d points to page %d of %d",
+						p, child, numPages)
+				}
+				rn.Preds = append(rn.Preds, pred)
+				pend[p].children = append(pend[p].children, child)
+			}
+		}
+		pend[p].raw = rn
+	}
+	// Link children.
+	for p := range pend {
+		for _, c := range pend[p].children {
+			pend[p].raw.Children = append(pend[p].raw.Children, pend[c].raw)
+		}
+	}
+	root := pend[rootPage].raw
+	if root.Level+1 != height {
+		return nil, fmt.Errorf("pagefile: root level %d does not match height %d",
+			root.Level, height)
+	}
+
+	tree, err := gist.FromRaw(ext, gist.Config{Dim: dim, PageSize: pageSize}, root)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Len() != count {
+		return nil, fmt.Errorf("pagefile: loaded %d points, header says %d", tree.Len(), count)
+	}
+	return tree, nil
+}
+
+func trimZero(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// FileSizePages returns the number of pages (including the header) a saved
+// tree occupies, for reporting.
+func FileSizePages(t *gist.Tree) int { return t.NumPages() + 1 }

@@ -1,0 +1,113 @@
+package str
+
+import (
+	"sort"
+
+	"blobindex/internal/gist"
+)
+
+// HilbertOrder sorts pts in place along a D-dimensional Hilbert
+// space-filling curve — the classic alternative to STR for R-tree packing
+// (Kamel & Faloutsos). Coordinates are quantized onto a 2^bits grid over
+// the data's bounding box with bits chosen so the interleaved key fits in
+// 64 bits. Exposed so the bulk-load-order ablation can pit the paper's STR
+// choice against the strongest competitor of its era.
+func HilbertOrder(pts []gist.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	dim := len(pts[0].Key)
+	bits := 63 / dim
+	if bits > 16 {
+		bits = 16
+	}
+	if bits < 1 {
+		bits = 1
+	}
+
+	// Bounding box for quantization.
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, pts[0].Key)
+	copy(hi, pts[0].Key)
+	for _, p := range pts[1:] {
+		for d, v := range p.Key {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+
+	maxCell := float64(uint32(1)<<uint(bits)) - 1
+	keys := make([]uint64, len(pts))
+	x := make([]uint32, dim)
+	for i, p := range pts {
+		for d, v := range p.Key {
+			span := hi[d] - lo[d]
+			if span == 0 {
+				x[d] = 0
+				continue
+			}
+			c := (v - lo[d]) / span * maxCell
+			x[d] = uint32(c + 0.5)
+		}
+		keys[i] = hilbertKey(x, bits)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]gist.Point, len(pts))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	copy(pts, out)
+}
+
+// hilbertKey maps a grid cell to its position along the Hilbert curve,
+// using Skilling's transpose algorithm (AIP Conf. Proc. 707, 2004): the
+// axes are transformed in place into the "transpose" form of the Hilbert
+// index, whose bit-interleaving is the key. x is clobbered.
+func hilbertKey(x []uint32, bits int) uint64 {
+	dims := len(x)
+	// Inverse undo excess work.
+	for q := uint32(1) << uint(bits-1); q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < dims; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < dims; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := uint32(1) << uint(bits-1); q > 1; q >>= 1 {
+		if x[dims-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < dims; i++ {
+		x[i] ^= t
+	}
+	// Interleave: bit b of dimension i lands at position
+	// (bits-1-b)*dims + i from the top.
+	var key uint64
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < dims; i++ {
+			key <<= 1
+			key |= uint64((x[i] >> uint(b)) & 1)
+		}
+	}
+	return key
+}

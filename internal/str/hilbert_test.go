@@ -1,0 +1,104 @@
+package str
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// The defining Hilbert property: consecutive grid cells along the curve are
+// grid-adjacent (Manhattan distance exactly 1). Verify on a full 2-D and a
+// full 3-D grid.
+func TestHilbertAdjacency(t *testing.T) {
+	for _, tc := range []struct{ dim, side int }{{2, 8}, {3, 4}} {
+		cells := 1
+		for i := 0; i < tc.dim; i++ {
+			cells *= tc.side
+		}
+		pts := make([]gist.Point, 0, cells)
+		idx := make([]int, tc.dim)
+		var gen func(d int)
+		gen = func(d int) {
+			if d == tc.dim {
+				key := make(geom.Vector, tc.dim)
+				for i, v := range idx {
+					key[i] = float64(v)
+				}
+				pts = append(pts, gist.Point{Key: key, RID: int64(len(pts))})
+				return
+			}
+			for v := 0; v < tc.side; v++ {
+				idx[d] = v
+				gen(d + 1)
+			}
+		}
+		gen(0)
+		// Quantization maps the integer grid onto itself when the grid side
+		// divides the key resolution; with side 8 and ≥3 bits it does.
+		HilbertOrder(pts)
+		for i := 1; i < len(pts); i++ {
+			dist := 0.0
+			for d := 0; d < tc.dim; d++ {
+				diff := pts[i].Key[d] - pts[i-1].Key[d]
+				if diff < 0 {
+					diff = -diff
+				}
+				dist += diff
+			}
+			if dist != 1 {
+				t.Fatalf("dim %d: cells %v and %v are not adjacent along the curve",
+					tc.dim, pts[i-1].Key, pts[i].Key)
+			}
+		}
+	}
+}
+
+func TestHilbertOrderPreservesMultiset(t *testing.T) {
+	pts := randomPoints(rand.New(rand.NewSource(1)), 500, 4)
+	HilbertOrder(pts)
+	seen := make(map[int64]bool)
+	for _, p := range pts {
+		if seen[p.RID] {
+			t.Fatalf("RID %d duplicated", p.RID)
+		}
+		seen[p.RID] = true
+	}
+	if len(seen) != 500 {
+		t.Fatalf("lost points: %d", len(seen))
+	}
+}
+
+func TestHilbertOrderEdgeCases(t *testing.T) {
+	HilbertOrder(nil) // no panic
+	one := randomPoints(rand.New(rand.NewSource(2)), 1, 3)
+	HilbertOrder(one)
+	if one[0].RID != 0 {
+		t.Error("single point disturbed")
+	}
+	// Degenerate span (all points identical) must not divide by zero.
+	same := make([]gist.Point, 10)
+	for i := range same {
+		same[i] = gist.Point{Key: geom.Vector{1, 1}, RID: int64(i)}
+	}
+	HilbertOrder(same)
+}
+
+// Hilbert order must produce leaf tiles in the same quality class as STR
+// (both far better than random order).
+func TestHilbertTileQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 2000, 2)
+	const leafCap = 50
+	randomVol := leafTileVolume(pts, leafCap)
+
+	hilbert := make([]gist.Point, len(pts))
+	copy(hilbert, pts)
+	HilbertOrder(hilbert)
+	hilbertVol := leafTileVolume(hilbert, leafCap)
+
+	if hilbertVol >= randomVol/4 {
+		t.Errorf("Hilbert tiles not tight: random=%.3f hilbert=%.3f", randomVol, hilbertVol)
+	}
+}

@@ -1,0 +1,126 @@
+package str
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+func randomPoints(rng *rand.Rand, n, dim int) []gist.Point {
+	pts := make([]gist.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		pts[i] = gist.Point{Key: v, RID: int64(i)}
+	}
+	return pts
+}
+
+func TestOrderPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 1000, 3)
+	seen := make(map[int64]bool, len(pts))
+	Order(pts, 50)
+	for _, p := range pts {
+		if seen[p.RID] {
+			t.Fatalf("RID %d duplicated by Order", p.RID)
+		}
+		seen[p.RID] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("Order lost points: %d remain", len(seen))
+	}
+}
+
+func TestOrderEmptyAndTiny(t *testing.T) {
+	Order(nil, 10) // must not panic
+	one := randomPoints(rand.New(rand.NewSource(2)), 1, 2)
+	Order(one, 10)
+	if one[0].RID != 0 {
+		t.Error("single point disturbed")
+	}
+}
+
+func TestOrderPanicsOnBadLeafCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for leafCap < 1")
+		}
+	}()
+	Order(randomPoints(rand.New(rand.NewSource(3)), 5, 2), 0)
+}
+
+func TestOrderOneDimensionIsFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 200, 1)
+	Order(pts, 10)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Key[0] < pts[i-1].Key[0] {
+			t.Fatal("1-D STR order must be a full sort")
+		}
+	}
+}
+
+// leafTileVolume computes the total MBR volume of consecutive leaf-sized
+// runs; STR order should produce dramatically tighter tiles than the
+// original random order.
+func leafTileVolume(pts []gist.Point, leafCap int) float64 {
+	var total float64
+	for lo := 0; lo < len(pts); lo += leafCap {
+		hi := lo + leafCap
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		vecs := make([]geom.Vector, 0, hi-lo)
+		for _, p := range pts[lo:hi] {
+			vecs = append(vecs, p.Key)
+		}
+		total += geom.BoundingRect(vecs).Volume()
+	}
+	return total
+}
+
+func TestOrderTightensLeafTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 2000, 2)
+	const leafCap = 50
+	before := leafTileVolume(pts, leafCap)
+	ordered := make([]gist.Point, len(pts))
+	copy(ordered, pts)
+	Order(ordered, leafCap)
+	after := leafTileVolume(ordered, leafCap)
+	if after >= before/4 {
+		t.Errorf("STR tiles not tight enough: before=%.4f after=%.4f", before, after)
+	}
+}
+
+func TestOrderSlabStructure2D(t *testing.T) {
+	// 400 points, leafCap 25 → 16 pages → 4 slabs of 100 points in x; each
+	// slab's x-range must not interleave with the next slab's.
+	rng := rand.New(rand.NewSource(6))
+	pts := randomPoints(rng, 400, 2)
+	Order(pts, 25)
+	slabSize := 100
+	for s := 0; s+slabSize < len(pts); s += slabSize {
+		maxX := pts[s].Key[0]
+		for _, p := range pts[s : s+slabSize] {
+			if p.Key[0] > maxX {
+				maxX = p.Key[0]
+			}
+		}
+		minNext := pts[s+slabSize].Key[0]
+		for _, p := range pts[s+slabSize:] {
+			if p.Key[0] < minNext {
+				minNext = p.Key[0]
+			}
+		}
+		if maxX > minNext {
+			t.Fatalf("slab starting at %d overlaps the next slab in x (%.4f > %.4f)",
+				s, maxX, minNext)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package svd provides the dimensionality reduction of paper §3: the 218-d
+// Blobworld color feature vectors are reduced by Singular Value
+// Decomposition and truncated to the most significant dimensions before
+// indexing (following Hafner et al. and Faloutsos).
+//
+// We implement the reduction as PCA — the covariance matrix of the centered
+// data is diagonalized with a cyclic Jacobi eigensolver (exact for symmetric
+// matrices, pure Go, no dependencies) and the data is projected onto the top
+// eigenvectors. Truncated SVD of centered data and PCA span the identical
+// subspace, so the substitution is behavior-preserving.
+package svd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blobindex/internal/geom"
+)
+
+// Jacobi diagonalizes the symmetric matrix a (which is destroyed) using the
+// cyclic Jacobi method, returning the eigenvalues and the matching
+// eigenvectors (each eigenvectors[i] is the unit eigenvector of values[i]),
+// sorted by descending eigenvalue. maxSweeps bounds the number of full
+// sweeps; 30 is far more than the ~8 typically needed at machine precision.
+func Jacobi(a [][]float64, maxSweeps int) (values []float64, vectors [][]float64) {
+	n := len(a)
+	// v starts as the identity and accumulates the rotations.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i][j] * a[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(a[p][q]) < 1e-30 {
+					continue
+				}
+				// Compute the rotation annihilating a[p][q].
+				theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+
+				app, aqq, apq := a[p][p], a[q][q], a[p][q]
+				a[p][p] = app - t*apq
+				a[q][q] = aqq + t*apq
+				a[p][q] = 0
+				a[q][p] = 0
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := a[i][p], a[i][q]
+					a[i][p] = aip - s*(aiq+tau*aip)
+					a[p][i] = a[i][p]
+					a[i][q] = aiq + s*(aip-tau*aiq)
+					a[q][i] = a[i][q]
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = vip - s*(viq+tau*vip)
+					v[i][q] = viq + s*(vip-tau*viq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = a[i][i]
+	}
+	// Sort by descending eigenvalue, carrying the eigenvectors (columns of
+	// v) along.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return values[order[x]] > values[order[y]] })
+	outVals := make([]float64, n)
+	outVecs := make([][]float64, n)
+	for r, idx := range order {
+		outVals[r] = values[idx]
+		vec := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec[i] = v[i][idx]
+		}
+		outVecs[r] = vec
+	}
+	return outVals, outVecs
+}
+
+// PCA is a fitted projection onto the top principal components.
+type PCA struct {
+	Mean       geom.Vector // mean of the training data
+	Components [][]float64 // Components[i] is the i-th principal axis
+	Eigen      []float64   // all eigenvalues, descending
+}
+
+// Fit computes the PCA of the data and retains the top d components.
+func Fit(data []geom.Vector, d int) (*PCA, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("svd: no data")
+	}
+	dim := len(data[0])
+	if d < 1 || d > dim {
+		return nil, fmt.Errorf("svd: requested %d of %d dimensions", d, dim)
+	}
+	mean := geom.Centroid(data)
+	// Covariance matrix (upper triangle mirrored).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, x := range data {
+		for i := 0; i < dim; i++ {
+			xi := x[i] - mean[i]
+			row := cov[i]
+			for j := i; j < dim; j++ {
+				row[j] += xi * (x[j] - mean[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(data))
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs := Jacobi(cov, 0)
+	return &PCA{Mean: mean, Components: vecs[:d], Eigen: vals}, nil
+}
+
+// Dim returns the projected dimensionality.
+func (p *PCA) Dim() int { return len(p.Components) }
+
+// Project maps v onto the retained principal components.
+func (p *PCA) Project(v geom.Vector) geom.Vector {
+	out := make(geom.Vector, len(p.Components))
+	for i, c := range p.Components {
+		var s float64
+		for j := range c {
+			s += c[j] * (v[j] - p.Mean[j])
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ProjectAll maps every vector.
+func (p *PCA) ProjectAll(vs []geom.Vector) []geom.Vector {
+	out := make([]geom.Vector, len(vs))
+	for i, v := range vs {
+		out[i] = p.Project(v)
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// first k components, for each k up to the retained dimensionality.
+func (p *PCA) ExplainedVariance() []float64 {
+	var total float64
+	for _, e := range p.Eigen {
+		if e > 0 {
+			total += e
+		}
+	}
+	out := make([]float64, len(p.Components))
+	run := 0.0
+	for i := range p.Components {
+		if p.Eigen[i] > 0 {
+			run += p.Eigen[i]
+		}
+		if total > 0 {
+			out[i] = run / total
+		}
+	}
+	return out
+}

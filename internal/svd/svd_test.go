@@ -1,0 +1,183 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 1}}
+	vals, vecs := Jacobi(a, 0)
+	if vals[0] != 3 || vals[1] != 1 {
+		t.Errorf("vals = %v", vals)
+	}
+	if math.Abs(math.Abs(vecs[0][0])-1) > 1e-12 {
+		t.Errorf("first eigenvector = %v, want ±e1", vecs[0])
+	}
+}
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2 and
+	// (1,-1)/√2.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := Jacobi(a, 0)
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+	v := vecs[0]
+	if math.Abs(math.Abs(v[0])-1/math.Sqrt2) > 1e-9 || math.Abs(v[0]-v[1]) > 1e-9 {
+		t.Errorf("eigenvector for 3 = %v, want ±(1,1)/√2", v)
+	}
+}
+
+func TestJacobiReconstruction(t *testing.T) {
+	// For random symmetric A: A·v_i = λ_i·v_i.
+	rng := rand.New(rand.NewSource(1))
+	const n = 12
+	orig := make([][]float64, n)
+	work := make([][]float64, n)
+	for i := range orig {
+		orig[i] = make([]float64, n)
+		work[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			orig[i][j], orig[j][i] = x, x
+		}
+	}
+	for i := range orig {
+		copy(work[i], orig[i])
+	}
+	vals, vecs := Jacobi(work, 0)
+	for k := 0; k < n; k++ {
+		v := vecs[k]
+		for i := 0; i < n; i++ {
+			var av float64
+			for j := 0; j < n; j++ {
+				av += orig[i][j] * v[j]
+			}
+			if math.Abs(av-vals[k]*v[i]) > 1e-8 {
+				t.Fatalf("A·v != λ·v for eigenpair %d (row %d): %g vs %g",
+					k, i, av, vals[k]*v[i])
+			}
+		}
+	}
+	// Eigenvalues descending.
+	for k := 1; k < n; k++ {
+		if vals[k] > vals[k-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+	// Eigenvectors orthonormal.
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += vecs[a][i] * vecs[b][i]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("vecs %d·%d = %g, want %g", a, b, dot, want)
+			}
+		}
+	}
+}
+
+// lowRankData embeds latent-dimensional structure in a higher-dimensional
+// space plus noise: PCA must recover the latent dimensionality.
+func lowRankData(rng *rand.Rand, n, dim, latent int, noise float64) []geom.Vector {
+	basis := make([][]float64, latent)
+	for i := range basis {
+		basis[i] = make([]float64, dim)
+		for j := range basis[i] {
+			basis[i][j] = rng.NormFloat64()
+		}
+	}
+	data := make([]geom.Vector, n)
+	for i := range data {
+		v := make(geom.Vector, dim)
+		for l := 0; l < latent; l++ {
+			w := rng.NormFloat64() * 5
+			for j := 0; j < dim; j++ {
+				v[j] += w * basis[l][j]
+			}
+		}
+		for j := 0; j < dim; j++ {
+			v[j] += rng.NormFloat64() * noise
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestFitRecoversLatentDimensionality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := lowRankData(rng, 500, 20, 4, 0.01)
+	p, err := Fit(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.ExplainedVariance()
+	if ev[3] < 0.99 {
+		t.Errorf("4 components explain only %.4f of variance, want ≥0.99", ev[3])
+	}
+	if ev[0] > ev[3] {
+		t.Error("explained variance must be non-decreasing")
+	}
+}
+
+func TestProjectPreservesNeighborhoods(t *testing.T) {
+	// In low-rank data, projecting to the latent dimensionality must keep
+	// distances nearly unchanged.
+	rng := rand.New(rand.NewSource(3))
+	data := lowRankData(rng, 200, 30, 5, 0.001)
+	p, err := Fit(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.ProjectAll(data)
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(len(data)), rng.Intn(len(data))
+		dOrig := data[i].Dist(data[j])
+		dProj := proj[i].Dist(proj[j])
+		if math.Abs(dOrig-dProj) > 0.05*(1+dOrig) {
+			t.Fatalf("distance distorted: %.4f vs %.4f", dOrig, dProj)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, 2); err == nil {
+		t.Error("empty data should error")
+	}
+	data := []geom.Vector{{1, 2}, {3, 4}}
+	if _, err := Fit(data, 0); err == nil {
+		t.Error("d=0 should error")
+	}
+	if _, err := Fit(data, 3); err == nil {
+		t.Error("d>dim should error")
+	}
+}
+
+func TestProjectDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := lowRankData(rng, 100, 10, 3, 0.1)
+	p, err := Fit(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 3 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	out := p.Project(data[0])
+	if len(out) != 3 {
+		t.Errorf("projected length = %d", len(out))
+	}
+}

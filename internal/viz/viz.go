@@ -1,0 +1,146 @@
+// Package viz renders a tree's leaf geometry as an SVG — the stand-in for
+// amdb's node visualization, whose 2-D views of leaf MBRs and their
+// contents (paper Figure 10: "the data points of some leaf nodes do not
+// fill their MBRs, but leave noticeable gaps at corners") motivated the JB
+// and XJB bite designs in the first place.
+//
+// Trees over more than two dimensions are drawn in a chosen pair of
+// dimensions (by default the first two, which for SVD-reduced data are the
+// two highest-variance axes). Rectangle-family predicates draw their MBRs;
+// JB/XJB predicates additionally shade their corner bites, making the
+// "removed" volume visible exactly as the paper's figures sketch it.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// DimX and DimY choose the projected dimensions. Defaults 0 and 1.
+	DimX, DimY int
+	// Width is the SVG width in pixels (height follows the data's aspect
+	// ratio). Default 800.
+	Width int
+	// MaxLeaves caps how many leaves are drawn (0 = all).
+	MaxLeaves int
+}
+
+// WriteSVG renders the tree's leaves to w.
+func WriteSVG(w io.Writer, t *gist.Tree, opts Options) error {
+	if opts.Width == 0 {
+		opts.Width = 800
+	}
+	dx, dy := opts.DimX, opts.DimY
+	if dx == dy || dx < 0 || dy < 0 || dx >= t.Dim() || dy >= t.Dim() {
+		if t.Dim() < 2 {
+			return fmt.Errorf("viz: need at least 2 dimensions, tree has %d", t.Dim())
+		}
+		dx, dy = 0, 1
+	}
+
+	// Data extent in the projected plane.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	t.Walk(func(n *gist.Node, _ gist.Predicate) {
+		if !n.IsLeaf() {
+			return
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			k := n.LeafKey(i)
+			minX = math.Min(minX, k[dx])
+			maxX = math.Max(maxX, k[dx])
+			minY = math.Min(minY, k[dy])
+			maxY = math.Max(maxY, k[dy])
+		}
+	})
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("viz: empty tree")
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	width := float64(opts.Width)
+	height := width * spanY / spanX
+	const pad = 10
+	sx := func(x float64) float64 { return pad + (x-minX)/spanX*(width-2*pad) }
+	sy := func(y float64) float64 { return pad + (maxY-y)/spanY*(height-2*pad) }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height+2*pad, width, height+2*pad)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	palette := []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"}
+	drawn := 0
+	var err error
+	t.Walk(func(n *gist.Node, pp gist.Predicate) {
+		if err != nil || !n.IsLeaf() || pp == nil {
+			return
+		}
+		if opts.MaxLeaves > 0 && drawn >= opts.MaxLeaves {
+			return
+		}
+		color := palette[drawn%len(palette)]
+		drawn++
+
+		drawRect := func(r geom.Rect, stroke string, dashed bool) {
+			dash := ""
+			if dashed {
+				dash = ` stroke-dasharray="4 3"`
+			}
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="%s" stroke-width="1.2"%s/>`+"\n",
+				sx(r.Lo[dx]), sy(r.Hi[dy]),
+				sx(r.Hi[dx])-sx(r.Lo[dx]), sy(r.Lo[dy])-sy(r.Hi[dy]),
+				stroke, dash)
+		}
+		drawBite := func(box geom.Rect) {
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+				sx(box.Lo[dx]), sy(box.Hi[dy]),
+				sx(box.Hi[dx])-sx(box.Lo[dx]), sy(box.Lo[dy])-sy(box.Hi[dy]),
+				color)
+		}
+
+		switch bp := pp.(type) {
+		case geom.Rect:
+			drawRect(bp, color, false)
+		case am.JBPred:
+			drawRect(bp.MBR, color, false)
+			for _, b := range bp.Bites {
+				drawBite(b.Box(bp.MBR))
+			}
+		case am.MAPPred:
+			drawRect(bp.R1, color, false)
+			drawRect(bp.R2, color, true)
+		case am.SRPred:
+			drawRect(bp.Rect, color, false)
+			c := bp.Sphere.Center
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s" stroke-dasharray="4 3"/>`+"\n",
+				sx(c[dx]), sy(c[dy]), bp.Sphere.Radius/spanX*(width-2*pad), color)
+		case geom.Sphere:
+			c := bp.Center
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s"/>`+"\n",
+				sx(c[dx]), sy(c[dy]), bp.Radius/spanX*(width-2*pad), color)
+		}
+
+		for i := 0; i < n.NumEntries(); i++ {
+			k := n.LeafKey(i)
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s" fill-opacity="0.7"/>`+"\n",
+				sx(k[dx]), sy(k[dy]), color)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintln(w, "</svg>")
+	return werr
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+func buildTree(t *testing.T, kind am.Kind, n, dim int) *gist.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]gist.Point, n)
+	for i := range pts {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64() * 100
+		}
+		pts[i] = gist.Point{Key: v, RID: int64(i)}
+	}
+	ext, err := am.New(kind, am.Options{AMAPSamples: 32, XJBX: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gist.Config{Dim: dim, PageSize: 1024}
+	probe, err := gist.New(ext, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str.Order(pts, probe.LeafCapacity())
+	tree, err := gist.BulkLoad(ext, cfg, pts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestWriteSVGAllPredicateKinds(t *testing.T) {
+	for _, kind := range am.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			tree := buildTree(t, kind, 800, 2)
+			var b strings.Builder
+			if err := WriteSVG(&b, tree, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			svg := b.String()
+			if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+				t.Fatal("not a complete SVG document")
+			}
+			if !strings.Contains(svg, "<circle") {
+				t.Error("no data points drawn")
+			}
+			switch kind {
+			case am.KindSSTree:
+				if strings.Count(svg, "<circle") <= 800 {
+					t.Error("sphere predicates not drawn")
+				}
+			default:
+				if !strings.Contains(svg, "<rect") {
+					t.Error("no rectangles drawn")
+				}
+			}
+			if kind == am.KindJB || kind == am.KindXJB {
+				if !strings.Contains(svg, "fill-opacity=\"0.15\"") {
+					t.Error("bites not shaded")
+				}
+			}
+		})
+	}
+}
+
+func TestWriteSVGProjectsHighDim(t *testing.T) {
+	tree := buildTree(t, am.KindJB, 600, 4)
+	var b strings.Builder
+	if err := WriteSVG(&b, tree, Options{DimX: 2, DimY: 3, MaxLeaves: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<rect") {
+		t.Error("projection drew nothing")
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	empty, err := gist.New(am.RTree(), gist.Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSVG(&b, empty, Options{}); err == nil {
+		t.Error("empty tree should error")
+	}
+	oneD, err := gist.New(am.RTree(), gist.Config{Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oneD.Insert(gist.Point{Key: geom.Vector{1}, RID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&b, oneD, Options{}); err == nil {
+		t.Error("1-D tree should error")
+	}
+}

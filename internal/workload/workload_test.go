@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+func vecs(n, dim int, seed int64) []geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Vector, n)
+	for i := range out {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestSampleBasics(t *testing.T) {
+	data := vecs(100, 5, 1)
+	w, err := Sample(data, 20, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 20 || len(w.Foci) != 20 || w.K != 10 {
+		t.Fatalf("workload shape: %d queries, %d foci, k=%d", len(w.Queries), len(w.Foci), w.K)
+	}
+	seen := make(map[int]bool)
+	for i, f := range w.Foci {
+		if f < 0 || f >= len(data) {
+			t.Fatalf("focus %d out of range", f)
+		}
+		if seen[f] {
+			t.Fatalf("focus %d sampled twice", f)
+		}
+		seen[f] = true
+		if !w.Queries[i].Center.Equal(data[f]) {
+			t.Fatalf("query %d center mismatch", i)
+		}
+		if w.Queries[i].K != 10 {
+			t.Fatalf("query %d has K=%d", i, w.Queries[i].K)
+		}
+	}
+}
+
+func TestSampleQueryCentersAreCopies(t *testing.T) {
+	data := vecs(10, 2, 2)
+	w, err := Sample(data, 5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Queries[0].Center[0] = 999
+	for _, v := range data {
+		if v[0] == 999 {
+			t.Fatal("mutating a query center changed the data set")
+		}
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	data := vecs(5, 2, 3)
+	if _, err := Sample(data, 0, 5, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Sample(data, 3, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Sample(data, 10, 5, 1); err == nil {
+		t.Error("more queries than points should error")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	data := vecs(50, 3, 4)
+	a, _ := Sample(data, 10, 5, 42)
+	b, _ := Sample(data, 10, 5, 42)
+	for i := range a.Foci {
+		if a.Foci[i] != b.Foci[i] {
+			t.Fatal("same seed gave different foci")
+		}
+	}
+}
+
+func TestPoints(t *testing.T) {
+	data := vecs(7, 3, 5)
+	pts := Points(data)
+	if len(pts) != 7 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.RID != int64(i) || !p.Key.Equal(data[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestWelcomePage(t *testing.T) {
+	data := vecs(200, 3, 7)
+	w, err := WelcomePage(data, 50, 10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 50 || w.K != 10 {
+		t.Fatalf("shape: %d queries, k=%d", len(w.Queries), w.K)
+	}
+	distinct := make(map[int]bool)
+	for i, f := range w.Foci {
+		distinct[f] = true
+		if !w.Queries[i].Center.Equal(data[f]) {
+			t.Fatalf("query %d center mismatch", i)
+		}
+	}
+	if len(distinct) > 8 {
+		t.Errorf("welcome-page workload used %d foci, want ≤ 8", len(distinct))
+	}
+	// Default foci count.
+	w2, err := WelcomePage(data, 30, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := make(map[int]bool)
+	for _, f := range w2.Foci {
+		d2[f] = true
+	}
+	if len(d2) > 8 {
+		t.Errorf("default foci = %d, want ≤ 8", len(d2))
+	}
+}
+
+func TestWelcomePageValidation(t *testing.T) {
+	data := vecs(5, 2, 8)
+	if _, err := WelcomePage(data, 0, 5, 8, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := WelcomePage(data, 10, 0, 8, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := WelcomePage(data, 10, 5, 10, 1); err == nil {
+		t.Error("foci > points should error")
+	}
+}
+
+func TestCoverageFactor(t *testing.T) {
+	data := vecs(100, 2, 6)
+	w, _ := Sample(data, 20, 10, 1)
+	if got := w.CoverageFactor(100); got != 2 {
+		t.Errorf("CoverageFactor = %v, want 2", got)
+	}
+	if got := w.CoverageFactor(0); got != 0 {
+		t.Errorf("CoverageFactor(0) = %v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package blobindex
 
 import (
+	"context"
 	"sort"
 
 	"blobindex/internal/amdb"
@@ -45,6 +46,10 @@ type AnalyzeOptions struct {
 	SkipOptimal bool
 	// Seed drives the hypergraph partitioner computing the baseline.
 	Seed int64
+	// Parallelism caps the query-execution worker pool: 0 means
+	// GOMAXPROCS, 1 runs sequentially. Metrics are identical for every
+	// value.
+	Parallelism int
 }
 
 // Analysis reports the amdb performance metrics of a workload execution:
@@ -90,15 +95,24 @@ type LeafProfile struct {
 // Analyze executes the workload against the index and computes the amdb
 // loss metrics. The index is not modified.
 func (ix *Index) Analyze(queries []Query, opts AnalyzeOptions) (*Analysis, error) {
+	return ix.AnalyzeCtx(context.Background(), queries, opts)
+}
+
+// AnalyzeCtx is Analyze honoring cancellation: ctx is checked once per
+// index page read, and the first context error aborts the remaining
+// queries and is returned. Safe to run concurrently with searches; the
+// index is not modified.
+func (ix *Index) AnalyzeCtx(ctx context.Context, queries []Query, opts AnalyzeOptions) (*Analysis, error) {
 	qs := make([]amdb.Query, len(queries))
 	for i, q := range queries {
 		qs[i] = amdb.Query{Center: geom.Vector(q.Center), K: q.K}
 	}
-	rep, err := amdb.Analyze(ix.tree, qs, amdb.Config{
+	rep, err := amdb.AnalyzeCtx(ctx, ix.tree, qs, amdb.Config{
 		TargetUtil:  opts.TargetUtil,
 		Seed:        opts.Seed,
 		SkipOptimal: opts.SkipOptimal,
 		Mode:        amdb.SearchMode(opts.Mode),
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

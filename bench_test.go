@@ -8,7 +8,10 @@ package blobindex
 // and full table output.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -381,4 +384,74 @@ func BenchmarkCostModel(b *testing.B) {
 		sink += model.TimeMs(stats)
 	}
 	_ = sink
+}
+
+// benchWorkerCounts is {1, GOMAXPROCS}, deduplicated on single-core hosts.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkBuildParallelism compares facade Build throughput at one worker
+// vs all cores. The resulting trees are byte-identical (see
+// TestBuildParallelismDeterministic); only wall time changes.
+func BenchmarkBuildParallelism(b *testing.B) {
+	s := benchScenario(b)
+	reduced := s.Reduced(s.Params.Dim)
+	points := make([]Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = Point{Key: v, RID: int64(i)}
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := Options{Method: RTree, Dim: s.Params.Dim,
+				PageSize: s.Params.PageSize, Parallelism: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(points, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(points)*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkBatchSearchKNN compares the batch query executor at one worker
+// vs all cores over the shared workload's query centers.
+func BenchmarkBatchSearchKNN(b *testing.B) {
+	s := benchScenario(b)
+	reduced := s.Reduced(s.Params.Dim)
+	points := make([]Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = Point{Key: v, RID: int64(i)}
+	}
+	ix, err := Build(points, Options{Method: RTree, Dim: s.Params.Dim,
+		PageSize: s.Params.PageSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, len(bench.wl.Queries))
+	for i, q := range bench.wl.Queries {
+		queries[i] = q.Center
+	}
+	ctx := context.Background()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ix.BatchSearchKNN(ctx, queries, s.Params.K, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(queries) {
+					b.Fatalf("got %d result sets", len(res))
+				}
+			}
+			b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
 }

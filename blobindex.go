@@ -13,14 +13,24 @@
 // figure of the paper lives in cmd/blobbench; see DESIGN.md and
 // EXPERIMENTS.md.
 //
+// An Index is safe for concurrent readers with a single writer: any number
+// of goroutines may search (SearchKNN, SearchRange, SearchIter, Analyze,
+// BatchSearchKNN) while at most one goroutine mutates (Insert, Delete,
+// Tighten). Build parallelizes the bulk load across Options.Parallelism
+// workers, BatchSearchKNN replays whole workloads across cores, and the
+// *Ctx method variants honor context cancellation mid-traversal; see
+// DESIGN.md §6 for the full concurrency model.
+//
 //	idx, err := blobindex.Build(points, blobindex.Options{Method: blobindex.XJB, Dim: 5})
 //	...
 //	neighbors := idx.SearchKNN(query, 200)
 package blobindex
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"math"
 	"math/rand"
 
@@ -101,14 +111,52 @@ type Options struct {
 	// Seed drives the deterministic randomness of aMAP and the restart
 	// construction.
 	Seed int64
+	// Parallelism bounds the worker goroutines Build uses for the STR sort
+	// and the bottom-up predicate construction, and is the default worker
+	// count for BatchSearchKNN. 0 means GOMAXPROCS; 1 runs serially. The
+	// built tree is identical for every value.
+	Parallelism int
+}
+
+// Validate reports whether the options are well-formed. Zero values stand
+// for defaults and are valid (except Dim, which is required); every
+// violation is wrapped around ErrInvalidOptions for errors.Is matching.
+func (o Options) Validate() error {
+	switch o.Method {
+	case "", RTree, SSTree, SRTree, AMAP, JB, XJB:
+	default:
+		return fmt.Errorf("%w: unknown method %q", ErrInvalidOptions, o.Method)
+	}
+	if o.Dim <= 0 {
+		return fmt.Errorf("%w: Dim must be positive, got %d", ErrInvalidOptions, o.Dim)
+	}
+	if o.PageSize < 0 {
+		return fmt.Errorf("%w: PageSize must not be negative, got %d", ErrInvalidOptions, o.PageSize)
+	}
+	if o.FillFactor < 0 || o.FillFactor > 1 {
+		return fmt.Errorf("%w: FillFactor %v outside (0, 1]", ErrInvalidOptions, o.FillFactor)
+	}
+	if o.XJBBites < 0 {
+		return fmt.Errorf("%w: XJBBites must not be negative, got %d", ErrInvalidOptions, o.XJBBites)
+	}
+	if o.AMAPSamples < 0 {
+		return fmt.Errorf("%w: AMAPSamples must not be negative, got %d", ErrInvalidOptions, o.AMAPSamples)
+	}
+	if o.BiteRestarts < 0 {
+		return fmt.Errorf("%w: BiteRestarts must not be negative, got %d", ErrInvalidOptions, o.BiteRestarts)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism must not be negative, got %d", ErrInvalidOptions, o.Parallelism)
+	}
+	return nil
 }
 
 func (o *Options) fillDefaults() error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
 	if o.Method == "" {
 		o.Method = XJB
-	}
-	if o.Dim <= 0 {
-		return fmt.Errorf("blobindex: Dim must be positive")
 	}
 	if o.PageSize == 0 {
 		o.PageSize = 8192
@@ -167,8 +215,10 @@ func New(opts Options) (*Index, error) {
 
 // Build bulk-loads an index: the points are arranged into STR tile order
 // (Leutenegger et al.) and packed bottom-up, the loading strategy the paper
-// uses for its static Blobworld data set (§3.2). The input slice is not
-// modified.
+// uses for its static Blobworld data set (§3.2). The sort and the
+// bottom-up predicate construction fan out across Options.Parallelism
+// workers; the resulting tree is byte-for-byte identical at every worker
+// count. The input slice is not modified.
 func Build(points []Point, opts Options) (*Index, error) {
 	if err := opts.fillDefaults(); err != nil {
 		return nil, err
@@ -185,13 +235,13 @@ func Build(points []Point, opts Options) (*Index, error) {
 	pts := make([]gist.Point, len(points))
 	for i, p := range points {
 		if len(p.Key) != opts.Dim {
-			return nil, fmt.Errorf("blobindex: point %d has dimension %d, want %d",
-				i, len(p.Key), opts.Dim)
+			return nil, fmt.Errorf("%w: point %d has dimension %d, want %d",
+				ErrDimMismatch, i, len(p.Key), opts.Dim)
 		}
 		pts[i] = gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID}
 	}
-	str.Order(pts, probe.LeafCapacity())
-	tree, err := gist.BulkLoad(ext, cfg, pts, opts.FillFactor)
+	str.OrderParallel(pts, probe.LeafCapacity(), opts.Parallelism)
+	tree, err := gist.BulkLoadParallel(ext, cfg, pts, opts.FillFactor, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -204,14 +254,18 @@ func Build(points []Point, opts Options) (*Index, error) {
 // work, §8).
 func (ix *Index) Insert(p Point) error {
 	if len(p.Key) != ix.opts.Dim {
-		return fmt.Errorf("blobindex: key dimension %d, index dimension %d",
-			len(p.Key), ix.opts.Dim)
+		return fmt.Errorf("%w: key dimension %d, index dimension %d",
+			ErrDimMismatch, len(p.Key), ix.opts.Dim)
 	}
 	return ix.tree.Insert(gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID})
 }
 
 // Delete removes the (key, rid) pair, reporting whether it was present.
 func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
+	if len(key) != ix.opts.Dim {
+		return false, fmt.Errorf("%w: key dimension %d, index dimension %d",
+			ErrDimMismatch, len(key), ix.opts.Dim)
+	}
 	return ix.tree.Delete(geom.Vector(key), rid)
 }
 
@@ -220,21 +274,33 @@ func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
 func (ix *Index) Tighten() { ix.tree.TightenPredicates() }
 
 // SearchKNN returns the exact k nearest neighbors of q, nearest first,
-// using best-first search.
+// using best-first search. It is a thin wrapper over SearchKNNCtx that
+// never cancels and maps every error to an empty result set; it is safe to
+// call from any number of goroutines concurrently with a single writer.
 func (ix *Index) SearchKNN(q []float64, k int) []Neighbor {
-	return toNeighbors(nn.Search(ix.tree, geom.Vector(q), k, nil))
+	res, _ := ix.SearchKNNCtx(context.Background(), q, k)
+	return res
 }
 
 // SearchRange returns all points within Euclidean distance radius of q,
-// nearest first.
+// nearest first. It is a thin wrapper over SearchRangeCtx; see SearchKNN
+// for the concurrency contract.
 func (ix *Index) SearchRange(q []float64, radius float64) []Neighbor {
-	return toNeighbors(nn.Range(ix.tree, geom.Vector(q), radius*radius, nil))
+	res, _ := ix.SearchRangeCtx(context.Background(), q, radius)
+	return res
 }
 
 // NeighborIterator streams neighbors of a query point in increasing
 // distance order, reading index pages lazily — ask for results until
-// satisfied, as the Blobworld front end does. The iterator must not be used
-// across concurrent modifications of the index.
+// satisfied, as the Blobworld front end does.
+//
+// Concurrent-modification contract: each Next/NextWithin call locks the
+// index against writers for its own duration, so any number of iterators
+// (and other searches) may run concurrently with a single Insert/Delete.
+// But the iterator's frontier spans calls, and a write between calls can
+// reorganize pages the frontier still references — so an iterator must be
+// drained before the index is modified, and never shared between
+// goroutines. Results already returned stay valid.
 type NeighborIterator struct {
 	it *nn.Iterator
 }
@@ -242,6 +308,30 @@ type NeighborIterator struct {
 // SearchIter starts an incremental nearest-neighbor scan from q.
 func (ix *Index) SearchIter(q []float64) *NeighborIterator {
 	return &NeighborIterator{it: nn.NewIterator(ix.tree, geom.Vector(q), nil)}
+}
+
+// All returns a Go 1.23 range-over-func adapter streaming the remaining
+// neighbors with their ordinal (0 for the nearest still unseen):
+//
+//	for i, nb := range ix.SearchIter(q).All() {
+//		if nb.Dist > cutoff || i >= budget {
+//			break
+//		}
+//		...
+//	}
+//
+// Ranging consumes the iterator; breaking out keeps the remainder
+// available to a later Next or All. The NeighborIterator's
+// concurrent-modification contract applies unchanged.
+func (ni *NeighborIterator) All() iter.Seq2[int, Neighbor] {
+	return func(yield func(int, Neighbor) bool) {
+		for i := 0; ; i++ {
+			nb, ok := ni.Next()
+			if !ok || !yield(i, nb) {
+				return
+			}
+		}
+	}
 }
 
 // Next returns the next-nearest neighbor, or ok == false when the index is

@@ -25,7 +25,8 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,ablations")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,replay,ablations")
+	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -157,6 +158,24 @@ func main() {
 				return experiments.RenderDynamic(experiments.AMKind(kind), rows), nil
 			})
 		}
+	}
+	if has("replay") {
+		run("replay", func() (string, error) {
+			var (
+				rows []experiments.ReplayRow
+				err  error
+			)
+			if *workers > 0 {
+				rows, err = experiments.ReplayThroughput(s,
+					[]experiments.AMKind{"rtree", "jb", "xjb"}, []int{1, *workers})
+			} else {
+				rows, err = experiments.ReplayThroughputDefault(s)
+			}
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderReplay(rows), nil
+		})
 	}
 	if has("ablations") {
 		run("ablation: bulk order", func() (string, error) {

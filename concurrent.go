@@ -1,0 +1,125 @@
+package blobindex
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/nn"
+)
+
+// SearchKNNCtx is SearchKNN with explicit failure modes and cancellation:
+// it returns ErrDimMismatch for a query of the wrong dimensionality,
+// ErrEmptyIndex when the index holds no points, and ctx's error if ctx is
+// done — checked once per index page read, so cancellation lands
+// mid-traversal. Safe for any number of concurrent callers alongside a
+// single writer.
+func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
+	if len(q) != ix.opts.Dim {
+		return nil, fmt.Errorf("%w: query dimension %d, index dimension %d",
+			ErrDimMismatch, len(q), ix.opts.Dim)
+	}
+	if ix.tree.Len() == 0 {
+		return nil, ErrEmptyIndex
+	}
+	res, err := nn.SearchCtx(ctx, ix.tree, geom.Vector(q), k, nil)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(res), nil
+}
+
+// SearchRangeCtx is SearchRange with the same failure modes and
+// cancellation behavior as SearchKNNCtx.
+func (ix *Index) SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]Neighbor, error) {
+	if len(q) != ix.opts.Dim {
+		return nil, fmt.Errorf("%w: query dimension %d, index dimension %d",
+			ErrDimMismatch, len(q), ix.opts.Dim)
+	}
+	if ix.tree.Len() == 0 {
+		return nil, ErrEmptyIndex
+	}
+	res, err := nn.RangeCtx(ctx, ix.tree, geom.Vector(q), radius*radius, nil)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(res), nil
+}
+
+// BatchSearchKNN answers one exact k-NN query per element of queries,
+// fanning the workload out across a pool of parallelism worker goroutines
+// (0 uses Options.Parallelism, and GOMAXPROCS if that is also zero). This
+// is the replay fast path for workloads like the paper's 5,531-query
+// evaluation set.
+//
+// The execution is deterministic: results[i] always holds query i's
+// neighbors, nearest first, exactly as a sequential loop of SearchKNN
+// calls would produce them — parallelism changes only which worker runs
+// each query. All queries are validated up front (ErrDimMismatch names the
+// first offender), an empty index returns ErrEmptyIndex, and the first
+// context error cancels the remaining queries mid-traversal.
+func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int, parallelism int) ([][]Neighbor, error) {
+	for i, q := range queries {
+		if len(q) != ix.opts.Dim {
+			return nil, fmt.Errorf("%w: query %d has dimension %d, index dimension %d",
+				ErrDimMismatch, i, len(q), ix.opts.Dim)
+		}
+	}
+	if ix.tree.Len() == 0 {
+		return nil, ErrEmptyIndex
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = ix.opts.Parallelism
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+
+	out := make([][]Neighbor, len(queries))
+	jobs := make(chan int, len(queries))
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				res, err := nn.SearchCtx(ctx, ix.tree, geom.Vector(queries[i]), k, nil)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				out[i] = toNeighbors(res)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

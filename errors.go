@@ -1,0 +1,21 @@
+package blobindex
+
+import "errors"
+
+// Sentinel errors returned by the facade. They are wrapped with situational
+// detail, so match them with errors.Is rather than equality.
+var (
+	// ErrDimMismatch reports a key or query whose dimensionality differs
+	// from the index's Options.Dim. Returned by Build, Insert, Delete and
+	// the context-aware search APIs.
+	ErrDimMismatch = errors.New("blobindex: key dimension mismatch")
+
+	// ErrEmptyIndex reports a context-aware or batch search against an
+	// index holding no points. The legacy search methods keep returning an
+	// empty result set instead.
+	ErrEmptyIndex = errors.New("blobindex: index holds no points")
+
+	// ErrInvalidOptions reports malformed Options. Returned by New, Build
+	// and Options.Validate.
+	ErrInvalidOptions = errors.New("blobindex: invalid options")
+)

@@ -21,6 +21,7 @@
 package amdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -53,6 +54,11 @@ type Config struct {
 	// Mode selects how the workload's k-NN queries execute. The default,
 	// ModeSphere, is the paper's analytical model.
 	Mode SearchMode
+	// Parallelism bounds the worker goroutines executing the workload
+	// (0 means GOMAXPROCS, 1 runs serially). The analysis is deterministic
+	// for every value: queries execute into per-query slots and the metrics
+	// are aggregated in query order.
+	Parallelism int
 }
 
 // SearchMode selects the k-NN execution strategy the analysis profiles.
@@ -213,6 +219,16 @@ func dedupeTrace(raw *gist.Trace) *gist.Trace {
 // Analyze executes the workload against the tree and computes the amdb
 // metrics. The tree is not modified.
 func Analyze(tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
+	return AnalyzeCtx(context.Background(), tree, queries, cfg)
+}
+
+// AnalyzeCtx is Analyze with cancellation: ctx is threaded into every query
+// execution, so cancellation lands mid-traversal and the first context
+// error aborts the analysis.
+func AnalyzeCtx(ctx context.Context, tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.TargetUtil == 0 {
 		cfg.TargetUtil = 0.8
 	}
@@ -254,61 +270,21 @@ func Analyze(tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
 			index(n.Child(i), chain)
 		}
 	}
+	tree.RLock()
 	index(tree.Root(), nil)
+	tree.RUnlock()
 
 	// Execute the workload.
 	r.PerQuery = make([]QueryProfile, len(queries))
 	edges := make([][]int, 0, len(queries))
-	var search func(*gist.Tree, geom.Vector, int, *gist.Trace) []nn.Result
-	switch cfg.Mode {
-	case ModeBestFirst:
-		search = nn.Search
-	case ModeExpanding:
-		search = nn.SearchExpanding
-	case ModeHarvest:
-		search = nn.SearchApprox
-	default:
-		search = nn.SearchSphere
-	}
+	search := searchFunc(cfg.Mode)
 
 	// Execute the queries in parallel — searches only read the tree — then
 	// compute the metrics sequentially.
-	type outcome struct {
-		results []nn.Result
-		trace   *gist.Trace
-	}
 	outcomes := make([]outcome, len(queries))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
+	if err := runQueries(ctx, tree, queries, search, cfg.Parallelism, outcomes); err != nil {
+		return nil, err
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int, len(queries))
-	for qi := range queries {
-		next <- qi
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qi := range next {
-				q := queries[qi]
-				var raw gist.Trace
-				results := search(tree, q.Center, q.K, &raw)
-				// A query's pages stay buffered for the duration of the
-				// query (the expanding-sphere execution re-descends from
-				// the root on every radius, and §3.2's cost argument
-				// assumes the hot path is cached), so the I/O cost of a
-				// query is its distinct page set.
-				outcomes[qi] = outcome{results: results, trace: dedupeTrace(&raw)}
-			}
-		}()
-	}
-	wg.Wait()
 
 	r.LevelIOs = make([]int, tree.Height())
 	for qi := range queries {
@@ -343,6 +319,13 @@ func Analyze(tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
 
 		for _, pid := range trace.LeafPages() {
 			np := r.Nodes[pid]
+			if np == nil {
+				// The page appeared after the structure snapshot (a
+				// concurrent writer split a node). Profile it with full
+				// utilization so it charges no utilization loss.
+				np = &NodeProfile{Utilization: 1}
+				r.Nodes[pid] = np
+			}
 			np.Accesses++
 			if !useful[pid] {
 				np.EmptyAccesses++
@@ -351,7 +334,7 @@ func Analyze(tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
 		// Utilization loss: useful pages emptier than the target waste a
 		// fraction of their access.
 		for pid := range useful {
-			if np := r.Nodes[pid]; np.Utilization < cfg.TargetUtil {
+			if np := r.Nodes[pid]; np != nil && np.Utilization < cfg.TargetUtil {
 				qp.UtilLoss += 1 - np.Utilization/cfg.TargetUtil
 			}
 		}
@@ -399,4 +382,83 @@ func Analyze(tree *gist.Tree, queries []Query, cfg Config) (*Report, error) {
 	}
 	r.Totals.Queries = len(queries)
 	return r, nil
+}
+
+// searchFn executes one k-NN query with cancellation and tracing.
+type searchFn func(context.Context, *gist.Tree, geom.Vector, int, *gist.Trace) ([]nn.Result, error)
+
+// searchFunc maps an execution mode to its search implementation.
+func searchFunc(mode SearchMode) searchFn {
+	switch mode {
+	case ModeBestFirst:
+		return nn.SearchCtx
+	case ModeExpanding:
+		return nn.SearchExpandingCtx
+	case ModeHarvest:
+		return nn.SearchApproxCtx
+	default:
+		return nn.SearchSphereCtx
+	}
+}
+
+// outcome is one executed query awaiting metric computation.
+type outcome struct {
+	results []nn.Result
+	trace   *gist.Trace
+}
+
+// runQueries executes the workload across a pool of parallelism workers
+// (0 = GOMAXPROCS), each query into its own outcomes slot so downstream
+// aggregation in query order is deterministic regardless of scheduling.
+// The first context error aborts the run.
+func runQueries(ctx context.Context, tree *gist.Tree, queries []Query, search searchFn, parallelism int, outcomes []outcome) error {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int, len(queries))
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				q := queries[qi]
+				var raw gist.Trace
+				results, err := search(ctx, tree, q.Center, q.K, &raw)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				// A query's pages stay buffered for the duration of the
+				// query (the expanding-sphere execution re-descends from
+				// the root on every radius, and §3.2's cost argument
+				// assumes the hot path is cached), so the I/O cost of a
+				// query is its distinct page set.
+				outcomes[qi] = outcome{results: results, trace: dedupeTrace(&raw)}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"blobindex/internal/am"
+	"blobindex/internal/amdb"
+)
+
+// ReplayRow is one (access method, worker count) cell of the replay
+// throughput experiment.
+type ReplayRow struct {
+	AM       string
+	Workers  int
+	Elapsed  time.Duration
+	QPS      float64
+	LeafIOs  int
+	TotalIOs int
+	// Identical reports whether this run returned exactly the same result
+	// sets and I/O counts as the sequential (workers=1) run — the
+	// determinism contract of amdb.Replay.
+	Identical bool
+}
+
+// ReplayThroughput replays the shared workload against each access method's
+// bulk-loaded tree with the best-first serving fast path, once per worker
+// count, and cross-checks every parallel run against the sequential one.
+// It demonstrates the concurrent query engine: throughput scales with
+// workers while results and I/O counts stay bit-identical.
+func ReplayThroughput(s *Scenario, kinds []am.Kind, workers []int) ([]ReplayRow, error) {
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	var rows []ReplayRow
+	for _, kind := range kinds {
+		tree, err := s.Tree(kind, false)
+		if err != nil {
+			return nil, err
+		}
+		var base *amdb.ReplayResult
+		for _, w := range workers {
+			res, err := amdb.Replay(ctx, tree, wl.Queries, w)
+			if err != nil {
+				return nil, fmt.Errorf("replay %s workers=%d: %w", kind, w, err)
+			}
+			if base == nil {
+				base = res
+			}
+			rows = append(rows, ReplayRow{
+				AM:        string(kind),
+				Workers:   w,
+				Elapsed:   res.Elapsed,
+				QPS:       res.QueriesPerSecond(),
+				LeafIOs:   res.LeafIOs,
+				TotalIOs:  res.TotalIOs(),
+				Identical: sameReplay(base, res),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ReplayThroughputDefault runs ReplayThroughput over the R-tree and the
+// paper's custom methods at 1 worker and at GOMAXPROCS workers.
+func ReplayThroughputDefault(s *Scenario) ([]ReplayRow, error) {
+	workers := []int{1, runtime.GOMAXPROCS(0)}
+	if workers[1] == 1 {
+		workers = workers[:1]
+	}
+	return ReplayThroughput(s, []am.Kind{am.KindRTree, am.KindJB, am.KindXJB}, workers)
+}
+
+func sameReplay(a, b *amdb.ReplayResult) bool {
+	if a.Queries != b.Queries || a.LeafIOs != b.LeafIOs || a.InnerIOs != b.InnerIOs {
+		return false
+	}
+	for qi := range a.Results {
+		ra, rb := a.Results[qi], b.Results[qi]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if ra[i].RID != rb[i].RID || ra[i].Dist2 != rb[i].Dist2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderReplay formats the replay throughput comparison.
+func RenderReplay(rows []ReplayRow) string {
+	header := []string{"AM", "workers", "queries/s", "elapsed", "leaf I/Os", "total I/Os", "same as serial"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.AM,
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.0f", r.QPS),
+			fmt.Sprintf("%.3fs", r.Elapsed.Seconds()),
+			fmt.Sprintf("%d", r.LeafIOs),
+			fmt.Sprintf("%d", r.TotalIOs),
+			fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return "Workload replay: best-first serving path, sequential vs parallel\n" +
+		table(header, out)
+}

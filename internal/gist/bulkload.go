@@ -12,7 +12,8 @@ import (
 // arranged in the desired leaf order (e.g. STR order, package
 // blobindex/internal/str). Consecutive runs of points are packed into
 // leaves at the given fill fraction, then each level of nodes is packed
-// into parents until a single root remains.
+// into parents until a single root remains. It uses all available cores;
+// BulkLoadParallel takes an explicit worker bound.
 //
 // Because packing preserves contiguity, every node covers a contiguous
 // range of the input slice, and its bounding predicate is computed by the
@@ -25,11 +26,24 @@ import (
 // packs pages completely (fill = 1), which is what minimizes utilization
 // loss in Table 2.
 func BulkLoad(ext Extension, cfg Config, pts []Point, fill float64) (*Tree, error) {
+	return BulkLoadParallel(ext, cfg, pts, fill, 0)
+}
+
+// BulkLoadParallel is BulkLoad with an explicit bound on worker goroutines
+// (0 means GOMAXPROCS, 1 loads serially). The built tree is identical for
+// every worker count: leaf runs and node spans are fixed by the input
+// order, and every extension builds predicates as a deterministic function
+// of a node's point set, so parallelism only changes who computes each
+// slot, never what lands in it.
+func BulkLoadParallel(ext Extension, cfg Config, pts []Point, fill float64, workers int) (*Tree, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	if fill <= 0 || fill > 1 {
 		return nil, fmt.Errorf("gist: fill %v outside (0, 1]", fill)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	t, err := New(ext, cfg)
 	if err != nil {
@@ -50,7 +64,8 @@ func BulkLoad(ext Extension, cfg Config, pts []Point, fill float64) (*Tree, erro
 		lo, hi int // pts[lo:hi]
 	}
 
-	// Build the leaf level.
+	// Build the leaf level. Node allocation stays serial (page ids are
+	// assigned in order) but the per-leaf key cloning fans out.
 	leafRun := int(fill * float64(t.leafCap))
 	if leafRun < 1 {
 		leafRun = 1
@@ -61,20 +76,22 @@ func BulkLoad(ext Extension, cfg Config, pts []Point, fill float64) (*Tree, erro
 		if hi > len(pts) {
 			hi = len(pts)
 		}
-		leaf := t.newNode(0)
+		level = append(level, span{t.newNode(0), lo, hi})
+	}
+	parallelFor(len(level), workers, func(i int) {
+		leaf, lo, hi := level[i].node, level[i].lo, level[i].hi
+		leaf.keys = make([]geom.Vector, 0, hi-lo)
+		leaf.rids = make([]int64, 0, hi-lo)
 		for _, p := range pts[lo:hi] {
 			leaf.keys = append(leaf.keys, p.Key.Clone())
 			leaf.rids = append(leaf.rids, p.RID)
 		}
-		level = append(level, span{leaf, lo, hi})
-	}
+	})
 
 	// Pack each level into parents until one node remains. The per-child
 	// predicate builds are independent and (for JB/XJB especially) the
-	// expensive part of loading, so each level computes them in parallel;
-	// every Extension in internal/am builds predicates as a deterministic
-	// function of the point set, so the result is identical to a serial
-	// load.
+	// expensive part of loading, so each level computes them in parallel
+	// into a slot array indexed by child position.
 	innerRun := int(fill * float64(t.innerCap))
 	if innerRun < 2 {
 		innerRun = 2
@@ -82,26 +99,9 @@ func BulkLoad(ext Extension, cfg Config, pts []Point, fill float64) (*Tree, erro
 	height := 1
 	for len(level) > 1 {
 		preds := make([]Predicate, len(level))
-		var wg sync.WaitGroup
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(level) {
-			workers = len(level)
-		}
-		jobs := make(chan int, len(level))
-		for i := range level {
-			jobs <- i
-		}
-		close(jobs)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range jobs {
-					preds[i] = ext.FromPoints(keysOf(pts[level[i].lo:level[i].hi]))
-				}
-			}()
-		}
-		wg.Wait()
+		parallelFor(len(level), workers, func(i int) {
+			preds[i] = ext.FromPoints(keysOf(pts[level[i].lo:level[i].hi]))
+		})
 
 		var next []span
 		for lo := 0; lo < len(level); lo += innerRun {
@@ -124,6 +124,36 @@ func BulkLoad(ext Extension, cfg Config, pts []Point, fill float64) (*Tree, erro
 	t.height = height
 	t.size = len(pts)
 	return t, nil
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. Each index
+// runs exactly once; fn instances must write only to their own slot.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // keysOf projects the key vectors out of a slice of points.

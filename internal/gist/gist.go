@@ -13,9 +13,17 @@
 // build shorter-fanout, taller trees — the central tension the paper's XJB
 // design navigates.
 //
-// A Tree is safe for concurrent searches. Mutating operations (Insert,
-// Delete) take an exclusive lock and must not run concurrently with each
-// other or with searches that share a Trace.
+// # Concurrency
+//
+// A Tree follows a concurrent-readers, single-writer discipline guarded by
+// one tree-level RWMutex. Every reading entry point in this package
+// (RangeSearch, Lookup, Walk, CheckIntegrity, the stats accessors) takes
+// the read lock itself; the search algorithms in blobindex/internal/nn
+// traverse nodes directly and participate via the exported RLock/RUnlock
+// pair. Mutating operations (Insert, Delete, TightenPredicates) take the
+// exclusive lock, so any number of searches may run concurrently with each
+// other and are serialized only against writers. Traces are per-query
+// state and must not be shared between goroutines.
 package gist
 
 import (
@@ -201,14 +209,34 @@ func (t *Tree) newNode(level int) *Node {
 // Ext returns the extension specializing this tree.
 func (t *Tree) Ext() Extension { return t.ext }
 
-// Root returns the root node.
+// Root returns the root node. Callers that traverse the returned node
+// graph while a writer may be active must hold the read lock (RLock) for
+// the duration of the traversal.
 func (t *Tree) Root() *Node { return t.root }
 
+// RLock acquires the tree's read lock. It exists for search code (package
+// blobindex/internal/nn) that walks nodes directly via Root/Child: hold it
+// across the traversal and pair it with RUnlock. Calls must not nest — a
+// goroutine already holding the read lock can deadlock re-acquiring it if
+// a writer arrives in between.
+func (t *Tree) RLock() { t.mu.RLock() }
+
+// RUnlock releases the read lock taken by RLock.
+func (t *Tree) RUnlock() { t.mu.RUnlock() }
+
 // Height returns the number of levels in the tree (1 for a lone leaf root).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
 
 // Len returns the number of stored points.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Dim returns the key dimensionality.
 func (t *Tree) Dim() int { return t.dim }

@@ -2,7 +2,7 @@ package nn
 
 import (
 	"container/heap"
-	"sort"
+	"context"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
@@ -25,10 +25,19 @@ import (
 // the paper's JB tree executes 200-NN queries in barely more than two leaf
 // reads while the R-tree wanders through excess leaves (§6).
 func SearchApprox(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
+	res, _ := SearchApproxCtx(nil, t, q, k, trace)
+	return res
+}
+
+// SearchApproxCtx is SearchApprox with cancellation: once ctx is done the
+// harvest stops and ctx's error is returned.
+func SearchApproxCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
 	if k <= 0 || t.Len() == 0 {
-		return nil
+		return nil, ctxErr(ctx)
 	}
 	ext := t.Ext()
+	t.RLock()
+	defer t.RUnlock()
 	var queue pq
 	seq := 0
 	push := func(n *gist.Node, d float64) {
@@ -39,6 +48,9 @@ func SearchApprox(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Resul
 
 	var harvest []Result
 	for queue.Len() > 0 && len(harvest) < k {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		it := heap.Pop(&queue).(item)
 		n := it.node
 		trace.Record(n)
@@ -58,14 +70,9 @@ func SearchApprox(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Resul
 			push(n.Child(i), ext.MinDist2(n.ChildPred(i), q))
 		}
 	}
-	sort.Slice(harvest, func(i, j int) bool {
-		if harvest[i].Dist2 != harvest[j].Dist2 {
-			return harvest[i].Dist2 < harvest[j].Dist2
-		}
-		return harvest[i].RID < harvest[j].RID
-	})
+	sortResults(harvest)
 	if k < len(harvest) {
 		harvest = harvest[:k]
 	}
-	return harvest
+	return harvest, nil
 }

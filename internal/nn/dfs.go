@@ -27,6 +27,8 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 		return nil
 	}
 	ext := t.Ext()
+	t.RLock()
+	defer t.RUnlock()
 	// best is a max-heap of the k nearest candidates so far.
 	best := &resultHeap{}
 

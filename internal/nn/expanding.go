@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"context"
 	"sort"
 
 	"blobindex/internal/geom"
@@ -28,10 +29,21 @@ import (
 // for it on every sphere, which is the effect the paper's analysis
 // measures and the JB/XJB predicates remove.
 func SearchExpanding(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
-	if k <= 0 || t.Len() == 0 {
-		return nil
+	res, _ := SearchExpandingCtx(nil, t, q, k, trace)
+	return res
+}
+
+// SearchExpandingCtx is SearchExpanding with cancellation: once ctx is done
+// the traversal stops and ctx's error is returned. A nil ctx means no
+// cancellation.
+func SearchExpandingCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
+	total := t.Len()
+	if k <= 0 || total == 0 {
+		return nil, ctxErr(ctx)
 	}
 	ext := t.Ext()
+	t.RLock()
+	defer t.RUnlock()
 
 	// Greedy probe: descend along the minimal-MinDist2 child.
 	n := t.Root()
@@ -77,18 +89,15 @@ func SearchExpanding(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Re
 	// Expanding sphere: re-descend from the root until the sphere holds k.
 	for {
 		var out []Result
-		rangeHarvest(t, t.Root(), q, radius2, trace, &out)
-		if len(out) >= k || len(out) == t.Len() {
-			sort.Slice(out, func(i, j int) bool {
-				if out[i].Dist2 != out[j].Dist2 {
-					return out[i].Dist2 < out[j].Dist2
-				}
-				return out[i].RID < out[j].RID
-			})
+		if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
+			return nil, err
+		}
+		if len(out) >= k || len(out) >= total {
+			sortResults(out)
 			if k < len(out) {
 				out = out[:k]
 			}
-			return out
+			return out, nil
 		}
 		radius2 *= 2 // grow the radius by √2 (distances are squared)
 	}
@@ -105,49 +114,79 @@ func SearchExpanding(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Re
 // It is the default execution model of the amdb analysis in this
 // reproduction.
 func SearchSphere(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
+	res, _ := SearchSphereCtx(nil, t, q, k, trace)
+	return res
+}
+
+// SearchSphereCtx is SearchSphere with cancellation.
+func SearchSphereCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
 	if k <= 0 || t.Len() == 0 {
-		return nil
+		return nil, ctxErr(ctx)
 	}
-	exact := Search(t, q, k, nil)
+	exact, err := SearchCtx(ctx, t, q, k, nil)
+	if err != nil {
+		return nil, err
+	}
 	if len(exact) == 0 {
-		return nil
+		return nil, nil
 	}
 	radius2 := exact[len(exact)-1].Dist2
+	t.RLock()
+	defer t.RUnlock()
 	var out []Result
-	rangeHarvest(t, t.Root(), q, radius2, trace, &out)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist2 != out[j].Dist2 {
-			return out[i].Dist2 < out[j].Dist2
-		}
-		return out[i].RID < out[j].RID
-	})
+	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
+		return nil, err
+	}
+	sortResults(out)
 	if k < len(out) {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 // Range returns every point within squared distance radius2 of q, nearest
 // first, visiting exactly the subtrees whose bounding predicate intersects
 // the query sphere.
 func Range(t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace) []Result {
+	res, _ := RangeCtx(nil, t, q, radius2, trace)
+	return res
+}
+
+// RangeCtx is Range with cancellation: once ctx is done mid-traversal the
+// descent stops and ctx's error is returned.
+func RangeCtx(ctx context.Context, t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace) ([]Result, error) {
 	if t.Len() == 0 {
-		return nil
+		return nil, ctxErr(ctx)
 	}
+	t.RLock()
+	defer t.RUnlock()
 	var out []Result
-	rangeHarvest(t, t.Root(), q, radius2, trace, &out)
+	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
+		return nil, err
+	}
+	sortResults(out)
+	return out, nil
+}
+
+// sortResults orders results nearest first, breaking distance ties by RID
+// for determinism.
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist2 != out[j].Dist2 {
 			return out[i].Dist2 < out[j].Dist2
 		}
 		return out[i].RID < out[j].RID
 	})
-	return out
 }
 
 // rangeHarvest descends every subtree whose predicate intersects the query
-// sphere, collecting the points inside it with their leaf attributions.
-func rangeHarvest(t *gist.Tree, n *gist.Node, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result) {
+// sphere, collecting the points inside it with their leaf attributions. The
+// caller must hold the tree's read lock; ctx is checked once per visited
+// node so cancellation lands mid-traversal.
+func rangeHarvest(ctx context.Context, t *gist.Tree, n *gist.Node, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	trace.Record(n)
 	if n.IsLeaf() {
 		for i := 0; i < n.NumEntries(); i++ {
@@ -161,12 +200,15 @@ func rangeHarvest(t *gist.Tree, n *gist.Node, q geom.Vector, radius2 float64, tr
 				})
 			}
 		}
-		return
+		return nil
 	}
 	ext := t.Ext()
 	for i := 0; i < n.NumEntries(); i++ {
 		if ext.MinDist2(n.ChildPred(i), q) <= radius2 {
-			rangeHarvest(t, n.Child(i), q, radius2, trace, out)
+			if err := rangeHarvest(ctx, t, n.Child(i), q, radius2, trace, out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"container/heap"
+	"context"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
@@ -14,24 +15,54 @@ import (
 // which is what makes the "give me images until the user is satisfied"
 // interaction of the Blobworld front end cheap.
 //
-// An Iterator must not outlive modifications to the tree.
+// A public Iterator takes the tree's read lock for the duration of each
+// Next/NextWithin call, so concurrent iterators and searches coexist with
+// a single writer. The frontier it accumulates between calls is not
+// writer-proof, however: a mutation between calls can reorganize nodes the
+// queue still references, so an Iterator must not be used across
+// modifications of the tree. An Iterator itself is single-goroutine state.
 type Iterator struct {
-	tree  *gist.Tree
-	query geom.Vector
-	trace *gist.Trace
-	queue pq
-	seq   int
+	tree     *gist.Tree
+	query    geom.Vector
+	trace    *gist.Trace
+	ctx      context.Context // nil: never canceled
+	err      error           // sticky ctx error once canceled
+	selfLock bool            // public iterators lock per call; search funcs hold the lock themselves
+	queue    pq
+	seq      int
 }
 
 // NewIterator starts an incremental nearest-neighbor scan from q. If trace
 // is non-nil every page read is recorded as the iteration proceeds.
 func NewIterator(t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
-	it := &Iterator{tree: t, query: q, trace: trace}
+	return NewIteratorCtx(nil, t, q, trace)
+}
+
+// NewIteratorCtx is NewIterator with cancellation: once ctx is done, Next
+// and NextWithin return ok == false and Err reports the cause. A nil ctx
+// means no cancellation.
+func NewIteratorCtx(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
+	it := &Iterator{tree: t, query: q, trace: trace, ctx: ctx, selfLock: true}
 	if t.Len() > 0 {
+		t.RLock()
+		it.push(item{dist2: 0, node: t.Root()})
+		t.RUnlock()
+	}
+	return it
+}
+
+// newIteratorLocked builds an iterator for a caller that already holds the
+// tree's read lock and keeps holding it across next/nextWithin calls.
+func newIteratorLocked(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gist.Trace, nonEmpty bool) *Iterator {
+	it := &Iterator{tree: t, query: q, trace: trace, ctx: ctx}
+	if nonEmpty {
 		it.push(item{dist2: 0, node: t.Root()})
 	}
 	return it
 }
+
+// Err returns the context error that stopped the iteration, if any.
+func (it *Iterator) Err() error { return it.err }
 
 func (it *Iterator) push(x item) {
 	x.seq = it.seq
@@ -39,11 +70,37 @@ func (it *Iterator) push(x item) {
 	heap.Push(&it.queue, x)
 }
 
+// canceled records and reports a pending context cancellation.
+func (it *Iterator) canceled() bool {
+	if it.err != nil {
+		return true
+	}
+	if it.ctx == nil {
+		return false
+	}
+	if err := it.ctx.Err(); err != nil {
+		it.err = err
+		return true
+	}
+	return false
+}
+
 // Next returns the next-nearest neighbor, or ok == false when the tree is
-// exhausted.
+// exhausted or the iterator's context is canceled (see Err).
 func (it *Iterator) Next() (Result, bool) {
+	if it.selfLock {
+		it.tree.RLock()
+		defer it.tree.RUnlock()
+	}
+	return it.next()
+}
+
+func (it *Iterator) next() (Result, bool) {
 	ext := it.tree.Ext()
 	for it.queue.Len() > 0 {
+		if it.canceled() {
+			return Result{}, false
+		}
 		top := heap.Pop(&it.queue).(item)
 		if top.node == nil {
 			return top.res, true
@@ -75,8 +132,19 @@ func (it *Iterator) Next() (Result, bool) {
 // distance radius2; otherwise it reports ok == false without consuming it
 // (subsequent calls with a larger radius continue the scan).
 func (it *Iterator) NextWithin(radius2 float64) (Result, bool) {
+	if it.selfLock {
+		it.tree.RLock()
+		defer it.tree.RUnlock()
+	}
+	return it.nextWithin(radius2)
+}
+
+func (it *Iterator) nextWithin(radius2 float64) (Result, bool) {
 	ext := it.tree.Ext()
 	for it.queue.Len() > 0 {
+		if it.canceled() {
+			return Result{}, false
+		}
 		top := it.queue[0]
 		if top.dist2 > radius2 {
 			return Result{}, false

@@ -10,9 +10,17 @@
 // the distance to data under the predicate; see the property tests in
 // internal/geom and internal/am), the search is exact for all six access
 // methods, including JB and XJB whose corner bites tighten the bound.
+//
+// Every search in this package keeps its frontier and result state on the
+// stack of the calling goroutine — there are no shared scratch buffers —
+// and holds the tree's read lock while touching nodes, so any number of
+// searches run concurrently with each other and with a single writer. The
+// Ctx variants additionally honor context cancellation mid-traversal,
+// checked once per visited node.
 package nn
 
 import (
+	"context"
 	"sort"
 
 	"blobindex/internal/geom"
@@ -60,21 +68,43 @@ func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[
 // Search returns the k nearest neighbors of q in the tree, nearest first.
 // Fewer than k results are returned when the tree holds fewer points. If
 // trace is non-nil, every node whose page the search reads is recorded, in
-// read order.
+// read order. The tree's read lock is held for the duration, so searches
+// run concurrently with each other and serialize against writers.
 func Search(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
+	res, _ := SearchCtx(nil, t, q, k, trace)
+	return res
+}
+
+// SearchCtx is Search with cancellation: once ctx is done mid-traversal the
+// search stops reading pages and returns ctx's error. A nil ctx means no
+// cancellation.
+func SearchCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
 	if k <= 0 || t.Len() == 0 {
-		return nil
+		return nil, ctxErr(ctx)
 	}
-	it := NewIterator(t, q, trace)
+	t.RLock()
+	defer t.RUnlock()
+	it := newIteratorLocked(ctx, t, q, trace, true)
 	results := make([]Result, 0, k)
 	for len(results) < k {
-		r, ok := it.Next()
+		r, ok := it.next()
 		if !ok {
 			break
 		}
 		results = append(results, r)
 	}
-	return results
+	if it.err != nil {
+		return nil, it.err
+	}
+	return results, nil
+}
+
+// ctxErr returns ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // BruteForce returns the exact k nearest neighbors by scanning the given

@@ -1,0 +1,65 @@
+package str
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+func tiePoints(n, dim int, seed int64) []gist.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]gist.Point, n)
+	for i := range pts {
+		key := make(geom.Vector, dim)
+		for d := range key {
+			// Coarse coordinates force plenty of ties, exercising the
+			// stable-merge tie-breaking that the determinism contract
+			// depends on.
+			key[d] = float64(rng.Intn(50))
+		}
+		pts[i] = gist.Point{Key: key, RID: int64(i)}
+	}
+	return pts
+}
+
+// TestOrderParallelMatchesSequential verifies OrderParallel's determinism
+// contract: every worker count produces exactly the sequential STR order.
+func TestOrderParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 37, 1000, 10000} {
+		for _, leafCap := range []int{4, 51, 128} {
+			want := tiePoints(n, 3, 7)
+			OrderParallel(want, leafCap, 1)
+			for _, workers := range []int{0, 2, 3, 8} {
+				got := tiePoints(n, 3, 7)
+				OrderParallel(got, leafCap, workers)
+				for i := range got {
+					if got[i].RID != want[i].RID {
+						t.Fatalf("n=%d leafCap=%d workers=%d: order diverges at %d: RID %d != %d",
+							n, leafCap, workers, i, got[i].RID, want[i].RID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortByDimStable verifies the parallel merge sort is stable and agrees
+// with the serial path on large tie-heavy inputs (forcing the parallel
+// branch past sortSerialCutoff).
+func TestSortByDimStable(t *testing.T) {
+	const n = 3 * sortSerialCutoff
+	serial := tiePoints(n, 2, 11)
+	parallel := tiePoints(n, 2, 11)
+	sortByDim(serial, nil, 0, nil)
+	sortByDim(parallel, make([]gist.Point, n), 0, newLimiter(4))
+	for i := range serial {
+		if serial[i].RID != parallel[i].RID {
+			t.Fatalf("sort diverges at %d: RID %d != %d", i, serial[i].RID, parallel[i].RID)
+		}
+		if i > 0 && serial[i-1].Key[0] > serial[i].Key[0] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}

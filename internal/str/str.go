@@ -13,30 +13,53 @@ package str
 
 import (
 	"math"
-	"sort"
+	"runtime"
+	"sync"
 
 	"blobindex/internal/gist"
 )
 
 // Order sorts pts in place into STR tile order for leaves holding leafCap
-// points each. The points' dimensionality is taken from the first point;
-// the slice may be empty. It panics if leafCap < 1.
+// points each, using all available cores. The points' dimensionality is
+// taken from the first point; the slice may be empty. It panics if
+// leafCap < 1.
 func Order(pts []gist.Point, leafCap int) {
+	OrderParallel(pts, leafCap, 0)
+}
+
+// OrderParallel is Order with an explicit worker bound: at most workers
+// goroutines cooperate on the sorts and slab recursions (0 means
+// GOMAXPROCS, 1 runs fully serially). The resulting order is identical for
+// every worker count — the tiling is a fixed sequence of stable sorts over
+// fixed slab boundaries, and a stable sort has exactly one correct output.
+func OrderParallel(pts []gist.Point, leafCap, workers int) {
 	if leafCap < 1 {
 		panic("str: leafCap must be at least 1")
 	}
 	if len(pts) == 0 {
 		return
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	dim := len(pts[0].Key)
-	tile(pts, leafCap, 0, dim)
+	if workers == 1 || len(pts) <= sortSerialCutoff {
+		tile(pts, nil, leafCap, 0, dim, nil, nil)
+		return
+	}
+	lim := newLimiter(workers - 1)
+	scratch := make([]gist.Point, len(pts))
+	var wg sync.WaitGroup
+	tile(pts, scratch, leafCap, 0, dim, lim, &wg)
+	wg.Wait()
 }
 
-// tile recursively sorts and slabs pts starting at dimension d of dim total.
-func tile(pts []gist.Point, leafCap, d, dim int) {
-	sort.SliceStable(pts, func(i, j int) bool {
-		return pts[i].Key[d] < pts[j].Key[d]
-	})
+// tile recursively sorts and slabs pts starting at dimension d of dim
+// total. scratch is the merge buffer aligned with pts (nil in the serial
+// path); slabs large enough to be worth it are recursed on in fresh
+// goroutines when a limiter token is free.
+func tile(pts, scratch []gist.Point, leafCap, d, dim int, lim limiter, wg *sync.WaitGroup) {
+	sortByDim(pts, scratch, d, lim)
 	if d == dim-1 {
 		return
 	}
@@ -59,6 +82,20 @@ func tile(pts []gist.Point, leafCap, d, dim int) {
 		if hi > len(pts) {
 			hi = len(pts)
 		}
-		tile(pts[lo:hi], leafCap, d+1, dim)
+		sub := pts[lo:hi]
+		var subScratch []gist.Point
+		if scratch != nil {
+			subScratch = scratch[lo:hi]
+		}
+		if hi-lo >= tileParallelCutoff && lim.tryAcquire() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer lim.release()
+				tile(sub, subScratch, leafCap, d+1, dim, lim, wg)
+			}()
+		} else {
+			tile(sub, subScratch, leafCap, d+1, dim, lim, wg)
+		}
 	}
 }

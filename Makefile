@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench benchall benchsmoke
 
-check: fmt vet build test race
+check: fmt vet build test race benchsmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,5 +24,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench regenerates the query-path performance artifact (BENCH_PR2.json)
+# and runs the allocation-focused search benchmarks.
 bench:
+	$(GO) test -bench 'KNN|Range|Probe' -benchmem -run=^$$ ./internal/nn/ .
+	$(GO) run ./cmd/blobbench -experiment bench -benchout BENCH_PR2.json
+
+# benchall runs the full paper-evaluation benchmark suite.
+benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# benchsmoke is the cheap query-path bench run wired into `make check`: it
+# exercises the measurement layer end to end at toy scale.
+benchsmoke:
+	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment bench -bench-iters 5

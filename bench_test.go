@@ -18,6 +18,7 @@ import (
 	"blobindex/internal/am"
 	"blobindex/internal/amdb"
 	"blobindex/internal/experiments"
+	"blobindex/internal/geom"
 	"blobindex/internal/gist"
 	"blobindex/internal/nn"
 	"blobindex/internal/page"
@@ -320,7 +321,9 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkSearchKNN measures 200-NN query latency per access method.
+// BenchmarkSearchKNN measures 200-NN query latency per access method on the
+// steady-state serving path: the Into search variant with a reused result
+// buffer, so -benchmem shows the hot path's true allocation rate.
 func BenchmarkSearchKNN(b *testing.B) {
 	s := benchScenario(b)
 	reduced := s.Reduced(s.Params.Dim)
@@ -328,11 +331,50 @@ func BenchmarkSearchKNN(b *testing.B) {
 	for _, kind := range am.Kinds() {
 		tree := benchTree(b, kind)
 		b.Run(string(kind), func(b *testing.B) {
+			dst := make([]nn.Result, 0, s.Params.K)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := reduced[rng.Intn(len(reduced))]
-				if res := nn.Search(tree, q, s.Params.K, nil); len(res) != s.Params.K {
-					b.Fatalf("got %d results", len(res))
+				dst, _ = nn.SearchCtxInto(nil, tree, q, s.Params.K, nil, dst[:0])
+				if len(dst) != s.Params.K {
+					b.Fatalf("got %d results", len(dst))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchRange measures range search per access method at each
+// query's exact 200th-neighbor radius, with a reused result buffer.
+func BenchmarkSearchRange(b *testing.B) {
+	s := benchScenario(b)
+	reduced := s.Reduced(s.Params.Dim)
+	rng := rand.New(rand.NewSource(97))
+	queries := make([]geom.Vector, 64)
+	for i := range queries {
+		queries[i] = reduced[rng.Intn(len(reduced))]
+	}
+	for _, kind := range am.Kinds() {
+		tree := benchTree(b, kind)
+		b.Run(string(kind), func(b *testing.B) {
+			radii := make([]float64, len(queries))
+			var buf []nn.Result
+			for i, q := range queries {
+				buf, _ = nn.SearchCtxInto(nil, tree, q, s.Params.K, nil, buf[:0])
+				if len(buf) == 0 {
+					b.Fatal("empty radius probe")
+				}
+				radii[i] = buf[len(buf)-1].Dist2
+			}
+			dst := make([]nn.Result, 0, 2*s.Params.K)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % len(queries)
+				dst, _ = nn.RangeCtxInto(nil, tree, queries[j], radii[j], nil, dst[:0])
+				if len(dst) < s.Params.K {
+					b.Fatalf("got %d results", len(dst))
 				}
 			}
 		})

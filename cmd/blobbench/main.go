@@ -25,8 +25,10 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,replay,ablations")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,replay,ablations,bench")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
+	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
+	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -203,6 +205,24 @@ func main() {
 			r, err := experiments.AblationXJB(s, []int{2, 4, 6, 8, 10, 12, 16})
 			if err != nil {
 				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("bench") {
+		run("bench", func() (string, error) {
+			r, err := experiments.QueryBench(s, *benchIters)
+			if err != nil {
+				return "", err
+			}
+			if *benchOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+					return "", err
+				}
 			}
 			return r.Render(), nil
 		})

@@ -3,12 +3,39 @@ package blobindex
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/nn"
 )
+
+// nnBufPool recycles the intermediate nn.Result buffers behind the facade's
+// Into search variants, so converting index results to Neighbors costs no
+// steady-state allocation.
+var nnBufPool = sync.Pool{New: func() any { return new([]nn.Result) }}
+
+func getNNBuf() *[]nn.Result { return nnBufPool.Get().(*[]nn.Result) }
+
+// putNNBuf zeroes the buffer's used prefix before pooling it, so a pooled
+// buffer never pins tree-owned key slices between queries.
+func putNNBuf(buf *[]nn.Result) {
+	s := *buf
+	for i := range s {
+		s[i] = nn.Result{}
+	}
+	*buf = s[:0]
+	nnBufPool.Put(buf)
+}
+
+// appendNeighbors converts index results onto the end of dst.
+func appendNeighbors(dst []Neighbor, res []nn.Result) []Neighbor {
+	for _, r := range res {
+		dst = append(dst, Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)})
+	}
+	return dst
+}
 
 // SearchKNNCtx is SearchKNN with explicit failure modes and cancellation:
 // it returns ErrDimMismatch for a query of the wrong dimensionality,
@@ -31,6 +58,30 @@ func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Neighb
 	return toNeighbors(res), nil
 }
 
+// SearchKNNInto is SearchKNNCtx appending the neighbors to dst and returning
+// the extended slice: with a caller-reused dst the steady-state query path —
+// frontier, traversal scratch, result conversion — allocates nothing. On
+// error dst is returned truncated to its original length.
+func (ix *Index) SearchKNNInto(ctx context.Context, q []float64, k int, dst []Neighbor) ([]Neighbor, error) {
+	if len(q) != ix.opts.Dim {
+		return dst, fmt.Errorf("%w: query dimension %d, index dimension %d",
+			ErrDimMismatch, len(q), ix.opts.Dim)
+	}
+	if ix.tree.Len() == 0 {
+		return dst, ErrEmptyIndex
+	}
+	buf := getNNBuf()
+	res, err := nn.SearchCtxInto(ctx, ix.tree, geom.Vector(q), k, nil, (*buf)[:0])
+	*buf = res
+	if err != nil {
+		putNNBuf(buf)
+		return dst, err
+	}
+	dst = appendNeighbors(dst, res)
+	putNNBuf(buf)
+	return dst, nil
+}
+
 // SearchRangeCtx is SearchRange with the same failure modes and
 // cancellation behavior as SearchKNNCtx.
 func (ix *Index) SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]Neighbor, error) {
@@ -46,6 +97,29 @@ func (ix *Index) SearchRangeCtx(ctx context.Context, q []float64, radius float64
 		return nil, err
 	}
 	return toNeighbors(res), nil
+}
+
+// SearchRangeInto is SearchRangeCtx appending the neighbors to dst and
+// returning the extended slice; see SearchKNNInto for the allocation
+// contract. On error dst is returned truncated to its original length.
+func (ix *Index) SearchRangeInto(ctx context.Context, q []float64, radius float64, dst []Neighbor) ([]Neighbor, error) {
+	if len(q) != ix.opts.Dim {
+		return dst, fmt.Errorf("%w: query dimension %d, index dimension %d",
+			ErrDimMismatch, len(q), ix.opts.Dim)
+	}
+	if ix.tree.Len() == 0 {
+		return dst, ErrEmptyIndex
+	}
+	buf := getNNBuf()
+	res, err := nn.RangeCtxInto(ctx, ix.tree, geom.Vector(q), radius*radius, nil, (*buf)[:0])
+	*buf = res
+	if err != nil {
+		putNNBuf(buf)
+		return dst, err
+	}
+	dst = appendNeighbors(dst, res)
+	putNNBuf(buf)
+	return dst, nil
 }
 
 // BatchSearchKNN answers one exact k-NN query per element of queries,
@@ -101,11 +175,15 @@ func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local result buffer, reused across this worker's
+			// queries; only the retained []Neighbor slices allocate.
+			var buf []nn.Result
 			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
-				res, err := nn.SearchCtx(ctx, ix.tree, geom.Vector(queries[i]), k, nil)
+				res, err := nn.SearchCtxInto(ctx, ix.tree, geom.Vector(queries[i]), k, nil, buf[:0])
+				buf = res
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return

@@ -203,10 +203,12 @@ func (r *Report) PagesHitFraction() float64 {
 }
 
 // dedupeTrace returns a trace containing the first access to each distinct
-// page, preserving order.
-func dedupeTrace(raw *gist.Trace) *gist.Trace {
+// page, preserving order. seen is caller-provided scratch (cleared here) so a
+// worker replaying many queries reuses one map instead of allocating one per
+// query.
+func dedupeTrace(raw *gist.Trace, seen map[page.PageID]bool) *gist.Trace {
+	clear(seen)
 	out := &gist.Trace{Accesses: make([]gist.Access, 0, len(raw.Accesses))}
-	seen := make(map[page.PageID]bool, len(raw.Accesses))
 	for _, a := range raw.Accesses {
 		if !seen[a.Page] {
 			seen[a.Page] = true
@@ -384,20 +386,22 @@ func AnalyzeCtx(ctx context.Context, tree *gist.Tree, queries []Query, cfg Confi
 	return r, nil
 }
 
-// searchFn executes one k-NN query with cancellation and tracing.
-type searchFn func(context.Context, *gist.Tree, geom.Vector, int, *gist.Trace) ([]nn.Result, error)
+// searchFn executes one k-NN query with cancellation and tracing, appending
+// the results to the given buffer — the Into shape, so the replay loop
+// controls every result allocation.
+type searchFn func(context.Context, *gist.Tree, geom.Vector, int, *gist.Trace, []nn.Result) ([]nn.Result, error)
 
 // searchFunc maps an execution mode to its search implementation.
 func searchFunc(mode SearchMode) searchFn {
 	switch mode {
 	case ModeBestFirst:
-		return nn.SearchCtx
+		return nn.SearchCtxInto
 	case ModeExpanding:
-		return nn.SearchExpandingCtx
+		return nn.SearchExpandingCtxInto
 	case ModeHarvest:
-		return nn.SearchApproxCtx
+		return nn.SearchApproxCtxInto
 	default:
-		return nn.SearchSphereCtx
+		return nn.SearchSphereCtxInto
 	}
 }
 
@@ -436,13 +440,19 @@ func runQueries(ctx context.Context, tree *gist.Tree, queries []Query, search se
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local scratch, reused across every query this worker
+			// executes: the raw trace's access buffer and the dedupe map.
+			// Only the per-query outputs (results, deduped trace) are
+			// allocated fresh, since they outlive the loop in outcomes.
+			var raw gist.Trace
+			seen := make(map[page.PageID]bool)
 			for qi := range next {
 				if ctx.Err() != nil {
 					return
 				}
 				q := queries[qi]
-				var raw gist.Trace
-				results, err := search(ctx, tree, q.Center, q.K, &raw)
+				raw.Accesses = raw.Accesses[:0]
+				results, err := search(ctx, tree, q.Center, q.K, &raw, make([]nn.Result, 0, q.K))
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
@@ -452,7 +462,7 @@ func runQueries(ctx context.Context, tree *gist.Tree, queries []Query, search se
 				// the root on every radius, and §3.2's cost argument
 				// assumes the hot path is cached), so the I/O cost of a
 				// query is its distinct page set.
-				outcomes[qi] = outcome{results: results, trace: dedupeTrace(&raw)}
+				outcomes[qi] = outcome{results: results, trace: dedupeTrace(&raw, seen)}
 			}
 		}()
 	}

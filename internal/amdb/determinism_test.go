@@ -1,0 +1,118 @@
+package amdb
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/str"
+)
+
+// goldenReplayDigest is the SHA-256 of the full workload execution —
+// per-query page traces and result sets for all six access methods under
+// both the sphere and best-first modes plus a Replay — captured on the
+// pre-flat-layout implementation. The flat leaf layout, the unrolled
+// distance kernels and the scratch-pooled search must reproduce it
+// byte for byte: any drift in visit order, distances or result ranking
+// changes the digest.
+const goldenReplayDigest = "f2a094f64b7ef4180982ded69aff44ea078a2c821899338ae6b857ef5aa3aa38"
+
+// determinismCorpus builds the seeded 5-D corpus and query set the digest
+// is defined over.
+func determinismCorpus() ([]gist.Point, []Query) {
+	const (
+		n       = 2500
+		dim     = 5
+		queries = 24
+		k       = 40
+	)
+	rng := rand.New(rand.NewSource(4242))
+	pts := make([]gist.Point, n)
+	for i := range pts {
+		key := make(geom.Vector, dim)
+		for d := range key {
+			// Mildly clustered coordinates so predicates have empty corners.
+			key[d] = math.Floor(rng.Float64()*8)/8 + rng.Float64()*0.125
+		}
+		pts[i] = gist.Point{Key: key, RID: int64(i)}
+	}
+	qs := make([]Query, queries)
+	for i := range qs {
+		qs[i] = Query{Center: pts[rng.Intn(n)].Key.Clone(), K: k}
+	}
+	return pts, qs
+}
+
+func TestReplayDeterminismAcrossLayouts(t *testing.T) {
+	pts, qs := determinismCorpus()
+	h := sha256.New()
+	wr := func(vals ...uint64) {
+		var buf [8]byte
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+	}
+	for _, kind := range am.Kinds() {
+		ext, err := am.New(kind, am.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := gist.Config{Dim: 5, PageSize: 4096}
+		ordered := make([]gist.Point, len(pts))
+		copy(ordered, pts)
+		probe, err := gist.New(ext, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str.Order(ordered, probe.LeafCapacity())
+		tree, err := gist.BulkLoad(ext, cfg, ordered, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte(kind))
+
+		for _, mode := range []SearchMode{ModeSphere, ModeBestFirst} {
+			rep, err := Analyze(tree, qs, Config{
+				TargetUtil:  0.8,
+				SkipOptimal: true,
+				Mode:        mode,
+				Parallelism: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wr(uint64(mode), uint64(rep.Totals.LeafIOs), uint64(rep.Totals.InnerIOs))
+			for qi := range rep.PerQuery {
+				qp := &rep.PerQuery[qi]
+				wr(uint64(qp.LeafIOs), uint64(qp.InnerIOs), uint64(qp.UsefulIOs))
+				for _, res := range qp.Results {
+					wr(uint64(res.RID), math.Float64bits(res.Dist2), uint64(res.Leaf))
+				}
+			}
+		}
+
+		rep, err := Replay(context.Background(), tree, qs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr(uint64(rep.LeafIOs), uint64(rep.InnerIOs))
+		for _, rs := range rep.Results {
+			for _, res := range rs {
+				wr(uint64(res.RID), math.Float64bits(res.Dist2), uint64(res.Leaf))
+			}
+		}
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != goldenReplayDigest {
+		t.Fatalf("workload replay digest drifted:\n got  %s\n want %s\n"+
+			"(the query hot path is no longer byte-identical to the recorded behavior)", got, goldenReplayDigest)
+	}
+}

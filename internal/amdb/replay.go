@@ -45,7 +45,7 @@ func Replay(ctx context.Context, tree *gist.Tree, queries []Query, parallelism i
 	}
 	start := time.Now()
 	outcomes := make([]outcome, len(queries))
-	if err := runQueries(ctx, tree, queries, nn.SearchCtx, parallelism, outcomes); err != nil {
+	if err := runQueries(ctx, tree, queries, nn.SearchCtxInto, parallelism, outcomes); err != nil {
 		return nil, err
 	}
 	res := &ReplayResult{

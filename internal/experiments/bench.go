@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"blobindex/internal/am"
+	"blobindex/internal/nn"
+)
+
+// BenchRow is one access method × operation measurement of the query hot
+// path: wall time plus the allocator counters Go benchmarks report, measured
+// here so the numbers land in a committable JSON artifact instead of
+// scrolling by in `go test -bench` output.
+type BenchRow struct {
+	AM          string  `json:"am"`
+	Op          string  `json:"op"` // "knn", "range" or "probe"
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// BenchResult is the query-path performance snapshot QueryBench produces;
+// cmd/blobbench serializes it to BENCH_PR2.json so perf regressions show up
+// as diffs.
+type BenchResult struct {
+	Images  int        `json:"images"`
+	Blobs   int        `json:"blobs"`
+	Queries int        `json:"queries"`
+	K       int        `json:"k"`
+	Dim     int        `json:"dim"`
+	Rows    []BenchRow `json:"rows"`
+}
+
+// QueryBench measures the single-query serving path per access method over
+// the shared workload: exact best-first k-NN ("knn"), range search at each
+// query's true k-th-neighbor radius ("range"), and the §2.3 approximate
+// harvest ("probe"). Each operation runs iters times (default 100) against a
+// reused result buffer after a pool-warming ramp, so the alloc columns show
+// the steady state the scratch pooling targets, not cold-start noise.
+func QueryBench(s *Scenario, iters int) (*BenchResult, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	if len(wl.Queries) == 0 {
+		return nil, fmt.Errorf("experiments: empty workload")
+	}
+	k := s.Params.K
+
+	// The exact k-th-neighbor radius of every query, computed once on the
+	// first tree (exact search, so the radii are AM-independent).
+	first, err := s.Tree(am.Kinds()[0], false)
+	if err != nil {
+		return nil, err
+	}
+	radius2 := make([]float64, len(wl.Queries))
+	var buf []nn.Result
+	for i, q := range wl.Queries {
+		buf, err = nn.SearchCtxInto(nil, first, q.Center, k, nil, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) > 0 {
+			radius2[i] = buf[len(buf)-1].Dist2
+		}
+	}
+
+	res := &BenchResult{
+		Images:  s.Params.Images,
+		Blobs:   len(s.Corpus.Blobs),
+		Queries: len(wl.Queries),
+		K:       k,
+		Dim:     s.Params.Dim,
+	}
+	for _, kind := range am.Kinds() {
+		tree, err := s.Tree(kind, false)
+		if err != nil {
+			return nil, err
+		}
+		var dst []nn.Result
+		ops := []struct {
+			name string
+			run  func(i int)
+		}{
+			{"knn", func(i int) {
+				q := wl.Queries[i%len(wl.Queries)]
+				dst, _ = nn.SearchCtxInto(nil, tree, q.Center, k, nil, dst[:0])
+			}},
+			{"range", func(i int) {
+				j := i % len(wl.Queries)
+				dst, _ = nn.RangeCtxInto(nil, tree, wl.Queries[j].Center, radius2[j], nil, dst[:0])
+			}},
+			{"probe", func(i int) {
+				q := wl.Queries[i%len(wl.Queries)]
+				dst, _ = nn.SearchApproxCtxInto(nil, tree, q.Center, k, nil, dst[:0])
+			}},
+		}
+		// Warm over every distinct query so the scratch pools and the reused
+		// buffer reach their steady-state high-water marks before measuring;
+		// otherwise a late large-frontier query charges a one-off pool growth
+		// to the measured window.
+		warm := len(wl.Queries)
+		if warm < iters/10+1 {
+			warm = iters/10 + 1
+		}
+		for _, op := range ops {
+			res.Rows = append(res.Rows, measureOp(string(kind), op.name, warm, iters, op.run))
+		}
+	}
+	return res, nil
+}
+
+// measureOp times iters calls of f and attributes the allocator deltas to
+// them. A warm-up ramp of warm calls first populates the scratch pools and
+// grows every reused buffer to its steady-state size; a forced GC then
+// isolates the measured window from warm-up garbage.
+func measureOp(amName, op string, warm, iters int, f func(i int)) BenchRow {
+	for i := 0; i < warm; i++ {
+		f(i)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return BenchRow{
+		AM:          amName,
+		Op:          op,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+	}
+}
+
+// JSON renders the result as the committable benchmark artifact.
+func (r *BenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the result as an aligned table.
+func (r *BenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query-path benchmark: %d blobs, %d queries, k=%d, dim=%d\n",
+		r.Blobs, r.Queries, r.K, r.Dim)
+	fmt.Fprintf(&b, "%-8s %-6s %12s %12s %10s\n", "am", "op", "ns/op", "B/op", "allocs/op")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-6s %12.0f %12.1f %10.2f\n",
+			row.AM, row.Op, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

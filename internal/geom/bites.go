@@ -87,12 +87,120 @@ func (b Bite) InsideBite(p Vector, r Rect) bool {
 	return insideHalfOpen(p, b.Box(r), b.Corner)
 }
 
+// biteWithin reports whether the bite's internal corner lies inside r (with
+// matching dimensionality). Bites built by NibbleBites always do; the
+// zero-allocation kernels rely on it to derive the bite-box faces directly
+// from r and Inner instead of materializing the box with min/max.
+func biteWithin(r Rect, b Bite) bool {
+	if len(b.Inner) != len(r.Lo) {
+		return false
+	}
+	for j := range b.Inner {
+		if b.Inner[j] < r.Lo[j] || b.Inner[j] > r.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// insideBiteFlat is insideHalfOpen with the bite box derived in place: for a
+// corner bit set in dimension j the removed half-open interval is
+// (Inner[j], r.Hi[j]], for a clear bit it is [r.Lo[j], Inner[j]). Requires
+// biteWithin(r, {corner, inner}); under that premise it is equivalent to
+// insideHalfOpen(p, Bite{corner, inner}.Box(r), corner) without allocating.
+func insideBiteFlat(p []float64, r Rect, corner int, inner Vector) bool {
+	for j := range p {
+		if corner&(1<<uint(j)) != 0 {
+			if p[j] > r.Hi[j] || p[j] <= inner[j] {
+				return false
+			}
+		} else {
+			if p[j] < r.Lo[j] || p[j] >= inner[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // MinDist2RectMinusBite returns the squared distance from p to the region of
 // r that survives bite b. The surviving region decomposes into D overlapping
 // slabs (one per dimension, on the far side of the bite's inner face), each
 // of which is itself a rectangle; the distance to the region is the minimum
 // distance over the slabs. This is exact for a single bite.
+//
+// For the hot dimensionalities (≤ 8) and well-formed bites the computation
+// runs entirely on fixed-size stack arrays; the generic path is kept both as
+// the fallback and as the reference the equivalence tests compare against.
 func MinDist2RectMinusBite(p Vector, r Rect, b Bite) float64 {
+	if len(r.Lo) <= 8 && biteWithin(r, b) {
+		return minDist2RectMinusBiteSmall(p, r, b)
+	}
+	return minDist2RectMinusBiteGeneric(p, r, b)
+}
+
+// minDist2RectMinusBiteSmall is the allocation-free kernel for dim ≤ 8.
+// It performs the same floating-point operations in the same order as
+// minDist2RectMinusBiteGeneric, only with the bite box derived from r and
+// b.Inner (valid because biteWithin held) and all scratch on the stack.
+func minDist2RectMinusBiteSmall(p Vector, r Rect, b Bite) float64 {
+	base := r.MinDist2(p)
+	dim := len(r.Lo)
+	var q [8]float64
+	for j := 0; j < dim; j++ {
+		v := p[j]
+		if v < r.Lo[j] {
+			v = r.Lo[j]
+		} else if v > r.Hi[j] {
+			v = r.Hi[j]
+		}
+		q[j] = v
+	}
+	if !insideBiteFlat(q[:dim], r, b.Corner, b.Inner) {
+		// The nearest point of r to p survives the bite.
+		return base
+	}
+	best := math.Inf(1)
+	var slabLo, slabHi [8]float64
+	copy(slabLo[:dim], r.Lo)
+	copy(slabHi[:dim], r.Hi)
+	for j := 0; j < dim; j++ {
+		hiCorner := b.Corner&(1<<uint(j)) != 0
+		// The bite box spans [Inner[j], r.Hi[j]] (hi corner) or
+		// [r.Lo[j], Inner[j]] (lo corner); skip zero-extent dimensions.
+		if hiCorner {
+			if r.Hi[j] <= b.Inner[j] {
+				continue
+			}
+		} else if b.Inner[j] <= r.Lo[j] {
+			continue
+		}
+		// The slab beyond the bite's inner face in dimension j.
+		lo, hi := slabLo[j], slabHi[j]
+		if hiCorner {
+			slabHi[j] = b.Inner[j]
+		} else {
+			slabLo[j] = b.Inner[j]
+		}
+		if slabLo[j] <= slabHi[j] {
+			slab := Rect{Lo: Vector(slabLo[:dim]), Hi: Vector(slabHi[:dim])}
+			if d2 := slab.MinDist2(p); d2 < best {
+				best = d2
+			}
+		}
+		slabLo[j], slabHi[j] = lo, hi
+	}
+	if math.IsInf(best, 1) {
+		// The bite spans the full rectangle (cannot happen for bites built by
+		// NibbleBites, but be safe for hand-constructed predicates).
+		return base
+	}
+	return best
+}
+
+// minDist2RectMinusBiteGeneric is the reference implementation, used above
+// 8-D and for malformed bites.
+func minDist2RectMinusBiteGeneric(p Vector, r Rect, b Bite) float64 {
 	base := r.MinDist2(p)
 	box := b.Box(r)
 	q := r.Clamp(p)

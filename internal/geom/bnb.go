@@ -1,5 +1,9 @@
 package geom
 
+// jbMaxNodes bounds the branch-and-bound expansions of MinDist2JB before it
+// falls back to the per-bite bound.
+const jbMaxNodes = 4096
+
 // MinDist2JB returns the squared distance from p to the region of r that
 // survives all bites, computed exactly by branch and bound over the
 // disjunctive structure of the region: a point is in the region iff for
@@ -11,22 +15,142 @@ package geom
 //
 // Branches whose sub-box is farther than the best candidate are pruned, so
 // the search typically completes in a handful of expansions. If it exceeds
-// maxNodes expansions the exact answer is abandoned and the (admissible,
+// jbMaxNodes expansions the exact answer is abandoned and the (admissible,
 // weaker) per-bite bound MinDist2RectMinusBites is returned, so the result
 // is always a valid lower bound — and is the exact distance whenever the
 // search completes, which keeps nearest-neighbor search exact while
 // filtering as hard as the JB predicate allows.
+//
+// For dim ≤ 8 with well-formed bites the whole search runs on fixed-size
+// stack arrays (no per-call allocation); it visits the identical node
+// sequence as the generic path, so the two are bit-identical.
 func MinDist2JB(p Vector, r Rect, bites []Bite) float64 {
 	if len(bites) == 0 {
 		return r.MinDist2(p)
 	}
+	if len(p) <= 8 && bitesWithin(r, bites) {
+		return minDist2JBSmall(p, r, bites)
+	}
+	return minDist2JBGeneric(p, r, bites)
+}
+
+// bitesWithin reports whether every bite's internal corner lies inside r.
+func bitesWithin(r Rect, bites []Bite) bool {
+	for i := range bites {
+		if !biteWithin(r, bites[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// jbState is the stack-resident search state of the small-dimension branch
+// and bound: the current sub-box lives in fixed-size arrays mutated and
+// restored in place, exactly mirroring the generic path's Rect mutation.
+// Keeping the recursion as a method on a local *jbState (rather than a
+// closure) lets the compiler keep the state on the stack.
+type jbState struct {
+	p            Vector
+	r            Rect
+	bites        []Bite
+	boxLo, boxHi [8]float64
+	nodes        int
+	best         float64 // smallest completed candidate distance; -1 = none
+	truncated    bool
+}
+
+func (s *jbState) rec() {
+	if s.truncated {
+		return
+	}
+	s.nodes++
+	if s.nodes > jbMaxNodes {
+		s.truncated = true
+		return
+	}
+	dim := len(s.p)
+	var q [8]float64
+	for j := 0; j < dim; j++ {
+		v := s.p[j]
+		if v < s.boxLo[j] {
+			v = s.boxLo[j]
+		} else if v > s.boxHi[j] {
+			v = s.boxHi[j]
+		}
+		q[j] = v
+	}
+	d := dist2Points(s.p, q[:dim])
+	if s.best >= 0 && d >= s.best {
+		return // cannot beat the best candidate
+	}
+	// Is q inside some bite?
+	blocking := -1
+	for i := range s.bites {
+		if insideBiteFlat(q[:dim], s.r, s.bites[i].Corner, s.bites[i].Inner) {
+			blocking = i
+			break
+		}
+	}
+	if blocking == -1 {
+		s.best = d
+		return
+	}
+	// Branch: escape the blocking bite along each dimension. The inner face
+	// in dimension j is Inner[j] for either corner orientation (biteWithin
+	// held, so the face derivation matches Bite.Box).
+	b := s.bites[blocking]
+	for j := 0; j < dim; j++ {
+		lo, hi := s.boxLo[j], s.boxHi[j]
+		if b.Corner&(1<<uint(j)) != 0 {
+			// Corner at Hi: escape means x_j ≤ inner face.
+			if b.Inner[j] < s.boxHi[j] {
+				s.boxHi[j] = b.Inner[j]
+			} else {
+				continue // escape constraint is not binding; same box ⇒ skip
+			}
+		} else {
+			// Corner at Lo: escape means x_j ≥ inner face.
+			if b.Inner[j] > s.boxLo[j] {
+				s.boxLo[j] = b.Inner[j]
+			} else {
+				continue
+			}
+		}
+		if s.boxLo[j] <= s.boxHi[j] {
+			s.rec()
+		}
+		s.boxLo[j], s.boxHi[j] = lo, hi
+	}
+}
+
+// minDist2JBSmall is the allocation-free branch and bound for dim ≤ 8.
+func minDist2JBSmall(p Vector, r Rect, bites []Bite) float64 {
+	var s jbState
+	s.p, s.r, s.bites = p, r, bites
+	s.best = -1
+	dim := len(p)
+	copy(s.boxLo[:dim], r.Lo)
+	copy(s.boxHi[:dim], r.Hi)
+	s.rec()
+	if s.truncated {
+		BnBTruncations++
+	}
+	if s.truncated || s.best < 0 {
+		return MinDist2RectMinusBites(p, r, bites)
+	}
+	return s.best
+}
+
+// minDist2JBGeneric is the reference branch and bound, used above 8-D and
+// for malformed bites; the equivalence tests compare the small-dimension
+// kernel against it.
+func minDist2JBGeneric(p Vector, r Rect, bites []Bite) float64 {
 	// Precompute bite boxes once.
 	boxes := make([]Rect, len(bites))
 	for i := range bites {
 		boxes[i] = bites[i].Box(r)
 	}
 
-	const maxNodes = 4096
 	nodes := 0
 	best := -1.0 // best (smallest) completed candidate distance; -1 = none
 	truncated := false
@@ -37,7 +161,7 @@ func MinDist2JB(p Vector, r Rect, bites []Bite) float64 {
 			return
 		}
 		nodes++
-		if nodes > maxNodes {
+		if nodes > jbMaxNodes {
 			truncated = true
 			return
 		}

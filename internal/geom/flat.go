@@ -1,0 +1,131 @@
+package geom
+
+import "fmt"
+
+// This file holds the flat-layout distance kernels of the query hot path.
+// Leaf pages store their keys as one contiguous dim-strided []float64
+// (package blobindex/internal/gist), so a leaf scan is a single sequential
+// read; the kernels below compute squared distances against that block
+// without materializing per-point vectors and without allocating.
+//
+// Every kernel is bit-identical to the generic loop it replaces: the
+// specializations perform the same floating-point operations in the same
+// order, only with the loop unrolled so the compiler keeps everything in
+// registers. The property tests in flat_test.go enforce the equivalence
+// across dimensions 1–10.
+
+// Dist2Flat returns the squared Euclidean distance between q and the i-th
+// point of the dim-strided coordinate block flat, i.e. the point stored at
+// flat[i*dim : (i+1)*dim]. It panics if len(q) != dim.
+func Dist2Flat(q Vector, flat []float64, i, dim int) float64 {
+	if len(q) != dim {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(q), dim))
+	}
+	return dist2Points(q, flat[i*dim:i*dim+dim])
+}
+
+// dist2Points is Vector.Dist2 with the dimension check hoisted and the
+// common small dimensionalities unrolled. p and w must have equal length.
+func dist2Points(p, w []float64) float64 {
+	switch len(p) {
+	case 1:
+		d0 := p[0] - w[0]
+		return d0 * d0
+	case 2:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		return s
+	case 3:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		return s
+	case 4:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		d3 := p[3] - w[3]
+		s += d3 * d3
+		return s
+	case 5:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		d3 := p[3] - w[3]
+		s += d3 * d3
+		d4 := p[4] - w[4]
+		s += d4 * d4
+		return s
+	case 6:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		d3 := p[3] - w[3]
+		s += d3 * d3
+		d4 := p[4] - w[4]
+		s += d4 * d4
+		d5 := p[5] - w[5]
+		s += d5 * d5
+		return s
+	case 7:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		d3 := p[3] - w[3]
+		s += d3 * d3
+		d4 := p[4] - w[4]
+		s += d4 * d4
+		d5 := p[5] - w[5]
+		s += d5 * d5
+		d6 := p[6] - w[6]
+		s += d6 * d6
+		return s
+	case 8:
+		d0 := p[0] - w[0]
+		s := d0 * d0
+		d1 := p[1] - w[1]
+		s += d1 * d1
+		d2 := p[2] - w[2]
+		s += d2 * d2
+		d3 := p[3] - w[3]
+		s += d3 * d3
+		d4 := p[4] - w[4]
+		s += d4 * d4
+		d5 := p[5] - w[5]
+		s += d5 * d5
+		d6 := p[6] - w[6]
+		s += d6 * d6
+		d7 := p[7] - w[7]
+		s += d7 * d7
+		return s
+	}
+	return dist2Generic(p, w)
+}
+
+// dist2Generic is the reference scalar loop; the unrolled cases above and
+// the equivalence tests are defined against it.
+func dist2Generic(p, w []float64) float64 {
+	var sum float64
+	for i := range p {
+		d := p[i] - w[i]
+		sum += d * d
+	}
+	return sum
+}

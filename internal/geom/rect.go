@@ -171,16 +171,90 @@ func (r Rect) Center() Vector {
 
 // MinDist2 returns the squared Euclidean distance from p to the nearest point
 // of r, or 0 if p lies inside r. This is the classic MINDIST of Roussopoulos
-// et al., the admissible lower bound driving best-first NN search.
+// et al., the admissible lower bound driving best-first NN search. The small
+// dimensionalities of the hot path are unrolled; the result is bit-identical
+// to the generic loop (see flat_test.go).
 func (r Rect) MinDist2(p Vector) float64 {
+	lo, hi := r.Lo, r.Hi
+	switch len(lo) {
+	case 1:
+		return minDistTerm(lo[0], hi[0], p[0])
+	case 2:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		return s
+	case 3:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		return s
+	case 4:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		s += minDistTerm(lo[3], hi[3], p[3])
+		return s
+	case 5:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		s += minDistTerm(lo[3], hi[3], p[3])
+		s += minDistTerm(lo[4], hi[4], p[4])
+		return s
+	case 6:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		s += minDistTerm(lo[3], hi[3], p[3])
+		s += minDistTerm(lo[4], hi[4], p[4])
+		s += minDistTerm(lo[5], hi[5], p[5])
+		return s
+	case 7:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		s += minDistTerm(lo[3], hi[3], p[3])
+		s += minDistTerm(lo[4], hi[4], p[4])
+		s += minDistTerm(lo[5], hi[5], p[5])
+		s += minDistTerm(lo[6], hi[6], p[6])
+		return s
+	case 8:
+		s := minDistTerm(lo[0], hi[0], p[0])
+		s += minDistTerm(lo[1], hi[1], p[1])
+		s += minDistTerm(lo[2], hi[2], p[2])
+		s += minDistTerm(lo[3], hi[3], p[3])
+		s += minDistTerm(lo[4], hi[4], p[4])
+		s += minDistTerm(lo[5], hi[5], p[5])
+		s += minDistTerm(lo[6], hi[6], p[6])
+		s += minDistTerm(lo[7], hi[7], p[7])
+		return s
+	}
+	return minDist2Generic(lo, hi, p)
+}
+
+// minDistTerm returns one dimension's MINDIST contribution.
+func minDistTerm(lo, hi, p float64) float64 {
+	if p < lo {
+		d := lo - p
+		return d * d
+	}
+	if p > hi {
+		d := p - hi
+		return d * d
+	}
+	return 0
+}
+
+// minDist2Generic is the reference MINDIST loop, also used above 8-D.
+func minDist2Generic(lo, hi Vector, p Vector) float64 {
 	var sum float64
-	for i := range r.Lo {
+	for i := range lo {
 		switch {
-		case p[i] < r.Lo[i]:
-			d := r.Lo[i] - p[i]
+		case p[i] < lo[i]:
+			d := lo[i] - p[i]
 			sum += d * d
-		case p[i] > r.Hi[i]:
-			d := p[i] - r.Hi[i]
+		case p[i] > hi[i]:
+			d := p[i] - hi[i]
 			sum += d * d
 		}
 	}
@@ -197,11 +271,22 @@ func (r Rect) MinDist2(p Vector) float64 {
 // pruning of the depth-first NN search.
 func (r Rect) MinMaxDist2(p Vector) float64 {
 	dim := len(r.Lo)
+	if dim <= 8 {
+		// Stack-allocated scratch: the hot path (dim ≤ 8) must not call make.
+		var farBuf, nearBuf [8]float64
+		return minMaxDist2Into(r, p, farBuf[:dim], nearBuf[:dim])
+	}
+	return minMaxDist2Into(r, p, make([]float64, dim), make([]float64, dim))
+}
+
+// minMaxDist2Into is the MINMAXDIST body; far and near are caller-provided
+// scratch of length dim. Kept as a single implementation so the stack-array
+// fast path is trivially bit-identical to the allocating fallback.
+func minMaxDist2Into(r Rect, p Vector, far, near []float64) float64 {
+	dim := len(r.Lo)
 	// far[i]: squared distance to the farther face in dimension i;
 	// near[i]: squared distance to the nearer face.
 	total := 0.0
-	far := make([]float64, dim)
-	near := make([]float64, dim)
 	for i := 0; i < dim; i++ {
 		mid := (r.Lo[i] + r.Hi[i]) / 2
 		var rm, rM float64

@@ -45,12 +45,7 @@ func (v Vector) Dist2(w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(v), len(w)))
 	}
-	var sum float64
-	for i := range v {
-		d := v[i] - w[i]
-		sum += d * d
-	}
-	return sum
+	return dist2Points(v, w)
 }
 
 // Dist returns the Euclidean distance between v and w.

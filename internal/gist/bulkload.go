@@ -65,7 +65,8 @@ func BulkLoadParallel(ext Extension, cfg Config, pts []Point, fill float64, work
 	}
 
 	// Build the leaf level. Node allocation stays serial (page ids are
-	// assigned in order) but the per-leaf key cloning fans out.
+	// assigned in order) but the per-leaf key packing fans out. Each leaf's
+	// keys land in one exactly-sized contiguous dim-strided block.
 	leafRun := int(fill * float64(t.leafCap))
 	if leafRun < 1 {
 		leafRun = 1
@@ -80,10 +81,10 @@ func BulkLoadParallel(ext Extension, cfg Config, pts []Point, fill float64, work
 	}
 	parallelFor(len(level), workers, func(i int) {
 		leaf, lo, hi := level[i].node, level[i].lo, level[i].hi
-		leaf.keys = make([]geom.Vector, 0, hi-lo)
+		leaf.flatKeys = make([]float64, 0, (hi-lo)*t.dim)
 		leaf.rids = make([]int64, 0, hi-lo)
 		for _, p := range pts[lo:hi] {
-			leaf.keys = append(leaf.keys, p.Key.Clone())
+			leaf.flatKeys = append(leaf.flatKeys, p.Key...)
 			leaf.rids = append(leaf.rids, p.RID)
 		}
 	})

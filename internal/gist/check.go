@@ -26,23 +26,23 @@ func (t *Tree) CheckIntegrity() error {
 				n.id, depth, n.level, wantLevel)
 		}
 		if n.IsLeaf() {
-			if len(n.keys) != len(n.rids) {
-				return fmt.Errorf("leaf %d: %d keys, %d rids", n.id, len(n.keys), len(n.rids))
+			if n.dim != t.dim {
+				return fmt.Errorf("leaf %d has dimension %d, want %d", n.id, n.dim, t.dim)
 			}
-			if len(n.keys) > t.leafCap {
-				return fmt.Errorf("leaf %d overflows: %d > %d", n.id, len(n.keys), t.leafCap)
+			if len(n.flatKeys) != len(n.rids)*t.dim {
+				return fmt.Errorf("leaf %d: %d flat key words, want %d for %d rids",
+					n.id, len(n.flatKeys), len(n.rids)*t.dim, len(n.rids))
 			}
-			for i, rid := range n.rids {
+			if len(n.rids) > t.leafCap {
+				return fmt.Errorf("leaf %d overflows: %d > %d", n.id, len(n.rids), t.leafCap)
+			}
+			for _, rid := range n.rids {
 				if seen[rid] {
 					return fmt.Errorf("RID %d appears in more than one leaf entry", rid)
 				}
 				seen[rid] = true
-				if len(n.keys[i]) != t.dim {
-					return fmt.Errorf("leaf %d entry %d has dimension %d, want %d",
-						n.id, i, len(n.keys[i]), t.dim)
-				}
 			}
-			total += len(n.keys)
+			total += len(n.rids)
 			return nil
 		}
 		if len(n.preds) != len(n.children) {
@@ -76,8 +76,8 @@ func (t *Tree) CheckIntegrity() error {
 // predCovers verifies that pred covers every key in the subtree under n.
 func predCovers(ext Extension, pred Predicate, n *Node) error {
 	if n.IsLeaf() {
-		for i, k := range n.keys {
-			if !ext.Covers(pred, k) {
+		for i := range n.rids {
+			if k := n.LeafKey(i); !ext.Covers(pred, k) {
 				return fmt.Errorf("predicate does not cover key %v (leaf %d entry %d)", k, n.id, i)
 			}
 		}

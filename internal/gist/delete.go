@@ -26,8 +26,8 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 	var findLeaf func(n *Node) *Node
 	findLeaf = func(n *Node) *Node {
 		if n.IsLeaf() {
-			for i := range n.keys {
-				if n.rids[i] == rid && n.keys[i].Equal(key) {
+			for i := range n.rids {
+				if n.rids[i] == rid && n.LeafKey(i).Equal(key) {
 					return n
 				}
 			}
@@ -51,10 +51,9 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 	}
 
 	// Remove the entry from the leaf.
-	for i := range leaf.keys {
-		if leaf.rids[i] == rid && leaf.keys[i].Equal(key) {
-			leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
-			leaf.rids = append(leaf.rids[:i], leaf.rids[i+1:]...)
+	for i := range leaf.rids {
+		if leaf.rids[i] == rid && leaf.LeafKey(i).Equal(key) {
+			leaf.removeEntry(i)
 			break
 		}
 	}
@@ -68,7 +67,7 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 		parent, idx := path[i].node, path[i].idx
 		under := false
 		if node.IsLeaf() {
-			under = len(node.keys) < minLeaf
+			under = len(node.rids) < minLeaf
 		} else {
 			under = len(node.children) < 2
 		}
@@ -102,11 +101,13 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 	return true, nil
 }
 
-// collectPoints gathers every point stored beneath n into out.
+// collectPoints gathers every point stored beneath n into out. The keys are
+// views into the (soon abandoned) flat blocks; reinsertion copies them into
+// their destination leaves.
 func collectPoints(n *Node, out *[]Point) {
 	if n.IsLeaf() {
-		for i := range n.keys {
-			*out = append(*out, Point{Key: n.keys[i], RID: n.rids[i]})
+		for i := range n.rids {
+			*out = append(*out, Point{Key: n.LeafKey(i), RID: n.rids[i]})
 		}
 		return
 	}
@@ -118,7 +119,7 @@ func collectPoints(n *Node, out *[]Point) {
 // tightPred recomputes a node's predicate from its current contents.
 func (t *Tree) tightPred(n *Node) Predicate {
 	if n.IsLeaf() {
-		return t.ext.FromPoints(n.keys)
+		return t.ext.FromPoints(n.leafKeys())
 	}
 	return t.ext.UnionPreds(n.preds)
 }

@@ -1,0 +1,91 @@
+package gist
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+// The flat leaf layout hands out LeafKey views into a node's contiguous key
+// block, with the contract that views stay valid across later mutations:
+// the block only grows by appending or is replaced wholesale, never mutated
+// in place. These tests pin that contract down.
+
+func TestLeafKeyViewsAreStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 400, 3)
+	tree, err := BulkLoad(mbrExt{}, Config{Dim: 3, PageSize: 512}, pts, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture views (and independent copies) of every stored key.
+	type snap struct {
+		view geom.Vector
+		want geom.Vector
+	}
+	var snaps []snap
+	tree.Walk(func(n *Node, _ Predicate) {
+		if !n.IsLeaf() {
+			return
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			v := n.LeafKey(i)
+			snaps = append(snaps, snap{view: v, want: v.Clone()})
+		}
+	})
+	if len(snaps) != len(pts) {
+		t.Fatalf("captured %d views, want %d", len(snaps), len(pts))
+	}
+
+	// Hammer the tree with splits (inserts) and copy-on-delete removals.
+	extra := randomPoints(rng, 300, 3)
+	for i, p := range extra {
+		p.RID = int64(1_000_000 + i)
+		if err := tree.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if ok, err := tree.Delete(pts[i].Key, pts[i].RID); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, s := range snaps {
+		if !s.view.Equal(s.want) {
+			t.Fatalf("view %d corrupted after mutations: %v != %v", i, s.view, s.want)
+		}
+	}
+}
+
+func TestFlatKeysMatchLeafKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := randomPoints(rng, 250, 4)
+	tree, err := BulkLoad(mbrExt{}, Config{Dim: 4, PageSize: 512}, pts, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pts[0].Key
+	tree.Walk(func(n *Node, _ Predicate) {
+		if !n.IsLeaf() {
+			return
+		}
+		flat, d := n.FlatKeys(), n.Dim()
+		if d != 4 {
+			t.Fatalf("leaf dim %d, want 4", d)
+		}
+		if len(flat) != n.NumEntries()*d {
+			t.Fatalf("flat block has %d words for %d entries", len(flat), n.NumEntries())
+		}
+		for i := 0; i < n.NumEntries(); i++ {
+			if got, want := geom.Dist2Flat(q, flat, i, d), q.Dist2(n.LeafKey(i)); got != want {
+				t.Fatalf("entry %d: Dist2Flat=%v Vector.Dist2=%v", i, got, want)
+			}
+		}
+	})
+}

@@ -93,13 +93,20 @@ type Point struct {
 }
 
 // Node is one tree node, occupying exactly one page.
+//
+// Leaves store their keys in one contiguous dim-strided block (structure of
+// arrays) rather than as one heap vector per point: a leaf scan is then a
+// single sequential read of at most a page of float64s, which is what the
+// flat distance kernels of blobindex/internal/geom are built against.
 type Node struct {
 	id    page.PageID
 	level int // 0 = leaf; root has the highest level
+	dim   int // key dimensionality (copied from the tree)
 
-	// Leaf payload (level == 0).
-	keys []geom.Vector
-	rids []int64
+	// Leaf payload (level == 0). Entry i's key occupies
+	// flatKeys[i*dim : (i+1)*dim].
+	flatKeys []float64
+	rids     []int64
 
 	// Internal payload (level > 0).
 	preds    []Predicate
@@ -115,19 +122,62 @@ func (n *Node) Level() int { return n.level }
 // IsLeaf reports whether the node is a leaf.
 func (n *Node) IsLeaf() bool { return n.level == 0 }
 
+// Dim returns the key dimensionality of the node's tree.
+func (n *Node) Dim() int { return n.dim }
+
 // NumEntries returns the number of entries stored in the node.
 func (n *Node) NumEntries() int {
 	if n.IsLeaf() {
-		return len(n.keys)
+		return len(n.rids)
 	}
 	return len(n.children)
 }
 
-// LeafKey returns the i-th key of a leaf node.
-func (n *Node) LeafKey(i int) geom.Vector { return n.keys[i] }
+// FlatKeys returns a leaf's keys as one contiguous dim-strided block, for
+// use with the geom flat kernels (geom.Dist2Flat). Callers must not mutate
+// the returned slice.
+func (n *Node) FlatKeys() []float64 { return n.flatKeys }
+
+// LeafKey returns the i-th key of a leaf node as a zero-copy view into the
+// node's flat key block. The view remains valid after later inserts and
+// deletes: the block only ever grows by appending or is replaced wholesale,
+// never mutated in place.
+func (n *Node) LeafKey(i int) geom.Vector {
+	d := n.dim
+	return geom.Vector(n.flatKeys[i*d : (i+1)*d : (i+1)*d])
+}
 
 // LeafRID returns the i-th record identifier of a leaf node.
 func (n *Node) LeafRID(i int) int64 { return n.rids[i] }
+
+// leafKeys materializes per-entry key views, the form the extension
+// callbacks (FromPoints, PickSplitPoints) take.
+func (n *Node) leafKeys() []geom.Vector {
+	out := make([]geom.Vector, len(n.rids))
+	for i := range out {
+		out[i] = n.LeafKey(i)
+	}
+	return out
+}
+
+// appendEntry adds a (key, rid) pair to a leaf, copying the coordinates
+// into the flat block.
+func (n *Node) appendEntry(key geom.Vector, rid int64) {
+	n.flatKeys = append(n.flatKeys, key...)
+	n.rids = append(n.rids, rid)
+}
+
+// removeEntry deletes the i-th entry of a leaf. The flat block is rebuilt
+// rather than shifted in place, so LeafKey views handed out earlier keep
+// their contents.
+func (n *Node) removeEntry(i int) {
+	d := n.dim
+	flat := make([]float64, 0, len(n.flatKeys)-d)
+	flat = append(flat, n.flatKeys[:i*d]...)
+	flat = append(flat, n.flatKeys[(i+1)*d:]...)
+	n.flatKeys = flat
+	n.rids = append(n.rids[:i], n.rids[i+1:]...)
+}
 
 // ChildPred returns the bounding predicate of the i-th child entry.
 func (n *Node) ChildPred(i int) Predicate { return n.preds[i] }
@@ -201,7 +251,7 @@ func New(ext Extension, cfg Config) (*Tree, error) {
 }
 
 func (t *Tree) newNode(level int) *Node {
-	n := &Node{id: t.nextPage, level: level}
+	n := &Node{id: t.nextPage, level: level, dim: t.dim}
 	t.nextPage++
 	return n
 }

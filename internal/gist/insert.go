@@ -2,8 +2,6 @@ package gist
 
 import "fmt"
 
-import "blobindex/internal/geom"
-
 // Insert adds a (key, RID) pair to the tree, descending along minimal
 // penalty children, splitting overflowing nodes with the extension's
 // PickSplit methods, and propagating splits and predicate adjustments to the
@@ -37,8 +35,7 @@ func (t *Tree) insertLocked(p Point) {
 		n = n.children[best]
 	}
 
-	n.keys = append(n.keys, p.Key.Clone())
-	n.rids = append(n.rids, p.RID)
+	n.appendEntry(p.Key, p.RID)
 	t.size++
 
 	// Adjust predicates along the path so every ancestor covers the new key.
@@ -73,7 +70,7 @@ func (t *Tree) insertLocked(p Point) {
 
 func (t *Tree) overflows(n *Node) bool {
 	if n.IsLeaf() {
-		return len(n.keys) > t.leafCap
+		return len(n.rids) > t.leafCap
 	}
 	return len(n.children) > t.innerCap
 }
@@ -83,19 +80,23 @@ func (t *Tree) overflows(n *Node) bool {
 func (t *Tree) split(n *Node) (sibling *Node, leftPred, rightPred Predicate) {
 	sibling = t.newNode(n.level)
 	if n.IsLeaf() {
-		li, ri := t.ext.PickSplitPoints(n.keys)
-		leftKeys := make([]geom.Vector, 0, len(li))
+		li, ri := t.ext.PickSplitPoints(n.leafKeys())
+		d := n.dim
+		leftFlat := make([]float64, 0, len(li)*d)
 		leftRIDs := make([]int64, 0, len(li))
 		for _, i := range li {
-			leftKeys = append(leftKeys, n.keys[i])
+			leftFlat = append(leftFlat, n.flatKeys[i*d:(i+1)*d]...)
 			leftRIDs = append(leftRIDs, n.rids[i])
 		}
+		sibling.flatKeys = make([]float64, 0, len(ri)*d)
+		sibling.rids = make([]int64, 0, len(ri))
 		for _, i := range ri {
-			sibling.keys = append(sibling.keys, n.keys[i])
+			sibling.flatKeys = append(sibling.flatKeys, n.flatKeys[i*d:(i+1)*d]...)
 			sibling.rids = append(sibling.rids, n.rids[i])
 		}
-		n.keys, n.rids = leftKeys, leftRIDs
-		return sibling, t.ext.FromPoints(n.keys), t.ext.FromPoints(sibling.keys)
+		// Fresh blocks for both halves: views into the old block stay intact.
+		n.flatKeys, n.rids = leftFlat, leftRIDs
+		return sibling, t.ext.FromPoints(n.leafKeys()), t.ext.FromPoints(sibling.leafKeys())
 	}
 	li, ri := t.ext.PickSplitPreds(n.preds)
 	leftPreds := make([]Predicate, 0, len(li))

@@ -37,7 +37,13 @@ func FromRaw(ext Extension, cfg Config, root *RawNode) (*Tree, error) {
 				return nil, fmt.Errorf("gist: raw leaf has %d keys, %d rids",
 					len(rn.Keys), len(rn.RIDs))
 			}
-			n.keys = rn.Keys
+			n.flatKeys = make([]float64, 0, len(rn.Keys)*t.dim)
+			for _, k := range rn.Keys {
+				if len(k) != t.dim {
+					return nil, fmt.Errorf("gist: raw key dimension %d, want %d", len(k), t.dim)
+				}
+				n.flatKeys = append(n.flatKeys, k...)
+			}
 			n.rids = rn.RIDs
 			size += len(rn.Keys)
 			return n, nil

@@ -17,8 +17,9 @@ func (t *Tree) RangeSearch(center geom.Vector, radius2 float64, trace *Trace) []
 func (t *Tree) rangeSearch(n *Node, center geom.Vector, radius2 float64, trace *Trace, out *[]int64) {
 	trace.Record(n)
 	if n.IsLeaf() {
-		for i, k := range n.keys {
-			if center.Dist2(k) <= radius2 {
+		flat, d := n.flatKeys, n.dim
+		for i := range n.rids {
+			if geom.Dist2Flat(center, flat, i, d) <= radius2 {
 				*out = append(*out, n.rids[i])
 			}
 		}
@@ -40,8 +41,8 @@ func (t *Tree) Lookup(key geom.Vector, rid int64) bool {
 
 func (t *Tree) lookup(n *Node, key geom.Vector, rid int64) bool {
 	if n.IsLeaf() {
-		for i, k := range n.keys {
-			if n.rids[i] == rid && k.Equal(key) {
+		for i := range n.rids {
+			if n.rids[i] == rid && n.LeafKey(i).Equal(key) {
 				return true
 			}
 		}

@@ -22,7 +22,7 @@ func (t *Tree) TightenPredicates() {
 // points stored beneath n.
 func tightenNode(ext Extension, n *Node) []geom.Vector {
 	if n.IsLeaf() {
-		return n.keys
+		return n.leafKeys()
 	}
 	var all []geom.Vector
 	for i, child := range n.children {

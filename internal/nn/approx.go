@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"container/heap"
 	"context"
 
 	"blobindex/internal/geom"
@@ -32,47 +31,56 @@ func SearchApprox(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Resul
 // SearchApproxCtx is SearchApprox with cancellation: once ctx is done the
 // harvest stops and ctx's error is returned.
 func SearchApproxCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
+	return SearchApproxCtxInto(ctx, t, q, k, trace, nil)
+}
+
+// SearchApproxCtxInto is SearchApproxCtx appending the results to dst and
+// returning the extended slice. On error dst is returned truncated to its
+// original length.
+func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) ([]Result, error) {
+	base := len(dst)
 	if k <= 0 || t.Len() == 0 {
-		return nil, ctxErr(ctx)
+		return dst, ctxErr(ctx)
 	}
 	ext := t.Ext()
 	t.RLock()
 	defer t.RUnlock()
-	var queue pq
-	seq := 0
-	push := func(n *gist.Node, d float64) {
-		heap.Push(&queue, item{dist2: d, seq: seq, node: n})
-		seq++
-	}
-	push(t.Root(), 0)
+	sc := getScratch()
+	queue := sc.queue
+	seq := 1
+	queue.pushItem(item{dist2: 0, seq: 0, node: t.Root()})
 
-	var harvest []Result
-	for queue.Len() > 0 && len(harvest) < k {
+	for len(queue) > 0 && len(dst)-base < k {
 		if err := ctxErr(ctx); err != nil {
-			return nil, err
+			sc.queue = queue
+			sc.release()
+			return dst[:base], err
 		}
-		it := heap.Pop(&queue).(item)
+		it := queue.popItem()
 		n := it.node
 		trace.Record(n)
 		if n.IsLeaf() {
+			flat, d := n.FlatKeys(), n.Dim()
 			for i := 0; i < n.NumEntries(); i++ {
-				key := n.LeafKey(i)
-				harvest = append(harvest, Result{
+				dst = append(dst, Result{
 					RID:   n.LeafRID(i),
-					Key:   key,
-					Dist2: q.Dist2(key),
+					Key:   n.LeafKey(i),
+					Dist2: geom.Dist2Flat(q, flat, i, d),
 					Leaf:  n.ID(),
 				})
 			}
 			continue
 		}
 		for i := 0; i < n.NumEntries(); i++ {
-			push(n.Child(i), ext.MinDist2(n.ChildPred(i), q))
+			queue.pushItem(item{dist2: ext.MinDist2(n.ChildPred(i), q), seq: seq, node: n.Child(i)})
+			seq++
 		}
 	}
-	sortResults(harvest)
-	if k < len(harvest) {
-		harvest = harvest[:k]
+	sc.queue = queue
+	sc.release()
+	sortResults(dst[base:])
+	if base+k < len(dst) {
+		dst = dst[:base+k]
 	}
-	return harvest, nil
+	return dst, nil
 }

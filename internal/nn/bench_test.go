@@ -1,0 +1,156 @@
+package nn
+
+// Allocation-regression benchmarks for the query hot path. Every benchmark
+// reports allocs (run with -benchmem), and TestSearchSteadyStateZeroAlloc
+// pins the headline property of the flat node layout + scratch pooling: a
+// steady-state single-query search allocates nothing once the pool is warm.
+
+import (
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+)
+
+const (
+	benchPoints  = 20000
+	benchDim     = 5
+	benchK       = 50
+	benchQueries = 64
+)
+
+// benchSetup builds a bulk-loaded tree for the access method plus a fixed
+// set of query points drawn from the same distribution.
+func benchSetup(tb testing.TB, kind am.Kind) (*gist.Tree, []geom.Vector) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, benchPoints, benchDim)
+	tree := buildTree(tb, kind, pts, benchDim)
+	queries := make([]geom.Vector, benchQueries)
+	for i := range queries {
+		q := make(geom.Vector, benchDim)
+		for d := range q {
+			q[d] = rng.Float64() * 100
+		}
+		queries[i] = q
+	}
+	return tree, queries
+}
+
+// benchRadii returns each query's exact benchK-th-neighbor squared distance,
+// so range benchmarks sweep spheres holding exactly benchK points.
+func benchRadii(tb testing.TB, tree *gist.Tree, queries []geom.Vector) []float64 {
+	tb.Helper()
+	radii := make([]float64, len(queries))
+	var buf []Result
+	for i, q := range queries {
+		buf, _ = SearchCtxInto(nil, tree, q, benchK, nil, buf[:0])
+		if len(buf) == 0 {
+			tb.Fatal("empty radius probe")
+		}
+		radii[i] = buf[len(buf)-1].Dist2
+	}
+	return radii
+}
+
+// BenchmarkKNN measures best-first k-NN per access method with a reused
+// result buffer — the steady-state serving path.
+func BenchmarkKNN(b *testing.B) {
+	for _, kind := range am.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			tree, queries := benchSetup(b, kind)
+			dst := make([]Result, 0, benchK)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _ = SearchCtxInto(nil, tree, queries[i%len(queries)], benchK, nil, dst[:0])
+				if len(dst) != benchK {
+					b.Fatalf("got %d results", len(dst))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRange measures range search at each query's exact k-th-neighbor
+// radius per access method.
+func BenchmarkRange(b *testing.B) {
+	for _, kind := range am.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			tree, queries := benchSetup(b, kind)
+			radii := benchRadii(b, tree, queries)
+			dst := make([]Result, 0, 2*benchK)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % len(queries)
+				dst, _ = RangeCtxInto(nil, tree, queries[j], radii[j], nil, dst[:0])
+				if len(dst) < benchK {
+					b.Fatalf("got %d results", len(dst))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbe measures the approximate candidate harvest (§2.3's "quick
+// and dirty" plan) per access method.
+func BenchmarkProbe(b *testing.B) {
+	for _, kind := range am.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			tree, queries := benchSetup(b, kind)
+			dst := make([]Result, 0, benchK)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _ = SearchApproxCtxInto(nil, tree, queries[i%len(queries)], benchK, nil, dst[:0])
+				if len(dst) == 0 {
+					b.Fatal("empty harvest")
+				}
+			}
+		})
+	}
+}
+
+// TestSearchSteadyStateZeroAlloc is the PR's acceptance gate: once the
+// scratch pool is warm and the caller reuses its result buffer, a k-NN and a
+// range search allocate nothing — for the R-tree (pure rectangle kernels)
+// and for JB (bitten-MinDist kernels, the hardest case).
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under -race: sync.Pool drops items randomly")
+	}
+	for _, kind := range []am.Kind{am.KindRTree, am.KindJB} {
+		t.Run(string(kind), func(t *testing.T) {
+			tree, queries := benchSetup(t, kind)
+			radii := benchRadii(t, tree, queries)
+			dst := make([]Result, 0, 4*benchK)
+			warm := func() {
+				for i := range queries {
+					dst, _ = SearchCtxInto(nil, tree, queries[i], benchK, nil, dst[:0])
+					dst, _ = RangeCtxInto(nil, tree, queries[i], radii[i], nil, dst[:0])
+				}
+			}
+			warm()
+			i := 0
+			knn := testing.AllocsPerRun(100, func() {
+				dst, _ = SearchCtxInto(nil, tree, queries[i%len(queries)], benchK, nil, dst[:0])
+				i++
+			})
+			if knn != 0 {
+				t.Errorf("steady-state KNN: %.1f allocs/op, want 0", knn)
+			}
+			i = 0
+			rng := testing.AllocsPerRun(100, func() {
+				j := i % len(queries)
+				dst, _ = RangeCtxInto(nil, tree, queries[j], radii[j], nil, dst[:0])
+				i++
+			})
+			if rng != 0 {
+				t.Errorf("steady-state Range: %.1f allocs/op, want 0", rng)
+			}
+		})
+	}
+}

@@ -1,9 +1,8 @@
 package nn
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
@@ -33,7 +32,7 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	best := &resultHeap{}
 
 	kth := func() float64 {
-		if best.Len() < k {
+		if len(*best) < k {
 			return math.Inf(1)
 		}
 		return (*best)[0].Dist2
@@ -43,14 +42,14 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	visit = func(n *gist.Node) {
 		trace.Record(n)
 		if n.IsLeaf() {
+			flat, dim := n.FlatKeys(), n.Dim()
 			for i := 0; i < n.NumEntries(); i++ {
-				key := n.LeafKey(i)
-				d := q.Dist2(key)
-				if best.Len() < k {
-					heap.Push(best, Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()})
+				d := geom.Dist2Flat(q, flat, i, dim)
+				if len(*best) < k {
+					best.push(Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: d, Leaf: n.ID()})
 				} else if d < (*best)[0].Dist2 {
-					(*best)[0] = Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()}
-					heap.Fix(best, 0)
+					(*best)[0] = Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: d, Leaf: n.ID()}
+					best.fixTop()
 				}
 			}
 			return
@@ -78,7 +77,17 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 			}
 			branches = append(branches, branch{idx: i, minDist: md})
 		}
-		sort.Slice(branches, func(a, b int) bool { return branches[a].minDist < branches[b].minDist })
+		// MINDIST ascending, entry order on ties: a total order, so the
+		// (unstable) sort is deterministic.
+		slices.SortFunc(branches, func(a, b branch) int {
+			if a.minDist != b.minDist {
+				if a.minDist < b.minDist {
+					return -1
+				}
+				return 1
+			}
+			return a.idx - b.idx
+		})
 		for _, b := range branches {
 			// Re-read the bound: deeper visits tighten it.
 			cur := kth()
@@ -93,18 +102,60 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	}
 	visit(t.Root())
 
-	out := make([]Result, best.Len())
+	out := make([]Result, len(*best))
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(best).(Result)
+		out[i] = best.pop()
 	}
 	return out
 }
 
-// resultHeap is a max-heap of results by distance (farthest on top).
+// resultHeap is a max-heap of results by distance (farthest on top),
+// hand-rolled with the standard sift operations to avoid the interface
+// boxing of container/heap.
 type resultHeap []Result
 
-func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return h[i].Dist2 > h[j].Dist2 }
-func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() any          { old := *h; n := len(old); r := old[n-1]; *h = old[:n-1]; return r }
+func (h *resultHeap) push(r Result) {
+	*h = append(*h, r)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].Dist2 >= s[i].Dist2 {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *resultHeap) pop() Result {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	down(s[:n], 0)
+	r := s[n]
+	*h = s[:n]
+	return r
+}
+
+// fixTop restores the heap property after the root was overwritten.
+func (h *resultHeap) fixTop() { down(*h, 0) }
+
+func down(s []Result, i int) {
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && s[r].Dist2 > s[l].Dist2 {
+			big = r
+		}
+		if s[big].Dist2 <= s[i].Dist2 {
+			return
+		}
+		s[i], s[big] = s[big], s[i]
+		i = big
+	}
+}

@@ -2,7 +2,7 @@ package nn
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
@@ -37,13 +37,22 @@ func SearchExpanding(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Re
 // the traversal stops and ctx's error is returned. A nil ctx means no
 // cancellation.
 func SearchExpandingCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
+	return SearchExpandingCtxInto(ctx, t, q, k, trace, nil)
+}
+
+// SearchExpandingCtxInto is SearchExpandingCtx appending the results to dst
+// and returning the extended slice. On error dst is returned truncated to
+// its original length.
+func SearchExpandingCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) ([]Result, error) {
+	base := len(dst)
 	total := t.Len()
 	if k <= 0 || total == 0 {
-		return nil, ctxErr(ctx)
+		return dst, ctxErr(ctx)
 	}
 	ext := t.Ext()
 	t.RLock()
 	defer t.RUnlock()
+	sc := getScratch()
 
 	// Greedy probe: descend along the minimal-MinDist2 child.
 	n := t.Root()
@@ -60,11 +69,13 @@ func SearchExpandingCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int,
 		}
 		n = n.Child(best)
 	}
-	dists := make([]float64, 0, n.NumEntries())
+	dists := sc.dists[:0]
+	flat, dim := n.FlatKeys(), n.Dim()
 	for i := 0; i < n.NumEntries(); i++ {
-		dists = append(dists, q.Dist2(n.LeafKey(i)))
+		dists = append(dists, geom.Dist2Flat(q, flat, i, dim))
 	}
-	sort.Float64s(dists)
+	slices.Sort(dists)
+	sc.dists = dists
 	// Start from a low quantile of the probe leaf's distances: an STR leaf
 	// can span several point clusters, so its diameter badly overestimates
 	// the k-th neighbor distance; undershooting is cheap (the re-descent
@@ -87,17 +98,24 @@ func SearchExpandingCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int,
 	}
 
 	// Expanding sphere: re-descend from the root until the sphere holds k.
+	// Each round harvests into the scratch result buffer; only the final
+	// round's top k are copied out to dst.
 	for {
-		var out []Result
-		if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
-			return nil, err
+		out := sc.results[:0]
+		err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc)
+		sc.results = out
+		if err != nil {
+			sc.release()
+			return dst[:base], err
 		}
 		if len(out) >= k || len(out) >= total {
 			sortResults(out)
 			if k < len(out) {
 				out = out[:k]
 			}
-			return out, nil
+			dst = append(dst, out...)
+			sc.release()
+			return dst, nil
 		}
 		radius2 *= 2 // grow the radius by √2 (distances are squared)
 	}
@@ -120,26 +138,42 @@ func SearchSphere(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Resul
 
 // SearchSphereCtx is SearchSphere with cancellation.
 func SearchSphereCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) ([]Result, error) {
+	return SearchSphereCtxInto(ctx, t, q, k, trace, nil)
+}
+
+// SearchSphereCtxInto is SearchSphereCtx appending the results to dst and
+// returning the extended slice. On error dst is returned truncated to its
+// original length.
+func SearchSphereCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) ([]Result, error) {
+	base := len(dst)
 	if k <= 0 || t.Len() == 0 {
-		return nil, ctxErr(ctx)
+		return dst, ctxErr(ctx)
 	}
-	exact, err := SearchCtx(ctx, t, q, k, nil)
+	sc := getScratch()
+	// Exact k-NN (no I/O accounting) for the true k-th-neighbor radius; the
+	// results land in the scratch buffer and only the radius survives.
+	exact, err := SearchCtxInto(ctx, t, q, k, nil, sc.results[:0])
+	sc.results = exact
 	if err != nil {
-		return nil, err
+		sc.release()
+		return dst[:base], err
 	}
 	if len(exact) == 0 {
-		return nil, nil
+		sc.release()
+		return dst, nil
 	}
 	radius2 := exact[len(exact)-1].Dist2
 	t.RLock()
 	defer t.RUnlock()
-	var out []Result
-	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
-		return nil, err
+	out := dst
+	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc); err != nil {
+		sc.release()
+		return dst[:base], err
 	}
-	sortResults(out)
-	if k < len(out) {
-		out = out[:k]
+	sc.release()
+	sortResults(out[base:])
+	if base+k < len(out) {
+		out = out[:base+k]
 	}
 	return out, nil
 }
@@ -152,63 +186,105 @@ func Range(t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace) []Re
 	return res
 }
 
+// RangeInto is Range appending the results to dst and returning the
+// extended slice.
+func RangeInto(t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace, dst []Result) []Result {
+	out, _ := RangeCtxInto(nil, t, q, radius2, trace, dst)
+	return out
+}
+
 // RangeCtx is Range with cancellation: once ctx is done mid-traversal the
 // descent stops and ctx's error is returned.
 func RangeCtx(ctx context.Context, t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace) ([]Result, error) {
+	return RangeCtxInto(ctx, t, q, radius2, trace, nil)
+}
+
+// RangeCtxInto is RangeCtx appending the results to dst and returning the
+// extended slice. On error dst is returned truncated to its original
+// length.
+func RangeCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, radius2 float64, trace *gist.Trace, dst []Result) ([]Result, error) {
+	base := len(dst)
 	if t.Len() == 0 {
-		return nil, ctxErr(ctx)
+		return dst, ctxErr(ctx)
 	}
 	t.RLock()
 	defer t.RUnlock()
-	var out []Result
-	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out); err != nil {
-		return nil, err
+	sc := getScratch()
+	out := dst
+	err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc)
+	sc.release()
+	if err != nil {
+		return dst[:base], err
 	}
-	sortResults(out)
+	sortResults(out[base:])
 	return out, nil
 }
 
-// sortResults orders results nearest first, breaking distance ties by RID
-// for determinism.
-func sortResults(out []Result) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist2 != out[j].Dist2 {
-			return out[i].Dist2 < out[j].Dist2
+// compareResults orders results nearest first, breaking distance ties by
+// RID. Because RIDs are unique within a result set the order is total, so
+// the (unstable) sort below is deterministic.
+func compareResults(a, b Result) int {
+	if a.Dist2 != b.Dist2 {
+		if a.Dist2 < b.Dist2 {
+			return -1
 		}
-		return out[i].RID < out[j].RID
-	})
+		return 1
+	}
+	switch {
+	case a.RID < b.RID:
+		return -1
+	case a.RID > b.RID:
+		return 1
+	}
+	return 0
+}
+
+// sortResults orders results nearest first, breaking distance ties by RID
+// for determinism. slices.SortFunc avoids the reflection overhead of
+// sort.Slice on the query hot path.
+func sortResults(out []Result) {
+	slices.SortFunc(out, compareResults)
 }
 
 // rangeHarvest descends every subtree whose predicate intersects the query
 // sphere, collecting the points inside it with their leaf attributions. The
-// caller must hold the tree's read lock; ctx is checked once per visited
-// node so cancellation lands mid-traversal.
-func rangeHarvest(ctx context.Context, t *gist.Tree, n *gist.Node, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result) error {
-	if err := ctxErr(ctx); err != nil {
-		return err
-	}
-	trace.Record(n)
-	if n.IsLeaf() {
-		for i := 0; i < n.NumEntries(); i++ {
-			key := n.LeafKey(i)
-			if d := q.Dist2(key); d <= radius2 {
-				*out = append(*out, Result{
-					RID:   n.LeafRID(i),
-					Key:   key,
-					Dist2: d,
-					Leaf:  n.ID(),
-				})
-			}
-		}
-		return nil
-	}
+// descent is an explicit stack (borrowed from sc) rather than recursion;
+// children are pushed in reverse entry order so nodes pop in exactly the
+// depth-first pre-order the recursive form visited. The caller must hold
+// the tree's read lock; ctx is checked once per visited node so
+// cancellation lands mid-traversal.
+func rangeHarvest(ctx context.Context, t *gist.Tree, root *gist.Node, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result, sc *searchScratch) error {
 	ext := t.Ext()
-	for i := 0; i < n.NumEntries(); i++ {
-		if ext.MinDist2(n.ChildPred(i), q) <= radius2 {
-			if err := rangeHarvest(ctx, t, n.Child(i), q, radius2, trace, out); err != nil {
-				return err
+	stack := append(sc.stack[:0], root)
+	for len(stack) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			sc.stack = stack
+			return err
+		}
+		n := stack[len(stack)-1]
+		stack[len(stack)-1] = nil
+		stack = stack[:len(stack)-1]
+		trace.Record(n)
+		if n.IsLeaf() {
+			flat, d := n.FlatKeys(), n.Dim()
+			for i := 0; i < n.NumEntries(); i++ {
+				if dist := geom.Dist2Flat(q, flat, i, d); dist <= radius2 {
+					*out = append(*out, Result{
+						RID:   n.LeafRID(i),
+						Key:   n.LeafKey(i),
+						Dist2: dist,
+						Leaf:  n.ID(),
+					})
+				}
+			}
+			continue
+		}
+		for i := n.NumEntries() - 1; i >= 0; i-- {
+			if ext.MinDist2(n.ChildPred(i), q) <= radius2 {
+				stack = append(stack, n.Child(i))
 			}
 		}
 	}
+	sc.stack = stack
 	return nil
 }

@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"container/heap"
 	"context"
 
 	"blobindex/internal/geom"
@@ -51,23 +50,13 @@ func NewIteratorCtx(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gis
 	return it
 }
 
-// newIteratorLocked builds an iterator for a caller that already holds the
-// tree's read lock and keeps holding it across next/nextWithin calls.
-func newIteratorLocked(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gist.Trace, nonEmpty bool) *Iterator {
-	it := &Iterator{tree: t, query: q, trace: trace, ctx: ctx}
-	if nonEmpty {
-		it.push(item{dist2: 0, node: t.Root()})
-	}
-	return it
-}
-
 // Err returns the context error that stopped the iteration, if any.
 func (it *Iterator) Err() error { return it.err }
 
 func (it *Iterator) push(x item) {
 	x.seq = it.seq
 	it.seq++
-	heap.Push(&it.queue, x)
+	it.queue.pushItem(x)
 }
 
 // canceled records and reports a pending context cancellation.
@@ -97,23 +86,23 @@ func (it *Iterator) Next() (Result, bool) {
 
 func (it *Iterator) next() (Result, bool) {
 	ext := it.tree.Ext()
-	for it.queue.Len() > 0 {
+	for len(it.queue) > 0 {
 		if it.canceled() {
 			return Result{}, false
 		}
-		top := heap.Pop(&it.queue).(item)
+		top := it.queue.popItem()
 		if top.node == nil {
 			return top.res, true
 		}
 		n := top.node
 		it.trace.Record(n)
 		if n.IsLeaf() {
+			flat, d := n.FlatKeys(), n.Dim()
 			for i := 0; i < n.NumEntries(); i++ {
-				key := n.LeafKey(i)
-				d := it.query.Dist2(key)
+				dist := geom.Dist2Flat(it.query, flat, i, d)
 				it.push(item{
-					dist2: d,
-					res:   Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()},
+					dist2: dist,
+					res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
 				})
 			}
 			continue
@@ -141,7 +130,7 @@ func (it *Iterator) NextWithin(radius2 float64) (Result, bool) {
 
 func (it *Iterator) nextWithin(radius2 float64) (Result, bool) {
 	ext := it.tree.Ext()
-	for it.queue.Len() > 0 {
+	for len(it.queue) > 0 {
 		if it.canceled() {
 			return Result{}, false
 		}
@@ -149,19 +138,19 @@ func (it *Iterator) nextWithin(radius2 float64) (Result, bool) {
 		if top.dist2 > radius2 {
 			return Result{}, false
 		}
-		heap.Pop(&it.queue)
+		it.queue.popItem()
 		if top.node == nil {
 			return top.res, true
 		}
 		n := top.node
 		it.trace.Record(n)
 		if n.IsLeaf() {
+			flat, d := n.FlatKeys(), n.Dim()
 			for i := 0; i < n.NumEntries(); i++ {
-				key := n.LeafKey(i)
-				d := it.query.Dist2(key)
+				dist := geom.Dist2Flat(it.query, flat, i, d)
 				it.push(item{
-					dist2: d,
-					res:   Result{RID: n.LeafRID(i), Key: key, Dist2: d, Leaf: n.ID()},
+					dist2: dist,
+					res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
 				})
 			}
 			continue

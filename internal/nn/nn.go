@@ -11,17 +11,19 @@
 // internal/geom and internal/am), the search is exact for all six access
 // methods, including JB and XJB whose corner bites tighten the bound.
 //
-// Every search in this package keeps its frontier and result state on the
-// stack of the calling goroutine — there are no shared scratch buffers —
-// and holds the tree's read lock while touching nodes, so any number of
-// searches run concurrently with each other and with a single writer. The
-// Ctx variants additionally honor context cancellation mid-traversal,
-// checked once per visited node.
+// Every search borrows its frontier and traversal scratch from a
+// package-level sync.Pool for the duration of one call (see searchScratch),
+// so steady-state queries allocate nothing, and holds the tree's read lock
+// while touching nodes, so any number of searches run concurrently with
+// each other and with a single writer. The Ctx variants additionally honor
+// context cancellation mid-traversal, checked once per visited node. The
+// Into variants append into a caller-supplied result buffer, which is what
+// lets a replay loop run whole workloads without per-query allocation.
 package nn
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
@@ -47,23 +49,9 @@ type item struct {
 	res   Result // valid when node == nil
 }
 
+// pq is a binary min-heap of items; its ordering and sift operations live
+// in scratch.go.
 type pq []item
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].dist2 != q[j].dist2 {
-		return q[i].dist2 < q[j].dist2
-	}
-	// Prefer points over nodes at equal distance so results surface early,
-	// then FIFO order.
-	if (q[i].node == nil) != (q[j].node == nil) {
-		return q[i].node == nil
-	}
-	return q[i].seq < q[j].seq
-}
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(item)) }
-func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
 // Search returns the k nearest neighbors of q in the tree, nearest first.
 // Fewer than k results are returned when the tree holds fewer points. If
@@ -75,6 +63,14 @@ func Search(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	return res
 }
 
+// SearchInto is Search appending the results to dst and returning the
+// extended slice; passing a reused buffer keeps the steady-state query path
+// allocation-free.
+func SearchInto(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) []Result {
+	out, _ := SearchCtxInto(nil, t, q, k, trace, dst)
+	return out
+}
+
 // SearchCtx is Search with cancellation: once ctx is done mid-traversal the
 // search stops reading pages and returns ctx's error. A nil ctx means no
 // cancellation.
@@ -82,21 +78,39 @@ func SearchCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *g
 	if k <= 0 || t.Len() == 0 {
 		return nil, ctxErr(ctx)
 	}
+	out, err := SearchCtxInto(ctx, t, q, k, trace, make([]Result, 0, k))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SearchCtxInto is SearchCtx appending the results to dst and returning the
+// extended slice. On error dst is returned truncated to its original
+// length.
+func SearchCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) ([]Result, error) {
+	base := len(dst)
+	if k <= 0 || t.Len() == 0 {
+		return dst, ctxErr(ctx)
+	}
 	t.RLock()
 	defer t.RUnlock()
-	it := newIteratorLocked(ctx, t, q, trace, true)
-	results := make([]Result, 0, k)
-	for len(results) < k {
+	sc := getScratch()
+	it := Iterator{tree: t, query: q, trace: trace, ctx: ctx, queue: sc.queue}
+	it.push(item{dist2: 0, node: t.Root()})
+	for len(dst)-base < k {
 		r, ok := it.next()
 		if !ok {
 			break
 		}
-		results = append(results, r)
+		dst = append(dst, r)
 	}
+	sc.queue = it.queue
+	sc.release()
 	if it.err != nil {
-		return nil, it.err
+		return dst[:base], it.err
 	}
-	return results, nil
+	return dst, nil
 }
 
 // ctxErr returns ctx.Err() tolerating a nil context.
@@ -161,11 +175,6 @@ func BruteForce(pts []gist.Point, q geom.Vector, k int) []Result {
 	// ties by RID for determinism.
 	out := make([]Result, len(best))
 	copy(out, best)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist2 != out[j].Dist2 {
-			return out[i].Dist2 < out[j].Dist2
-		}
-		return out[i].RID < out[j].RID
-	})
+	slices.SortFunc(out, compareResults)
 	return out
 }

@@ -23,7 +23,7 @@ func randomPoints(rng *rand.Rand, n, dim int) []gist.Point {
 	return pts
 }
 
-func buildTree(t *testing.T, kind am.Kind, pts []gist.Point, dim int) *gist.Tree {
+func buildTree(t testing.TB, kind am.Kind, pts []gist.Point, dim int) *gist.Tree {
 	t.Helper()
 	ext, err := am.New(kind, am.Options{AMAPSamples: 64, AMAPSeed: 3, XJBX: 4})
 	if err != nil {

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"sync"
+
+	"blobindex/internal/gist"
+)
+
+// searchScratch bundles the per-query transient state of the search
+// algorithms — the best-first frontier, the range-descent stack and the
+// radius-estimation distances — so one workload's queries recycle a few
+// buffers instead of reallocating them per call. Instances cycle through a
+// sync.Pool; a search borrows one for the duration of a single call, so
+// scratch never crosses goroutines.
+type searchScratch struct {
+	queue   pq
+	stack   []*gist.Node
+	dists   []float64
+	results []Result
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func getScratch() *searchScratch { return scratchPool.Get().(*searchScratch) }
+
+// release empties the buffers and returns the scratch to the pool. Node
+// pointers and key views are cleared first so a pooled scratch never pins
+// tree memory of an index the caller has dropped. (Slots past len were
+// already zeroed by popItem and the stack pops.)
+func (s *searchScratch) release() {
+	for i := range s.queue {
+		s.queue[i] = item{}
+	}
+	s.queue = s.queue[:0]
+	for i := range s.stack {
+		s.stack[i] = nil
+	}
+	s.stack = s.stack[:0]
+	s.dists = s.dists[:0]
+	for i := range s.results {
+		s.results[i] = Result{}
+	}
+	s.results = s.results[:0]
+	scratchPool.Put(s)
+}
+
+// The priority queue is a hand-rolled binary min-heap rather than a
+// container/heap.Interface: the interface's Push(any)/Pop() box every item
+// into an interface value, which was the dominant per-query heap allocation
+// of the search hot path. The ordering key (dist2, point-before-node, seq)
+// is a total order — seq is unique — so the pop sequence is independent of
+// heap internals and identical to the container/heap implementation it
+// replaces.
+
+func (q pq) less(i, j int) bool {
+	if q[i].dist2 != q[j].dist2 {
+		return q[i].dist2 < q[j].dist2
+	}
+	// Prefer points over nodes at equal distance so results surface early,
+	// then FIFO order.
+	if (q[i].node == nil) != (q[j].node == nil) {
+		return q[i].node == nil
+	}
+	return q[i].seq < q[j].seq
+}
+
+// pushItem adds x and sifts it up.
+func (q *pq) pushItem(x item) {
+	*q = append(*q, x)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// popItem removes and returns the minimum element, zeroing the vacated slot
+// so pooled queues hold no stale node or key references past their length.
+func (q *pq) popItem() item {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	h[n] = item{}
+	*q = h[:n]
+	return it
+}

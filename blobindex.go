@@ -195,6 +195,9 @@ func (o Options) extension() (gist.Extension, error) {
 type Index struct {
 	tree *gist.Tree
 	opts Options
+	// store is non-nil for demand-paged indexes (Open); it owns the backing
+	// file and the pinning buffer pool.
+	store *pagefile.Store
 }
 
 // New returns an empty index that accepts Insert.
@@ -270,8 +273,10 @@ func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
 }
 
 // Tighten recomputes every bounding predicate from the stored points,
-// restoring the predicate quality a fresh bulk load would produce.
-func (ix *Index) Tighten() { ix.tree.TightenPredicates() }
+// restoring the predicate quality a fresh bulk load would produce. The
+// error is always nil for in-memory indexes; a demand-paged index can fail
+// on an unreadable page.
+func (ix *Index) Tighten() error { return ix.tree.TightenPredicates() }
 
 // SearchKNN returns the exact k nearest neighbors of q, nearest first,
 // using best-first search. It is a thin wrapper over SearchKNNCtx that
@@ -362,10 +367,50 @@ func (ix *Index) Save(path string) error {
 	return pagefile.Save(path, ix.tree)
 }
 
-// Open loads an index saved by Save. The access method, dimensionality,
-// page size and XJB parameter are recovered from the file.
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// PoolPages is the buffer pool capacity in pages for a demand-paged
+	// open. 0 means DefaultPoolPages; with the default 8 KB pages that is an
+	// 8 MiB buffer. Ignored when Eager is set.
+	PoolPages int
+	// Eager reads the whole index into memory at open — the right choice
+	// when the index fits and every page will be hot. Queries then never
+	// touch the file again and BufferStats reports nothing.
+	Eager bool
+}
+
+// DefaultPoolPages is the buffer pool capacity Open uses when OpenOptions
+// does not specify one.
+const DefaultPoolPages = 1024
+
+// Open opens an index saved by Save for demand-paged querying: nodes stay
+// on disk and are read through a pinning LRU buffer pool as traversals
+// reach them, so opening is O(1) in the index size and a query's I/O is
+// proportional to the pages it actually visits. The access method,
+// dimensionality, page size and XJB parameter are recovered from the file.
+// Call Close when done; BufferStats exposes the pool's hit/miss/eviction
+// counters. For the previous load-everything behavior use OpenWithOptions
+// with Eager set.
 func Open(path string) (*Index, error) {
-	tree, err := pagefile.Load(path, am.Options{})
+	return OpenWithOptions(path, OpenOptions{})
+}
+
+// OpenWithOptions is Open with an explicit buffer budget or eager loading.
+func OpenWithOptions(path string, oo OpenOptions) (*Index, error) {
+	var (
+		tree  *gist.Tree
+		store *pagefile.Store
+		err   error
+	)
+	if oo.Eager {
+		tree, err = pagefile.Load(path, am.Options{})
+	} else {
+		pool := oo.PoolPages
+		if pool <= 0 {
+			pool = DefaultPoolPages
+		}
+		tree, store, err = pagefile.OpenPaged(path, am.Options{}, pool)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -375,9 +420,48 @@ func Open(path string) (*Index, error) {
 		PageSize: tree.PageSize(),
 	}
 	if err := opts.fillDefaults(); err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
-	return &Index{tree: tree, opts: opts}, nil
+	return &Index{tree: tree, opts: opts, store: store}, nil
+}
+
+// Close releases the file handle of a demand-paged index. In-memory indexes
+// (Build, New, eager Open) have nothing to release and Close is a no-op.
+// Mutations made through a paged index live in memory only — call Save
+// before Close to persist them.
+func (ix *Index) Close() error {
+	if ix.store == nil {
+		return nil
+	}
+	return ix.store.Close()
+}
+
+// BufferStats is a snapshot of a demand-paged index's buffer pool traffic.
+type BufferStats struct {
+	Hits      int64 // page accesses served from the pool
+	Misses    int64 // page accesses that read the file
+	Evictions int64 // pages evicted to make room
+	Resident  int   // pages currently held
+	Capacity  int   // pool frame budget
+}
+
+// BufferStats returns the buffer pool counters of a demand-paged index.
+// ok is false for in-memory indexes, which have no pool.
+func (ix *Index) BufferStats() (s BufferStats, ok bool) {
+	if ix.store == nil {
+		return BufferStats{}, false
+	}
+	ps := ix.store.PoolStats()
+	return BufferStats{
+		Hits:      ps.Hits,
+		Misses:    ps.Misses,
+		Evictions: ps.Evictions,
+		Resident:  ps.Resident,
+		Capacity:  ps.Capacity,
+	}, true
 }
 
 // WriteSVG renders the index's leaf geometry — bounding predicates

@@ -97,7 +97,9 @@ func TestInsertDeleteTighten(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	idx.Tighten()
+	if err := idx.Tighten(); err != nil {
+		t.Fatal(err)
+	}
 	if err := idx.Check(); err != nil {
 		t.Fatalf("integrity after tighten: %v", err)
 	}
@@ -415,5 +417,155 @@ func TestBiteRestartsOption(t *testing.T) {
 		if len(res) != 5 || res[0].RID != 0 || res[0].Dist != 0 {
 			t.Fatalf("%s with restarts: bad search results %+v", m, res)
 		}
+	}
+}
+
+// Open is demand-paged: a small buffer pool serves exact queries, the pool
+// counters move, and a warm repeat of the same query costs no new misses.
+func TestOpenPagedColdVsWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := randPoints(rng, 3000, 3)
+	idx, err := Build(pts, Options{Method: XJB, Dim: 3, PageSize: 2048, XJBBites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/paged.idx"
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx.BufferStats(); ok {
+		t.Error("in-memory index reports buffer stats")
+	}
+
+	pool := idx.Stats().Pages / 4
+	loaded, err := OpenWithOptions(path, OpenOptions{PoolPages: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	q := pts[42].Key
+	want := idx.SearchKNN(q, 200)
+	got := loaded.SearchKNN(q, 200)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID || got[i].Dist != want[i].Dist {
+			t.Fatalf("result %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	cold, ok := loaded.BufferStats()
+	if !ok {
+		t.Fatal("paged index reports no buffer stats")
+	}
+	if cold.Misses == 0 {
+		t.Error("cold query read no pages")
+	}
+	if cold.Capacity != pool || cold.Resident > pool {
+		t.Errorf("pool shape off: %+v", cold)
+	}
+
+	// Cold vs warm: with a pool big enough for the whole tree, the first
+	// query faults its pages in and an identical repeat is served entirely
+	// from memory. (The quarter-size pool above can't show this — an LRU
+	// pool smaller than a repeating scan evicts each page just before its
+	// reuse, the classic sequential-flooding pattern.)
+	big, err := OpenWithOptions(path, OpenOptions{PoolPages: idx.Stats().Pages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	big.SearchKNN(q, 200)
+	coldBig, _ := big.BufferStats()
+	big.SearchKNN(q, 200)
+	warmBig, _ := big.BufferStats()
+	if warmBig.Misses != coldBig.Misses {
+		t.Errorf("warm repeat read %d pages from disk", warmBig.Misses-coldBig.Misses)
+	}
+	if warmBig.Hits == coldBig.Hits {
+		t.Error("warm repeat produced no pool hits")
+	}
+}
+
+// A demand-paged index accepts the full mutation API; results after the
+// edits match an in-memory index given the same edits.
+func TestOpenPagedMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	pts := randPoints(rng, 1200, 2)
+	idx, err := Build(pts, Options{Method: RTree, Dim: 2, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/mut.idx"
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenWithOptions(path, OpenOptions{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	edit := func(x *Index) {
+		t.Helper()
+		for i := 0; i < 40; i++ {
+			if err := x.Insert(Point{Key: []float64{float64(i), 101}, RID: int64(90000 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 80; i++ {
+			ok, err := x.Delete(pts[i].Key, pts[i].RID)
+			if err != nil || !ok {
+				t.Fatalf("delete %d: %v %v", i, ok, err)
+			}
+		}
+		if err := x.Tighten(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edit(idx)
+	edit(loaded)
+
+	if err := loaded.Check(); err != nil {
+		t.Fatalf("integrity: %v", err)
+	}
+	q := pts[500].Key
+	a, b := idx.SearchKNN(q, 30), loaded.SearchKNN(q, 30)
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d results", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].RID != b[i].RID || a[i].Dist != b[i].Dist {
+			t.Fatalf("result %d differs after mutation", i)
+		}
+	}
+}
+
+// Eager open keeps the old materialize-everything behavior.
+func TestOpenEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pts := randPoints(rng, 800, 2)
+	idx, err := Build(pts, Options{Method: JB, Dim: 2, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/eager.idx"
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenWithOptions(path, OpenOptions{Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close() // no-op for eager indexes
+	if _, ok := loaded.BufferStats(); ok {
+		t.Error("eager index reports buffer stats")
+	}
+	if loaded.Len() != idx.Len() {
+		t.Errorf("len %d, want %d", loaded.Len(), idx.Len())
+	}
+	if err := loaded.Check(); err != nil {
+		t.Fatal(err)
 	}
 }

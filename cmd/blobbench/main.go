@@ -25,10 +25,11 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,quality,skew,dynamic,replay,ablations,bench")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
+	pagedOut := flag.String("pagedout", "", "write the pagedio experiment's JSON to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -127,6 +128,24 @@ func main() {
 			r, err := experiments.BufferSweepDefault(s)
 			if err != nil {
 				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("pagedio") {
+		run("pagedio", func() (string, error) {
+			r, err := experiments.PagedIODefault(s)
+			if err != nil {
+				return "", err
+			}
+			if *pagedOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*pagedOut, data, 0o644); err != nil {
+					return "", err
+				}
 			}
 			return r.Render(), nil
 		})

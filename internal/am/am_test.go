@@ -204,7 +204,10 @@ func checkRangeAgainstBrute(t *testing.T, tree *gist.Tree, pts []gist.Point, rng
 				want[p.RID] = true
 			}
 		}
-		got := tree.RangeSearch(center, r2, nil)
+		got, err := tree.RangeSearch(center, r2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("range search returned %d results, want %d", len(got), len(want))
 		}

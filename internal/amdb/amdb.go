@@ -174,6 +174,13 @@ type Report struct {
 	// (0 = leaves). For tall trees (JB especially) it shows where the
 	// Figure-16 inner-node cost concentrates.
 	LevelIOs []int
+
+	// Pool, present when the tree's store exposes buffer statistics (a
+	// demand-paged index), is the delta of the real pool counters across the
+	// workload execution — the measured counterpart of the simulated
+	// LevelIOs, produced by the very same traversal events (each traced
+	// access is a store pin).
+	Pool *page.PoolStats
 }
 
 // AvgLeafIOsPerQuery returns the mean leaf I/Os per workload query.
@@ -249,11 +256,19 @@ func AnalyzeCtx(ctx context.Context, tree *gist.Tree, queries []Query, cfg Confi
 	}
 
 	// Leaf utilizations and the dense RID numbering for the partitioner,
-	// plus each leaf's chain of inner ancestors (for inner excess).
+	// plus each leaf's chain of inner ancestors (for inner excess). The scan
+	// runs pin→use→unpin like any traversal, so it works over a demand-paged
+	// store too (where it faults in each page once).
 	ridIndex := make(map[int64]int, tree.Len())
 	ancestors := make(map[page.PageID][]page.PageID)
-	var index func(n *gist.Node, chain []page.PageID)
-	index = func(n *gist.Node, chain []page.PageID) {
+	store := tree.Store()
+	var index func(id page.PageID, chain []page.PageID) error
+	index = func(id page.PageID, chain []page.PageID) error {
+		n, err := store.Pin(id)
+		if err != nil {
+			return err
+		}
+		defer store.Unpin(n)
 		if n.IsLeaf() {
 			r.Nodes[n.ID()] = &NodeProfile{
 				Utilization: float64(n.NumEntries()) / float64(tree.LeafCapacity()),
@@ -265,16 +280,31 @@ func AnalyzeCtx(ctx context.Context, tree *gist.Tree, queries []Query, cfg Confi
 				}
 			}
 			ancestors[n.ID()] = append([]page.PageID(nil), chain...)
-			return
+			return nil
 		}
 		chain = append(chain, n.ID())
 		for i := 0; i < n.NumEntries(); i++ {
-			index(n.Child(i), chain)
+			if err := index(n.ChildID(i), chain); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	tree.RLock()
-	index(tree.Root(), nil)
+	err := index(tree.RootID(), nil)
 	tree.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Snapshot real buffer-pool counters (demand-paged stores only) after
+	// the structure scan, so the delta reported below covers exactly the
+	// workload's traversals.
+	statsProvider, hasPool := store.(gist.StatsProvider)
+	var poolBefore page.PoolStats
+	if hasPool {
+		poolBefore = statsProvider.PoolStats()
+	}
 
 	// Execute the workload.
 	r.PerQuery = make([]QueryProfile, len(queries))
@@ -383,6 +413,10 @@ func AnalyzeCtx(ctx context.Context, tree *gist.Tree, queries []Query, cfg Confi
 		r.Totals.OptimalIOs += qp.OptimalIOs
 	}
 	r.Totals.Queries = len(queries)
+	if hasPool {
+		d := statsProvider.PoolStats().Sub(poolBefore)
+		r.Pool = &d
+	}
 	return r, nil
 }
 

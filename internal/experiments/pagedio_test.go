@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"blobindex/internal/am"
+)
+
+func TestPagedIO(t *testing.T) {
+	s := scenario(t)
+	res, err := PagedIO(s, []am.Kind{am.KindRTree, am.KindJB}, []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Misses == 0 {
+			t.Errorf("%s pool=%d: no real misses recorded", row.AM, row.PoolPages)
+		}
+		if row.PoolPages == row.TreePages && row.Evictions != 0 {
+			t.Errorf("%s: full-size pool evicted %d pages", row.AM, row.Evictions)
+		}
+	}
+	// The acceptance gate: simulated per-level I/Os equal real cold-start
+	// buffer misses, for every checked access method.
+	if len(res.CrossCheck) != 2 {
+		t.Fatalf("want 2 cross-checks, got %d", len(res.CrossCheck))
+	}
+	for _, cc := range res.CrossCheck {
+		if !cc.Match {
+			t.Errorf("%s: simulated %v != real %v", cc.AM, cc.SimulatedIOs, cc.RealMisses)
+		}
+	}
+	if got := res.Render(); !strings.Contains(got, "Paged I/O") || !strings.Contains(got, "MATCH") {
+		t.Error("Render missing expected sections")
+	}
+	if data, err := res.JSON(); err != nil || !strings.Contains(string(data), "cross_check") {
+		t.Errorf("JSON artifact malformed: %v", err)
+	}
+}

@@ -11,7 +11,9 @@ import "fmt"
 //   - the leaves partition the stored RIDs (each RID appears exactly once);
 //   - the recorded size matches the number of stored points.
 //
-// It returns the first violation found, or nil.
+// It returns the first violation found, or nil. Over a file-backed store
+// the check faults in every page of the tree (each pinned only while
+// visited), so it doubles as a whole-file read validation.
 func (t *Tree) CheckIntegrity() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -19,8 +21,13 @@ func (t *Tree) CheckIntegrity() error {
 	seen := make(map[int64]bool, t.size)
 	total := 0
 
-	var check func(n *Node, depth int) error
-	check = func(n *Node, depth int) error {
+	var check func(id PageID, depth int) error
+	check = func(id PageID, depth int) error {
+		n, err := t.store.Pin(id)
+		if err != nil {
+			return err
+		}
+		defer t.store.Unpin(n)
 		if wantLevel := t.height - 1 - depth; n.level != wantLevel {
 			return fmt.Errorf("node %d at depth %d has level %d, want %d",
 				n.id, depth, n.level, wantLevel)
@@ -51,11 +58,11 @@ func (t *Tree) CheckIntegrity() error {
 		if len(n.children) > t.innerCap {
 			return fmt.Errorf("node %d overflows: %d > %d", n.id, len(n.children), t.innerCap)
 		}
-		if len(n.children) == 0 && n != t.root {
+		if len(n.children) == 0 && n.id != t.rootID {
 			return fmt.Errorf("non-root node %d is empty", n.id)
 		}
 		for i, child := range n.children {
-			if err := predCovers(t.ext, n.preds[i], child); err != nil {
+			if err := t.predCovers(n.preds[i], child); err != nil {
 				return fmt.Errorf("node %d entry %d: %w", n.id, i, err)
 			}
 			if err := check(child, depth+1); err != nil {
@@ -64,7 +71,7 @@ func (t *Tree) CheckIntegrity() error {
 		}
 		return nil
 	}
-	if err := check(t.root, 0); err != nil {
+	if err := check(t.rootID, 0); err != nil {
 		return err
 	}
 	if total != t.size {
@@ -73,18 +80,23 @@ func (t *Tree) CheckIntegrity() error {
 	return nil
 }
 
-// predCovers verifies that pred covers every key in the subtree under n.
-func predCovers(ext Extension, pred Predicate, n *Node) error {
+// predCovers verifies that pred covers every key in the subtree under id.
+func (t *Tree) predCovers(pred Predicate, id PageID) error {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer t.store.Unpin(n)
 	if n.IsLeaf() {
 		for i := range n.rids {
-			if k := n.LeafKey(i); !ext.Covers(pred, k) {
+			if k := n.LeafKey(i); !t.ext.Covers(pred, k) {
 				return fmt.Errorf("predicate does not cover key %v (leaf %d entry %d)", k, n.id, i)
 			}
 		}
 		return nil
 	}
 	for _, c := range n.children {
-		if err := predCovers(ext, pred, c); err != nil {
+		if err := t.predCovers(pred, c); err != nil {
 			return err
 		}
 	}

@@ -11,6 +11,11 @@ import "blobindex/internal/geom"
 // GiST §2.1). The Blobworld data set is static, so deletion exists for
 // framework completeness and dynamic-workload experiments rather than the
 // paper's core evaluation.
+//
+// The search for the doomed leaf explores subtrees read-only (pin, inspect,
+// unpin); only once a node is known to lie on the deletion path is it
+// marked dirty, which per the NodeStore contract keeps its pointer resident
+// for the condense phase. Dissolved subtrees are freed page by page.
 func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 	if len(key) != t.dim {
 		return false, fmt.Errorf("gist: key dimension %d, tree dimension %d", len(key), t.dim)
@@ -23,32 +28,57 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 		idx  int
 	}
 	var path []step
-	var findLeaf func(n *Node) *Node
-	findLeaf = func(n *Node) *Node {
+	var findLeaf func(n *Node) (*Node, error)
+	findLeaf = func(n *Node) (*Node, error) {
 		if n.IsLeaf() {
 			for i := range n.rids {
 				if n.rids[i] == rid && n.LeafKey(i).Equal(key) {
-					return n
+					return n, nil
 				}
 			}
-			return nil
+			return nil, nil
 		}
 		for i, pred := range n.preds {
 			if !t.ext.Covers(pred, key) {
 				continue
 			}
+			child, err := t.store.Pin(n.children[i])
+			if err != nil {
+				return nil, err
+			}
 			path = append(path, step{n, i})
-			if leaf := findLeaf(n.children[i]); leaf != nil {
-				return leaf
+			leaf, err := findLeaf(child)
+			if err != nil {
+				t.store.Unpin(child)
+				return nil, err
+			}
+			if leaf != nil {
+				// child is on the deletion path and will be mutated (or
+				// dissolved); dirty it while still pinned.
+				t.store.MarkDirty(child)
+				t.store.Unpin(child)
+				return leaf, nil
 			}
 			path = path[:len(path)-1]
+			t.store.Unpin(child)
 		}
-		return nil
+		return nil, nil
 	}
-	leaf := findLeaf(t.root)
+	root, err := t.store.Pin(t.rootID)
+	if err != nil {
+		return false, err
+	}
+	leaf, err := findLeaf(root)
+	if err != nil {
+		t.store.Unpin(root)
+		return false, err
+	}
 	if leaf == nil {
+		t.store.Unpin(root)
 		return false, nil
 	}
+	t.store.MarkDirty(root)
+	t.store.Unpin(root)
 
 	// Remove the entry from the leaf.
 	for i := range leaf.rids {
@@ -72,7 +102,10 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 			under = len(node.children) < 2
 		}
 		if under {
-			collectPoints(node, &orphans)
+			if err := t.collectPoints(node, &orphans); err != nil {
+				return false, err
+			}
+			t.freeSubtree(node)
 			parent.preds = append(parent.preds[:idx], parent.preds[idx+1:]...)
 			parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
 		} else {
@@ -82,13 +115,22 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 		node = parent
 	}
 
-	// Shrink the root while it is an internal node with a single child.
-	for !t.root.IsLeaf() && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+	// Shrink the root while it is an internal node with a single child. The
+	// surviving child becomes the root; the old root page is freed.
+	cur := root
+	for !cur.IsLeaf() && len(cur.children) == 1 {
+		child, err := t.pinDirty(cur.children[0])
+		if err != nil {
+			return false, err
+		}
+		t.store.Free(cur.id)
+		t.rootID = child.id
 		t.height--
+		cur = child
 	}
-	if !t.root.IsLeaf() && len(t.root.children) == 0 {
-		t.root = t.newNode(0)
+	if !cur.IsLeaf() && len(cur.children) == 0 {
+		t.store.Free(cur.id)
+		t.rootID = t.store.Alloc(0).id
 		t.height = 1
 	}
 
@@ -96,24 +138,53 @@ func (t *Tree) Delete(key geom.Vector, rid int64) (bool, error) {
 	// collected points first to keep the count consistent.
 	t.size -= len(orphans)
 	for _, p := range orphans {
-		t.insertLocked(p)
+		if err := t.insertLocked(p); err != nil {
+			return false, err
+		}
 	}
 	return true, nil
 }
 
 // collectPoints gathers every point stored beneath n into out. The keys are
-// views into the (soon abandoned) flat blocks; reinsertion copies them into
-// their destination leaves.
-func collectPoints(n *Node, out *[]Point) {
+// views into the (soon abandoned) flat blocks — they stay valid after the
+// pages are unpinned and freed, because the arrays are never recycled —
+// and reinsertion copies them into their destination leaves.
+func (t *Tree) collectPoints(n *Node, out *[]Point) error {
 	if n.IsLeaf() {
 		for i := range n.rids {
 			*out = append(*out, Point{Key: n.LeafKey(i), RID: n.rids[i]})
 		}
-		return
+		return nil
 	}
 	for _, c := range n.children {
-		collectPoints(c, out)
+		child, err := t.store.Pin(c)
+		if err != nil {
+			return err
+		}
+		err = t.collectPoints(child, out)
+		t.store.Unpin(child)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// freeSubtree releases every page of the subtree rooted at n (whose points
+// have already been collected for reinsertion). Pages that cannot be pinned
+// are skipped — their contents are already safe in the orphan list.
+func (t *Tree) freeSubtree(n *Node) {
+	if !n.IsLeaf() {
+		for _, c := range n.children {
+			child, err := t.store.Pin(c)
+			if err != nil {
+				continue
+			}
+			t.freeSubtree(child)
+			t.store.Unpin(child)
+		}
+	}
+	t.store.Free(n.id)
 }
 
 // tightPred recomputes a node's predicate from its current contents.

@@ -37,7 +37,11 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 				default:
 				}
 				center := geom.Vector{r.Float64() * 100, r.Float64() * 100}
-				got := tr.RangeSearch(center, r.Float64()*200, nil)
+				got, err := tr.RangeSearch(center, r.Float64()*200, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
 				seen := make(map[int64]bool, len(got))
 				for _, rid := range got {
 					if seen[rid] {
@@ -130,7 +134,10 @@ func TestRandomOperationSequence(t *testing.T) {
 			default: // range search vs oracle
 				center := randKey().Key
 				r2 := rng.Float64() * 500
-				got := tr.RangeSearch(center, r2, nil)
+				got, err := tr.RangeSearch(center, r2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
 				want := 0
 				for _, p := range oracle {
 					if center.Dist2(p.Key) <= r2 {

@@ -108,9 +108,12 @@ type Node struct {
 	flatKeys []float64
 	rids     []int64
 
-	// Internal payload (level > 0).
+	// Internal payload (level > 0). Children are referenced by page id, not
+	// pointer: following an edge always goes through the tree's NodeStore,
+	// which is what lets the same traversal code run over an in-memory store
+	// or a demand-paged file store.
 	preds    []Predicate
-	children []*Node
+	children []page.PageID
 }
 
 // ID returns the node's page id.
@@ -182,8 +185,9 @@ func (n *Node) removeEntry(i int) {
 // ChildPred returns the bounding predicate of the i-th child entry.
 func (n *Node) ChildPred(i int) Predicate { return n.preds[i] }
 
-// Child returns the i-th child node.
-func (n *Node) Child(i int) *Node { return n.children[i] }
+// ChildID returns the page id of the i-th child. The node itself is fetched
+// by pinning the id against the tree's store.
+func (n *Node) ChildID(i int) page.PageID { return n.children[i] }
 
 // Tree is a GiST specialized by an Extension.
 type Tree struct {
@@ -196,10 +200,10 @@ type Tree struct {
 	innerCap int
 	minFill  float64 // minimum fill fraction enforced on splits/deletes
 
-	root     *Node
-	height   int // number of levels (a lone leaf root has height 1)
-	size     int // number of stored points
-	nextPage page.PageID
+	store  NodeStore
+	rootID page.PageID
+	height int // number of levels (a lone leaf root has height 1)
+	size   int // number of stored points
 }
 
 // Config carries the tree construction parameters.
@@ -244,25 +248,39 @@ func New(ext Extension, cfg Config) (*Tree, error) {
 		leafCap:  page.LeafCapacity(cfg.PageSize, cfg.Dim),
 		innerCap: page.Capacity(cfg.PageSize, ext.BPWords(cfg.Dim)),
 		minFill:  cfg.MinFill,
+		store:    NewMemStore(cfg.Dim),
 	}
-	t.root = t.newNode(0)
+	t.rootID = t.store.Alloc(0).id
 	t.height = 1
 	return t, nil
-}
-
-func (t *Tree) newNode(level int) *Node {
-	n := &Node{id: t.nextPage, level: level, dim: t.dim}
-	t.nextPage++
-	return n
 }
 
 // Ext returns the extension specializing this tree.
 func (t *Tree) Ext() Extension { return t.ext }
 
-// Root returns the root node. Callers that traverse the returned node
-// graph while a writer may be active must hold the read lock (RLock) for
-// the duration of the traversal.
-func (t *Tree) Root() *Node { return t.root }
+// Store returns the node store backing this tree. Traversal code pins node
+// ids against it; see the NodeStore pin rules.
+func (t *Tree) Store() NodeStore { return t.store }
+
+// RootID returns the page id of the root node. Callers traversing from it
+// while a writer may be active must hold the read lock (RLock) for the
+// duration of the traversal.
+func (t *Tree) RootID() page.PageID {
+	return t.rootID
+}
+
+// Root pins the root node, unpins it, and returns it — a convenience for
+// analysis and test code. Over a MemStore the returned node is the stable
+// resident copy; over an eviction-capable store it is a read-only snapshot
+// that must not be mutated. Returns nil if the root cannot be loaded.
+func (t *Tree) Root() *Node {
+	n, err := t.store.Pin(t.rootID)
+	if err != nil {
+		return nil
+	}
+	t.store.Unpin(n)
+	return n
+}
 
 // RLock acquires the tree's read lock. It exists for search code (package
 // blobindex/internal/nn) that walks nodes directly via Root/Child: hold it
@@ -300,39 +318,28 @@ func (t *Tree) InnerCapacity() int { return t.innerCap }
 // PageSize returns the configured page size in bytes.
 func (t *Tree) PageSize() int { return t.pageSize }
 
-// NumPages returns the total number of pages (nodes) in the tree.
+// NumPages returns the total number of pages (nodes) in the tree, counted
+// by a full traversal. On a store I/O failure the count so far is returned.
 func (t *Tree) NumPages() int {
-	var count func(*Node) int
-	count = func(n *Node) int {
-		total := 1
-		if !n.IsLeaf() {
-			for _, c := range n.children {
-				total += count(c)
-			}
-		}
-		return total
-	}
+	total := 0
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return count(t.root)
+	_ = t.walkID(t.rootID, nil, func(*Node, Predicate) { total++ })
+	return total
 }
 
-// NumLeaves returns the number of leaf pages.
+// NumLeaves returns the number of leaf pages, counted by a full traversal.
+// On a store I/O failure the count so far is returned.
 func (t *Tree) NumLeaves() int {
-	var count func(*Node) int
-	count = func(n *Node) int {
-		if n.IsLeaf() {
-			return 1
-		}
-		total := 0
-		for _, c := range n.children {
-			total += count(c)
-		}
-		return total
-	}
+	total := 0
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return count(t.root)
+	_ = t.walkID(t.rootID, nil, func(n *Node, _ Predicate) {
+		if n.IsLeaf() {
+			total++
+		}
+	})
+	return total
 }
 
 // LevelStat summarizes one tree level.
@@ -352,19 +359,12 @@ func (t *Tree) LevelStats() []LevelStat {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	stats := make([]LevelStat, t.height)
-	var walk func(n *Node)
-	walk = func(n *Node) {
+	_ = t.walkID(t.rootID, nil, func(n *Node, _ Predicate) {
 		s := &stats[t.height-1-n.level]
 		s.Level = n.level
 		s.Nodes++
 		s.Entries += n.NumEntries()
-		if !n.IsLeaf() {
-			for _, c := range n.children {
-				walk(c)
-			}
-		}
-	}
-	walk(t.root)
+	})
 	for i := range stats {
 		capEntries := t.innerCap
 		if stats[i].Level == 0 {
@@ -378,19 +378,32 @@ func (t *Tree) LevelStats() []LevelStat {
 	return stats
 }
 
-// Walk visits every node in depth-first pre-order. It is intended for
-// analysis tooling; fn must not mutate the tree.
-func (t *Tree) Walk(fn func(n *Node, parentPred Predicate)) {
+// Walk visits every node in depth-first pre-order, pinning each page for
+// the duration of its visit. It is intended for analysis tooling; fn must
+// not mutate the tree. The error is the first store failure, if any.
+func (t *Tree) Walk(fn func(n *Node, parentPred Predicate)) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var walk func(n *Node, pp Predicate)
-	walk = func(n *Node, pp Predicate) {
-		fn(n, pp)
-		if !n.IsLeaf() {
-			for i, c := range n.children {
-				walk(c, n.preds[i])
-			}
+	return t.walkID(t.rootID, nil, fn)
+}
+
+// walkID is the pin-based pre-order recursion beneath Walk and the stats
+// accessors. The caller holds the tree lock. A node stays pinned while its
+// subtree is visited, so at most height pages are pinned at once.
+func (t *Tree) walkID(id page.PageID, pp Predicate, fn func(n *Node, parentPred Predicate)) error {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer t.store.Unpin(n)
+	fn(n, pp)
+	if n.IsLeaf() {
+		return nil
+	}
+	for i, c := range n.children {
+		if err := t.walkID(c, n.preds[i], fn); err != nil {
+			return err
 		}
 	}
-	walk(t.root, nil)
+	return nil
 }

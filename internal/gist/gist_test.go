@@ -126,7 +126,10 @@ func TestInsertSearchSmall(t *testing.T) {
 		center := geom.Vector{rng.Float64() * 100, rng.Float64() * 100}
 		r2 := rng.Float64() * 400
 		want := bruteRange(pts, center, r2)
-		got := tr.RangeSearch(center, r2, nil)
+		got, err := tr.RangeSearch(center, r2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("range search %d: got %d results, want %d", i, len(got), len(want))
 		}
@@ -138,11 +141,11 @@ func TestInsertSearchSmall(t *testing.T) {
 	}
 	// Every inserted pair is found by Lookup.
 	for _, p := range pts[:50] {
-		if !tr.Lookup(p.Key, p.RID) {
-			t.Fatalf("Lookup failed for RID %d", p.RID)
+		if ok, err := tr.Lookup(p.Key, p.RID); err != nil || !ok {
+			t.Fatalf("Lookup failed for RID %d (err %v)", p.RID, err)
 		}
 	}
-	if tr.Lookup(geom.Vector{-1, -1}, 999999) {
+	if ok, _ := tr.Lookup(geom.Vector{-1, -1}, 999999); ok {
 		t.Error("Lookup found a pair that was never inserted")
 	}
 }
@@ -184,12 +187,12 @@ func TestDelete(t *testing.T) {
 	}
 	// Deleted points are gone; remaining points are found.
 	for _, p := range pts[:150] {
-		if tr.Lookup(p.Key, p.RID) {
+		if ok, _ := tr.Lookup(p.Key, p.RID); ok {
 			t.Fatalf("deleted RID %d still present", p.RID)
 		}
 	}
 	for _, p := range pts[150:] {
-		if !tr.Lookup(p.Key, p.RID) {
+		if ok, _ := tr.Lookup(p.Key, p.RID); !ok {
 			t.Fatalf("surviving RID %d missing", p.RID)
 		}
 	}
@@ -239,7 +242,10 @@ func TestBulkLoad(t *testing.T) {
 		center := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
 		r2 := rng.Float64() * 900
 		want := bruteRange(pts, center, r2)
-		got := tr.RangeSearch(center, r2, nil)
+		got, err := tr.RangeSearch(center, r2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("bulk-loaded range search: got %d, want %d", len(got), len(want))
 		}
@@ -274,7 +280,7 @@ func TestBulkLoadEmptyAndSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Height() != 1 || !tr.Lookup(geom.Vector{1, 2}, 7) {
+	if ok, _ := tr.Lookup(geom.Vector{1, 2}, 7); tr.Height() != 1 || !ok {
 		t.Error("single-point bulk load broken")
 	}
 	if err := tr.CheckIntegrity(); err != nil {

@@ -6,24 +6,31 @@ import "fmt"
 // penalty children, splitting overflowing nodes with the extension's
 // PickSplit methods, and propagating splits and predicate adjustments to the
 // root (INSERT template of GiST §2.1).
+//
+// Every node on the insertion path is mutated (its child predicate is
+// extended), so the descent marks each visited node dirty while pinned;
+// per the NodeStore contract a dirty node stays the resident copy, which
+// keeps the collected path pointers valid for the split phase.
 func (t *Tree) Insert(p Point) error {
 	if len(p.Key) != t.dim {
 		return fmt.Errorf("gist: key dimension %d, tree dimension %d", len(p.Key), t.dim)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.insertLocked(p)
-	return nil
+	return t.insertLocked(p)
 }
 
-func (t *Tree) insertLocked(p Point) {
+func (t *Tree) insertLocked(p Point) error {
 	// Descend to a leaf, remembering the path and chosen child indexes.
 	type step struct {
 		node *Node
 		idx  int
 	}
 	var path []step
-	n := t.root
+	n, err := t.pinDirty(t.rootID)
+	if err != nil {
+		return err
+	}
 	for !n.IsLeaf() {
 		best, bestPenalty := 0, t.ext.Penalty(n.preds[0], p.Key)
 		for i := 1; i < len(n.preds); i++ {
@@ -32,7 +39,9 @@ func (t *Tree) insertLocked(p Point) {
 			}
 		}
 		path = append(path, step{n, best})
-		n = n.children[best]
+		if n, err = t.pinDirty(n.children[best]); err != nil {
+			return err
+		}
 	}
 
 	n.appendEntry(p.Key, p.RID)
@@ -48,24 +57,37 @@ func (t *Tree) insertLocked(p Point) {
 	over := n
 	for i := len(path) - 1; ; i-- {
 		if !t.overflows(over) {
-			return
+			return nil
 		}
 		sibling, leftPred, rightPred := t.split(over)
 		if i < 0 {
 			// Splitting the root: grow the tree by one level.
-			newRoot := t.newNode(over.level + 1)
+			newRoot := t.store.Alloc(over.level + 1)
 			newRoot.preds = []Predicate{leftPred, rightPred}
-			newRoot.children = []*Node{over, sibling}
-			t.root = newRoot
+			newRoot.children = []PageID{over.id, sibling.id}
+			t.store.MarkDirty(newRoot)
+			t.rootID = newRoot.id
 			t.height++
-			return
+			return nil
 		}
 		parent, idx := path[i].node, path[i].idx
 		parent.preds[idx] = leftPred
 		parent.preds = append(parent.preds, rightPred)
-		parent.children = append(parent.children, sibling)
+		parent.children = append(parent.children, sibling.id)
 		over = parent
 	}
+}
+
+// pinDirty pins id, marks the node dirty (it is about to be mutated), and
+// immediately unpins: the dirty mark keeps the pointer the resident copy.
+func (t *Tree) pinDirty(id PageID) (*Node, error) {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	t.store.MarkDirty(n)
+	t.store.Unpin(n)
+	return n, nil
 }
 
 func (t *Tree) overflows(n *Node) bool {
@@ -78,7 +100,7 @@ func (t *Tree) overflows(n *Node) bool {
 // split divides an overflowing node in two, returning the new sibling and
 // the predicates of the (now smaller) original node and the sibling.
 func (t *Tree) split(n *Node) (sibling *Node, leftPred, rightPred Predicate) {
-	sibling = t.newNode(n.level)
+	sibling = t.store.Alloc(n.level)
 	if n.IsLeaf() {
 		li, ri := t.ext.PickSplitPoints(n.leafKeys())
 		d := n.dim
@@ -100,7 +122,7 @@ func (t *Tree) split(n *Node) (sibling *Node, leftPred, rightPred Predicate) {
 	}
 	li, ri := t.ext.PickSplitPreds(n.preds)
 	leftPreds := make([]Predicate, 0, len(li))
-	leftChildren := make([]*Node, 0, len(li))
+	leftChildren := make([]PageID, 0, len(li))
 	for _, i := range li {
 		leftPreds = append(leftPreds, n.preds[i])
 		leftChildren = append(leftChildren, n.children[i])

@@ -5,16 +5,25 @@ import "blobindex/internal/geom"
 // RangeSearch returns the RIDs of all points within distance² radius2 of
 // center, recursively descending every subtree whose bounding predicate is
 // consistent with the query sphere (SEARCH template of GiST §2.1). If trace
-// is non-nil, every visited node is recorded in it.
-func (t *Tree) RangeSearch(center geom.Vector, radius2 float64, trace *Trace) []int64 {
+// is non-nil, every visited node is recorded in it. Each visited page is
+// pinned for the duration of its visit, so over a file-backed store the
+// descent demand-pages exactly the consistent subtrees.
+func (t *Tree) RangeSearch(center geom.Vector, radius2 float64, trace *Trace) ([]int64, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []int64
-	t.rangeSearch(t.root, center, radius2, trace, &out)
-	return out
+	if err := t.rangeSearch(t.rootID, center, radius2, trace, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-func (t *Tree) rangeSearch(n *Node, center geom.Vector, radius2 float64, trace *Trace, out *[]int64) {
+func (t *Tree) rangeSearch(id PageID, center geom.Vector, radius2 float64, trace *Trace, out *[]int64) error {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer t.store.Unpin(n)
 	trace.Record(n)
 	if n.IsLeaf() {
 		flat, d := n.flatKeys, n.dim
@@ -23,35 +32,47 @@ func (t *Tree) rangeSearch(n *Node, center geom.Vector, radius2 float64, trace *
 				*out = append(*out, n.rids[i])
 			}
 		}
-		return
+		return nil
 	}
 	for i, pred := range n.preds {
 		if t.ext.MinDist2(pred, center) <= radius2 {
-			t.rangeSearch(n.children[i], center, radius2, trace, out)
+			if err := t.rangeSearch(n.children[i], center, radius2, trace, out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // Lookup returns whether the exact (key, rid) pair is stored in the tree.
-func (t *Tree) Lookup(key geom.Vector, rid int64) bool {
+func (t *Tree) Lookup(key geom.Vector, rid int64) (bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.lookup(t.root, key, rid)
+	return t.lookup(t.rootID, key, rid)
 }
 
-func (t *Tree) lookup(n *Node, key geom.Vector, rid int64) bool {
+func (t *Tree) lookup(id PageID, key geom.Vector, rid int64) (bool, error) {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return false, err
+	}
+	defer t.store.Unpin(n)
 	if n.IsLeaf() {
 		for i := range n.rids {
 			if n.rids[i] == rid && n.LeafKey(i).Equal(key) {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	}
 	for i, pred := range n.preds {
-		if t.ext.Covers(pred, key) && t.lookup(n.children[i], key, rid) {
-			return true
+		if !t.ext.Covers(pred, key) {
+			continue
+		}
+		found, err := t.lookup(n.children[i], key, rid)
+		if err != nil || found {
+			return found, err
 		}
 	}
-	return false
+	return false, nil
 }

@@ -1,0 +1,150 @@
+package gist
+
+import (
+	"fmt"
+
+	"blobindex/internal/page"
+)
+
+// PageID aliases page.PageID; the storage layer below a tree addresses
+// nodes exclusively by it.
+type PageID = page.PageID
+
+// NodeStore is the storage layer beneath a Tree: nodes are addressed by
+// page.PageID and materialized on demand. The tree and the search code in
+// blobindex/internal/nn never follow raw pointers between nodes — every
+// traversal edge is a Pin/Unpin pair against the store, which is what lets
+// one tree implementation run both fully in memory (MemStore) and demand-
+// paged from disk through a pinning buffer pool (blobindex/internal/pagefile
+// Store).
+//
+// Pin rules:
+//
+//   - Every successful Pin is balanced by exactly one Unpin. A pinned node
+//     stays resident; an unpinned node may be evicted and re-decoded, so a
+//     *Node obtained from Pin must not be used after its Unpin — with one
+//     exception below.
+//   - A node about to be mutated is passed to MarkDirty while pinned. Dirty
+//     nodes are exempt from eviction until the store is flushed or closed,
+//     so after MarkDirty the caller's pointer stays the resident copy even
+//     across Unpin. Mutating entry points hold the tree's exclusive lock,
+//     so there is never a concurrent reader of a node being dirtied.
+//   - Alloc returns a fresh node that is born dirty (resident until flush);
+//     it needs no Unpin.
+//   - Free releases a page that is no longer referenced by the tree. Its id
+//     is not reused by MemStore (ids stay append-only so traces and saved
+//     layouts remain stable).
+//
+// Read-only data handed out of a node (LeafKey views, FlatKeys blocks) stays
+// valid after Unpin and even after eviction: eviction only drops the store's
+// reference, and the underlying arrays are never recycled.
+type NodeStore interface {
+	// Pin materializes the node for id and holds it resident until Unpin.
+	Pin(id page.PageID) (*Node, error)
+	// Unpin releases one Pin. Calling it with a node the store no longer
+	// tracks (e.g. one freed while pinned) is a no-op.
+	Unpin(n *Node)
+	// Alloc creates an empty node at the given level with a fresh page id,
+	// assigned in strictly increasing order.
+	Alloc(level int) *Node
+	// MarkDirty flags a pinned node as mutated: it stays resident (and its
+	// identity stable) until the store persists it.
+	MarkDirty(n *Node)
+	// Free drops the page from the store; subsequent Pins of id fail.
+	Free(id page.PageID)
+}
+
+// StatsProvider is implemented by stores backed by a real buffer pool; the
+// amdb analysis and the pagedio experiment read traffic counters through it.
+type StatsProvider interface {
+	// PoolStats returns a snapshot of the store's buffer-pool counters.
+	PoolStats() page.PoolStats
+}
+
+// MemStore keeps every node in memory, indexed by page id — the storage
+// layer of freshly built trees and the behavior of the codebase before the
+// storage split. Pin is a bounds-checked slice index and Unpin/MarkDirty are
+// no-ops, so the query hot path over a MemStore allocates nothing and costs
+// one interface call per visited node.
+//
+// MemStore itself is not synchronized; it relies on the Tree's RWMutex
+// discipline (concurrent readers never mutate, writers are exclusive).
+type MemStore struct {
+	dim   int
+	nodes []*Node // index == page id; freed slots are nil
+}
+
+// NewMemStore returns an empty in-memory store for dim-dimensional nodes.
+func NewMemStore(dim int) *MemStore {
+	return &MemStore{dim: dim}
+}
+
+// Pin returns the node for id. It never blocks and never does I/O.
+func (m *MemStore) Pin(id page.PageID) (*Node, error) {
+	if id < 0 || int(id) >= len(m.nodes) || m.nodes[id] == nil {
+		return nil, fmt.Errorf("gist: MemStore has no page %d", id)
+	}
+	return m.nodes[id], nil
+}
+
+// Unpin is a no-op: memory-resident nodes are never evicted.
+func (m *MemStore) Unpin(*Node) {}
+
+// Alloc appends a fresh node; ids are assigned densely from 0 and never
+// reused, reproducing the page-id sequence of the pre-store tree.
+func (m *MemStore) Alloc(level int) *Node {
+	n := &Node{id: page.PageID(len(m.nodes)), level: level, dim: m.dim}
+	m.nodes = append(m.nodes, n)
+	return n
+}
+
+// MarkDirty is a no-op: every node is always the resident copy.
+func (m *MemStore) MarkDirty(*Node) {}
+
+// Free nils the slot. The id is retired, not reused.
+func (m *MemStore) Free(id page.PageID) {
+	if id >= 0 && int(id) < len(m.nodes) {
+		m.nodes[id] = nil
+	}
+}
+
+// NewLeafNode builds a leaf node for a store implementation that decodes
+// pages itself (e.g. the file-backed store). flatKeys is the dim-strided key
+// block; the node takes ownership of both slices.
+func NewLeafNode(id page.PageID, dim int, flatKeys []float64, rids []int64) *Node {
+	return &Node{id: id, level: 0, dim: dim, flatKeys: flatKeys, rids: rids}
+}
+
+// NewInnerNode builds an internal node from decoded predicates and child
+// page ids; the node takes ownership of both slices.
+func NewInnerNode(id page.PageID, level, dim int, preds []Predicate, children []page.PageID) *Node {
+	return &Node{id: id, level: level, dim: dim, preds: preds, children: children}
+}
+
+// NewFromStore assembles a Tree over an existing node store — the open path
+// for persisted indexes, where the store demand-pages nodes and the tree
+// must not be materialized eagerly. No integrity check runs (it would fault
+// in the whole tree); callers wanting one run CheckIntegrity explicitly.
+func NewFromStore(ext Extension, cfg Config, store NodeStore, rootID page.PageID, height, size int) (*Tree, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("gist: nil store")
+	}
+	if height < 1 {
+		return nil, fmt.Errorf("gist: height %d < 1", height)
+	}
+	return &Tree{
+		ext:      ext,
+		dim:      cfg.Dim,
+		pageSize: cfg.PageSize,
+		leafCap:  page.LeafCapacity(cfg.PageSize, cfg.Dim),
+		innerCap: page.Capacity(cfg.PageSize, ext.BPWords(cfg.Dim)),
+		minFill:  cfg.MinFill,
+		store:    store,
+		rootID:   rootID,
+		height:   height,
+		size:     size,
+	}, nil
+}

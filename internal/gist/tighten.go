@@ -11,26 +11,38 @@ import "blobindex/internal/geom"
 // insertion support for JB and XJB that the paper lists as future work (§8).
 //
 // The pass visits every node once and costs one FromPoints call per entry
-// over the points of the entry's subtree.
-func (t *Tree) TightenPredicates() {
+// over the points of the entry's subtree. Every internal node is mutated, so
+// each is marked dirty as it is visited; leaves are only read.
+func (t *Tree) TightenPredicates() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	tightenNode(t.ext, t.root)
+	_, err := t.tightenID(t.rootID)
+	return err
 }
 
-// tightenNode recomputes the predicates of n's entries and returns all
-// points stored beneath n.
-func tightenNode(ext Extension, n *Node) []geom.Vector {
-	if n.IsLeaf() {
-		return n.leafKeys()
+// tightenID recomputes the predicates of the node's entries and returns all
+// points stored beneath it. The returned key views outlive the pins (the
+// underlying arrays are never recycled).
+func (t *Tree) tightenID(id PageID) ([]geom.Vector, error) {
+	n, err := t.store.Pin(id)
+	if err != nil {
+		return nil, err
 	}
+	defer t.store.Unpin(n)
+	if n.IsLeaf() {
+		return n.leafKeys(), nil
+	}
+	t.store.MarkDirty(n)
 	var all []geom.Vector
 	for i, child := range n.children {
-		pts := tightenNode(ext, child)
+		pts, err := t.tightenID(child)
+		if err != nil {
+			return nil, err
+		}
 		if len(pts) > 0 {
-			n.preds[i] = ext.FromPoints(pts)
+			n.preds[i] = t.ext.FromPoints(pts)
 		}
 		all = append(all, pts...)
 	}
-	return all
+	return all, nil
 }

@@ -45,10 +45,11 @@ func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 	ext := t.Ext()
 	t.RLock()
 	defer t.RUnlock()
+	store := t.Store()
 	sc := getScratch()
 	queue := sc.queue
 	seq := 1
-	queue.pushItem(item{dist2: 0, seq: 0, node: t.Root()})
+	queue.pushItem(item{dist2: 0, seq: 0, child: t.RootID(), isNode: true})
 
 	for len(queue) > 0 && len(dst)-base < k {
 		if err := ctxErr(ctx); err != nil {
@@ -57,7 +58,12 @@ func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 			return dst[:base], err
 		}
 		it := queue.popItem()
-		n := it.node
+		n, err := store.Pin(it.child)
+		if err != nil {
+			sc.queue = queue
+			sc.release()
+			return dst[:base], err
+		}
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, d := n.FlatKeys(), n.Dim()
@@ -69,12 +75,14 @@ func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 					Leaf:  n.ID(),
 				})
 			}
+			store.Unpin(n)
 			continue
 		}
 		for i := 0; i < n.NumEntries(); i++ {
-			queue.pushItem(item{dist2: ext.MinDist2(n.ChildPred(i), q), seq: seq, node: n.Child(i)})
+			queue.pushItem(item{dist2: ext.MinDist2(n.ChildPred(i), q), seq: seq, child: n.ChildID(i), isNode: true})
 			seq++
 		}
+		store.Unpin(n)
 	}
 	sc.queue = queue
 	sc.release()

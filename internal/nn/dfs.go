@@ -6,6 +6,7 @@ import (
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
+	"blobindex/internal/page"
 )
 
 // SearchDFS is the branch-and-bound depth-first k-NN algorithm of
@@ -28,6 +29,7 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	ext := t.Ext()
 	t.RLock()
 	defer t.RUnlock()
+	store := t.Store()
 	// best is a max-heap of the k nearest candidates so far.
 	best := &resultHeap{}
 
@@ -38,8 +40,17 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 		return (*best)[0].Dist2
 	}
 
-	var visit func(n *gist.Node)
-	visit = func(n *gist.Node) {
+	// visit pins one page per recursion level — the single-path memory
+	// footprint the algorithm is known for. A page-read failure aborts the
+	// whole search (the DFS path is a historical comparison, not a serving
+	// path, so it has no error return).
+	var visit func(id page.PageID) error
+	visit = func(id page.PageID) error {
+		n, err := store.Pin(id)
+		if err != nil {
+			return err
+		}
+		defer store.Unpin(n)
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, dim := n.FlatKeys(), n.Dim()
@@ -52,7 +63,7 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 					best.fixTop()
 				}
 			}
-			return
+			return nil
 		}
 		type branch struct {
 			idx     int
@@ -97,10 +108,15 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 			if b.minDist > cur {
 				break // MINDIST-sorted: all remaining branches prune too
 			}
-			visit(n.Child(b.idx))
+			if err := visit(n.ChildID(b.idx)); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	visit(t.Root())
+	if err := visit(t.RootID()); err != nil {
+		return nil
+	}
 
 	out := make([]Result, len(*best))
 	for i := len(out) - 1; i >= 0; i-- {

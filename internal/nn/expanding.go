@@ -6,6 +6,7 @@ import (
 
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
+	"blobindex/internal/page"
 )
 
 // SearchExpanding implements nearest-neighbor search the way the paper's
@@ -52,10 +53,16 @@ func SearchExpandingCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k 
 	ext := t.Ext()
 	t.RLock()
 	defer t.RUnlock()
+	store := t.Store()
 	sc := getScratch()
 
-	// Greedy probe: descend along the minimal-MinDist2 child.
-	n := t.Root()
+	// Greedy probe: descend along the minimal-MinDist2 child, pinning one
+	// page at a time.
+	n, err := store.Pin(t.RootID())
+	if err != nil {
+		sc.release()
+		return dst[:base], err
+	}
 	for {
 		trace.Record(n)
 		if n.IsLeaf() {
@@ -67,13 +74,20 @@ func SearchExpandingCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k 
 				best, bestD = i, d
 			}
 		}
-		n = n.Child(best)
+		child, err := store.Pin(n.ChildID(best))
+		store.Unpin(n)
+		if err != nil {
+			sc.release()
+			return dst[:base], err
+		}
+		n = child
 	}
 	dists := sc.dists[:0]
 	flat, dim := n.FlatKeys(), n.Dim()
 	for i := 0; i < n.NumEntries(); i++ {
 		dists = append(dists, geom.Dist2Flat(q, flat, i, dim))
 	}
+	store.Unpin(n)
 	slices.Sort(dists)
 	sc.dists = dists
 	// Start from a low quantile of the probe leaf's distances: an STR leaf
@@ -102,7 +116,7 @@ func SearchExpandingCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k 
 	// round's top k are copied out to dst.
 	for {
 		out := sc.results[:0]
-		err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc)
+		err := rangeHarvest(ctx, t, t.RootID(), q, radius2, trace, &out, sc)
 		sc.results = out
 		if err != nil {
 			sc.release()
@@ -166,7 +180,7 @@ func SearchSphereCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 	t.RLock()
 	defer t.RUnlock()
 	out := dst
-	if err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc); err != nil {
+	if err := rangeHarvest(ctx, t, t.RootID(), q, radius2, trace, &out, sc); err != nil {
 		sc.release()
 		return dst[:base], err
 	}
@@ -211,7 +225,7 @@ func RangeCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, radius2 floa
 	defer t.RUnlock()
 	sc := getScratch()
 	out := dst
-	err := rangeHarvest(ctx, t, t.Root(), q, radius2, trace, &out, sc)
+	err := rangeHarvest(ctx, t, t.RootID(), q, radius2, trace, &out, sc)
 	sc.release()
 	if err != nil {
 		return dst[:base], err
@@ -248,22 +262,28 @@ func sortResults(out []Result) {
 
 // rangeHarvest descends every subtree whose predicate intersects the query
 // sphere, collecting the points inside it with their leaf attributions. The
-// descent is an explicit stack (borrowed from sc) rather than recursion;
-// children are pushed in reverse entry order so nodes pop in exactly the
-// depth-first pre-order the recursive form visited. The caller must hold
-// the tree's read lock; ctx is checked once per visited node so
-// cancellation lands mid-traversal.
-func rangeHarvest(ctx context.Context, t *gist.Tree, root *gist.Node, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result, sc *searchScratch) error {
+// descent is an explicit stack of page ids (borrowed from sc) rather than
+// recursion; children are pushed in reverse entry order so pages pop in
+// exactly the depth-first pre-order the recursive form visited, and each
+// page is pinned only while it is scanned. The caller must hold the tree's
+// read lock; ctx is checked once per visited node so cancellation lands
+// mid-traversal.
+func rangeHarvest(ctx context.Context, t *gist.Tree, root page.PageID, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result, sc *searchScratch) error {
 	ext := t.Ext()
+	store := t.Store()
 	stack := append(sc.stack[:0], root)
 	for len(stack) > 0 {
 		if err := ctxErr(ctx); err != nil {
 			sc.stack = stack
 			return err
 		}
-		n := stack[len(stack)-1]
-		stack[len(stack)-1] = nil
+		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		n, err := store.Pin(id)
+		if err != nil {
+			sc.stack = stack
+			return err
+		}
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, d := n.FlatKeys(), n.Dim()
@@ -277,13 +297,15 @@ func rangeHarvest(ctx context.Context, t *gist.Tree, root *gist.Node, q geom.Vec
 					})
 				}
 			}
+			store.Unpin(n)
 			continue
 		}
 		for i := n.NumEntries() - 1; i >= 0; i-- {
 			if ext.MinDist2(n.ChildPred(i), q) <= radius2 {
-				stack = append(stack, n.Child(i))
+				stack = append(stack, n.ChildID(i))
 			}
 		}
+		store.Unpin(n)
 	}
 	sc.stack = stack
 	return nil

@@ -9,23 +9,27 @@ import (
 
 // Iterator yields the neighbors of a query point one at a time in
 // increasing distance order — the incremental form of the Hjaltason–Samet
-// best-first search. It reads tree pages lazily: asking for the first few
-// neighbors of a selective access method touches only a handful of pages,
-// which is what makes the "give me images until the user is satisfied"
-// interaction of the Blobworld front end cheap.
+// best-first search. It reads tree pages lazily: the frontier holds child
+// page ids, and a page is pinned against the tree's node store only for the
+// moment it is expanded, so asking for the first few neighbors of a
+// selective access method touches only a handful of pages — which is what
+// makes the "give me images until the user is satisfied" interaction of the
+// Blobworld front end cheap, and what lets the same code serve demand-paged
+// on-disk indexes within a bounded buffer pool.
 //
 // A public Iterator takes the tree's read lock for the duration of each
 // Next/NextWithin call, so concurrent iterators and searches coexist with
 // a single writer. The frontier it accumulates between calls is not
-// writer-proof, however: a mutation between calls can reorganize nodes the
-// queue still references, so an Iterator must not be used across
+// writer-proof, however: a mutation between calls can reorganize or free
+// pages the queue still references, so an Iterator must not be used across
 // modifications of the tree. An Iterator itself is single-goroutine state.
 type Iterator struct {
 	tree     *gist.Tree
+	store    gist.NodeStore
 	query    geom.Vector
 	trace    *gist.Trace
 	ctx      context.Context // nil: never canceled
-	err      error           // sticky ctx error once canceled
+	err      error           // sticky ctx or store error once failed
 	selfLock bool            // public iterators lock per call; search funcs hold the lock themselves
 	queue    pq
 	seq      int
@@ -41,16 +45,17 @@ func NewIterator(t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
 // and NextWithin return ok == false and Err reports the cause. A nil ctx
 // means no cancellation.
 func NewIteratorCtx(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
-	it := &Iterator{tree: t, query: q, trace: trace, ctx: ctx, selfLock: true}
+	it := &Iterator{tree: t, store: t.Store(), query: q, trace: trace, ctx: ctx, selfLock: true}
 	if t.Len() > 0 {
 		t.RLock()
-		it.push(item{dist2: 0, node: t.Root()})
+		it.push(item{dist2: 0, child: t.RootID(), isNode: true})
 		t.RUnlock()
 	}
 	return it
 }
 
-// Err returns the context error that stopped the iteration, if any.
+// Err returns the context or page-store error that stopped the iteration,
+// if any.
 func (it *Iterator) Err() error { return it.err }
 
 func (it *Iterator) push(x item) {
@@ -74,8 +79,42 @@ func (it *Iterator) canceled() bool {
 	return false
 }
 
+// expand pins the page behind top, records the access, and pushes the
+// node's contents onto the frontier: result items for leaf entries, child
+// page ids for internal entries. The pin is released before returning.
+func (it *Iterator) expand(top item) bool {
+	n, err := it.store.Pin(top.child)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.trace.Record(n)
+	if n.IsLeaf() {
+		flat, d := n.FlatKeys(), n.Dim()
+		for i := 0; i < n.NumEntries(); i++ {
+			dist := geom.Dist2Flat(it.query, flat, i, d)
+			it.push(item{
+				dist2: dist,
+				res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
+			})
+		}
+	} else {
+		ext := it.tree.Ext()
+		for i := 0; i < n.NumEntries(); i++ {
+			it.push(item{
+				dist2:  ext.MinDist2(n.ChildPred(i), it.query),
+				child:  n.ChildID(i),
+				isNode: true,
+			})
+		}
+	}
+	it.store.Unpin(n)
+	return true
+}
+
 // Next returns the next-nearest neighbor, or ok == false when the tree is
-// exhausted or the iterator's context is canceled (see Err).
+// exhausted, the iterator's context is canceled, or a page read failed
+// (see Err).
 func (it *Iterator) Next() (Result, bool) {
 	if it.selfLock {
 		it.tree.RLock()
@@ -85,33 +124,16 @@ func (it *Iterator) Next() (Result, bool) {
 }
 
 func (it *Iterator) next() (Result, bool) {
-	ext := it.tree.Ext()
 	for len(it.queue) > 0 {
 		if it.canceled() {
 			return Result{}, false
 		}
 		top := it.queue.popItem()
-		if top.node == nil {
+		if !top.isNode {
 			return top.res, true
 		}
-		n := top.node
-		it.trace.Record(n)
-		if n.IsLeaf() {
-			flat, d := n.FlatKeys(), n.Dim()
-			for i := 0; i < n.NumEntries(); i++ {
-				dist := geom.Dist2Flat(it.query, flat, i, d)
-				it.push(item{
-					dist2: dist,
-					res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
-				})
-			}
-			continue
-		}
-		for i := 0; i < n.NumEntries(); i++ {
-			it.push(item{
-				dist2: ext.MinDist2(n.ChildPred(i), it.query),
-				node:  n.Child(i),
-			})
+		if !it.expand(top) {
+			return Result{}, false
 		}
 	}
 	return Result{}, false
@@ -129,7 +151,6 @@ func (it *Iterator) NextWithin(radius2 float64) (Result, bool) {
 }
 
 func (it *Iterator) nextWithin(radius2 float64) (Result, bool) {
-	ext := it.tree.Ext()
 	for len(it.queue) > 0 {
 		if it.canceled() {
 			return Result{}, false
@@ -139,27 +160,11 @@ func (it *Iterator) nextWithin(radius2 float64) (Result, bool) {
 			return Result{}, false
 		}
 		it.queue.popItem()
-		if top.node == nil {
+		if !top.isNode {
 			return top.res, true
 		}
-		n := top.node
-		it.trace.Record(n)
-		if n.IsLeaf() {
-			flat, d := n.FlatKeys(), n.Dim()
-			for i := 0; i < n.NumEntries(); i++ {
-				dist := geom.Dist2Flat(it.query, flat, i, d)
-				it.push(item{
-					dist2: dist,
-					res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
-				})
-			}
-			continue
-		}
-		for i := 0; i < n.NumEntries(); i++ {
-			it.push(item{
-				dist2: ext.MinDist2(n.ChildPred(i), it.query),
-				node:  n.Child(i),
-			})
+		if !it.expand(top) {
+			return Result{}, false
 		}
 	}
 	return Result{}, false

@@ -102,7 +102,7 @@ func TestIteratorNextWithin(t *testing.T) {
 		}
 		got = append(got, r)
 	}
-	want := tree.RangeSearch(q, 25, nil)
+	want, _ := tree.RangeSearch(q, 25, nil)
 	if len(got) != len(want) {
 		t.Fatalf("NextWithin found %d, range search %d", len(got), len(want))
 	}
@@ -115,7 +115,7 @@ func TestIteratorNextWithin(t *testing.T) {
 		}
 		more = append(more, r)
 	}
-	wider := tree.RangeSearch(q, 100, nil)
+	wider, _ := tree.RangeSearch(q, 100, nil)
 	if len(got)+len(more) != len(wider) {
 		t.Errorf("resumed scan found %d total, want %d", len(got)+len(more), len(wider))
 	}

@@ -41,12 +41,14 @@ type Result struct {
 }
 
 // item is one priority-queue element: either a tree node awaiting expansion
-// or a concrete data point.
+// (referenced by page id — the node itself is pinned against the tree's
+// store only while it is expanded) or a concrete data point.
 type item struct {
-	dist2 float64
-	seq   int // FIFO tie-break for determinism
-	node  *gist.Node
-	res   Result // valid when node == nil
+	dist2  float64
+	seq    int // FIFO tie-break for determinism
+	child  page.PageID
+	isNode bool
+	res    Result // valid when !isNode
 }
 
 // pq is a binary min-heap of items; its ordering and sift operations live
@@ -96,8 +98,8 @@ func SearchCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trac
 	t.RLock()
 	defer t.RUnlock()
 	sc := getScratch()
-	it := Iterator{tree: t, query: q, trace: trace, ctx: ctx, queue: sc.queue}
-	it.push(item{dist2: 0, node: t.Root()})
+	it := Iterator{tree: t, store: t.Store(), query: q, trace: trace, ctx: ctx, queue: sc.queue}
+	it.push(item{dist2: 0, child: t.RootID(), isNode: true})
 	for len(dst)-base < k {
 		r, ok := it.next()
 		if !ok {

@@ -3,7 +3,7 @@ package nn
 import (
 	"sync"
 
-	"blobindex/internal/gist"
+	"blobindex/internal/page"
 )
 
 // searchScratch bundles the per-query transient state of the search
@@ -14,7 +14,7 @@ import (
 // scratch never crosses goroutines.
 type searchScratch struct {
 	queue   pq
-	stack   []*gist.Node
+	stack   []page.PageID
 	dists   []float64
 	results []Result
 }
@@ -23,18 +23,15 @@ var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
 func getScratch() *searchScratch { return scratchPool.Get().(*searchScratch) }
 
-// release empties the buffers and returns the scratch to the pool. Node
-// pointers and key views are cleared first so a pooled scratch never pins
-// tree memory of an index the caller has dropped. (Slots past len were
-// already zeroed by popItem and the stack pops.)
+// release empties the buffers and returns the scratch to the pool. Queue
+// items are cleared first so a pooled scratch never holds key views of an
+// index the caller has dropped; the descent stack holds only page ids.
+// (Queue slots past len were already zeroed by popItem.)
 func (s *searchScratch) release() {
 	for i := range s.queue {
 		s.queue[i] = item{}
 	}
 	s.queue = s.queue[:0]
-	for i := range s.stack {
-		s.stack[i] = nil
-	}
 	s.stack = s.stack[:0]
 	s.dists = s.dists[:0]
 	for i := range s.results {
@@ -58,8 +55,8 @@ func (q pq) less(i, j int) bool {
 	}
 	// Prefer points over nodes at equal distance so results surface early,
 	// then FIFO order.
-	if (q[i].node == nil) != (q[j].node == nil) {
-		return q[i].node == nil
+	if q[i].isNode != q[j].isNode {
+		return !q[i].isNode
 	}
 	return q[i].seq < q[j].seq
 }

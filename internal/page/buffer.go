@@ -1,6 +1,9 @@
 package page
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // BufferPool is a fixed-capacity LRU page cache. The paper's §6 discussion
 // ("this analysis does not take into account memory buffer effects... XJB's
@@ -8,9 +11,14 @@ import "container/list"
 // replay workload traversals through a buffer pool; this type provides the
 // hit/miss accounting for them.
 //
-// BufferPool is not safe for concurrent use; the experiments replay
-// traversals single-threaded, as amdb does.
+// A BufferPool is safe for concurrent use: queries run concurrently under
+// the tree's read lock, so any shared pool sees interleaved Access streams.
+// Every method takes one uncontended mutex and allocates nothing beyond the
+// resident-page bookkeeping, so the single-threaded replay fast path stays
+// allocation-free. (For a pool that holds actual page values with pin
+// counts, see PinnedPool.)
 type BufferPool struct {
+	mu       sync.Mutex
 	capacity int
 	ll       *list.List               // front = most recently used
 	pages    map[PageID]*list.Element // page id → list element holding PageID
@@ -35,6 +43,8 @@ func NewBufferPool(capacity int) *BufferPool {
 // Access touches page id, returning true on a buffer hit. On a miss the page
 // is brought in, evicting the least recently used page if the pool is full.
 func (b *BufferPool) Access(id PageID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if el, ok := b.pages[id]; ok {
 		b.ll.MoveToFront(el)
 		b.hits++
@@ -56,6 +66,8 @@ func (b *BufferPool) Access(id PageID) bool {
 // Pin marks a page resident without counting an access, used to model the
 // "inner nodes are all in memory" assumption of §3.2.
 func (b *BufferPool) Pin(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if _, ok := b.pages[id]; ok {
 		return
 	}
@@ -70,13 +82,29 @@ func (b *BufferPool) Pin(id PageID) {
 }
 
 // Hits returns the number of accesses served from the pool.
-func (b *BufferPool) Hits() int { return b.hits }
+func (b *BufferPool) Hits() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits
+}
 
 // Misses returns the number of accesses that required an I/O.
-func (b *BufferPool) Misses() int { return b.misses }
+func (b *BufferPool) Misses() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.misses
+}
 
 // Len returns the number of resident pages.
-func (b *BufferPool) Len() int { return b.ll.Len() }
+func (b *BufferPool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ll.Len()
+}
 
 // ResetStats zeroes the hit/miss counters without evicting pages.
-func (b *BufferPool) ResetStats() { b.hits, b.misses = 0, 0 }
+func (b *BufferPool) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hits, b.misses = 0, 0
+}

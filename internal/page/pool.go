@@ -1,0 +1,198 @@
+package page
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PoolStats is a snapshot of a PinnedPool's traffic counters and occupancy.
+type PoolStats struct {
+	Hits      int64 // accesses served from a resident frame
+	Misses    int64 // accesses that required a page load
+	Evictions int64 // frames evicted to make room (EvictAll is not counted)
+	Resident  int   // frames currently held (pinned + unpinned)
+	Pinned    int   // frames with a positive pin count
+	Capacity  int   // configured frame budget
+}
+
+// Sub returns the counter deltas s−before (occupancy fields are kept from s).
+func (s PoolStats) Sub(before PoolStats) PoolStats {
+	s.Hits -= before.Hits
+	s.Misses -= before.Misses
+	s.Evictions -= before.Evictions
+	return s
+}
+
+// PinnedPool is the real buffer pool underneath file-backed node stores: a
+// fixed-capacity LRU cache of decoded pages with pin counts. Where the
+// simulation-only BufferPool merely counts would-be I/Os, a PinnedPool
+// actually holds the decoded page values, refuses to evict pages that a
+// traversal currently has pinned, and counts hits, misses and evictions —
+// the numbers the paper's §6 buffer-effects discussion reasons about.
+//
+// Protocol: Pin(id) either returns the resident value (a hit, pinned) or
+// reports a miss; on a miss the caller loads and decodes the page outside
+// the pool lock and hands it to Insert, which pins it. Every successful
+// Pin/Insert must be balanced by exactly one Unpin. Unpinned frames sit in
+// LRU order and are evicted when the pool exceeds its capacity; if every
+// frame is pinned the pool temporarily overflows rather than failing, and
+// shrinks back as pins are released.
+//
+// All methods are safe for concurrent use; the hot Pin path takes one
+// mutex and allocates nothing.
+type PinnedPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[PageID]*pframe
+	lru      *list.List // unpinned frames only; front = most recently used
+	pinned   int
+
+	hits, misses, evictions int64
+}
+
+type pframe struct {
+	id   PageID
+	v    any
+	pins int
+	el   *list.Element // position in lru while unpinned, nil while pinned
+}
+
+// NewPinnedPool returns a pool budgeted for capacity resident frames. A
+// capacity of 0 keeps pages resident only while pinned — every access
+// after the first unpin is a miss, the fully-cold configuration.
+func NewPinnedPool(capacity int) *PinnedPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &PinnedPool{
+		capacity: capacity,
+		frames:   make(map[PageID]*pframe),
+		lru:      list.New(),
+	}
+}
+
+// Pin returns the resident value for id, pinned, or ok == false on a miss.
+// After a miss the caller must load the page and register it with Insert.
+func (p *PinnedPool) Pin(id PageID) (v any, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := p.frames[id]
+	if fr == nil {
+		p.misses++
+		return nil, false
+	}
+	p.hits++
+	if fr.pins == 0 {
+		p.lru.Remove(fr.el)
+		fr.el = nil
+		p.pinned++
+	}
+	fr.pins++
+	return fr.v, true
+}
+
+// Insert registers a freshly loaded page value, pinned once, and returns
+// the value the pool now holds for id. If a concurrent loader won the race
+// the existing frame is pinned and returned instead and v is discarded.
+// Inserting may evict unpinned frames to respect the capacity.
+func (p *PinnedPool) Insert(id PageID, v any) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr := p.frames[id]; fr != nil {
+		if fr.pins == 0 {
+			p.lru.Remove(fr.el)
+			fr.el = nil
+			p.pinned++
+		}
+		fr.pins++
+		return fr.v
+	}
+	fr := &pframe{id: id, v: v, pins: 1}
+	p.frames[id] = fr
+	p.pinned++
+	p.evictOverflowLocked()
+	return v
+}
+
+// Unpin releases one pin on id. When the last pin drops the frame joins
+// the LRU order (most recently used) and becomes evictable.
+func (p *PinnedPool) Unpin(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := p.frames[id]
+	if fr == nil || fr.pins == 0 {
+		return // already removed (MarkDirty/Free) or never pinned
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.el = p.lru.PushFront(fr)
+		p.pinned--
+		p.evictOverflowLocked()
+	}
+}
+
+// evictOverflowLocked drops least-recently-used unpinned frames until the
+// pool fits its capacity (or only pinned frames remain).
+func (p *PinnedPool) evictOverflowLocked() {
+	for len(p.frames) > p.capacity {
+		oldest := p.lru.Back()
+		if oldest == nil {
+			return // all pinned: tolerate transient overflow
+		}
+		fr := oldest.Value.(*pframe)
+		p.lru.Remove(oldest)
+		delete(p.frames, fr.id)
+		p.evictions++
+	}
+}
+
+// Remove drops id from the pool regardless of pin state, used when a page
+// is dissolved or migrates to a dirty set that manages its own residency.
+func (p *PinnedPool) Remove(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := p.frames[id]
+	if fr == nil {
+		return
+	}
+	if fr.pins > 0 {
+		p.pinned--
+	} else {
+		p.lru.Remove(fr.el)
+	}
+	delete(p.frames, fr.id)
+}
+
+// EvictAll drops every unpinned frame — a cold restart of the cache, used
+// by experiments that measure per-query cold-start faults. It is not
+// counted in Evictions.
+func (p *PinnedPool) EvictAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; el = p.lru.Front() {
+		fr := el.Value.(*pframe)
+		p.lru.Remove(el)
+		delete(p.frames, fr.id)
+	}
+}
+
+// ResetStats zeroes the traffic counters without touching residency.
+func (p *PinnedPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits, p.misses, p.evictions = 0, 0, 0
+}
+
+// Stats returns a snapshot of the counters and occupancy.
+func (p *PinnedPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+		Resident:  len(p.frames),
+		Pinned:    p.pinned,
+		Capacity:  p.capacity,
+	}
+}

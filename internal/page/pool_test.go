@@ -1,0 +1,163 @@
+package page
+
+import (
+	"sync"
+	"testing"
+)
+
+// pinLoad drives the canonical miss path: Pin, and on a miss Insert a
+// placeholder value, mirroring what a file-backed node store does.
+func pinLoad(p *PinnedPool, id PageID) {
+	if _, ok := p.Pin(id); !ok {
+		p.Insert(id, int(id))
+	}
+}
+
+func TestPinnedPoolLRUEviction(t *testing.T) {
+	p := NewPinnedPool(2)
+	pinLoad(p, 1)
+	p.Unpin(1)
+	pinLoad(p, 2)
+	p.Unpin(2)
+	pinLoad(p, 3) // evicts 1 (least recently used)
+	p.Unpin(3)
+
+	if _, ok := p.Pin(2); !ok {
+		t.Fatal("page 2 should still be resident")
+	}
+	p.Unpin(2)
+	if _, ok := p.Pin(1); ok {
+		t.Fatal("page 1 should have been evicted")
+	}
+	p.Insert(1, 1)
+	p.Unpin(1)
+
+	st := p.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (pages 1 then 3)", st.Evictions)
+	}
+	if st.Resident != 2 {
+		t.Errorf("resident = %d, want 2", st.Resident)
+	}
+}
+
+func TestPinnedPoolPinsBlockEviction(t *testing.T) {
+	p := NewPinnedPool(1)
+	pinLoad(p, 1) // pinned
+	pinLoad(p, 2) // pool overflows: 1 is pinned, cannot evict
+	st := p.Stats()
+	if st.Resident != 2 || st.Pinned != 2 {
+		t.Fatalf("resident=%d pinned=%d, want 2/2 (transient overflow)", st.Resident, st.Pinned)
+	}
+	p.Unpin(2) // shrinks back: 2 becomes the only evictable frame
+	if got := p.Stats().Resident; got != 1 {
+		t.Fatalf("resident = %d after unpin, want 1", got)
+	}
+	if _, ok := p.Pin(1); !ok {
+		t.Fatal("pinned page 1 must never be evicted")
+	}
+	p.Unpin(1)
+	p.Unpin(1)
+}
+
+func TestPinnedPoolDoublePinAndValueStability(t *testing.T) {
+	p := NewPinnedPool(4)
+	p.Insert(7, "seven")
+	v, ok := p.Pin(7)
+	if !ok || v.(string) != "seven" {
+		t.Fatalf("Pin(7) = %v, %v", v, ok)
+	}
+	// Racing Insert keeps the first value.
+	if got := p.Insert(7, "other"); got.(string) != "seven" {
+		t.Fatalf("racing Insert returned %v, want the resident value", got)
+	}
+	p.Unpin(7)
+	p.Unpin(7)
+	p.Unpin(7)
+	if st := p.Stats(); st.Pinned != 0 || st.Resident != 1 {
+		t.Fatalf("pinned=%d resident=%d, want 0/1", st.Pinned, st.Resident)
+	}
+}
+
+func TestPinnedPoolZeroCapacityIsCold(t *testing.T) {
+	p := NewPinnedPool(0)
+	for i := 0; i < 3; i++ {
+		pinLoad(p, 42)
+		p.Unpin(42)
+	}
+	st := p.Stats()
+	if st.Hits != 0 || st.Misses != 3 {
+		t.Errorf("hits=%d misses=%d, want 0/3 at capacity 0", st.Hits, st.Misses)
+	}
+	if st.Resident != 0 {
+		t.Errorf("resident=%d, want 0", st.Resident)
+	}
+}
+
+func TestPinnedPoolEvictAllAndReset(t *testing.T) {
+	p := NewPinnedPool(8)
+	for id := PageID(0); id < 4; id++ {
+		pinLoad(p, id)
+	}
+	p.Unpin(0)
+	p.Unpin(1)
+	p.EvictAll() // drops 0 and 1; 2 and 3 stay pinned
+	st := p.Stats()
+	if st.Resident != 2 || st.Pinned != 2 {
+		t.Fatalf("resident=%d pinned=%d after EvictAll, want 2/2", st.Resident, st.Pinned)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("EvictAll must not count as evictions, got %d", st.Evictions)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("ResetStats left hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	p.Unpin(2)
+	p.Unpin(3)
+}
+
+func TestPinnedPoolConcurrent(t *testing.T) {
+	p := NewPinnedPool(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := PageID((i * (w + 1)) % 64)
+				pinLoad(p, id)
+				p.Unpin(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Pinned != 0 {
+		t.Errorf("pinned = %d after all workers unpinned, want 0", st.Pinned)
+	}
+	if st.Resident > 16 {
+		t.Errorf("resident = %d exceeds capacity %d at rest", st.Resident, st.Capacity)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	b := NewBufferPool(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Access(PageID((i * (w + 1)) % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Hits() + b.Misses(); got != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", got, 8*500)
+	}
+}

@@ -6,19 +6,32 @@
 // lets tools (cmd/amdb) analyze previously built indexes without
 // rebuilding.
 //
-// Layout (little endian):
+// Layout, format version 2 (little endian):
 //
-//	header page:  magic "BLOBIDX1", pageSize, dim, height, numPages,
-//	              rootPage, xjbX, count, method name
-//	node pages:   level uint16, numEntries uint16, pad; then entries:
+//	header page:  magic "BLOBIDX", version byte, pageSize, dim, height,
+//	              numPages, rootPage, xjbX, count, method name,
+//	              header CRC32 (computed with the CRC field zeroed)
+//	node pages:   level uint16, numEntries uint16, page CRC32 (bytes 4:8,
+//	              computed with those bytes zeroed); then entries at byte 8:
 //	              leaf:  key (dim float64s) + RID int64
 //	              inner: predicate (BPWords float64s) + child page uint64
+//
+// The child page numbers stored on inner pages are file page indices (page
+// 0 is the header, node page p lives at file offset (1+p)·pageSize), and
+// they double as the page ids a demand-paged Store (OpenPaged) serves to
+// the tree — an opened index answers queries by pinning exactly the pages
+// a traversal touches.
+//
+// Version 1 files (magic "BLOBIDX1", no checksums) are not readable; they
+// fail with ErrVersion since their eighth byte '1' is not a known version.
 package pagefile
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -26,14 +39,170 @@ import (
 	"blobindex/internal/am"
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
+	"blobindex/internal/page"
 )
 
-const magic = "BLOBIDX1"
+const (
+	magic   = "BLOBIDX"
+	version = 2
+)
 
-const headerFixed = len(magic) + 4*6 + 8 + 16 // fixed header bytes
+// headerFixed is the meaningful prefix of the header page: magic, version,
+// six uint32 fields, the uint64 count, the 16-byte method name, and the
+// header CRC32. The rest of the header page is zero padding.
+const headerFixed = len(magic) + 1 + 4*6 + 8 + 16 + 4
 
-// Save writes the tree to path. The tree's extension must implement
-// am.PredicateCodec (every access method in internal/am does).
+// Sentinel errors for the distinguishable corruption classes. Loaders wrap
+// them with context; test with errors.Is.
+var (
+	// ErrBadMagic marks a file that is not a blobindex pagefile at all.
+	ErrBadMagic = errors.New("pagefile: bad magic")
+	// ErrVersion marks a pagefile of an unsupported format version.
+	ErrVersion = errors.New("pagefile: unsupported format version")
+	// ErrChecksum marks a header or node page whose CRC32 does not match
+	// its contents.
+	ErrChecksum = errors.New("pagefile: checksum mismatch")
+)
+
+// header carries the decoded header-page fields.
+type header struct {
+	pageSize int
+	dim      int
+	height   int
+	numPages int
+	rootPage int
+	xjbX     int
+	count    int
+	name     string
+}
+
+// readHeader reads and validates the header page from r, which must be
+// positioned at the start of the file. On return r is positioned at the
+// first node page.
+func readHeader(r io.Reader) (header, error) {
+	var h header
+	fixed := make([]byte, headerFixed)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return h, fmt.Errorf("pagefile: short header: %w", err)
+	}
+	if string(fixed[:len(magic)]) != magic {
+		return h, ErrBadMagic
+	}
+	if v := fixed[len(magic)]; v != version {
+		return h, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, version)
+	}
+	off := len(magic) + 1
+	get32 := func() int {
+		v := binary.LittleEndian.Uint32(fixed[off:])
+		off += 4
+		return int(v)
+	}
+	h.pageSize = get32()
+	h.dim = get32()
+	h.height = get32()
+	h.numPages = get32()
+	h.rootPage = get32()
+	h.xjbX = get32()
+	h.count = int(binary.LittleEndian.Uint64(fixed[off:]))
+	off += 8
+	h.name = trimZero(fixed[off : off+16])
+	off += 16
+	storedCRC := binary.LittleEndian.Uint32(fixed[off:])
+	if h.pageSize < 256 || h.dim < 1 || h.numPages < 1 || h.rootPage >= h.numPages {
+		return h, fmt.Errorf("pagefile: corrupt header (page=%d dim=%d pages=%d root=%d)",
+			h.pageSize, h.dim, h.numPages, h.rootPage)
+	}
+	// The CRC covers the whole header page with the CRC field zeroed.
+	rest := make([]byte, h.pageSize-headerFixed)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return h, fmt.Errorf("pagefile: short header page: %w", err)
+	}
+	binary.LittleEndian.PutUint32(fixed[off:], 0)
+	crc := crc32.ChecksumIEEE(fixed)
+	crc = crc32.Update(crc, crc32.IEEETable, rest)
+	if crc != storedCRC {
+		return h, fmt.Errorf("%w: header", ErrChecksum)
+	}
+	return h, nil
+}
+
+// extFor reconstructs the access method an index was built with.
+func extFor(h header, opts am.Options) (gist.Extension, am.PredicateCodec, error) {
+	if h.xjbX > 0 {
+		opts.XJBX = h.xjbX
+	}
+	ext, err := am.New(am.Kind(h.name), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	codec, ok := ext.(am.PredicateCodec)
+	if !ok {
+		return nil, nil, fmt.Errorf("pagefile: access method %q has no predicate codec", h.name)
+	}
+	return ext, codec, nil
+}
+
+// decodeNodePage verifies the CRC of one node page and decodes its payload.
+// Leaf pages yield flatKeys/rids; inner pages yield preds/children. p is the
+// page's file index, used in error messages and bounds checks.
+func decodeNodePage(buf []byte, p int, h header, bpWords int, codec am.PredicateCodec) (
+	level int, flatKeys []float64, rids []int64, preds []gist.Predicate, children []page.PageID, err error) {
+	storedCRC := binary.LittleEndian.Uint32(buf[4:])
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	if crc32.ChecksumIEEE(buf) != storedCRC {
+		return 0, nil, nil, nil, nil, fmt.Errorf("%w: page %d", ErrChecksum, p)
+	}
+	level = int(binary.LittleEndian.Uint16(buf[0:]))
+	entries := int(binary.LittleEndian.Uint16(buf[2:]))
+	pos := 8
+	if level == 0 {
+		if pos+entries*(h.dim*8+8) > h.pageSize {
+			return 0, nil, nil, nil, nil, fmt.Errorf("pagefile: leaf page %d overflows", p)
+		}
+		flatKeys = make([]float64, 0, entries*h.dim)
+		rids = make([]int64, 0, entries)
+		for i := 0; i < entries; i++ {
+			for d := 0; d < h.dim; d++ {
+				flatKeys = append(flatKeys, math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+				pos += 8
+			}
+			rids = append(rids, int64(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		}
+		return level, flatKeys, rids, nil, nil, nil
+	}
+	if pos+entries*(bpWords*8+8) > h.pageSize {
+		return 0, nil, nil, nil, nil, fmt.Errorf("pagefile: inner page %d overflows", p)
+	}
+	words := make([]float64, bpWords)
+	preds = make([]gist.Predicate, 0, entries)
+	children = make([]page.PageID, 0, entries)
+	for i := 0; i < entries; i++ {
+		for wi := 0; wi < bpWords; wi++ {
+			words[wi] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+			pos += 8
+		}
+		pred, err := codec.DecodeBP(words, h.dim)
+		if err != nil {
+			return 0, nil, nil, nil, nil, fmt.Errorf("pagefile: page %d entry %d: %w", p, i, err)
+		}
+		child := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		if child >= uint64(h.numPages) {
+			return 0, nil, nil, nil, nil, fmt.Errorf("pagefile: page %d points to page %d of %d",
+				p, child, h.numPages)
+		}
+		preds = append(preds, pred)
+		children = append(children, page.PageID(child))
+	}
+	return level, nil, nil, preds, children, nil
+}
+
+// Save writes the tree to path in format version 2. The tree's extension
+// must implement am.PredicateCodec (every access method in internal/am
+// does). Saving walks the tree through its node store, so a mutated
+// demand-paged index can be persisted back out the same way an in-memory
+// one is.
 func Save(path string, t *gist.Tree) error {
 	codec, ok := t.Ext().(am.PredicateCodec)
 	if !ok {
@@ -42,13 +211,17 @@ func Save(path string, t *gist.Tree) error {
 	pageSize := t.PageSize()
 	dim := t.Dim()
 
-	// Assign sequential page numbers in pre-order.
+	// Assign sequential file page numbers in pre-order. The walk keeps a
+	// reference to every node, so even over an evicting store the collected
+	// pointers stay valid for the write pass below.
 	var nodes []*gist.Node
-	index := make(map[*gist.Node]uint64)
-	t.Walk(func(n *gist.Node, _ gist.Predicate) {
-		index[n] = uint64(len(nodes))
+	index := make(map[page.PageID]uint64)
+	if err := t.Walk(func(n *gist.Node, _ gist.Predicate) {
+		index[n.ID()] = uint64(len(nodes))
 		nodes = append(nodes, n)
-	})
+	}); err != nil {
+		return err
+	}
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -60,7 +233,8 @@ func Save(path string, t *gist.Tree) error {
 	// Header page.
 	hdr := make([]byte, pageSize)
 	copy(hdr, magic)
-	off := len(magic)
+	hdr[len(magic)] = version
+	off := len(magic) + 1
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(hdr[off:], v)
 		off += 4
@@ -69,7 +243,7 @@ func Save(path string, t *gist.Tree) error {
 	put32(uint32(dim))
 	put32(uint32(t.Height()))
 	put32(uint32(len(nodes)))
-	put32(uint32(index[t.Root()]))
+	put32(uint32(index[t.RootID()]))
 	x := 0
 	if xe, ok := t.Ext().(interface{ X() int }); ok {
 		x = xe.X()
@@ -82,6 +256,9 @@ func Save(path string, t *gist.Tree) error {
 		return fmt.Errorf("pagefile: method name %q too long", name)
 	}
 	copy(hdr[off:off+16], name)
+	off += 16
+	// CRC over the whole page with the CRC field (still zero) in place.
+	binary.LittleEndian.PutUint32(hdr[off:], crc32.ChecksumIEEE(hdr))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -129,10 +306,12 @@ func Save(path string, t *gist.Tree) error {
 					binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(wv))
 					pos += 8
 				}
-				binary.LittleEndian.PutUint64(buf[pos:], index[n.Child(i)])
+				binary.LittleEndian.PutUint64(buf[pos:], index[n.ChildID(i)])
 				pos += 8
 			}
 		}
+		// Page CRC over the page with bytes 4:8 (still zero) in place.
+		binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf))
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}
@@ -140,9 +319,11 @@ func Save(path string, t *gist.Tree) error {
 	return w.Flush()
 }
 
-// Load reads a tree saved by Save, reconstructing the access method from
-// the stored name. opts supplies the parameters that are not part of the
-// on-disk format (aMAP sampling, bite restarts) for subsequent inserts.
+// Load reads a whole tree saved by Save into memory, reconstructing the
+// access method from the stored name. opts supplies the parameters that are
+// not part of the on-disk format (aMAP sampling, bite restarts) for
+// subsequent inserts. For serving queries over a large index without
+// materializing it, see OpenPaged.
 func Load(path string, opts am.Options) (*gist.Tree, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -151,105 +332,35 @@ func Load(path string, opts am.Options) (*gist.Tree, error) {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
 
-	// Header: read the fixed prefix first to learn the page size.
-	fixed := make([]byte, headerFixed)
-	if _, err := io.ReadFull(r, fixed); err != nil {
-		return nil, fmt.Errorf("pagefile: short header: %w", err)
-	}
-	if string(fixed[:len(magic)]) != magic {
-		return nil, fmt.Errorf("pagefile: bad magic")
-	}
-	off := len(magic)
-	get32 := func() int {
-		v := binary.LittleEndian.Uint32(fixed[off:])
-		off += 4
-		return int(v)
-	}
-	pageSize := get32()
-	dim := get32()
-	height := get32()
-	numPages := get32()
-	rootPage := get32()
-	xjbX := get32()
-	count := int(binary.LittleEndian.Uint64(fixed[off:]))
-	off += 8
-	name := trimZero(fixed[off : off+16])
-	if pageSize < 256 || dim < 1 || numPages < 1 || rootPage >= numPages {
-		return nil, fmt.Errorf("pagefile: corrupt header (page=%d dim=%d pages=%d root=%d)",
-			pageSize, dim, numPages, rootPage)
-	}
-	// Skip the rest of the header page.
-	if _, err := r.Discard(pageSize - headerFixed); err != nil {
-		return nil, err
-	}
-
-	if xjbX > 0 {
-		opts.XJBX = xjbX
-	}
-	ext, err := am.New(am.Kind(name), opts)
+	h, err := readHeader(r)
 	if err != nil {
 		return nil, err
 	}
-	codec, ok := ext.(am.PredicateCodec)
-	if !ok {
-		return nil, fmt.Errorf("pagefile: access method %q has no predicate codec", name)
+	ext, codec, err := extFor(h, opts)
+	if err != nil {
+		return nil, err
 	}
-	bpWords := ext.BPWords(dim)
+	bpWords := ext.BPWords(h.dim)
 
 	type pendingNode struct {
 		raw      *gist.RawNode
-		children []uint64
+		children []page.PageID
 	}
-	pend := make([]pendingNode, numPages)
-	buf := make([]byte, pageSize)
-	for p := 0; p < numPages; p++ {
+	pend := make([]pendingNode, h.numPages)
+	buf := make([]byte, h.pageSize)
+	for p := 0; p < h.numPages; p++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("pagefile: short page %d: %w", p, err)
 		}
-		level := int(binary.LittleEndian.Uint16(buf[0:]))
-		entries := int(binary.LittleEndian.Uint16(buf[2:]))
-		pos := 8
-		rn := &gist.RawNode{Level: level}
-		if level == 0 {
-			if pos+entries*(dim*8+8) > pageSize {
-				return nil, fmt.Errorf("pagefile: leaf page %d overflows", p)
-			}
-			for i := 0; i < entries; i++ {
-				key := make(geom.Vector, dim)
-				for d := 0; d < dim; d++ {
-					key[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
-					pos += 8
-				}
-				rid := int64(binary.LittleEndian.Uint64(buf[pos:]))
-				pos += 8
-				rn.Keys = append(rn.Keys, key)
-				rn.RIDs = append(rn.RIDs, rid)
-			}
-		} else {
-			if pos+entries*(bpWords*8+8) > pageSize {
-				return nil, fmt.Errorf("pagefile: inner page %d overflows", p)
-			}
-			words := make([]float64, bpWords)
-			for i := 0; i < entries; i++ {
-				for wi := 0; wi < bpWords; wi++ {
-					words[wi] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
-					pos += 8
-				}
-				pred, err := codec.DecodeBP(words, dim)
-				if err != nil {
-					return nil, fmt.Errorf("pagefile: page %d entry %d: %w", p, i, err)
-				}
-				child := binary.LittleEndian.Uint64(buf[pos:])
-				pos += 8
-				if child >= uint64(numPages) {
-					return nil, fmt.Errorf("pagefile: page %d points to page %d of %d",
-						p, child, numPages)
-				}
-				rn.Preds = append(rn.Preds, pred)
-				pend[p].children = append(pend[p].children, child)
-			}
+		level, flat, rids, preds, children, err := decodeNodePage(buf, p, h, bpWords, codec)
+		if err != nil {
+			return nil, err
 		}
-		pend[p].raw = rn
+		rn := &gist.RawNode{Level: level, RIDs: rids, Preds: preds}
+		for i := range rids {
+			rn.Keys = append(rn.Keys, geom.Vector(flat[i*h.dim:(i+1)*h.dim]))
+		}
+		pend[p] = pendingNode{raw: rn, children: children}
 	}
 	// Link children.
 	for p := range pend {
@@ -257,18 +368,18 @@ func Load(path string, opts am.Options) (*gist.Tree, error) {
 			pend[p].raw.Children = append(pend[p].raw.Children, pend[c].raw)
 		}
 	}
-	root := pend[rootPage].raw
-	if root.Level+1 != height {
+	root := pend[h.rootPage].raw
+	if root.Level+1 != h.height {
 		return nil, fmt.Errorf("pagefile: root level %d does not match height %d",
-			root.Level, height)
+			root.Level, h.height)
 	}
 
-	tree, err := gist.FromRaw(ext, gist.Config{Dim: dim, PageSize: pageSize}, root)
+	tree, err := gist.FromRaw(ext, gist.Config{Dim: h.dim, PageSize: h.pageSize}, root)
 	if err != nil {
 		return nil, err
 	}
-	if tree.Len() != count {
-		return nil, fmt.Errorf("pagefile: loaded %d points, header says %d", tree.Len(), count)
+	if tree.Len() != h.count {
+		return nil, fmt.Errorf("pagefile: loaded %d points, header says %d", tree.Len(), h.count)
 	}
 	return tree, nil
 }

@@ -1,6 +1,7 @@
 package pagefile
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -127,7 +128,7 @@ func TestLoadRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	corrupt := func(name string, mutate func([]byte)) {
+	corrupt := func(name string, want error, mutate func([]byte)) {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatal(err)
@@ -137,19 +138,36 @@ func TestLoadRejectsCorruption(t *testing.T) {
 		if err := os.WriteFile(bad, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Load(bad, am.Options{}); err == nil {
+		_, err = Load(bad, am.Options{})
+		if err == nil {
 			t.Errorf("%s: corruption not detected", name)
+		} else if want != nil && !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
 		}
 	}
-	corrupt("magic.idx", func(b []byte) { b[0] = 'X' })
-	corrupt("root.idx", func(b []byte) {
-		// rootPage field: magic(8) + 4*4 bytes in.
+	corrupt("magic.idx", ErrBadMagic, func(b []byte) { b[0] = 'X' })
+	corrupt("version.idx", ErrVersion, func(b []byte) {
+		// The version byte follows the 7-byte magic.
+		b[7] = 99
+	})
+	corrupt("root.idx", nil, func(b []byte) {
+		// rootPage field: magic+version(8) + 4*4 bytes in. Caught by the
+		// semantic header check before the CRC is even computed.
 		b[8+16] = 0xff
 		b[8+17] = 0xff
 	})
-	corrupt("trunc.idx", func(b []byte) {
+	corrupt("trunc.idx", nil, func(b []byte) {
 		// Claim more pages than the file holds.
 		b[8+12] = 0xff
+	})
+	corrupt("name.idx", ErrChecksum, func(b []byte) {
+		// A flipped method-name byte passes the semantic checks but fails
+		// the header CRC.
+		b[8+24+8+3] ^= 0x40
+	})
+	corrupt("page.idx", ErrChecksum, func(b []byte) {
+		// A flipped payload byte in the first node page fails that page's CRC.
+		b[1024+100] ^= 0x01
 	})
 	// Truncated file.
 	data, _ := os.ReadFile(path)

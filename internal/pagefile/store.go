@@ -1,0 +1,237 @@
+package pagefile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"blobindex/internal/am"
+	"blobindex/internal/gist"
+	"blobindex/internal/page"
+)
+
+// Store is the file-backed gist.NodeStore: nodes live in the pagefile and
+// are decoded on demand through a pinning buffer pool, so a tree opened
+// with OpenPaged answers queries by reading exactly the pages its
+// traversals touch. This is the paper's operating regime — an index that
+// does not fit in memory, served through a fixed buffer budget — made
+// directly measurable: the pool counts hits, misses and evictions, and the
+// store additionally attributes every real page read to its tree level so
+// the amdb simulation's per-level I/O counts can be checked against actual
+// buffer traffic.
+//
+// Mutations never touch the file in place. A node passed to MarkDirty (or
+// born from Alloc) migrates out of the pool into a dirty set where it stays
+// resident with stable identity until the tree is persisted again with
+// Save; Free retires a page id for the lifetime of the store. Dirty-set
+// hits are not counted in the pool's statistics — a dirty page is resident
+// by definition, not a buffering decision.
+//
+// The store is safe for concurrent readers (the pool is internally locked
+// and racing loads of the same page resolve to one resident copy); the
+// dirty set is only written under the tree's exclusive lock, matching the
+// NodeStore contract.
+type Store struct {
+	f       *os.File
+	h       header
+	bpWords int
+	ext     gist.Extension
+	codec   am.PredicateCodec
+	pool    *page.PinnedPool
+
+	mu          sync.Mutex
+	dirty       map[page.PageID]*gist.Node
+	freed       map[page.PageID]bool
+	next        page.PageID // next Alloc id; starts past the file's pages
+	missByLevel []int64     // real page reads by tree level of the page
+}
+
+var (
+	_ gist.NodeStore     = (*Store)(nil)
+	_ gist.StatsProvider = (*Store)(nil)
+)
+
+// OpenPaged opens a pagefile for demand-paged querying with a buffer pool
+// of poolPages frames. The returned tree serves searches, inserts and
+// deletes without ever materializing more than the pool holds plus the
+// pages currently pinned by active traversals; mutations accumulate in
+// memory until the tree is written back out with Save. The Store is
+// returned alongside the tree for lifecycle (Close) and statistics access;
+// it is the same value as tree.Store().
+func OpenPaged(path string, opts am.Options, poolPages int) (*gist.Tree, *Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := readHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	ext, codec, err := extFor(h, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	s := &Store{
+		f:           f,
+		h:           h,
+		bpWords:     ext.BPWords(h.dim),
+		ext:         ext,
+		codec:       codec,
+		pool:        page.NewPinnedPool(poolPages),
+		dirty:       make(map[page.PageID]*gist.Node),
+		freed:       make(map[page.PageID]bool),
+		next:        page.PageID(h.numPages),
+		missByLevel: make([]int64, h.height),
+	}
+	tree, err := gist.NewFromStore(ext, gist.Config{Dim: h.dim, PageSize: h.pageSize}, s,
+		page.PageID(h.rootPage), h.height, h.count)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return tree, s, nil
+}
+
+// Pin returns the node for id, resident until the matching Unpin: from the
+// dirty set if the node was mutated, from the buffer pool on a hit, and by
+// reading and decoding its file page on a miss.
+func (s *Store) Pin(id page.PageID) (*gist.Node, error) {
+	s.mu.Lock()
+	if n, ok := s.dirty[id]; ok {
+		s.mu.Unlock()
+		return n, nil
+	}
+	if s.freed[id] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pagefile: page %d was freed", id)
+	}
+	s.mu.Unlock()
+	if v, ok := s.pool.Pin(id); ok {
+		return v.(*gist.Node), nil
+	}
+	n, err := s.readPage(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	for len(s.missByLevel) <= n.Level() {
+		s.missByLevel = append(s.missByLevel, 0)
+	}
+	s.missByLevel[n.Level()]++
+	s.mu.Unlock()
+	// Insert resolves racing loaders to a single resident copy.
+	return s.pool.Insert(id, n).(*gist.Node), nil
+}
+
+// Unpin releases one pin. For dirty nodes (no pool frame) it is a no-op,
+// which is exactly the contract: dirty nodes stay resident regardless.
+func (s *Store) Unpin(n *gist.Node) {
+	s.pool.Unpin(n.ID())
+}
+
+// MarkDirty migrates a pinned node out of the pool into the dirty set,
+// where it is exempt from eviction and keeps its identity until Save.
+func (s *Store) MarkDirty(n *gist.Node) {
+	s.mu.Lock()
+	if _, ok := s.dirty[n.ID()]; !ok {
+		s.dirty[n.ID()] = n
+	}
+	s.mu.Unlock()
+	s.pool.Remove(n.ID())
+}
+
+// Alloc creates an empty node at the given level under a fresh id past the
+// file's page range. The node is born dirty.
+func (s *Store) Alloc(level int) *gist.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	var n *gist.Node
+	if level == 0 {
+		n = gist.NewLeafNode(id, s.h.dim, nil, nil)
+	} else {
+		n = gist.NewInnerNode(id, level, s.h.dim, nil, nil)
+	}
+	s.dirty[id] = n
+	return n
+}
+
+// Free retires a page id: it is dropped from the dirty set and the pool,
+// and subsequent Pins of it fail. The file itself is untouched until the
+// tree is saved again.
+func (s *Store) Free(id page.PageID) {
+	s.mu.Lock()
+	delete(s.dirty, id)
+	s.freed[id] = true
+	s.mu.Unlock()
+	s.pool.Remove(id)
+}
+
+// readPage reads and decodes one node page from the file.
+func (s *Store) readPage(id page.PageID) (*gist.Node, error) {
+	if id < 0 || int(id) >= s.h.numPages {
+		return nil, fmt.Errorf("pagefile: page %d out of range (file has %d)", id, s.h.numPages)
+	}
+	buf := make([]byte, s.h.pageSize)
+	if _, err := s.f.ReadAt(buf, int64(1+int(id))*int64(s.h.pageSize)); err != nil {
+		return nil, fmt.Errorf("pagefile: read page %d: %w", id, err)
+	}
+	level, flat, rids, preds, children, err := decodeNodePage(buf, int(id), s.h, s.bpWords, s.codec)
+	if err != nil {
+		return nil, err
+	}
+	if level == 0 {
+		return gist.NewLeafNode(id, s.h.dim, flat, rids), nil
+	}
+	return gist.NewInnerNode(id, level, s.h.dim, preds, children), nil
+}
+
+// PoolStats implements gist.StatsProvider.
+func (s *Store) PoolStats() page.PoolStats {
+	return s.pool.Stats()
+}
+
+// MissesByLevel returns a copy of the per-level real page-read counts
+// (index = tree level, 0 = leaves). These are the numbers the amdb
+// simulation predicts with its per-level I/O accounting; with the pool
+// emptied between queries the two must agree exactly.
+func (s *Store) MissesByLevel() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.missByLevel))
+	copy(out, s.missByLevel)
+	return out
+}
+
+// EvictAll empties the buffer pool of unpinned frames — a cold restart,
+// used by experiments measuring per-query fault counts.
+func (s *Store) EvictAll() {
+	s.pool.EvictAll()
+}
+
+// ResetStats zeroes the pool counters and the per-level read counts.
+func (s *Store) ResetStats() {
+	s.pool.ResetStats()
+	s.mu.Lock()
+	for i := range s.missByLevel {
+		s.missByLevel[i] = 0
+	}
+	s.mu.Unlock()
+}
+
+// Dirty reports how many nodes are held in the dirty set (allocated or
+// mutated since open), mainly for tests and diagnostics.
+func (s *Store) Dirty() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dirty)
+}
+
+// Close releases the underlying file. Dirty nodes are not written back;
+// persist with Save first if mutations must survive.
+func (s *Store) Close() error {
+	return s.f.Close()
+}

@@ -1,0 +1,256 @@
+package pagefile
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/nn"
+)
+
+// The headline acceptance check: a demand-paged index with a buffer pool at
+// 25% of the tree's pages answers 200-NN queries with results identical to
+// the fully in-memory tree, for every access method. Leaf attributions are
+// deliberately excluded from the comparison — the paged store addresses
+// nodes by file page index while the in-memory tree numbers them in build
+// order — so identity means RID and distance, which is what callers see.
+func TestOpenPagedMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range am.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			tree, _ := buildTree(t, kind, 2500, 3, 2048)
+			path := filepath.Join(dir, string(kind)+".idx")
+			if err := Save(path, tree); err != nil {
+				t.Fatal(err)
+			}
+			pool := tree.NumPages() / 4
+			paged, store, err := OpenPaged(path, am.Options{AMAPSamples: 32}, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+			if paged.Len() != tree.Len() || paged.Height() != tree.Height() {
+				t.Fatalf("shape: len %d→%d height %d→%d",
+					tree.Len(), paged.Len(), tree.Height(), paged.Height())
+			}
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 8; trial++ {
+				q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+				want := nn.Search(tree, q, 200, nil)
+				got := nn.Search(paged, q, 200, nil)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].RID != want[i].RID || got[i].Dist2 != want[i].Dist2 {
+						t.Fatalf("trial %d result %d: (%d, %v) want (%d, %v)",
+							trial, i, got[i].RID, got[i].Dist2, want[i].RID, want[i].Dist2)
+					}
+				}
+				// Range queries through the GiST SEARCH template agree too.
+				r2 := 40.0
+				wantR, err := tree.RangeSearch(q, r2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotR, err := paged.RangeSearch(q, r2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotR) != len(wantR) {
+					t.Fatalf("range: %d rids, want %d", len(gotR), len(wantR))
+				}
+				for i := range wantR {
+					if gotR[i] != wantR[i] {
+						t.Fatalf("range rid %d: %d want %d", i, gotR[i], wantR[i])
+					}
+				}
+			}
+			st := store.PoolStats()
+			if st.Pinned != 0 {
+				t.Errorf("queries left %d pages pinned", st.Pinned)
+			}
+			if st.Resident > pool {
+				t.Errorf("pool holds %d pages, capacity %d", st.Resident, pool)
+			}
+			if st.Misses == 0 {
+				t.Error("no misses at 25%% capacity — demand paging not exercised")
+			}
+			if st.Evictions == 0 {
+				t.Error("no evictions at 25%% capacity")
+			}
+		})
+	}
+}
+
+// Warm pool: with capacity for the whole tree, repeating a query must cost
+// zero additional misses — every page is served from the pool.
+func TestOpenPagedWarmPoolServesFromMemory(t *testing.T) {
+	tree, _ := buildTree(t, am.KindJB, 1500, 3, 2048)
+	path := filepath.Join(t.TempDir(), "warm.idx")
+	if err := Save(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	paged, store, err := OpenPaged(path, am.Options{}, tree.NumPages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	q := geom.Vector{50, 50, 50}
+	nn.Search(paged, q, 50, nil)
+	cold := store.PoolStats()
+	nn.Search(paged, q, 50, nil)
+	warm := store.PoolStats().Sub(cold)
+	if warm.Misses != 0 {
+		t.Errorf("warm repeat of the same query missed %d times", warm.Misses)
+	}
+	if warm.Hits == 0 {
+		t.Error("warm repeat recorded no hits")
+	}
+	if cold.Misses == 0 {
+		t.Error("cold query recorded no misses")
+	}
+}
+
+// Satellite: mutations flow through the file-backed store. For every access
+// method: open paged, insert, delete (copy-on-delete keeps file pages
+// untouched), tighten, and verify the GiST invariants plus query identity
+// against an in-memory tree that underwent the same edits.
+func TestPagedMutationMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range am.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			tree, pts := buildTree(t, kind, 900, 2, 1024)
+			path := filepath.Join(dir, string(kind)+"-mut.idx")
+			if err := Save(path, tree); err != nil {
+				t.Fatal(err)
+			}
+			paged, store, err := OpenPaged(path, am.Options{AMAPSamples: 32}, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+
+			mutate := func(tr *gist.Tree) {
+				t.Helper()
+				for i := 0; i < 60; i++ {
+					p := gist.Point{Key: geom.Vector{float64(i) * 1.5, 101 + float64(i%7)}, RID: int64(50000 + i)}
+					if err := tr.Insert(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := 0; i < 150; i++ {
+					ok, err := tr.Delete(pts[i].Key, pts[i].RID)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ok {
+						t.Fatalf("delete %d: point not found", i)
+					}
+				}
+				if err := tr.TightenPredicates(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mutate(tree)
+			mutate(paged)
+
+			if paged.Len() != tree.Len() {
+				t.Fatalf("len %d, in-memory %d", paged.Len(), tree.Len())
+			}
+			if err := paged.CheckIntegrity(); err != nil {
+				t.Fatalf("integrity after mutation: %v", err)
+			}
+			if store.Dirty() == 0 {
+				t.Error("mutations produced no dirty nodes")
+			}
+			rng := rand.New(rand.NewSource(13))
+			for trial := 0; trial < 6; trial++ {
+				q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100}
+				want := nn.Search(tree, q, 40, nil)
+				got := nn.Search(paged, q, 40, nil)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].RID != want[i].RID || got[i].Dist2 != want[i].Dist2 {
+						t.Fatalf("trial %d result %d: (%d, %v) want (%d, %v)",
+							trial, i, got[i].RID, got[i].Dist2, want[i].RID, want[i].Dist2)
+					}
+				}
+			}
+
+			// The mutated paged tree persists and reloads cleanly.
+			out := filepath.Join(dir, string(kind)+"-resaved.idx")
+			if err := Save(out, paged); err != nil {
+				t.Fatal(err)
+			}
+			reloaded, err := Load(out, am.Options{AMAPSamples: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reloaded.Len() != paged.Len() {
+				t.Fatalf("resaved len %d, want %d", reloaded.Len(), paged.Len())
+			}
+			if err := reloaded.CheckIntegrity(); err != nil {
+				t.Fatalf("resaved integrity: %v", err)
+			}
+		})
+	}
+}
+
+// A freed page stays freed: deleting enough points to dissolve nodes must
+// make their old ids unpinnable, and the tree must never reference them.
+func TestPagedFreedPagesRejectPins(t *testing.T) {
+	tree, pts := buildTree(t, am.KindRTree, 600, 2, 1024)
+	path := filepath.Join(t.TempDir(), "free.idx")
+	if err := Save(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	paged, store, err := OpenPaged(path, am.Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for i := 0; i < 550; i++ {
+		if _, err := paged.Delete(pts[i].Key, pts[i].RID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := paged.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after mass delete: %v", err)
+	}
+	if paged.Len() != 50 {
+		t.Fatalf("len %d, want 50", paged.Len())
+	}
+}
+
+// Zero-capacity pool is the fully cold configuration: every unpinned page
+// re-reads from disk, but queries still work and still pin-balance.
+func TestOpenPagedZeroCapacity(t *testing.T) {
+	tree, _ := buildTree(t, am.KindRTree, 800, 2, 1024)
+	path := filepath.Join(t.TempDir(), "cold.idx")
+	if err := Save(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	paged, store, err := OpenPaged(path, am.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	want := nn.Search(tree, geom.Vector{30, 70}, 25, nil)
+	got := nn.Search(paged, geom.Vector{30, 70}, 25, nil)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	st := store.PoolStats()
+	if st.Pinned != 0 || st.Resident != 0 {
+		t.Errorf("cold pool retains frames: %+v", st)
+	}
+	if st.Hits != 0 {
+		t.Errorf("cold pool recorded %d hits", st.Hits)
+	}
+}

@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchall benchsmoke
+.PHONY: check fmt vet build test race bench benchall benchsmoke \
+	servebench servesmoke
 
-check: fmt vet build test race benchsmoke
+check: fmt vet build test race benchsmoke servesmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -38,3 +39,14 @@ benchall:
 # exercises the measurement layer end to end at toy scale.
 benchsmoke:
 	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment bench -bench-iters 5
+
+# servebench load-tests the HTTP serving stack at the acceptance shape
+# (64 concurrent clients) and writes the committed artifact SERVE_PR4.json.
+servebench:
+	$(GO) run ./cmd/blobbench -experiment serve -serveout SERVE_PR4.json
+
+# servesmoke is the toy-scale serving run wired into `make check`: real TCP
+# listener, concurrent clients, graceful shutdown — end to end but cheap.
+servesmoke:
+	$(GO) run ./cmd/blobbench -images 500 -queries 32 -experiment serve \
+		-serve-clients 16 -serve-requests 256

@@ -430,8 +430,10 @@ func OpenWithOptions(path string, oo OpenOptions) (*Index, error) {
 
 // Close releases the file handle of a demand-paged index. In-memory indexes
 // (Build, New, eager Open) have nothing to release and Close is a no-op.
-// Mutations made through a paged index live in memory only — call Save
-// before Close to persist them.
+// Close is idempotent: closing an already-closed index returns nil, so
+// layered shutdown paths (a serving daemon's signal handler plus its
+// deferred cleanup) can both close safely. Mutations made through a paged
+// index live in memory only — call Save before Close to persist them.
 func (ix *Index) Close() error {
 	if ix.store == nil {
 		return nil
@@ -472,6 +474,13 @@ func (ix *Index) BufferStats() (s BufferStats, ok bool) {
 func (ix *Index) WriteSVG(w io.Writer, dimX, dimY, maxLeaves int) error {
 	return viz.WriteSVG(w, ix.tree, viz.Options{DimX: dimX, DimY: dimY, MaxLeaves: maxLeaves})
 }
+
+// Options returns the index's effective options — the caller's Options with
+// every default filled in (and, for opened indexes, the parameters recovered
+// from the file). Serving layers use this to key result caches by access
+// method and to validate query dimensionality without a round trip into the
+// tree.
+func (ix *Index) Options() Options { return ix.opts }
 
 // Stats describes the index shape.
 type Stats struct {

@@ -305,6 +305,44 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCloseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randPoints(rng, 400, 3)
+	idx, err := Build(pts, Options{Method: XJB, Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/index.idx"
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A demand-paged index owns an open file; shutdown paths (a deferred
+	// Close racing an explicit one, as in cmd/blobserved) must be able to
+	// call Close any number of times.
+	opened, err := OpenWithOptions(path, OpenOptions{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got: %v", err)
+	}
+	if err := opened.Close(); err != nil {
+		t.Fatalf("third Close must be a no-op, got: %v", err)
+	}
+
+	// In-memory indexes have nothing to release but honor the same contract.
+	if err := idx.Close(); err != nil {
+		t.Fatalf("in-memory Close: %v", err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatalf("in-memory double Close: %v", err)
+	}
+}
+
 func TestConcurrentSearches(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	pts := randPoints(rng, 3000, 3)

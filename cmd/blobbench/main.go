@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blobindex/internal/experiments"
+	"blobindex/internal/servebench"
 )
 
 func main() {
@@ -25,11 +26,14 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
 	pagedOut := flag.String("pagedout", "", "write the pagedio experiment's JSON to this file")
+	serveOut := flag.String("serveout", "", "write the serve experiment's JSON to this file")
+	serveClients := flag.Int("serve-clients", 64, "serve experiment concurrent clients")
+	serveRequests := flag.Int("serve-requests", 4096, "serve experiment total requests")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -224,6 +228,27 @@ func main() {
 			r, err := experiments.AblationXJB(s, []int{2, 4, 6, 8, 10, 12, 16})
 			if err != nil {
 				return "", err
+			}
+			return r.Render(), nil
+		})
+	}
+	if has("serve") {
+		run("serve", func() (string, error) {
+			sp := servebench.DefaultServeParams()
+			sp.Clients = *serveClients
+			sp.Requests = *serveRequests
+			r, err := servebench.ServeBench(s, sp)
+			if err != nil {
+				return "", err
+			}
+			if *serveOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*serveOut, data, 0o644); err != nil {
+					return "", err
+				}
 			}
 			return r.Render(), nil
 		})

@@ -1,0 +1,131 @@
+// Command blobserved serves a saved blobindex over HTTP/JSON — the network
+// face of the Blobworld retrieval stack. It opens the index demand-paged
+// (queries fault in only the pages they touch, through the pinning buffer
+// pool) and layers the serving machinery of internal/server on top:
+// admission control, single-flight coalescing, a result cache invalidated
+// on writes, and live latency/buffer metrics.
+//
+// Endpoints:
+//
+//	POST /v1/knn     {"query":[...],"k":200}        exact k-NN
+//	POST /v1/range   {"query":[...],"radius":1.5}   range search
+//	POST /v1/insert  {"key":[...],"rid":7}          insert (invalidates cache)
+//	POST /v1/delete  {"key":[...],"rid":7}          delete (invalidates cache)
+//	POST /v1/tighten {}                             recompute predicates
+//	GET  /v1/stats                                  serving + buffer stats
+//	GET  /healthz                                   liveness
+//	GET  /debug/vars                                expvar (includes "blobserved")
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// searches run to completion (bounded by -drain-timeout), then the index is
+// closed. A second signal aborts immediately.
+//
+// Typical session:
+//
+//	go run ./cmd/datagen -images 2000 -idx blobs.idx
+//	go run ./cmd/blobserved -index blobs.idx -addr :8080
+//	curl -s localhost:8080/v1/knn -d '{"query":[0,0,0,0,0],"k":10}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blobindex"
+	"blobindex/internal/server"
+)
+
+func main() {
+	var (
+		indexPath    = flag.String("index", "", "saved index file to serve (required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		poolPages    = flag.Int("pool", blobindex.DefaultPoolPages, "buffer pool capacity in pages")
+		eager        = flag.Bool("eager", false, "load the whole index into memory at startup")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently executing searches (0 = 2*GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "max searches waiting for a slot (0 = 4*max-inflight)")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot before 503")
+		cacheEntries = flag.Int("cache", 4096, "result cache entries (negative disables)")
+		cacheShards  = flag.Int("cache-shards", 16, "result cache shards")
+		maxK         = flag.Int("max-k", 4096, "largest accepted per-request k")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	log.SetPrefix("blobserved: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *indexPath == "" {
+		log.Fatal("-index is required (create one with: go run ./cmd/datagen -idx blobs.idx)")
+	}
+	idx, err := blobindex.OpenWithOptions(*indexPath, blobindex.OpenOptions{
+		PoolPages: *poolPages,
+		Eager:     *eager,
+	})
+	if err != nil {
+		log.Fatalf("open %s: %v", *indexPath, err)
+	}
+	defer idx.Close()
+	st := idx.Stats()
+	log.Printf("serving %s: method=%s dim=%d points=%d pages=%d (pool %d pages, eager=%v)",
+		*indexPath, st.Method, idx.Options().Dim, st.Len, st.Pages, *poolPages, *eager)
+
+	srv, err := server.New(server.Config{
+		Index:        idx,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		CacheEntries: *cacheEntries,
+		CacheShards:  *cacheShards,
+		MaxK:         *maxK,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s, draining (budget %s; signal again to abort)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			<-sigCh
+			log.Print("second signal, aborting drain")
+			cancel()
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			hs.Close()
+		}
+		cancel()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+
+	final := srv.Stats()
+	log.Printf("served %d requests; cache hit rate %.1f%%; admission rejected %d busy / %d timeout",
+		final.Requests, 100*final.Cache.HitRate,
+		final.Admission.RejectedFull, final.Admission.RejectedTimeout)
+	if err := idx.Close(); err != nil {
+		log.Printf("close index: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 // Command datagen generates a synthetic Blobworld corpus, fits the SVD
 // reduction, and saves the reduced data set to a gob file that cmd/amdb can
-// analyze, so repeated analyses reuse one corpus.
+// analyze, so repeated analyses reuse one corpus. With -idx it additionally
+// bulk-loads the reduced data and saves a page-structured index file that
+// cmd/blobserved can serve directly.
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 		dim    = flag.Int("dim", 5, "reduced (indexed) dimensionality")
 		seed   = flag.Int64("seed", 1, "generation seed")
 		out    = flag.String("o", "blobs.gob", "output file")
+		idxOut = flag.String("idx", "", "also bulk-load and save an index file (for cmd/blobserved)")
+		method = flag.String("method", "xjb", "access method for -idx")
 	)
 	flag.Parse()
 
@@ -62,4 +66,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *idxOut != "" {
+		points := make([]blobindex.Point, len(reduced))
+		for i, k := range reduced {
+			points[i] = blobindex.Point{Key: k, RID: int64(i)}
+		}
+		idx, err := blobindex.Build(points, blobindex.Options{
+			Method: blobindex.Method(*method),
+			Dim:    *dim,
+			Seed:   *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := idx.Save(*idxOut); err != nil {
+			log.Fatal(err)
+		}
+		st := idx.Stats()
+		fmt.Printf("wrote %s: %s index, %d points in %d pages\n",
+			*idxOut, st.Method, st.Len, st.Pages)
+	}
 }

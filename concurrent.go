@@ -179,7 +179,13 @@ func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int,
 			// queries; only the retained []Neighbor slices allocate.
 			var buf []nn.Result
 			for i := range jobs {
-				if ctx.Err() != nil {
+				// Cancellation is checked between slots, not only inside the
+				// page traversal: a worker whose next query would start after
+				// the context died exits immediately — even when individual
+				// searches are too fast to ever observe the cancellation
+				// mid-traversal.
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstErr = err })
 					return
 				}
 				res, err := nn.SearchCtxInto(ctx, ix.tree, geom.Vector(queries[i]), k, nil, buf[:0])

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -79,6 +80,79 @@ func TestBatchSearchKNNMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// countingCtx wraps a cancellable context, counts Err() calls, and cancels
+// itself once the count reaches cancelAfter. Every consultation of the
+// context — BatchSearchKNN's between-slot checks and the per-page checks
+// inside traversals — goes through Err(), so the final count bounds how
+// much work ran after cancellation.
+type countingCtx struct {
+	context.Context
+	cancel      context.CancelFunc
+	calls       int64 // atomically updated
+	cancelAfter int64
+}
+
+func newCountingCtx(cancelAfter int64) *countingCtx {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &countingCtx{Context: ctx, cancel: cancel, cancelAfter: cancelAfter}
+}
+
+func (c *countingCtx) Err() error {
+	if atomic.AddInt64(&c.calls, 1) >= c.cancelAfter {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+// TestBatchSearchKNNCancelBetweenSlots asserts the batch loop checks
+// cancellation at slot boundaries and exits early: the full run consults
+// the context thousands of times (per slot plus per page), so a context
+// cancelled after a small fraction of those consultations must leave most
+// of them — and hence most query slots — unexecuted.
+func TestBatchSearchKNNCancelBetweenSlots(t *testing.T) {
+	ix := testIndex(t, RTree, 3000)
+	queries := testQueries(400, 4, 3)
+	const k = 20
+
+	// Baseline: how many context consultations does the full batch make?
+	base := newCountingCtx(1 << 62) // never cancels
+	if _, err := ix.BatchSearchKNN(base, queries, k, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := atomic.LoadInt64(&base.calls)
+	if full < int64(len(queries)) {
+		t.Fatalf("baseline made %d ctx checks, expected at least one per slot (%d)", full, len(queries))
+	}
+
+	// Cancel a tenth of the way in: the batch must stop long before the
+	// baseline's consultation count, i.e. most slots never ran.
+	cc := newCountingCtx(full / 10)
+	out, err := ix.BatchSearchKNN(cc, queries, k, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("cancelled batch returned results")
+	}
+	if got := atomic.LoadInt64(&cc.calls); got > full/2 {
+		t.Errorf("cancelled batch made %d ctx checks of the baseline's %d — no early exit", got, full)
+	}
+
+	// Already-cancelled context: no slot runs at all. Each executed slot
+	// costs at least one consultation, so the count stays tiny.
+	pre := newCountingCtx(1)
+	out, err = ix.BatchSearchKNN(pre, queries, k, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("pre-cancelled batch returned results")
+	}
+	if got := atomic.LoadInt64(&pre.calls); got > 8 {
+		t.Errorf("pre-cancelled batch made %d ctx checks, want a handful at most", got)
 	}
 }
 

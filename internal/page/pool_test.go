@@ -2,6 +2,7 @@ package page
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -141,6 +142,115 @@ func TestPinnedPoolConcurrent(t *testing.T) {
 	}
 	if st.Hits+st.Misses != 8*500 {
 		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+// TestPinnedPoolCounterConsistencyUnderChurn is the accounting contract
+// under adversarial concurrency (run with -race, as make check does): with
+// workers hammering overlapping id ranges — including double pins, racing
+// loads of the same page, Removes and periodic EvictAlls — every Pin call
+// still lands in exactly one of Hits or Misses, and residency never
+// exceeds the frame budget beyond what pinned frames force. A concurrent
+// observer checks the occupancy invariant mid-churn, not just at rest.
+func TestPinnedPoolCounterConsistencyUnderChurn(t *testing.T) {
+	const (
+		capacity = 24
+		workers  = 8
+		iters    = 2000
+		idSpace  = 96 // 4× capacity: constant eviction pressure
+	)
+	p := NewPinnedPool(capacity)
+	var lookups atomic.Int64
+
+	stop := make(chan struct{})
+	var observer sync.WaitGroup
+	observer.Add(1)
+	go func() {
+		defer observer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			// Eviction runs until the pool fits its capacity or only pinned
+			// frames remain, so a consistent snapshot can never show more
+			// residents than max(capacity, pinned).
+			limit := st.Capacity
+			if st.Pinned > limit {
+				limit = st.Pinned
+			}
+			if st.Resident > limit {
+				t.Errorf("mid-churn: resident %d > max(capacity %d, pinned %d)",
+					st.Resident, st.Capacity, st.Pinned)
+				return
+			}
+			if st.Pinned > workers*2 {
+				t.Errorf("mid-churn: pinned %d exceeds the %d pins workers can hold", st.Pinned, workers*2)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 1
+			next := func(n int) PageID {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return PageID((rng >> 33) % uint64(n))
+			}
+			for i := 0; i < iters; i++ {
+				id := next(idSpace)
+				lookups.Add(1)
+				if _, ok := p.Pin(id); !ok {
+					p.Insert(id, int(id))
+				}
+				switch i % 7 {
+				case 0:
+					// Double pin: a second traversal holding the same page.
+					id2 := next(idSpace)
+					lookups.Add(1)
+					if _, ok := p.Pin(id2); !ok {
+						p.Insert(id2, int(id2))
+					}
+					p.Unpin(id2)
+				case 3:
+					// A page dissolving (MarkDirty/Free path). Remove doesn't
+					// touch the traffic counters.
+					p.Remove(next(idSpace))
+				case 5:
+					if w == 0 {
+						p.EvictAll() // cold restarts aren't counted either
+					}
+				}
+				p.Unpin(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	observer.Wait()
+
+	st := p.Stats()
+	if got, want := st.Hits+st.Misses, lookups.Load(); got != want {
+		t.Errorf("hits(%d)+misses(%d) = %d, want exactly %d Pin calls",
+			st.Hits, st.Misses, got, want)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("degenerate churn: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.Pinned != 0 {
+		t.Errorf("pinned = %d after all workers finished, want 0", st.Pinned)
+	}
+	if st.Resident > capacity {
+		t.Errorf("resident = %d exceeds capacity %d at rest", st.Resident, capacity)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("no evictions despite id space %d over capacity %d", idSpace, capacity)
 	}
 }
 

@@ -40,6 +40,7 @@ type Store struct {
 	pool    *page.PinnedPool
 
 	mu          sync.Mutex
+	closed      bool
 	dirty       map[page.PageID]*gist.Node
 	freed       map[page.PageID]bool
 	next        page.PageID // next Alloc id; starts past the file's pages
@@ -230,8 +231,17 @@ func (s *Store) Dirty() int {
 	return len(s.dirty)
 }
 
-// Close releases the underlying file. Dirty nodes are not written back;
-// persist with Save first if mutations must survive.
+// Close releases the underlying file. It is idempotent — a second Close is
+// a nil no-op instead of an os.File double-close error, so stacked shutdown
+// paths (e.g. a daemon's signal handler and its deferred cleanup) compose.
+// Dirty nodes are not written back; persist with Save first if mutations
+// must survive.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	return s.f.Close()
 }

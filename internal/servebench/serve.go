@@ -1,0 +1,290 @@
+// Package servebench measures the serving subsystem (internal/server) end
+// to end over a real TCP listener. It lives outside internal/experiments so
+// the experiments package stays importable from blobindex's own test files
+// without an import cycle (servebench imports the blobindex facade).
+package servebench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobindex"
+	"blobindex/internal/experiments"
+	"blobindex/internal/server"
+)
+
+// ServeParams sizes the end-to-end serving benchmark.
+type ServeParams struct {
+	// Clients is the number of concurrent load-generator clients. Default 64.
+	Clients int
+	// Requests is the total request count across clients. Default 4096.
+	Requests int
+	// Method is the served access method. Default xjb (the paper's choice).
+	Method experiments.AMKind
+	// PoolPages is the served index's buffer pool budget; the index is
+	// always served demand-paged from a saved file, the paper's operating
+	// regime. Default blobindex.DefaultPoolPages.
+	PoolPages int
+	// CacheEntries sizes the server's result cache; negative disables it.
+	// Default 4096.
+	CacheEntries int
+	// MaxInFlight bounds concurrently executing searches (0 = server
+	// default, 2×GOMAXPROCS).
+	MaxInFlight int
+}
+
+// DefaultServeParams returns the acceptance-scale load shape: 64 concurrent
+// clients replaying the shared amdb workload.
+func DefaultServeParams() ServeParams {
+	return ServeParams{Clients: 64, Requests: 4096}
+}
+
+// ServeResult is the end-to-end serving measurement blobbench's "serve"
+// experiment produces — the BENCH_* trajectory extended from in-process
+// microbenchmarks to whole-stack HTTP numbers.
+type ServeResult struct {
+	Blobs    int    `json:"blobs"`
+	Queries  int    `json:"distinct_queries"`
+	K        int    `json:"k"`
+	Dim      int    `json:"dim"`
+	Method   string `json:"method"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	QPS            float64 `json:"qps"`
+	P50Us          float64 `json:"p50_us"`
+	P95Us          float64 `json:"p95_us"`
+	P99Us          float64 `json:"p99_us"`
+	MaxUs          float64 `json:"max_us"`
+
+	// Server-side view, read back from /v1/stats after the run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Coalesced    int64   `json:"coalesced"`
+	Rejected     int64   `json:"rejected"`
+	BufferMisses int64   `json:"buffer_misses"`
+	BufferHits   int64   `json:"buffer_hits"`
+}
+
+// ServeBench measures the serving subsystem end to end: it bulk-loads the
+// scenario's reduced data set, saves it, reopens it demand-paged, serves it
+// with internal/server over a real TCP listener, and replays the shared
+// 200-NN workload from p.Clients concurrent HTTP clients. Clients walk the
+// workload round-robin from staggered offsets, so the same query recurs
+// across clients — the repeat-query traffic shape the result cache and
+// single-flight coalescing exist for. The server is shut down gracefully at
+// the end; any error response or connection failure counts in Errors.
+func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
+	if p.Clients <= 0 {
+		p.Clients = 64
+	}
+	if p.Requests <= 0 {
+		p.Requests = 4096
+	}
+	if p.Method == "" {
+		p.Method = "xjb"
+	}
+	if p.PoolPages <= 0 {
+		p.PoolPages = blobindex.DefaultPoolPages
+	}
+	if p.CacheEntries == 0 {
+		p.CacheEntries = 4096
+	}
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	reduced := s.Reduced(s.Params.Dim)
+	points := make([]blobindex.Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = blobindex.Point{Key: v, RID: int64(i)}
+	}
+	idx, err := blobindex.Build(points, blobindex.Options{
+		Method:      blobindex.Method(p.Method),
+		Dim:         s.Params.Dim,
+		PageSize:    s.Params.PageSize,
+		XJBBites:    s.Params.XJBX,
+		AMAPSamples: s.Params.AMAPSamples,
+		Seed:        s.Params.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Serve the paper's operating regime: a saved index reopened
+	// demand-paged through the buffer pool, not the in-memory tree.
+	dir, err := os.MkdirTemp("", "blobserve")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "serve.idx")
+	if err := idx.Save(path); err != nil {
+		return nil, err
+	}
+	opened, err := blobindex.OpenWithOptions(path, blobindex.OpenOptions{PoolPages: p.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	defer opened.Close()
+
+	srv, err := server.New(server.Config{
+		Index:        opened,
+		MaxInFlight:  p.MaxInFlight,
+		CacheEntries: p.CacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-encode every distinct request body once; clients only POST.
+	bodies := make([][]byte, len(wl.Queries))
+	for i, q := range wl.Queries {
+		body, err := json.Marshal(server.KNNRequest{Query: q.Center, K: q.K})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        p.Clients,
+			MaxIdleConnsPerHost: p.Clients,
+		},
+		Timeout: 60 * time.Second,
+	}
+
+	perClient := (p.Requests + p.Clients - 1) / p.Clients
+	total := perClient * p.Clients
+	latencies := make([]time.Duration, total)
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Staggered starting offsets: client c begins partway through
+			// the workload, so distinct clients issue the same query at
+			// overlapping times.
+			off := c * len(bodies) / p.Clients
+			for i := 0; i < perClient; i++ {
+				body := bodies[(off+i)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/knn", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				var sr server.SearchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				latencies[c*perClient+i] = time.Since(t0)
+				if decErr != nil || resp.StatusCode != http.StatusOK || len(sr.Neighbors) == 0 {
+					errCount.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Server-side counters before shutdown.
+	stats, err := fetchStats(client, base)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return nil, fmt.Errorf("serve: graceful shutdown: %w", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i].Nanoseconds()) / 1e3
+	}
+	r := &ServeResult{
+		Blobs:          len(reduced),
+		Queries:        len(wl.Queries),
+		K:              wl.K,
+		Dim:            s.Params.Dim,
+		Method:         string(p.Method),
+		Clients:        p.Clients,
+		Requests:       total,
+		Errors:         int(errCount.Load()),
+		ElapsedSeconds: elapsed.Seconds(),
+		QPS:            float64(total) / elapsed.Seconds(),
+		P50Us:          pct(0.50),
+		P95Us:          pct(0.95),
+		P99Us:          pct(0.99),
+		MaxUs:          float64(latencies[len(latencies)-1].Nanoseconds()) / 1e3,
+		CacheHitRate:   stats.Cache.HitRate,
+		Coalesced:      stats.Coalesce.Followers,
+		Rejected:       stats.Admission.RejectedFull + stats.Admission.RejectedTimeout,
+	}
+	if stats.Buffer != nil {
+		r.BufferMisses = stats.Buffer.Misses
+		r.BufferHits = stats.Buffer.Hits
+	}
+	return r, nil
+}
+
+func fetchStats(client *http.Client, base string) (*server.Stats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// JSON renders the result as a committable artifact (blobbench -serveout).
+func (r *ServeResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the result for the terminal.
+func (r *ServeResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "End-to-end serving: %s over %d blobs, %d clients × %d-NN, %d requests (%d distinct)\n",
+		r.Method, r.Blobs, r.Clients, r.K, r.Requests, r.Queries)
+	fmt.Fprintf(&b, "  %-22s %d\n", "errors", r.Errors)
+	fmt.Fprintf(&b, "  %-22s %.0f req/s (%.2fs wall)\n", "throughput", r.QPS, r.ElapsedSeconds)
+	fmt.Fprintf(&b, "  %-22s p50 %.0fµs  p95 %.0fµs  p99 %.0fµs  max %.0fµs\n",
+		"client latency", r.P50Us, r.P95Us, r.P99Us, r.MaxUs)
+	fmt.Fprintf(&b, "  %-22s %.1f%% hit rate, %d coalesced, %d rejected\n",
+		"result cache", 100*r.CacheHitRate, r.Coalesced, r.Rejected)
+	fmt.Fprintf(&b, "  %-22s %d misses / %d hits (demand-paged)\n",
+		"buffer pool", r.BufferMisses, r.BufferHits)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission outcomes. The HTTP layer maps ErrQueueFull to 429 Too Many
+// Requests (the caller should back off — even the waiting room is full) and
+// ErrQueueTimeout to 503 Service Unavailable (the request waited its full
+// budget without reaching an execution slot).
+var (
+	ErrQueueFull    = errors.New("server: admission queue full")
+	ErrQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+)
+
+// admission is the server's bounded-concurrency gate: at most maxInFlight
+// searches execute at once, at most maxQueue more wait for a slot, and a
+// waiter gives up after queueTimeout. Everything beyond that is rejected
+// immediately, which keeps latency bounded under overload instead of
+// letting goroutines and memory pile up behind a slow index.
+type admission struct {
+	sem     chan struct{} // execution slots
+	queue   chan struct{} // waiting-room slots
+	timeout time.Duration
+
+	inFlight        atomic.Int64
+	queued          atomic.Int64
+	admitted        atomic.Int64
+	rejectedFull    atomic.Int64
+	rejectedTimeout atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int, timeout time.Duration) *admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &admission{
+		sem:     make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		timeout: timeout,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue for up to
+// the configured timeout. On nil error the caller must release(). ctx
+// cancellation while queued returns ctx's error (the client is gone; there
+// is nothing to serve).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	default:
+	}
+	// No free slot: try to enter the waiting room.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+	a.queued.Add(1)
+	timer := time.NewTimer(a.timeout)
+	defer func() {
+		timer.Stop()
+		a.queued.Add(-1)
+		<-a.queue
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	case <-timer.C:
+		a.rejectedTimeout.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot claimed by acquire.
+func (a *admission) release() {
+	a.inFlight.Add(-1)
+	<-a.sem
+}
+
+// AdmissionStats is the admission section of the server's /v1/stats payload.
+type AdmissionStats struct {
+	InFlight         int64 `json:"in_flight"`
+	Queued           int64 `json:"queued"`
+	Admitted         int64 `json:"admitted"`
+	RejectedFull     int64 `json:"rejected_queue_full"`    // served as 429
+	RejectedTimeout  int64 `json:"rejected_queue_timeout"` // served as 503
+	MaxInFlight      int   `json:"max_in_flight"`
+	MaxQueue         int   `json:"max_queue"`
+	QueueTimeoutMsec int64 `json:"queue_timeout_ms"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight:         a.inFlight.Load(),
+		Queued:           a.queued.Load(),
+		Admitted:         a.admitted.Load(),
+		RejectedFull:     a.rejectedFull.Load(),
+		RejectedTimeout:  a.rejectedTimeout.Load(),
+		MaxInFlight:      cap(a.sem),
+		MaxQueue:         cap(a.queue),
+		QueueTimeoutMsec: a.timeout.Milliseconds(),
+	}
+}

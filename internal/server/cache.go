@@ -1,0 +1,231 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"blobindex"
+)
+
+// resultCache is the serving layer's sharded LRU result cache. Entries are
+// keyed by the full query signature — access method, operation, k (or the
+// quantized radius) and the quantized query vector — so two requests that
+// would run the same index search share one cached result. Sharding keeps
+// the per-lookup critical section short under the 64-plus-client
+// concurrency the server is sized for; each shard is an independent
+// mutex-protected LRU.
+//
+// Invalidation is generational: every write to the index bumps the cache
+// generation, and lookups discard (and count) entries stamped with an older
+// generation instead of scanning the shards eagerly. A cached result
+// therefore never survives an Insert/Delete/Tighten, but writes stay O(1).
+//
+// Cached []blobindex.Neighbor values are shared between concurrent readers
+// and must be treated as immutable by everyone who receives them.
+type resultCache struct {
+	shards []cacheShard
+	gen    atomic.Uint64 // current write generation
+	seed   maphash.Seed
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64 // stale-generation entries discarded at lookup
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64
+	val []blobindex.Neighbor
+}
+
+// newResultCache builds a cache holding up to entries results across shards
+// (shards is rounded up to at least 1; entries < shards still yields one
+// slot per shard). entries <= 0 returns a disabled cache that misses every
+// lookup and stores nothing.
+func newResultCache(entries, shards int) *resultCache {
+	c := &resultCache{seed: maphash.MakeSeed()}
+	if entries <= 0 {
+		return c
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > entries {
+		shards = entries
+	}
+	per := (entries + shards - 1) / shards
+	c.shards = make([]cacheShard, shards)
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, m: make(map[string]*list.Element), lru: list.New()}
+	}
+	return c
+}
+
+func (c *resultCache) enabled() bool { return len(c.shards) > 0 }
+
+func (c *resultCache) shard(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// get returns the cached neighbors for key, or ok == false on a miss. A hit
+// stamped with an older generation than the current one counts as both an
+// invalidation and a miss: the entry is dropped and the caller recomputes.
+func (c *resultCache) get(key string) ([]blobindex.Neighbor, bool) {
+	if !c.enabled() {
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != c.gen.Load() {
+		sh.lru.Remove(el)
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return ent.val, true
+}
+
+// put stores a computed result under the current generation, evicting the
+// shard's least-recently-used entry if it is full. A result computed before
+// a concurrent write bumped the generation is stored already-stale and will
+// be discarded on its next lookup — harmless, merely one wasted slot.
+func (c *resultCache) put(key string, val []blobindex.Neighbor) {
+	if !c.enabled() {
+		return
+	}
+	gen := c.gen.Load()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.gen, ent.val = gen, val
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	sh.m[key] = sh.lru.PushFront(&cacheEntry{key: key, gen: gen, val: val})
+	var evicted int64
+	for sh.lru.Len() > sh.cap {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.m, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// invalidate marks every currently cached result stale. Called after each
+// successful Insert/Delete/Tighten; stale entries are reclaimed lazily by
+// the lookups that encounter them.
+func (c *resultCache) invalidate() {
+	c.gen.Add(1)
+}
+
+// entries counts currently resident entries (including not-yet-reclaimed
+// stale ones) across shards.
+func (c *resultCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// capacity is the configured total entry budget.
+func (c *resultCache) capacity() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}
+
+// CacheStats is the cache section of the server's /v1/stats payload.
+type CacheStats struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	s := CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.entries(),
+		Capacity:      c.capacity(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// quantum is the cache key's coordinate resolution: coordinates (and range
+// radii) are snapped to multiples of 2^-16 ≈ 1.5e-5 before keying, so two
+// float queries that differ only in sub-quantum noise share a cache line
+// and a single-flight slot. The indexed Blobworld features span roughly
+// [-10, 10] after SVD, which makes the quantum far below any meaningful
+// feature distance.
+const quantum = 1 << 16
+
+// searchKey builds the cache/coalescing key for one search: op
+// discriminator, access method, k, quantized radius (range only) and the
+// quantized query vector, binary-packed. The same key feeds both the result
+// cache and the single-flight group, so "identical query" means the same
+// thing in both layers.
+func searchKey(op byte, method blobindex.Method, k int, radius float64, q []float64) string {
+	b := make([]byte, 0, 2+len(method)+8+8+8*len(q))
+	b = append(b, op)
+	b = append(b, method...)
+	b = append(b, 0) // method/terminator so "jb"+k cannot collide with "xjb"
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(k))
+	b = append(b, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], uint64(int64(math.Round(radius*quantum))))
+	b = append(b, w[:]...)
+	for _, v := range q {
+		binary.LittleEndian.PutUint64(w[:], uint64(int64(math.Round(v*quantum))))
+		b = append(b, w[:]...)
+	}
+	return string(b)
+}

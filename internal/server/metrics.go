@@ -1,0 +1,132 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram uses log-spaced buckets with ~12% resolution from
+// 1µs up: bucket i covers [base·growth^i, base·growth^(i+1)). 128 buckets
+// reach past an hour, far beyond any plausible request latency, so the top
+// bucket never saturates in practice.
+const (
+	histBuckets = 128
+	histBase    = float64(time.Microsecond)
+	histGrowth  = 1.12
+)
+
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// histogram is a fixed-bucket concurrent latency histogram. observe is
+// lock-free (one atomic add per sample plus counters), which matters
+// because every request on every endpoint passes through it; percentile
+// estimation pays the scan cost only when /v1/stats is asked.
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	errs   atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+func bucketOf(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns < histBase {
+		return 0
+	}
+	i := int(math.Log(ns/histBase) * invLogGrowth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns bucket i's upper boundary in nanoseconds.
+func bucketUpper(i int) float64 {
+	return histBase * math.Pow(histGrowth, float64(i+1))
+}
+
+func (h *histogram) observe(d time.Duration, failed bool) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	if failed {
+		h.errs.Add(1)
+	}
+	for {
+		cur := h.maxNs.Load()
+		if d.Nanoseconds() <= cur || h.maxNs.CompareAndSwap(cur, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// LatencySummary is one endpoint's row in the /v1/stats payload. Quantiles
+// are estimated from the log-spaced buckets (upper boundary of the bucket
+// containing the quantile rank), so they are accurate to the ~12% bucket
+// resolution; Max is exact.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func (h *histogram) summary() LatencySummary {
+	s := LatencySummary{
+		Count:  h.count.Load(),
+		Errors: h.errs.Load(),
+		MaxUs:  float64(h.maxNs.Load()) / 1e3,
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanUs = float64(h.sumNs.Load()) / float64(s.Count) / 1e3
+	// One snapshot of the buckets serves all three quantiles. The snapshot
+	// races benignly with concurrent observes; stats are advisory.
+	var snap [histBuckets]int64
+	var total int64
+	for i := range snap {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	quantile := func(q float64) float64 {
+		rank := int64(math.Ceil(q * float64(total)))
+		if rank < 1 {
+			rank = 1
+		}
+		var seen int64
+		for i := range snap {
+			seen += snap[i]
+			if seen >= rank {
+				return bucketUpper(i) / 1e3
+			}
+		}
+		return float64(h.maxNs.Load()) / 1e3
+	}
+	s.P50Us = quantile(0.50)
+	s.P95Us = quantile(0.95)
+	s.P99Us = quantile(0.99)
+	// The top bucket's upper bound can overshoot the true maximum; clamp so
+	// the summary never reports a quantile above its own Max.
+	if s.P50Us > s.MaxUs {
+		s.P50Us = s.MaxUs
+	}
+	if s.P95Us > s.MaxUs {
+		s.P95Us = s.MaxUs
+	}
+	if s.P99Us > s.MaxUs {
+		s.P99Us = s.MaxUs
+	}
+	return s
+}

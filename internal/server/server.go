@@ -1,0 +1,529 @@
+// Package server is the network serving layer over the blobindex facade:
+// the machinery that turns the in-process index into the query service the
+// Blobworld site actually ran. It exposes exact k-NN and range search over
+// HTTP/JSON and layers production concerns the index itself should not know
+// about — admission control (bounded in-flight searches with a bounded,
+// timed waiting room), single-flight coalescing of identical concurrent
+// queries, a sharded LRU result cache invalidated on writes, and
+// per-endpoint latency histograms — in that order: a request is admitted,
+// then coalesced, then served from cache, and only then runs an index
+// traversal. See DESIGN.md §8.
+//
+// The package serves any Queryer; cmd/blobserved wires it to a
+// *blobindex.Index opened demand-paged from a saved index file.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobindex"
+)
+
+// Queryer is the slice of the blobindex facade the server needs.
+// *blobindex.Index implements it; tests substitute controllable fakes.
+type Queryer interface {
+	SearchKNNCtx(ctx context.Context, q []float64, k int) ([]blobindex.Neighbor, error)
+	SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]blobindex.Neighbor, error)
+	Insert(p blobindex.Point) error
+	Delete(key []float64, rid int64) (bool, error)
+	Tighten() error
+	Options() blobindex.Options
+	Stats() blobindex.Stats
+	BufferStats() (blobindex.BufferStats, bool)
+}
+
+var _ Queryer = (*blobindex.Index)(nil)
+
+// Config sizes the serving machinery. The zero value of every field except
+// Index picks a sensible default.
+type Config struct {
+	// Index is the index to serve. Required.
+	Index Queryer
+	// MaxInFlight bounds concurrently executing searches. Default
+	// 2×GOMAXPROCS — enough to keep every core busy while some requests
+	// block on page I/O.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; one past that
+	// is rejected 429 immediately. Default 4×MaxInFlight.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits before a 503.
+	// Default 1s.
+	QueueTimeout time.Duration
+	// CacheEntries is the result cache's total entry budget. Default 4096;
+	// negative disables caching.
+	CacheEntries int
+	// CacheShards is the result cache's shard count. Default 16.
+	CacheShards int
+	// MaxK caps the per-request k. Default 4096.
+	MaxK int
+}
+
+// endpoint names, which are also the keys of Stats.Endpoints.
+var endpointNames = []string{"knn", "range", "insert", "delete", "tighten", "stats"}
+
+// Server serves one index over HTTP. Create with New, mount Handler.
+type Server struct {
+	cfg    Config
+	idx    Queryer
+	method blobindex.Method
+	dim    int
+
+	adm     *admission
+	cache   *resultCache
+	flights *flightGroup
+	writeMu sync.Mutex // serializes Insert/Delete/Tighten (single-writer contract)
+
+	mux      *http.ServeMux
+	start    time.Time
+	requests atomic.Int64
+	hists    map[string]*histogram
+}
+
+// expvar integration: the package publishes one "blobserved" var whose
+// value tracks the most recently created Server, so `GET /debug/vars` (and
+// any other expvar consumer) sees live serving stats. A process serves one
+// index in practice; tests creating many servers just move the pointer.
+var (
+	expvarOnce sync.Once
+	currentSrv atomic.Pointer[Server]
+)
+
+// New builds a Server around cfg.Index.
+func New(cfg Config) (*Server, error) {
+	if cfg.Index == nil {
+		return nil, errors.New("server: Config.Index is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = time.Second
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 4096
+	}
+	opts := cfg.Index.Options()
+	s := &Server{
+		cfg:     cfg,
+		idx:     cfg.Index,
+		method:  opts.Method,
+		dim:     opts.Dim,
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		flights: newFlightGroup(),
+		start:   time.Now(),
+		hists:   make(map[string]*histogram, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		s.hists[name] = &histogram{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/knn", s.instrument("knn", s.handleKNN))
+	s.mux.HandleFunc("POST /v1/range", s.instrument("range", s.handleRange))
+	s.mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.handleInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/tighten", s.instrument("tighten", s.handleTighten))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+
+	currentSrv.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("blobserved", expvar.Func(func() any {
+			if cur := currentSrv.Load(); cur != nil {
+				return cur.Stats()
+			}
+			return nil
+		}))
+	})
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (mount at /).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- request/response wire types ---
+
+// KNNRequest is the POST /v1/knn body.
+type KNNRequest struct {
+	Query []float64 `json:"query"`
+	K     int       `json:"k"`
+	// IncludeKeys asks for each neighbor's coordinates in the response;
+	// default off, since serving typically needs only (rid, dist).
+	IncludeKeys bool `json:"include_keys,omitempty"`
+}
+
+// RangeRequest is the POST /v1/range body.
+type RangeRequest struct {
+	Query       []float64 `json:"query"`
+	Radius      float64   `json:"radius"`
+	IncludeKeys bool      `json:"include_keys,omitempty"`
+}
+
+// NeighborJSON is one search result on the wire.
+type NeighborJSON struct {
+	RID  int64     `json:"rid"`
+	Dist float64   `json:"dist"`
+	Key  []float64 `json:"key,omitempty"`
+}
+
+// SearchResponse is the POST /v1/knn and /v1/range response.
+type SearchResponse struct {
+	Neighbors []NeighborJSON `json:"neighbors"`
+	// Cached reports the result was served from the result cache without an
+	// index search; Coalesced that it was shared from a concurrent
+	// identical request's search.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// WriteRequest is the POST /v1/insert and /v1/delete body.
+type WriteRequest struct {
+	Key []float64 `json:"key"`
+	RID int64     `json:"rid"`
+}
+
+// WriteResponse acknowledges a write.
+type WriteResponse struct {
+	OK bool `json:"ok"`
+	// Existed is meaningful for deletes: whether the (key, rid) pair was
+	// present.
+	Existed bool `json:"existed,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handler plumbing ---
+
+// instrument wraps a handler to count the request and record its latency
+// (and error-ness) in the endpoint's histogram.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	hist := s.hists[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		start := time.Now()
+		status := h(w, r)
+		hist.observe(time.Since(start), status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) int {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	return writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a bounded JSON body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) validQuery(q []float64) error {
+	if len(q) != s.dim {
+		return fmt.Errorf("query dimension %d, index dimension %d", len(q), s.dim)
+	}
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("query coordinates must be finite")
+		}
+	}
+	return nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// searchStatus maps a search error to an HTTP status.
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, blobindex.ErrDimMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, blobindex.ErrEmptyIndex):
+		return http.StatusNotFound
+	case isCtxErr(err):
+		// The client went away (or the drain deadline passed); the status
+		// rarely reaches anyone, but 503 is the honest one.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// runSearch is the shared admitted→coalesced→cached→index pipeline behind
+// the two search endpoints. search runs the actual index traversal under
+// the request context.
+func (s *Server) runSearch(ctx context.Context, key string, search func() ([]blobindex.Neighbor, error)) (res []blobindex.Neighbor, cached, coalesced bool, err error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, false, false, err
+	}
+	defer s.adm.release()
+	// Leader flights check the cache and fill it on success; hit is set by
+	// the flight that actually ran (followers inherit the leader's result,
+	// reported as coalesced rather than cached).
+	var hit bool
+	fn := func() ([]blobindex.Neighbor, error) {
+		if v, ok := s.cache.get(key); ok {
+			hit = true
+			return v, nil
+		}
+		v, err := search()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, v)
+		return v, nil
+	}
+	for attempt := 0; ; attempt++ {
+		hit = false
+		res, coalesced, err = s.flights.do(ctx, key, fn)
+		// A coalesced context error is the *leader's* — its client hung up
+		// mid-search. This request is still live, so rerun the flight as
+		// the new leader instead of failing an innocent caller.
+		if err != nil && coalesced && isCtxErr(err) && ctx.Err() == nil && attempt < 2 {
+			continue
+		}
+		return res, hit && !coalesced, coalesced, err
+	}
+}
+
+func neighborsJSON(res []blobindex.Neighbor, includeKeys bool) []NeighborJSON {
+	out := make([]NeighborJSON, len(res))
+	for i, n := range res {
+		out[i] = NeighborJSON{RID: n.RID, Dist: n.Dist}
+		if includeKeys {
+			out[i].Key = n.Key
+		}
+	}
+	return out
+}
+
+func admissionStatus(err error) (int, bool) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, ErrQueueTimeout):
+		return http.StatusServiceUnavailable, true
+	}
+	return 0, false
+}
+
+// --- endpoints ---
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) int {
+	var req KNNRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if err := s.validQuery(req.Query); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if req.K <= 0 || req.K > s.cfg.MaxK {
+		return writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, req.K)
+	}
+	ctx := r.Context()
+	key := searchKey('k', s.method, req.K, 0, req.Query)
+	res, cached, coalesced, err := s.runSearch(ctx, key, func() ([]blobindex.Neighbor, error) {
+		return s.idx.SearchKNNCtx(ctx, req.Query, req.K)
+	})
+	if err != nil {
+		if status, ok := admissionStatus(err); ok {
+			return writeError(w, status, "%v", err)
+		}
+		return writeError(w, searchStatus(err), "knn search: %v", err)
+	}
+	return writeJSON(w, http.StatusOK, SearchResponse{
+		Neighbors: neighborsJSON(res, req.IncludeKeys),
+		Cached:    cached,
+		Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) int {
+	var req RangeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if err := s.validQuery(req.Query); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	if req.Radius < 0 || math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) {
+		return writeError(w, http.StatusBadRequest, "radius must be finite and non-negative")
+	}
+	ctx := r.Context()
+	key := searchKey('r', s.method, 0, req.Radius, req.Query)
+	res, cached, coalesced, err := s.runSearch(ctx, key, func() ([]blobindex.Neighbor, error) {
+		return s.idx.SearchRangeCtx(ctx, req.Query, req.Radius)
+	})
+	if err != nil {
+		if status, ok := admissionStatus(err); ok {
+			return writeError(w, status, "%v", err)
+		}
+		return writeError(w, searchStatus(err), "range search: %v", err)
+	}
+	return writeJSON(w, http.StatusOK, SearchResponse{
+		Neighbors: neighborsJSON(res, req.IncludeKeys),
+		Cached:    cached,
+		Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) int {
+	var req WriteRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if err := s.validQuery(req.Key); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	s.writeMu.Lock()
+	err := s.idx.Insert(blobindex.Point{Key: req.Key, RID: req.RID})
+	s.writeMu.Unlock()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, "insert: %v", err)
+	}
+	s.cache.invalidate()
+	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
+	var req WriteRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	if err := s.validQuery(req.Key); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	s.writeMu.Lock()
+	existed, err := s.idx.Delete(req.Key, req.RID)
+	s.writeMu.Unlock()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, "delete: %v", err)
+	}
+	s.cache.invalidate()
+	return writeJSON(w, http.StatusOK, WriteResponse{OK: true, Existed: existed})
+}
+
+func (s *Server) handleTighten(w http.ResponseWriter, r *http.Request) int {
+	s.writeMu.Lock()
+	err := s.idx.Tighten()
+	s.writeMu.Unlock()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, "tighten: %v", err)
+	}
+	s.cache.invalidate()
+	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// --- stats ---
+
+// IndexInfo is the index section of Stats.
+type IndexInfo struct {
+	Method string `json:"method"`
+	Dim    int    `json:"dim"`
+	Len    int    `json:"len"`
+	Height int    `json:"height"`
+	Pages  int    `json:"pages"`
+	Leaves int    `json:"leaves"`
+}
+
+// BufferInfo mirrors blobindex.BufferStats for demand-paged indexes; nil in
+// Stats when the served index is fully in memory.
+type BufferInfo struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Resident  int   `json:"resident"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats is the full /v1/stats payload.
+type Stats struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Requests      int64                     `json:"requests"`
+	Index         IndexInfo                 `json:"index"`
+	Admission     AdmissionStats            `json:"admission"`
+	Cache         CacheStats                `json:"cache"`
+	Coalesce      CoalesceStats             `json:"coalesce"`
+	Buffer        *BufferInfo               `json:"buffer,omitempty"`
+	Endpoints     map[string]LatencySummary `json:"endpoints"`
+}
+
+// Stats snapshots every serving counter. Also the value behind the
+// "blobserved" expvar.
+func (s *Server) Stats() Stats {
+	is := s.idx.Stats()
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Index: IndexInfo{
+			Method: string(is.Method),
+			Dim:    s.dim,
+			Len:    is.Len,
+			Height: is.Height,
+			Pages:  is.Pages,
+			Leaves: is.Leaves,
+		},
+		Admission: s.adm.stats(),
+		Cache:     s.cache.stats(),
+		Coalesce:  s.flights.stats(),
+		Endpoints: make(map[string]LatencySummary, len(s.hists)),
+	}
+	if bs, ok := s.idx.BufferStats(); ok {
+		st.Buffer = &BufferInfo{
+			Hits:      bs.Hits,
+			Misses:    bs.Misses,
+			Evictions: bs.Evictions,
+			Resident:  bs.Resident,
+			Capacity:  bs.Capacity,
+		}
+	}
+	for name, h := range s.hists {
+		st.Endpoints[name] = h.summary()
+	}
+	return st
+}

@@ -111,8 +111,12 @@ func main() {
 			cancel()
 		}()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			log.Printf("drain incomplete (%v); hard-closing listener, in-flight searches may fail", err)
 			hs.Close()
+			// Closing the connections cancels each in-flight request's
+			// context; give those handlers a moment to unwind through the
+			// ctx-aware search paths before idx.Close pulls the store away.
+			time.Sleep(250 * time.Millisecond)
 		}
 		cancel()
 	case err := <-errCh:

@@ -177,7 +177,10 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 
 	perClient := (p.Requests + p.Clients - 1) / p.Clients
 	total := perClient * p.Clients
-	latencies := make([]time.Duration, total)
+	// Per-client latency slices hold only completed requests; a transport
+	// failure records no sample, so errors cannot pollute the percentiles
+	// with zero durations.
+	clientLats := make([][]time.Duration, p.Clients)
 	var errCount atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -185,6 +188,7 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			lats := make([]time.Duration, 0, perClient)
 			// Staggered starting offsets: client c begins partway through
 			// the workload, so distinct clients issue the same query at
 			// overlapping times.
@@ -200,15 +204,20 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 				var sr server.SearchResponse
 				decErr := json.NewDecoder(resp.Body).Decode(&sr)
 				resp.Body.Close()
-				latencies[c*perClient+i] = time.Since(t0)
+				lats = append(lats, time.Since(t0))
 				if decErr != nil || resp.StatusCode != http.StatusOK || len(sr.Neighbors) == 0 {
 					errCount.Add(1)
 				}
 			}
+			clientLats[c] = lats
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	latencies := make([]time.Duration, 0, total)
+	for _, lats := range clientLats {
+		latencies = append(latencies, lats...)
+	}
 
 	// Server-side counters before shutdown.
 	stats, err := fetchStats(client, base)
@@ -226,6 +235,9 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
 		i := int(q * float64(len(latencies)-1))
 		return float64(latencies[i].Nanoseconds()) / 1e3
 	}
@@ -243,7 +255,7 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 		P50Us:          pct(0.50),
 		P95Us:          pct(0.95),
 		P99Us:          pct(0.99),
-		MaxUs:          float64(latencies[len(latencies)-1].Nanoseconds()) / 1e3,
+		MaxUs:          pct(1),
 		CacheHitRate:   stats.Cache.HitRate,
 		Coalesced:      stats.Coalesce.Followers,
 		Rejected:       stats.Admission.RejectedFull + stats.Admission.RejectedTimeout,

@@ -113,15 +113,22 @@ func (c *resultCache) get(key string) ([]blobindex.Neighbor, bool) {
 	return ent.val, true
 }
 
-// put stores a computed result under the current generation, evicting the
-// shard's least-recently-used entry if it is full. A result computed before
-// a concurrent write bumped the generation is stored already-stale and will
-// be discarded on its next lookup — harmless, merely one wasted slot.
-func (c *resultCache) put(key string, val []blobindex.Neighbor) {
+// put stores a computed result stamped with gen, the generation the caller
+// read (via generation()) *before* running the index search, evicting the
+// shard's least-recently-used entry if it is full. Stamping the pre-search
+// generation is what makes invalidation sound: a result computed before a
+// concurrent write bumped the generation carries the old stamp, so it is
+// either dropped here or discarded by its next lookup — it is never served
+// as fresh. Stamping the current generation instead would let a search that
+// raced a write cache its pre-write answer indefinitely.
+func (c *resultCache) put(key string, val []blobindex.Neighbor, gen uint64) {
 	if !c.enabled() {
 		return
 	}
-	gen := c.gen.Load()
+	if gen != c.gen.Load() {
+		// A write landed while the search ran; the result may predate it.
+		return
+	}
 	sh := c.shard(key)
 	sh.mu.Lock()
 	if el, ok := sh.m[key]; ok {
@@ -150,6 +157,13 @@ func (c *resultCache) put(key string, val []blobindex.Neighbor) {
 // the lookups that encounter them.
 func (c *resultCache) invalidate() {
 	c.gen.Add(1)
+}
+
+// generation reads the current write generation. Callers snapshot it before
+// running an index search and hand it back to put, so results that raced a
+// write are stamped with the generation they were actually computed under.
+func (c *resultCache) generation() uint64 {
+	return c.gen.Load()
 }
 
 // entries counts currently resident entries (including not-yet-reclaimed

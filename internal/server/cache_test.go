@@ -24,7 +24,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 		if _, ok := c.get(keys[i]); ok {
 			t.Fatalf("empty cache hit for key %d", i)
 		}
-		c.put(keys[i], res(int64(i)))
+		c.put(keys[i], res(int64(i)), c.generation())
 	}
 	for i := 0; i < 4; i++ {
 		v, ok := c.get(keys[i])
@@ -34,7 +34,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 	}
 	// The gets touched 0..3 in order, so key 0 is least recently used;
 	// inserting a fifth entry evicts it and keeps the rest.
-	c.put(keys[4], res(4))
+	c.put(keys[4], res(4), c.generation())
 	if _, ok := c.get(keys[0]); ok {
 		t.Error("expected key 0 evicted (LRU after the get sequence)")
 	}
@@ -58,7 +58,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 func TestCacheInvalidateGeneration(t *testing.T) {
 	c := newResultCache(8, 2)
 	key := searchKey('k', blobindex.JB, 5, 0, []float64{1, 2})
-	c.put(key, res(1))
+	c.put(key, res(1), c.generation())
 	if _, ok := c.get(key); !ok {
 		t.Fatal("miss before invalidation")
 	}
@@ -70,16 +70,37 @@ func TestCacheInvalidateGeneration(t *testing.T) {
 		t.Errorf("invalidations = %d, want 1", got)
 	}
 	// The slot was reclaimed lazily; re-fill works.
-	c.put(key, res(2))
+	c.put(key, res(2), c.generation())
 	if v, ok := c.get(key); !ok || v[0].RID != 2 {
 		t.Errorf("re-fill after invalidation: ok=%v v=%v", ok, v)
+	}
+}
+
+// TestCachePutRacingWrite pins the invalidation soundness contract: a search
+// result computed before a write landed (its generation snapshot predates
+// the invalidate) must never be served as fresh, even though put ran after
+// the invalidate.
+func TestCachePutRacingWrite(t *testing.T) {
+	c := newResultCache(8, 2)
+	key := searchKey('k', blobindex.XJB, 5, 0, []float64{3, 4})
+	gen := c.generation() // search starts here...
+	c.invalidate()        // ...a delete completes while it runs...
+	c.put(key, res(1), gen)
+	if _, ok := c.get(key); ok { // ...so the pre-write result must not hit
+		t.Fatal("pre-write result served as fresh after invalidation")
+	}
+	// A result computed under the current generation still caches normally,
+	// including overwriting the same key.
+	c.put(key, res(2), c.generation())
+	if v, ok := c.get(key); !ok || v[0].RID != 2 {
+		t.Errorf("post-write re-fill: ok=%v v=%v", ok, v)
 	}
 }
 
 func TestCacheDisabled(t *testing.T) {
 	c := newResultCache(0, 4)
 	key := searchKey('k', blobindex.XJB, 1, 0, []float64{1})
-	c.put(key, res(1))
+	c.put(key, res(1), c.generation())
 	if _, ok := c.get(key); ok {
 		t.Error("disabled cache returned a hit")
 	}
@@ -117,7 +138,7 @@ func TestCacheConcurrentChurn(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := searchKey('k', blobindex.XJB, i%32, 0, []float64{float64(g % 3)})
 				if _, ok := c.get(key); !ok {
-					c.put(key, res(int64(i)))
+					c.put(key, res(int64(i)), c.generation())
 				}
 				if i%100 == 0 && g == 0 {
 					c.invalidate()
@@ -153,7 +174,7 @@ func TestHistogramSummary(t *testing.T) {
 		t.Errorf("max = %v µs, want 100000", s.MaxUs)
 	}
 	within := func(got, want, tol float64) bool { return got >= want/tol && got <= want*tol }
-	// Bucket resolution is ~12%; allow a generous 1.3× band.
+	// Bucket resolution is ~19%; allow a generous 1.3× band.
 	if !within(s.P50Us, 1000, 1.3) {
 		t.Errorf("p50 = %v µs, want ≈1000", s.P50Us)
 	}
@@ -230,7 +251,7 @@ func waitForUnit(t *testing.T, cond func() bool) {
 func ExampleCacheStats() {
 	c := newResultCache(2, 1)
 	k := searchKey('k', blobindex.XJB, 3, 0, []float64{1})
-	c.put(k, res(42))
+	c.put(k, res(42), c.generation())
 	_, hit := c.get(k)
 	fmt.Println(hit)
 	// Output: true

@@ -301,11 +301,15 @@ func (s *Server) runSearch(ctx context.Context, key string, search func() ([]blo
 			hit = true
 			return v, nil
 		}
+		// Snapshot the write generation before the traversal: a result that
+		// raced an Insert/Delete/Tighten is stamped pre-write and dropped,
+		// never cached as fresh.
+		gen := s.cache.generation()
 		v, err := search()
 		if err != nil {
 			return nil, err
 		}
-		s.cache.put(key, v)
+		s.cache.put(key, v, gen)
 		return v, nil
 	}
 	for attempt := 0; ; attempt++ {

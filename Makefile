@@ -3,9 +3,9 @@
 GO ?= go
 
 .PHONY: check fmt vet build test race bench benchall benchsmoke \
-	servebench servesmoke
+	servebench servesmoke chaos chaossmoke fuzzsmoke
 
-check: fmt vet build test race benchsmoke servesmoke
+check: fmt vet build test race benchsmoke servesmoke chaossmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -50,3 +50,19 @@ servebench:
 servesmoke:
 	$(GO) run ./cmd/blobbench -images 500 -queries 32 -experiment serve \
 		-serve-clients 16 -serve-requests 256
+
+# chaos replays the k-NN workload under injected read faults and writes the
+# committed artifact CHAOS_PR5.json; it exits nonzero if any successful
+# query disagrees with the fault-free run or a torn save loses the index.
+chaos:
+	$(GO) run ./cmd/blobbench -images 4000 -queries 128 -experiment chaos \
+		-chaosout CHAOS_PR5.json
+
+# chaossmoke is the toy-scale fault-injection run wired into `make check`.
+chaossmoke:
+	$(GO) run ./cmd/blobbench -images 500 -queries 32 -experiment chaos
+
+# fuzzsmoke gives the pagefile opener's fuzzer a short budget — enough to
+# catch format-validation regressions without slowing the gate.
+fuzzsmoke:
+	$(GO) test -fuzz=FuzzOpenPaged -fuzztime=10s -run=^$$ ./internal/pagefile

@@ -441,11 +441,14 @@ func (ix *Index) Close() error {
 	return ix.store.Close()
 }
 
-// BufferStats is a snapshot of a demand-paged index's buffer pool traffic.
+// BufferStats is a snapshot of a demand-paged index's buffer pool traffic
+// and the store's transient-read retry counters.
 type BufferStats struct {
 	Hits      int64 // page accesses served from the pool
 	Misses    int64 // page accesses that read the file
 	Evictions int64 // pages evicted to make room
+	Retries   int64 // page re-reads after a transient failure
+	GaveUp    int64 // page loads that exhausted the retry budget
 	Resident  int   // pages currently held
 	Capacity  int   // pool frame budget
 }
@@ -461,6 +464,8 @@ func (ix *Index) BufferStats() (s BufferStats, ok bool) {
 		Hits:      ps.Hits,
 		Misses:    ps.Misses,
 		Evictions: ps.Evictions,
+		Retries:   ps.Retries,
+		GaveUp:    ps.GaveUp,
 		Resident:  ps.Resident,
 		Capacity:  ps.Capacity,
 	}, true

@@ -26,12 +26,13 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
 	pagedOut := flag.String("pagedout", "", "write the pagedio experiment's JSON to this file")
 	serveOut := flag.String("serveout", "", "write the serve experiment's JSON to this file")
+	chaosOut := flag.String("chaosout", "", "write the chaos experiment's JSON to this file")
 	serveClients := flag.Int("serve-clients", 64, "serve experiment concurrent clients")
 	serveRequests := flag.Int("serve-requests", 4096, "serve experiment total requests")
 	flag.Parse()
@@ -251,6 +252,28 @@ func main() {
 				}
 			}
 			return r.Render(), nil
+		})
+	}
+	if has("chaos") {
+		run("chaos", func() (string, error) {
+			r, err := experiments.ChaosDefault(s)
+			if err != nil {
+				return "", err
+			}
+			if *chaosOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*chaosOut, data, 0o644); err != nil {
+					return "", err
+				}
+			}
+			out := r.Render()
+			if !r.Pass {
+				return "", fmt.Errorf("chaos experiment failed:\n%s", out)
+			}
+			return out, nil
 		})
 	}
 	if has("bench") {

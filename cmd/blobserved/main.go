@@ -12,8 +12,10 @@
 //	POST /v1/insert  {"key":[...],"rid":7}          insert (invalidates cache)
 //	POST /v1/delete  {"key":[...],"rid":7}          delete (invalidates cache)
 //	POST /v1/tighten {}                             recompute predicates
-//	GET  /v1/stats                                  serving + buffer stats
-//	GET  /healthz                                   liveness
+//	GET  /v1/stats                                  serving + buffer + storage stats
+//	GET  /healthz                                   liveness (always 200 while up)
+//	GET  /readyz                                    readiness (503 once the windowed
+//	                                                storage error rate crosses -ready-error-rate)
 //	GET  /debug/vars                                expvar (includes "blobserved")
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
@@ -55,6 +57,10 @@ func main() {
 		cacheShards  = flag.Int("cache-shards", 16, "result cache shards")
 		maxK         = flag.Int("max-k", 4096, "largest accepted per-request k")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		readyWindow  = flag.Duration("ready-window", 30*time.Second, "sliding window for the /readyz storage error rate")
+		readyRate    = flag.Float64("ready-error-rate", 0.5, "storage error rate at which /readyz reports degraded")
+		readySamples = flag.Int("ready-min-samples", 16, "min windowed index ops before /readyz may flip")
 	)
 	flag.Parse()
 	log.SetPrefix("blobserved: ")
@@ -83,6 +89,10 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheShards:  *cacheShards,
 		MaxK:         *maxK,
+
+		ReadyWindow:     *readyWindow,
+		ReadyErrorRate:  *readyRate,
+		ReadyMinSamples: *readySamples,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,6 +139,14 @@ func main() {
 	log.Printf("served %d requests; cache hit rate %.1f%%; admission rejected %d busy / %d timeout",
 		final.Requests, 100*final.Cache.HitRate,
 		final.Admission.RejectedFull, final.Admission.RejectedTimeout)
+	if st := final.Storage; st.TransientErrors+st.CorruptErrors > 0 || final.Buffer != nil && final.Buffer.Retries > 0 {
+		var retries, gaveUp int64
+		if final.Buffer != nil {
+			retries, gaveUp = final.Buffer.Retries, final.Buffer.GaveUp
+		}
+		log.Printf("storage: %d transient / %d corrupt errors; %d page-read retries, %d gave up",
+			st.TransientErrors, st.CorruptErrors, retries, gaveUp)
+	}
 	if err := idx.Close(); err != nil {
 		log.Printf("close index: %v", err)
 	}

@@ -1,6 +1,10 @@
 package blobindex
 
-import "errors"
+import (
+	"errors"
+
+	"blobindex/internal/pagefile"
+)
 
 // Sentinel errors returned by the facade. They are wrapped with situational
 // detail, so match them with errors.Is rather than equality.
@@ -18,4 +22,20 @@ var (
 	// ErrInvalidOptions reports malformed Options. Returned by New, Build
 	// and Options.Validate.
 	ErrInvalidOptions = errors.New("blobindex: invalid options")
+)
+
+// Storage failure classes surfaced by demand-paged indexes (Open). Searches
+// and writes over a paged index can fail mid-traversal when a page read
+// fails; serving layers branch on the class — a transient failure is worth
+// the client retrying (503 + Retry-After), while corruption is not (500).
+var (
+	// ErrStorageTransient marks a search or write that failed on a
+	// transient page read even after the store's bounded in-process
+	// retries. The same request may well succeed if reissued.
+	ErrStorageTransient = pagefile.ErrTransient
+
+	// ErrStorageCorrupt marks a search or write that read a page whose
+	// checksum did not match its contents — the on-disk index is damaged
+	// and retrying cannot help.
+	ErrStorageCorrupt = pagefile.ErrChecksum
 )

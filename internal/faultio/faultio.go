@@ -1,0 +1,204 @@
+// Package faultio is a file-I/O shim with a deterministic, seedable fault
+// injector. The pagefile store reads node pages through the File interface
+// (which *os.File satisfies); wrapping the file in an Injector turns a
+// healthy disk into a misbehaving one — transient read errors, torn (short)
+// reads, bit-flip corruption, added latency — at configurable rates, per
+// page if needed. That is what lets the chaos experiment and the
+// fault-tolerance tests exercise the retry, checksum and degraded-serving
+// paths against storage failures that production would only surface rarely
+// and unreproducibly.
+//
+// Determinism: every fault decision is a pure function of (seed, page,
+// attempt ordinal, fault class). Two runs with the same seed against the
+// same access pattern inject the same faults; a retry of a failed read is a
+// new attempt and draws fresh, so bounded retries make progress exactly as
+// they would against a real transiently-failing device.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// File is the slice of *os.File the pagefile store reads through: random
+// -access reads plus lifecycle. Anything else (writes, the initial
+// sequential header read) stays on the real file; fault injection targets
+// the demand-paged read path.
+type File interface {
+	io.ReaderAt
+	io.Closer
+}
+
+var _ File = (*os.File)(nil)
+
+// ErrTransient marks an injected fault that a retry may clear: a transient
+// read error or a torn read. Callers classify with errors.Is.
+var ErrTransient = errors.New("faultio: injected transient read fault")
+
+// Rates are per-read-attempt fault probabilities, each in [0, 1].
+type Rates struct {
+	// Transient is the probability a read attempt fails outright with an
+	// error wrapping ErrTransient, returning no data.
+	Transient float64
+	// Short is the probability a read attempt is torn: it returns a strict
+	// prefix of the requested bytes and an error wrapping ErrTransient
+	// (matching the io.ReaderAt contract that n < len(p) implies a non-nil
+	// error).
+	Short float64
+	// Corrupt is the probability a read attempt succeeds but flips one bit
+	// of the returned data — the fault class checksums exist to catch.
+	Corrupt float64
+}
+
+// Config configures an Injector.
+type Config struct {
+	// Seed drives every fault decision; the same seed reproduces the same
+	// faults for the same access pattern.
+	Seed int64
+	// PageSize attributes read offsets to pages for per-page decisions and
+	// attempt counting. 0 treats every distinct offset as its own page.
+	PageSize int
+	// Rates are the default fault rates applied to every page.
+	Rates
+	// PageRates overrides Rates for specific pages (keyed by offset /
+	// PageSize), letting a test poison one page while the rest of the file
+	// stays healthy.
+	PageRates map[int64]Rates
+	// MaxConsecutive caps back-to-back injected transient-class faults per
+	// page; the next attempt after the cap reads cleanly. 0 means no cap.
+	// Tests use it to guarantee a bounded retry loop succeeds.
+	MaxConsecutive int
+	// Latency is added to every read attempt, modeling a slow device.
+	Latency time.Duration
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Reads     int64 // read attempts observed (including failed ones)
+	Transient int64 // attempts failed with an injected transient error
+	Torn      int64 // attempts returned short with an injected error
+	Corrupted int64 // attempts that returned bit-flipped data
+}
+
+// Injector wraps a File and injects faults per Config. It is safe for
+// concurrent use.
+type Injector struct {
+	f   File
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[int64]uint64 // per-page read-attempt ordinals
+	consec   map[int64]int    // per-page consecutive transient-class faults
+	stats    Stats
+}
+
+// Wrap builds an Injector over f.
+func Wrap(f File, cfg Config) *Injector {
+	return &Injector{
+		f:        f,
+		cfg:      cfg,
+		attempts: make(map[int64]uint64),
+		consec:   make(map[int64]int),
+	}
+}
+
+// fault classes salt the per-decision hash so one attempt draws
+// independently for each class.
+const (
+	classTransient = 0x7472616e // "tran"
+	classShort     = 0x73686f72 // "shor"
+	classCorrupt   = 0x636f7272 // "corr"
+	classBitPos    = 0x62697470 // "bitp"
+	classCutPos    = 0x63757470 // "cutp"
+)
+
+// mix is SplitMix64 over the decision inputs: a well-distributed pure
+// function, so fault decisions are reproducible and uncorrelated.
+func mix(seed int64, page int64, attempt uint64, class uint64) uint64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(page)*0xbf58476d1ce4e5b9 ^ attempt*0x94d049bb133111eb ^ class
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// draw maps a decision to [0, 1).
+func draw(seed int64, page int64, attempt uint64, class uint64) float64 {
+	return float64(mix(seed, page, attempt, class)>>11) / (1 << 53)
+}
+
+// ReadAt implements io.ReaderAt with fault injection. Decisions are made
+// per attempt: a caller retrying a failed read draws fresh.
+func (in *Injector) ReadAt(p []byte, off int64) (int, error) {
+	page := off
+	if in.cfg.PageSize > 0 {
+		page = off / int64(in.cfg.PageSize)
+	}
+	rates := in.cfg.Rates
+	if r, ok := in.cfg.PageRates[page]; ok {
+		rates = r
+	}
+
+	in.mu.Lock()
+	attempt := in.attempts[page]
+	in.attempts[page]++
+	in.stats.Reads++
+	capped := in.cfg.MaxConsecutive > 0 && in.consec[page] >= in.cfg.MaxConsecutive
+	in.mu.Unlock()
+
+	if in.cfg.Latency > 0 {
+		time.Sleep(in.cfg.Latency)
+	}
+
+	if !capped && draw(in.cfg.Seed, page, attempt, classTransient) < rates.Transient {
+		in.mu.Lock()
+		in.consec[page]++
+		in.stats.Transient++
+		in.mu.Unlock()
+		return 0, fmt.Errorf("faultio: read of page %d attempt %d failed: %w", page, attempt, ErrTransient)
+	}
+
+	n, err := in.f.ReadAt(p, off)
+	if err != nil {
+		return n, err
+	}
+
+	if !capped && n > 1 && draw(in.cfg.Seed, page, attempt, classShort) < rates.Short {
+		cut := 1 + int(mix(in.cfg.Seed, page, attempt, classCutPos)%uint64(n-1))
+		in.mu.Lock()
+		in.consec[page]++
+		in.stats.Torn++
+		in.mu.Unlock()
+		return cut, fmt.Errorf("faultio: torn read of page %d attempt %d (%d of %d bytes): %w",
+			page, attempt, cut, n, ErrTransient)
+	}
+
+	in.mu.Lock()
+	in.consec[page] = 0
+	corrupt := n > 0 && draw(in.cfg.Seed, page, attempt, classCorrupt) < rates.Corrupt
+	if corrupt {
+		in.stats.Corrupted++
+	}
+	in.mu.Unlock()
+	if corrupt {
+		bit := mix(in.cfg.Seed, page, attempt, classBitPos) % uint64(n*8)
+		p[bit/8] ^= 1 << (bit % 8)
+	}
+	return n, nil
+}
+
+// Close closes the underlying file.
+func (in *Injector) Close() error { return in.f.Close() }
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

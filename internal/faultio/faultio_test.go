@@ -1,0 +1,226 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/bits"
+	"testing"
+)
+
+// memFile is an in-memory File for tests.
+type memFile struct {
+	data   []byte
+	closed bool
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memFile) Close() error {
+	m.closed = true
+	return nil
+}
+
+func newMemFile(pages, pageSize int) *memFile {
+	data := make([]byte, pages*pageSize)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return &memFile{data: data}
+}
+
+// readPage reads one full page, returning the error and bytes.
+func readPage(t *testing.T, in *Injector, page, pageSize int) ([]byte, int, error) {
+	t.Helper()
+	buf := make([]byte, pageSize)
+	n, err := in.ReadAt(buf, int64(page*pageSize))
+	return buf, n, err
+}
+
+// The injector is a pure function of (seed, page, attempt): two injectors
+// with the same seed over the same access pattern inject identical faults.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	const pageSize, pages = 256, 16
+	cfg := Config{Seed: 42, PageSize: pageSize,
+		Rates: Rates{Transient: 0.3, Short: 0.2, Corrupt: 0.2}}
+	type outcome struct {
+		n   int
+		err string
+		sum byte
+	}
+	run := func() []outcome {
+		in := Wrap(newMemFile(pages, pageSize), cfg)
+		var out []outcome
+		for rep := 0; rep < 4; rep++ {
+			for p := 0; p < pages; p++ {
+				buf, n, err := readPage(t, in, p, pageSize)
+				o := outcome{n: n}
+				if err != nil {
+					o.err = err.Error()
+				}
+				for _, b := range buf[:n] {
+					o.sum ^= b
+				}
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransientFaultsMatchSentinelAndRate(t *testing.T) {
+	const pageSize, pages, reps = 128, 32, 64
+	in := Wrap(newMemFile(pages, pageSize), Config{
+		Seed: 7, PageSize: pageSize, Rates: Rates{Transient: 0.25}})
+	var failed int
+	for rep := 0; rep < reps; rep++ {
+		for p := 0; p < pages; p++ {
+			_, _, err := readPage(t, in, p, pageSize)
+			if err != nil {
+				if !errors.Is(err, ErrTransient) {
+					t.Fatalf("injected error does not match ErrTransient: %v", err)
+				}
+				failed++
+			}
+		}
+	}
+	total := pages * reps
+	rate := float64(failed) / float64(total)
+	if rate < 0.15 || rate > 0.35 {
+		t.Errorf("transient rate %.3f far from configured 0.25 (%d/%d)", rate, failed, total)
+	}
+	st := in.Stats()
+	if st.Transient != int64(failed) || st.Reads != int64(total) {
+		t.Errorf("stats %+v inconsistent with observed %d/%d", st, failed, total)
+	}
+}
+
+func TestTornReadsAreShortAndTransient(t *testing.T) {
+	const pageSize = 512
+	in := Wrap(newMemFile(4, pageSize), Config{
+		Seed: 3, PageSize: pageSize, Rates: Rates{Short: 1.0}})
+	_, n, err := readPage(t, in, 1, pageSize)
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("torn read error = %v, want ErrTransient wrap", err)
+	}
+	if n <= 0 || n >= pageSize {
+		t.Errorf("torn read returned %d bytes, want a strict prefix of %d", n, pageSize)
+	}
+	if in.Stats().Torn != 1 {
+		t.Errorf("torn counter = %d", in.Stats().Torn)
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	const pageSize = 256
+	mf := newMemFile(4, pageSize)
+	in := Wrap(mf, Config{Seed: 9, PageSize: pageSize, Rates: Rates{Corrupt: 1.0}})
+	buf, n, err := readPage(t, in, 2, pageSize)
+	if err != nil || n != pageSize {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	want := mf.data[2*pageSize : 3*pageSize]
+	diffBits := 0
+	for i := range buf {
+		diffBits += bits.OnesCount8(buf[i] ^ want[i])
+	}
+	if diffBits != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	if in.Stats().Corrupted != 1 {
+		t.Errorf("corrupted counter = %d", in.Stats().Corrupted)
+	}
+}
+
+// Per-page overrides poison one page while the rest of the file is healthy.
+func TestPageRatesOverride(t *testing.T) {
+	const pageSize = 128
+	in := Wrap(newMemFile(8, pageSize), Config{
+		Seed: 5, PageSize: pageSize,
+		PageRates: map[int64]Rates{3: {Transient: 1.0}},
+	})
+	for p := 0; p < 8; p++ {
+		_, _, err := readPage(t, in, p, pageSize)
+		if p == 3 && err == nil {
+			t.Errorf("poisoned page %d read cleanly", p)
+		}
+		if p != 3 && err != nil {
+			t.Errorf("healthy page %d failed: %v", p, err)
+		}
+	}
+}
+
+// MaxConsecutive guarantees a bounded retry loop eventually reads cleanly
+// even at Transient = 1.0.
+func TestMaxConsecutiveCapsFaultRuns(t *testing.T) {
+	const pageSize = 128
+	mf := newMemFile(2, pageSize)
+	in := Wrap(mf, Config{
+		Seed: 1, PageSize: pageSize,
+		Rates: Rates{Transient: 1.0}, MaxConsecutive: 2,
+	})
+	var errs int
+	var clean []byte
+	for attempt := 0; attempt < 3; attempt++ {
+		buf, n, err := readPage(t, in, 0, pageSize)
+		if err != nil {
+			errs++
+			continue
+		}
+		if n != pageSize {
+			t.Fatalf("clean read returned %d bytes", n)
+		}
+		clean = buf
+	}
+	if errs != 2 || clean == nil {
+		t.Fatalf("expected exactly 2 faults then a clean read, got %d faults", errs)
+	}
+	if !bytes.Equal(clean, mf.data[:pageSize]) {
+		t.Error("post-cap read returned wrong data")
+	}
+}
+
+func TestCloseDelegates(t *testing.T) {
+	mf := newMemFile(1, 64)
+	in := Wrap(mf, Config{})
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !mf.closed {
+		t.Error("Close did not reach the underlying file")
+	}
+}
+
+// A zero-rate injector is a transparent proxy.
+func TestZeroRatesPassThrough(t *testing.T) {
+	const pageSize = 256
+	mf := newMemFile(4, pageSize)
+	in := Wrap(mf, Config{Seed: 11, PageSize: pageSize})
+	for p := 0; p < 4; p++ {
+		buf, n, err := readPage(t, in, p, pageSize)
+		if err != nil || n != pageSize {
+			t.Fatalf("page %d: n=%d err=%v", p, n, err)
+		}
+		if !bytes.Equal(buf, mf.data[p*pageSize:(p+1)*pageSize]) {
+			t.Fatalf("page %d data altered", p)
+		}
+	}
+	if st := in.Stats(); st.Transient+st.Torn+st.Corrupted != 0 {
+		t.Errorf("zero-rate injector injected: %+v", st)
+	}
+}

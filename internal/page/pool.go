@@ -6,10 +6,15 @@ import (
 )
 
 // PoolStats is a snapshot of a PinnedPool's traffic counters and occupancy.
+// Retries and GaveUp are zero for the pool itself; file-backed stores that
+// retry transient page reads (pagefile.Store) fill them in when reporting
+// their stats through this type.
 type PoolStats struct {
 	Hits      int64 // accesses served from a resident frame
 	Misses    int64 // accesses that required a page load
 	Evictions int64 // frames evicted to make room (EvictAll is not counted)
+	Retries   int64 // page re-reads after a transient failure (store-level)
+	GaveUp    int64 // loads that exhausted the retry budget (store-level)
 	Resident  int   // frames currently held (pinned + unpinned)
 	Pinned    int   // frames with a positive pin count
 	Capacity  int   // configured frame budget
@@ -20,6 +25,8 @@ func (s PoolStats) Sub(before PoolStats) PoolStats {
 	s.Hits -= before.Hits
 	s.Misses -= before.Misses
 	s.Evictions -= before.Evictions
+	s.Retries -= before.Retries
+	s.GaveUp -= before.GaveUp
 	return s
 }
 

@@ -35,6 +35,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	"blobindex/internal/am"
 	"blobindex/internal/geom"
@@ -52,8 +54,12 @@ const (
 // header CRC32. The rest of the header page is zero padding.
 const headerFixed = len(magic) + 1 + 4*6 + 8 + 16 + 4
 
-// Sentinel errors for the distinguishable corruption classes. Loaders wrap
-// them with context; test with errors.Is.
+// Sentinel errors for the distinguishable failure classes. Loaders and the
+// paged store wrap them with context; test with errors.Is. The classes
+// matter operationally: a transient error is worth retrying (the store's
+// Pin does, with backoff) and maps to 503 at the serving layer, while a
+// checksum mismatch means the bytes on disk are wrong — retrying cannot
+// help, and serving maps it to 500.
 var (
 	// ErrBadMagic marks a file that is not a blobindex pagefile at all.
 	ErrBadMagic = errors.New("pagefile: bad magic")
@@ -62,6 +68,12 @@ var (
 	// ErrChecksum marks a header or node page whose CRC32 does not match
 	// its contents.
 	ErrChecksum = errors.New("pagefile: checksum mismatch")
+	// ErrTransient marks a page read that failed for a reason a retry may
+	// clear (an injected fault, EINTR/EAGAIN from the OS). Store.Pin
+	// retries these with jittered backoff before giving up.
+	ErrTransient = errors.New("pagefile: transient read failure")
+	// ErrFreed marks a Pin of a page id retired by Free.
+	ErrFreed = errors.New("pagefile: page was freed")
 )
 
 // header carries the decoded header-page fields.
@@ -203,13 +215,18 @@ func decodeNodePage(buf []byte, p int, h header, bpWords int, codec am.Predicate
 // does). Saving walks the tree through its node store, so a mutated
 // demand-paged index can be persisted back out the same way an in-memory
 // one is.
+//
+// Save is crash-atomic: the pages are written to path+".tmp", flushed and
+// fsynced, and only then renamed over path (followed by an fsync of the
+// directory so the rename itself is durable). A crash or error at any
+// point before the rename leaves the previous index at path untouched;
+// flush, sync and close failures are returned to the caller instead of
+// being swallowed, and the temp file is removed on every error path.
 func Save(path string, t *gist.Tree) error {
 	codec, ok := t.Ext().(am.PredicateCodec)
 	if !ok {
 		return fmt.Errorf("pagefile: access method %q has no predicate codec", t.Ext().Name())
 	}
-	pageSize := t.PageSize()
-	dim := t.Dim()
 
 	// Assign sequential file page numbers in pre-order. The walk keeps a
 	// reference to every node, so even over an evicting store the collected
@@ -223,11 +240,55 @@ func Save(path string, t *gist.Tree) error {
 		return err
 	}
 
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	if err := writePages(f, t, codec, nodes, index); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pagefile: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pagefile: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives a crash.
+// Filesystems that cannot sync directories (returning EINVAL or ENOTSUP)
+// are tolerated — the rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}
+
+// writePages serializes the header and every node page to f through a
+// buffered writer, returning the first write, encode or flush error.
+func writePages(f *os.File, t *gist.Tree, codec am.PredicateCodec, nodes []*gist.Node, index map[page.PageID]uint64) error {
+	pageSize := t.PageSize()
+	dim := t.Dim()
 	w := bufio.NewWriterSize(f, 1<<20)
 
 	// Header page.

@@ -1,11 +1,17 @@
 package pagefile
 
 import (
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"blobindex/internal/am"
+	"blobindex/internal/faultio"
 	"blobindex/internal/gist"
 	"blobindex/internal/page"
 )
@@ -32,19 +38,27 @@ import (
 // dirty set is only written under the tree's exclusive lock, matching the
 // NodeStore contract.
 type Store struct {
-	f       *os.File
+	f       faultio.File
 	h       header
 	bpWords int
 	ext     gist.Extension
 	codec   am.PredicateCodec
 	pool    *page.PinnedPool
 
-	mu          sync.Mutex
-	closed      bool
-	dirty       map[page.PageID]*gist.Node
-	freed       map[page.PageID]bool
-	next        page.PageID // next Alloc id; starts past the file's pages
-	missByLevel []int64     // real page reads by tree level of the page
+	// retries counts page re-reads after a transient failure; gaveUp counts
+	// pins that exhausted the retry budget and returned ErrTransient to the
+	// traversal. Both are surfaced through PoolStats (and from there the
+	// facade's BufferStats and amdb reports).
+	retries atomic.Int64
+	gaveUp  atomic.Int64
+
+	mu           sync.Mutex
+	closed       bool
+	dirty        map[page.PageID]*gist.Node
+	freed        map[page.PageID]bool
+	next         page.PageID // next Alloc id; starts past the file's pages
+	missByLevel  []int64     // real page reads by tree level of the page
+	retryByLevel []int64     // transient-read retries by level, attributed on eventual success
 }
 
 var (
@@ -60,6 +74,15 @@ var (
 // returned alongside the tree for lifecycle (Close) and statistics access;
 // it is the same value as tree.Store().
 func OpenPaged(path string, opts am.Options, poolPages int) (*gist.Tree, *Store, error) {
+	return OpenPagedIO(path, opts, poolPages, nil)
+}
+
+// OpenPagedIO is OpenPaged with an I/O shim: when wrap is non-nil the
+// store's demand-paged node reads go through wrap(file) instead of the file
+// itself. The chaos experiment and the fault-tolerance tests pass a
+// faultio.Injector here; the header is still read from the real file, so a
+// faulty shim degrades queries, not opening.
+func OpenPagedIO(path string, opts am.Options, poolPages int, wrap func(faultio.File) faultio.File) (*gist.Tree, *Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -74,8 +97,12 @@ func OpenPaged(path string, opts am.Options, poolPages int) (*gist.Tree, *Store,
 		f.Close()
 		return nil, nil, err
 	}
+	var file faultio.File = f
+	if wrap != nil {
+		file = wrap(f)
+	}
 	s := &Store{
-		f:           f,
+		f:           file,
 		h:           h,
 		bpWords:     ext.BPWords(h.dim),
 		ext:         ext,
@@ -95,9 +122,22 @@ func OpenPaged(path string, opts am.Options, poolPages int) (*gist.Tree, *Store,
 	return tree, s, nil
 }
 
+// Retry policy for transient page-read failures: pinAttempts total read
+// attempts per Pin, with exponential backoff from pinRetryBase and ±50%
+// jitter between attempts. At the default values a page that stays broken
+// costs well under 2ms before the error surfaces, while a blip (one or two
+// failed attempts) is absorbed invisibly.
+const (
+	pinAttempts  = 4
+	pinRetryBase = 100 * time.Microsecond
+)
+
 // Pin returns the node for id, resident until the matching Unpin: from the
 // dirty set if the node was mutated, from the buffer pool on a hit, and by
-// reading and decoding its file page on a miss.
+// reading and decoding its file page on a miss. Transient read failures
+// (ErrTransient) are retried with jittered exponential backoff up to
+// pinAttempts; corruption (ErrChecksum) and freed pages (ErrFreed) fail
+// immediately — re-reading cannot fix wrong bytes.
 func (s *Store) Pin(id page.PageID) (*gist.Node, error) {
 	s.mu.Lock()
 	if n, ok := s.dirty[id]; ok {
@@ -106,13 +146,13 @@ func (s *Store) Pin(id page.PageID) (*gist.Node, error) {
 	}
 	if s.freed[id] {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("pagefile: page %d was freed", id)
+		return nil, fmt.Errorf("pagefile: page %d: %w", id, ErrFreed)
 	}
 	s.mu.Unlock()
 	if v, ok := s.pool.Pin(id); ok {
 		return v.(*gist.Node), nil
 	}
-	n, err := s.readPage(id)
+	n, retried, err := s.readPageRetry(id)
 	if err != nil {
 		return nil, err
 	}
@@ -121,9 +161,48 @@ func (s *Store) Pin(id page.PageID) (*gist.Node, error) {
 		s.missByLevel = append(s.missByLevel, 0)
 	}
 	s.missByLevel[n.Level()]++
+	if retried > 0 {
+		for len(s.retryByLevel) <= n.Level() {
+			s.retryByLevel = append(s.retryByLevel, 0)
+		}
+		s.retryByLevel[n.Level()] += int64(retried)
+	}
 	s.mu.Unlock()
 	// Insert resolves racing loaders to a single resident copy.
 	return s.pool.Insert(id, n).(*gist.Node), nil
+}
+
+// readPageRetry reads a page, retrying transient failures with jittered
+// backoff. It reports how many retries the successful read needed (the
+// level is only known after a successful decode, so per-level attribution
+// happens in Pin); a pin that exhausts the budget counts toward gaveUp.
+func (s *Store) readPageRetry(id page.PageID) (*gist.Node, int, error) {
+	retried := 0
+	for attempt := 0; ; attempt++ {
+		n, err := s.readPage(id)
+		if err == nil {
+			return n, retried, nil
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= pinAttempts-1 {
+			if errors.Is(err, ErrTransient) {
+				s.gaveUp.Add(1)
+			}
+			return nil, retried, err
+		}
+		retried++
+		s.retries.Add(1)
+		delay := float64(pinRetryBase<<attempt) * (0.5 + rand.Float64())
+		time.Sleep(time.Duration(delay))
+	}
+}
+
+// transientRead reports whether a raw read error is worth retrying: an
+// injected transient fault, or the interrupted/try-again errnos the OS uses
+// for recoverable conditions.
+func transientRead(err error) bool {
+	return errors.Is(err, faultio.ErrTransient) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
 }
 
 // Unpin releases one pin. For dirty nodes (no pool frame) it is a no-op,
@@ -178,6 +257,9 @@ func (s *Store) readPage(id page.PageID) (*gist.Node, error) {
 	}
 	buf := make([]byte, s.h.pageSize)
 	if _, err := s.f.ReadAt(buf, int64(1+int(id))*int64(s.h.pageSize)); err != nil {
+		if transientRead(err) {
+			return nil, fmt.Errorf("pagefile: read page %d: %w (%w)", id, err, ErrTransient)
+		}
 		return nil, fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
 	level, flat, rids, preds, children, err := decodeNodePage(buf, int(id), s.h, s.bpWords, s.codec)
@@ -190,9 +272,15 @@ func (s *Store) readPage(id page.PageID) (*gist.Node, error) {
 	return gist.NewInnerNode(id, level, s.h.dim, preds, children), nil
 }
 
-// PoolStats implements gist.StatsProvider.
+// PoolStats implements gist.StatsProvider. On top of the pool's own
+// counters it reports the store's transient-read retry traffic: Retries is
+// page re-reads after a transient failure, GaveUp is pins that exhausted
+// the retry budget and surfaced ErrTransient.
 func (s *Store) PoolStats() page.PoolStats {
-	return s.pool.Stats()
+	st := s.pool.Stats()
+	st.Retries = s.retries.Load()
+	st.GaveUp = s.gaveUp.Load()
+	return st
 }
 
 // MissesByLevel returns a copy of the per-level real page-read counts
@@ -207,18 +295,36 @@ func (s *Store) MissesByLevel() []int64 {
 	return out
 }
 
+// RetriesByLevel returns a copy of the per-level transient-read retry
+// counts (index = tree level, 0 = leaves). Retries are attributed to a
+// level once the page finally decodes; reads that never succeeded are in
+// the gave-up counter instead, since their level is unknowable.
+func (s *Store) RetriesByLevel() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.retryByLevel))
+	copy(out, s.retryByLevel)
+	return out
+}
+
 // EvictAll empties the buffer pool of unpinned frames — a cold restart,
 // used by experiments measuring per-query fault counts.
 func (s *Store) EvictAll() {
 	s.pool.EvictAll()
 }
 
-// ResetStats zeroes the pool counters and the per-level read counts.
+// ResetStats zeroes the pool counters, the per-level read counts and the
+// retry counters.
 func (s *Store) ResetStats() {
 	s.pool.ResetStats()
+	s.retries.Store(0)
+	s.gaveUp.Store(0)
 	s.mu.Lock()
 	for i := range s.missByLevel {
 		s.missByLevel[i] = 0
+	}
+	for i := range s.retryByLevel {
+		s.retryByLevel[i] = 0
 	}
 	s.mu.Unlock()
 }

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// storageHealth is the degraded-mode gauge behind /readyz: a sliding window
+// of index-operation outcomes, bucketed by time so old failures age out on
+// their own. Every search or write that actually reached the index records
+// ok/failed here; the readiness probe compares the windowed error rate
+// against a threshold. Liveness (/healthz) stays unconditional — a degraded
+// store is a reason to stop routing traffic, not to restart the process.
+//
+// The window is divided into healthBuckets fixed-width buckets addressed by
+// epoch (now / bucketWidth) modulo the ring size; a bucket whose stored
+// epoch is stale is reset before use, so no background ticker is needed.
+type storageHealth struct {
+	window      time.Duration
+	bucketWidth time.Duration
+	threshold   float64 // error-rate above which the server reports not-ready
+	minSamples  int64   // below this many windowed samples, always ready
+	now         func() time.Time
+
+	mu      sync.Mutex
+	buckets [healthBuckets]healthBucket
+}
+
+const healthBuckets = 8
+
+type healthBucket struct {
+	epoch int64
+	ok    int64
+	errs  int64
+}
+
+func newStorageHealth(window time.Duration, threshold float64, minSamples int64) *storageHealth {
+	return &storageHealth{
+		window:      window,
+		bucketWidth: window / healthBuckets,
+		threshold:   threshold,
+		minSamples:  minSamples,
+		now:         time.Now,
+	}
+}
+
+// record notes one index operation's outcome in the current bucket.
+func (h *storageHealth) record(ok bool) {
+	epoch := h.now().UnixNano() / int64(h.bucketWidth)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := &h.buckets[epoch%healthBuckets]
+	if b.epoch != epoch {
+		*b = healthBucket{epoch: epoch}
+	}
+	if ok {
+		b.ok++
+	} else {
+		b.errs++
+	}
+}
+
+// snapshot sums the buckets still inside the window and reports the error
+// rate, the sample count it was computed over, and the readiness verdict.
+// With fewer than minSamples samples the server stays ready: a handful of
+// failures right after startup is not evidence of a sick store.
+func (h *storageHealth) snapshot() (rate float64, samples int64, ready bool) {
+	epoch := h.now().UnixNano() / int64(h.bucketWidth)
+	oldest := epoch - healthBuckets + 1
+	h.mu.Lock()
+	var ok, errs int64
+	for i := range h.buckets {
+		if b := h.buckets[i]; b.epoch >= oldest && b.epoch <= epoch {
+			ok += b.ok
+			errs += b.errs
+		}
+	}
+	h.mu.Unlock()
+	samples = ok + errs
+	if samples > 0 {
+		rate = float64(errs) / float64(samples)
+	}
+	ready = samples < h.minSamples || rate < h.threshold
+	return rate, samples, ready
+}

@@ -66,6 +66,16 @@ type Config struct {
 	CacheShards int
 	// MaxK caps the per-request k. Default 4096.
 	MaxK int
+	// ReadyWindow is the sliding window over which storage error rates are
+	// measured for the /readyz probe. Default 30s.
+	ReadyWindow time.Duration
+	// ReadyErrorRate is the windowed storage error rate at or above which
+	// /readyz reports 503 (degraded). Default 0.5.
+	ReadyErrorRate float64
+	// ReadyMinSamples is the minimum number of windowed index operations
+	// before /readyz may flip to degraded; below it the server is always
+	// ready. Default 16.
+	ReadyMinSamples int
 }
 
 // endpoint names, which are also the keys of Stats.Endpoints.
@@ -82,6 +92,12 @@ type Server struct {
 	cache   *resultCache
 	flights *flightGroup
 	writeMu sync.Mutex // serializes Insert/Delete/Tighten (single-writer contract)
+
+	// Degraded-mode accounting: the windowed gauge behind /readyz plus
+	// lifetime counters by storage failure class.
+	health           *storageHealth
+	storageTransient atomic.Int64
+	storageCorrupt   atomic.Int64
 
 	mux      *http.ServeMux
 	start    time.Time
@@ -124,6 +140,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 4096
 	}
+	if cfg.ReadyWindow <= 0 {
+		cfg.ReadyWindow = 30 * time.Second
+	}
+	if cfg.ReadyErrorRate <= 0 || cfg.ReadyErrorRate > 1 {
+		cfg.ReadyErrorRate = 0.5
+	}
+	if cfg.ReadyMinSamples <= 0 {
+		cfg.ReadyMinSamples = 16
+	}
 	opts := cfg.Index.Options()
 	s := &Server{
 		cfg:     cfg,
@@ -133,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
 		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
 		flights: newFlightGroup(),
+		health:  newStorageHealth(cfg.ReadyWindow, cfg.ReadyErrorRate, int64(cfg.ReadyMinSamples)),
 		start:   time.Now(),
 		hists:   make(map[string]*histogram, len(endpointNames)),
 	}
@@ -147,6 +173,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/tighten", s.instrument("tighten", s.handleTighten))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 
 	currentSrv.Store(s)
@@ -268,19 +295,43 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// searchStatus maps a search error to an HTTP status.
+// searchStatus maps a search or write error to an HTTP status. The storage
+// failure classes carry the degraded-mode contract: a transient read failure
+// is the client's cue to retry (503 + Retry-After), while corruption is a
+// permanent fault of this replica's on-disk index (500).
 func searchStatus(err error) int {
 	switch {
 	case errors.Is(err, blobindex.ErrDimMismatch):
 		return http.StatusBadRequest
 	case errors.Is(err, blobindex.ErrEmptyIndex):
 		return http.StatusNotFound
+	case errors.Is(err, blobindex.ErrStorageTransient):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, blobindex.ErrStorageCorrupt):
+		return http.StatusInternalServerError
 	case isCtxErr(err):
 		// The client went away (or the drain deadline passed); the status
 		// rarely reaches anyone, but 503 is the honest one.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// recordStorage feeds the readiness gauge with an index operation's outcome.
+// Only outcomes that say something about the store count: success, transient
+// read failure, corruption. Validation and context errors are the client's
+// problem, not the storage engine's.
+func (s *Server) recordStorage(err error) {
+	switch {
+	case err == nil:
+		s.health.record(true)
+	case errors.Is(err, blobindex.ErrStorageTransient):
+		s.storageTransient.Add(1)
+		s.health.record(false)
+	case errors.Is(err, blobindex.ErrStorageCorrupt):
+		s.storageCorrupt.Add(1)
+		s.health.record(false)
 	}
 }
 
@@ -320,6 +371,12 @@ func (s *Server) runSearch(ctx context.Context, key string, search func() ([]blo
 		// the new leader instead of failing an innocent caller.
 		if err != nil && coalesced && isCtxErr(err) && ctx.Err() == nil && attempt < 2 {
 			continue
+		}
+		// Feed the readiness gauge once per index traversal: followers share
+		// the leader's outcome and cache hits never touched storage, so only
+		// the flight that actually ran counts.
+		if !coalesced && !hit {
+			s.recordStorage(err)
 		}
 		return res, hit && !coalesced, coalesced, err
 	}
@@ -417,8 +474,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) int {
 	s.writeMu.Lock()
 	err := s.idx.Insert(blobindex.Point{Key: req.Key, RID: req.RID})
 	s.writeMu.Unlock()
+	s.recordStorage(err)
 	if err != nil {
-		return writeError(w, http.StatusInternalServerError, "insert: %v", err)
+		return writeError(w, searchStatus(err), "insert: %v", err)
 	}
 	s.cache.invalidate()
 	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
@@ -435,8 +493,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) int {
 	s.writeMu.Lock()
 	existed, err := s.idx.Delete(req.Key, req.RID)
 	s.writeMu.Unlock()
+	s.recordStorage(err)
 	if err != nil {
-		return writeError(w, http.StatusInternalServerError, "delete: %v", err)
+		return writeError(w, searchStatus(err), "delete: %v", err)
 	}
 	s.cache.invalidate()
 	return writeJSON(w, http.StatusOK, WriteResponse{OK: true, Existed: existed})
@@ -446,8 +505,9 @@ func (s *Server) handleTighten(w http.ResponseWriter, r *http.Request) int {
 	s.writeMu.Lock()
 	err := s.idx.Tighten()
 	s.writeMu.Unlock()
+	s.recordStorage(err)
 	if err != nil {
-		return writeError(w, http.StatusInternalServerError, "tighten: %v", err)
+		return writeError(w, searchStatus(err), "tighten: %v", err)
 	}
 	s.cache.invalidate()
 	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
@@ -461,6 +521,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 while the windowed storage error
+// rate is below the configured threshold, 503 + Retry-After once it crosses
+// it. Load balancers poll this to stop routing to a replica whose disk is
+// failing; /healthz stays 200 so the process is not restarted for it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	rate, samples, ready := s.health.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: storage error rate %.2f over %d ops in the last %s\n",
+			rate, samples, s.cfg.ReadyWindow)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
 }
 
 // --- stats ---
@@ -481,8 +559,20 @@ type BufferInfo struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	Retries   int64 `json:"retries"`
+	GaveUp    int64 `json:"gave_up"`
 	Resident  int   `json:"resident"`
 	Capacity  int   `json:"capacity"`
+}
+
+// StorageStats is the degraded-mode section of Stats: lifetime failure
+// counters by class plus the windowed gauge /readyz decides on.
+type StorageStats struct {
+	TransientErrors int64   `json:"transient_errors"`
+	CorruptErrors   int64   `json:"corrupt_errors"`
+	WindowErrorRate float64 `json:"window_error_rate"`
+	WindowSamples   int64   `json:"window_samples"`
+	Ready           bool    `json:"ready"`
 }
 
 // Stats is the full /v1/stats payload.
@@ -493,6 +583,7 @@ type Stats struct {
 	Admission     AdmissionStats            `json:"admission"`
 	Cache         CacheStats                `json:"cache"`
 	Coalesce      CoalesceStats             `json:"coalesce"`
+	Storage       StorageStats              `json:"storage"`
 	Buffer        *BufferInfo               `json:"buffer,omitempty"`
 	Endpoints     map[string]LatencySummary `json:"endpoints"`
 }
@@ -517,11 +608,21 @@ func (s *Server) Stats() Stats {
 		Coalesce:  s.flights.stats(),
 		Endpoints: make(map[string]LatencySummary, len(s.hists)),
 	}
+	rate, samples, ready := s.health.snapshot()
+	st.Storage = StorageStats{
+		TransientErrors: s.storageTransient.Load(),
+		CorruptErrors:   s.storageCorrupt.Load(),
+		WindowErrorRate: rate,
+		WindowSamples:   samples,
+		Ready:           ready,
+	}
 	if bs, ok := s.idx.BufferStats(); ok {
 		st.Buffer = &BufferInfo{
 			Hits:      bs.Hits,
 			Misses:    bs.Misses,
 			Evictions: bs.Evictions,
+			Retries:   bs.Retries,
+			GaveUp:    bs.GaveUp,
 			Resident:  bs.Resident,
 			Capacity:  bs.Capacity,
 		}

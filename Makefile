@@ -3,9 +3,10 @@
 GO ?= go
 
 .PHONY: check fmt vet build test race bench benchall benchsmoke \
-	servebench servesmoke chaos chaossmoke fuzzsmoke
+	servebench servesmoke chaos chaossmoke fuzzsmoke \
+	recall recallsmoke vetdep
 
-check: fmt vet build test race benchsmoke servesmoke chaossmoke
+check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -66,3 +67,26 @@ chaossmoke:
 # catch format-validation regressions without slowing the gate.
 fuzzsmoke:
 	$(GO) test -fuzz=FuzzOpenPaged -fuzztime=10s -run=^$$ ./internal/pagefile
+
+# recall calibrates the filter-and-refine candidate multiplier against
+# brute-force exact ground truth at artifact scale and writes the committed
+# artifact RECALL_PR6.json; the facade's TargetRecall ladder is derived from
+# it (see search.go's refineLadder).
+recall:
+	$(GO) run ./cmd/blobbench -experiment recall -recallout RECALL_PR6.json
+
+# recallsmoke is the toy-scale calibration run wired into `make check`: the
+# full sweep-and-calibrate path, brute-force ground truth included, but cheap.
+recallsmoke:
+	$(GO) run ./cmd/blobbench -images 500 -experiment recall -recall-queries 8
+
+# vetdep fails when non-test code in this repo still calls the entry points
+# the SearchRequest API deprecated. (staticcheck would flag these as SA1019;
+# this grep gate keeps the check dependency-free.)
+vetdep:
+	@out=$$(grep -rnE '\.(SearchKNNInto|SearchRangeInto|SearchKNNCtx|SearchRangeCtx)\(' \
+		--include='*.go' . | grep -v '_test\.go' | grep -v '^\./concurrent\.go'); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated search entry points still called outside tests:"; \
+		echo "$$out"; exit 1; \
+	fi; true

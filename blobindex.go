@@ -198,6 +198,9 @@ type Index struct {
 	// store is non-nil for demand-paged indexes (Open); it owns the backing
 	// file and the pinning buffer pool.
 	store *pagefile.Store
+	// side is non-nil once AttachRefine has opened a full-feature sidecar;
+	// it serves the refine stage of Search.
+	side *pagefile.SideStore
 }
 
 // New returns an empty index that accepts Insert.
@@ -279,20 +282,21 @@ func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
 func (ix *Index) Tighten() error { return ix.tree.TightenPredicates() }
 
 // SearchKNN returns the exact k nearest neighbors of q, nearest first,
-// using best-first search. It is a thin wrapper over SearchKNNCtx that
-// never cancels and maps every error to an empty result set; it is safe to
-// call from any number of goroutines concurrently with a single writer.
+// using best-first search. It is a thin wrapper over Search that never
+// cancels and maps every error to an empty result set; it is safe to call
+// from any number of goroutines concurrently with a single writer. For
+// failure modes, cancellation or the refine tier use Search directly.
 func (ix *Index) SearchKNN(q []float64, k int) []Neighbor {
-	res, _ := ix.SearchKNNCtx(context.Background(), q, k)
-	return res
+	resp, _ := ix.Search(context.Background(), SearchRequest{Query: q, K: k})
+	return resp.Neighbors
 }
 
 // SearchRange returns all points within Euclidean distance radius of q,
-// nearest first. It is a thin wrapper over SearchRangeCtx; see SearchKNN
-// for the concurrency contract.
+// nearest first. It is a thin wrapper over Search; see SearchKNN for the
+// concurrency contract.
 func (ix *Index) SearchRange(q []float64, radius float64) []Neighbor {
-	res, _ := ix.SearchRangeCtx(context.Background(), q, radius)
-	return res
+	resp, _ := ix.Search(context.Background(), SearchRequest{Query: q, Radius: radius})
+	return resp.Neighbors
 }
 
 // NeighborIterator streams neighbors of a query point in increasing
@@ -310,8 +314,14 @@ type NeighborIterator struct {
 	it *nn.Iterator
 }
 
-// SearchIter starts an incremental nearest-neighbor scan from q.
+// SearchIter starts an incremental nearest-neighbor scan from q. A query of
+// the wrong dimensionality (including a zero-length one, which previously
+// reached the tree) yields an exhausted iterator rather than a traversal
+// over mismatched geometry.
 func (ix *Index) SearchIter(q []float64) *NeighborIterator {
+	if len(q) != ix.opts.Dim {
+		return &NeighborIterator{}
+	}
 	return &NeighborIterator{it: nn.NewIterator(ix.tree, geom.Vector(q), nil)}
 }
 
@@ -342,6 +352,9 @@ func (ni *NeighborIterator) All() iter.Seq2[int, Neighbor] {
 // Next returns the next-nearest neighbor, or ok == false when the index is
 // exhausted.
 func (ni *NeighborIterator) Next() (Neighbor, bool) {
+	if ni.it == nil {
+		return Neighbor{}, false
+	}
 	r, ok := ni.it.Next()
 	if !ok {
 		return Neighbor{}, false
@@ -353,6 +366,9 @@ func (ni *NeighborIterator) Next() (Neighbor, bool) {
 // or ok == false once the remaining neighbors are all farther; the scan can
 // be resumed with a larger radius.
 func (ni *NeighborIterator) NextWithin(radius float64) (Neighbor, bool) {
+	if ni.it == nil {
+		return Neighbor{}, false
+	}
 	r, ok := ni.it.NextWithin(radius * radius)
 	if !ok {
 		return Neighbor{}, false
@@ -428,17 +444,25 @@ func OpenWithOptions(path string, oo OpenOptions) (*Index, error) {
 	return &Index{tree: tree, opts: opts, store: store}, nil
 }
 
-// Close releases the file handle of a demand-paged index. In-memory indexes
-// (Build, New, eager Open) have nothing to release and Close is a no-op.
-// Close is idempotent: closing an already-closed index returns nil, so
-// layered shutdown paths (a serving daemon's signal handler plus its
-// deferred cleanup) can both close safely. Mutations made through a paged
-// index live in memory only — call Save before Close to persist them.
+// Close releases the file handles of a demand-paged index and its attached
+// refine store. In-memory indexes with no refine store have nothing to
+// release and Close is a no-op. Close is idempotent: closing an
+// already-closed index returns nil, so layered shutdown paths (a serving
+// daemon's signal handler plus its deferred cleanup) can both close safely.
+// Mutations made through a paged index live in memory only — call Save
+// before Close to persist them.
 func (ix *Index) Close() error {
-	if ix.store == nil {
-		return nil
+	var sideErr error
+	if ix.side != nil {
+		sideErr = ix.side.Close()
 	}
-	return ix.store.Close()
+	if ix.store == nil {
+		return sideErr
+	}
+	if err := ix.store.Close(); err != nil {
+		return err
+	}
+	return sideErr
 }
 
 // BufferStats is a snapshot of a demand-paged index's buffer pool traffic

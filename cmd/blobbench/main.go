@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blobindex/internal/experiments"
+	"blobindex/internal/recallbench"
 	"blobindex/internal/servebench"
 )
 
@@ -26,13 +27,15 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
 	pagedOut := flag.String("pagedout", "", "write the pagedio experiment's JSON to this file")
 	serveOut := flag.String("serveout", "", "write the serve experiment's JSON to this file")
 	chaosOut := flag.String("chaosout", "", "write the chaos experiment's JSON to this file")
+	recallOut := flag.String("recallout", "", "write the recall experiment's JSON to this file")
+	recallQueries := flag.Int("recall-queries", 0, "recall experiment query count (0 = default)")
 	serveClients := flag.Int("serve-clients", 64, "serve experiment concurrent clients")
 	serveRequests := flag.Int("serve-requests", 4096, "serve experiment total requests")
 	flag.Parse()
@@ -274,6 +277,29 @@ func main() {
 				return "", fmt.Errorf("chaos experiment failed:\n%s", out)
 			}
 			return out, nil
+		})
+	}
+	if has("recall") {
+		run("recall", func() (string, error) {
+			rp := recallbench.DefaultRecallParams()
+			rp.K = p.K
+			if *recallQueries > 0 {
+				rp.Queries = *recallQueries
+			}
+			r, err := recallbench.Recall(s, rp)
+			if err != nil {
+				return "", err
+			}
+			if *recallOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*recallOut, data, 0o644); err != nil {
+					return "", err
+				}
+			}
+			return r.Render(), nil
 		})
 	}
 	if has("bench") {

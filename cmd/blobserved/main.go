@@ -8,6 +8,8 @@
 // Endpoints:
 //
 //	POST /v1/knn     {"query":[...],"k":200}        exact k-NN
+//	                 +{"refine":true,"target_recall":0.99}  filter-and-refine tier
+//	                 (full-dimensional query; needs -side)
 //	POST /v1/range   {"query":[...],"radius":1.5}   range search
 //	POST /v1/insert  {"key":[...],"rid":7}          insert (invalidates cache)
 //	POST /v1/delete  {"key":[...],"rid":7}          delete (invalidates cache)
@@ -50,6 +52,8 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		poolPages    = flag.Int("pool", blobindex.DefaultPoolPages, "buffer pool capacity in pages")
 		eager        = flag.Bool("eager", false, "load the whole index into memory at startup")
+		sidePath     = flag.String("side", "", "full-feature refine sidecar (enables refine:true on /v1/knn)")
+		sidePool     = flag.Int("side-pool", blobindex.DefaultPoolPages, "refine sidecar buffer pool capacity in pages")
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently executing searches (0 = 2*GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "max searches waiting for a slot (0 = 4*max-inflight)")
 		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait for an execution slot before 503")
@@ -80,6 +84,15 @@ func main() {
 	st := idx.Stats()
 	log.Printf("serving %s: method=%s dim=%d points=%d pages=%d (pool %d pages, eager=%v)",
 		*indexPath, st.Method, idx.Options().Dim, st.Len, st.Pages, *poolPages, *eager)
+	if *sidePath != "" {
+		if err := idx.AttachRefine(*sidePath, *sidePool); err != nil {
+			log.Fatalf("attach refine sidecar %s: %v", *sidePath, err)
+		}
+		rd, _ := idx.RefineDim()
+		rn, _ := idx.RefineLen()
+		log.Printf("refine tier: %s, %d full features at %d dimensions (pool %d pages)",
+			*sidePath, rn, rd, *sidePool)
+	}
 
 	srv, err := server.New(server.Config{
 		Index:        idx,

@@ -32,6 +32,7 @@ func main() {
 		out    = flag.String("o", "blobs.gob", "output file")
 		idxOut = flag.String("idx", "", "also bulk-load and save an index file (for cmd/blobserved)")
 		method = flag.String("method", "xjb", "access method for -idx")
+		side   = flag.String("side", "", "also save a full-feature refine sidecar (for blobserved -side)")
 	)
 	flag.Parse()
 
@@ -86,5 +87,13 @@ func main() {
 		st := idx.Stats()
 		fmt.Printf("wrote %s: %s index, %d points in %d pages\n",
 			*idxOut, st.Method, st.Len, st.Pages)
+	}
+
+	if *side != "" {
+		if err := blobindex.SaveSidecar(*side, 0, reducer, ds.RIDs, corpus.Features()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: refine sidecar, %d full features at %d dimensions\n",
+			*side, corpus.NumBlobs(), len(corpus.Feature(0)))
 	}
 }

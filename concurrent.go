@@ -7,12 +7,11 @@ import (
 	"runtime"
 	"sync"
 
-	"blobindex/internal/geom"
 	"blobindex/internal/nn"
 )
 
 // nnBufPool recycles the intermediate nn.Result buffers behind the facade's
-// Into search variants, so converting index results to Neighbors costs no
+// search pipeline, so converting index results to Neighbors costs no
 // steady-state allocation.
 var nnBufPool = sync.Pool{New: func() any { return new([]nn.Result) }}
 
@@ -37,96 +36,69 @@ func appendNeighbors(dst []Neighbor, res []nn.Result) []Neighbor {
 	return dst
 }
 
-// SearchKNNCtx is SearchKNN with explicit failure modes and cancellation:
-// it returns ErrDimMismatch for a query of the wrong dimensionality,
-// ErrEmptyIndex when the index holds no points, and ctx's error if ctx is
-// done — checked once per index page read, so cancellation lands
-// mid-traversal. Safe for any number of concurrent callers alongside a
-// single writer.
+// SearchKNNCtx is SearchKNN with explicit failure modes and cancellation; it
+// is a thin wrapper over Search.
+//
+// Deprecated: use Search(ctx, SearchRequest{Query: q, K: k}) — the unified
+// request path, which adds per-stage accounting and the refine tier. One
+// behavioral difference: a non-positive k, which formerly returned an empty
+// result set, now reports ErrInvalidSearchRequest.
 func (ix *Index) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]Neighbor, error) {
-	if len(q) != ix.opts.Dim {
-		return nil, fmt.Errorf("%w: query dimension %d, index dimension %d",
-			ErrDimMismatch, len(q), ix.opts.Dim)
-	}
-	if ix.tree.Len() == 0 {
-		return nil, ErrEmptyIndex
-	}
-	res, err := nn.SearchCtx(ctx, ix.tree, geom.Vector(q), k, nil)
+	resp, err := ix.Search(ctx, SearchRequest{Query: q, K: k})
 	if err != nil {
 		return nil, err
 	}
-	return toNeighbors(res), nil
+	return resp.Neighbors, nil
 }
 
 // SearchKNNInto is SearchKNNCtx appending the neighbors to dst and returning
-// the extended slice: with a caller-reused dst the steady-state query path —
-// frontier, traversal scratch, result conversion — allocates nothing. On
-// error dst is returned truncated to its original length.
+// the extended slice. On error dst is returned truncated to its original
+// length.
+//
+// Deprecated: use SearchInto(ctx, SearchRequest{Query: q, K: k}, dst), which
+// has the same allocation contract (a caller-reused dst makes the
+// steady-state query path allocation-free).
 func (ix *Index) SearchKNNInto(ctx context.Context, q []float64, k int, dst []Neighbor) ([]Neighbor, error) {
-	if len(q) != ix.opts.Dim {
-		return dst, fmt.Errorf("%w: query dimension %d, index dimension %d",
-			ErrDimMismatch, len(q), ix.opts.Dim)
-	}
-	if ix.tree.Len() == 0 {
-		return dst, ErrEmptyIndex
-	}
-	buf := getNNBuf()
-	res, err := nn.SearchCtxInto(ctx, ix.tree, geom.Vector(q), k, nil, (*buf)[:0])
-	*buf = res
+	resp, err := ix.SearchInto(ctx, SearchRequest{Query: q, K: k}, dst)
 	if err != nil {
-		putNNBuf(buf)
 		return dst, err
 	}
-	dst = appendNeighbors(dst, res)
-	putNNBuf(buf)
-	return dst, nil
+	return resp.Neighbors, nil
 }
 
 // SearchRangeCtx is SearchRange with the same failure modes and
 // cancellation behavior as SearchKNNCtx.
+//
+// Deprecated: use Search(ctx, SearchRequest{Query: q, Radius: radius}). One
+// behavioral difference: a non-positive radius, which formerly searched a
+// zero-radius ball, now reports ErrInvalidSearchRequest.
 func (ix *Index) SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]Neighbor, error) {
-	if len(q) != ix.opts.Dim {
-		return nil, fmt.Errorf("%w: query dimension %d, index dimension %d",
-			ErrDimMismatch, len(q), ix.opts.Dim)
-	}
-	if ix.tree.Len() == 0 {
-		return nil, ErrEmptyIndex
-	}
-	res, err := nn.RangeCtx(ctx, ix.tree, geom.Vector(q), radius*radius, nil)
+	resp, err := ix.Search(ctx, SearchRequest{Query: q, Radius: radius})
 	if err != nil {
 		return nil, err
 	}
-	return toNeighbors(res), nil
+	return resp.Neighbors, nil
 }
 
 // SearchRangeInto is SearchRangeCtx appending the neighbors to dst and
-// returning the extended slice; see SearchKNNInto for the allocation
-// contract. On error dst is returned truncated to its original length.
+// returning the extended slice. On error dst is returned truncated to its
+// original length.
+//
+// Deprecated: use SearchInto(ctx, SearchRequest{Query: q, Radius: radius},
+// dst); see SearchKNNInto for the allocation contract.
 func (ix *Index) SearchRangeInto(ctx context.Context, q []float64, radius float64, dst []Neighbor) ([]Neighbor, error) {
-	if len(q) != ix.opts.Dim {
-		return dst, fmt.Errorf("%w: query dimension %d, index dimension %d",
-			ErrDimMismatch, len(q), ix.opts.Dim)
-	}
-	if ix.tree.Len() == 0 {
-		return dst, ErrEmptyIndex
-	}
-	buf := getNNBuf()
-	res, err := nn.RangeCtxInto(ctx, ix.tree, geom.Vector(q), radius*radius, nil, (*buf)[:0])
-	*buf = res
+	resp, err := ix.SearchInto(ctx, SearchRequest{Query: q, Radius: radius}, dst)
 	if err != nil {
-		putNNBuf(buf)
 		return dst, err
 	}
-	dst = appendNeighbors(dst, res)
-	putNNBuf(buf)
-	return dst, nil
+	return resp.Neighbors, nil
 }
 
 // BatchSearchKNN answers one exact k-NN query per element of queries,
 // fanning the workload out across a pool of parallelism worker goroutines
 // (0 uses Options.Parallelism, and GOMAXPROCS if that is also zero). This
 // is the replay fast path for workloads like the paper's 5,531-query
-// evaluation set.
+// evaluation set. Each query runs through the unified Search pipeline.
 //
 // The execution is deterministic: results[i] always holds query i's
 // neighbors, nearest first, exactly as a sequential loop of SearchKNN
@@ -175,9 +147,6 @@ func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Worker-local result buffer, reused across this worker's
-			// queries; only the retained []Neighbor slices allocate.
-			var buf []nn.Result
 			for i := range jobs {
 				// Cancellation is checked between slots, not only inside the
 				// page traversal: a worker whose next query would start after
@@ -188,13 +157,12 @@ func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int,
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
-				res, err := nn.SearchCtxInto(ctx, ix.tree, geom.Vector(queries[i]), k, nil, buf[:0])
-				buf = res
+				resp, err := ix.Search(ctx, SearchRequest{Query: queries[i], K: k})
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
-				out[i] = toNeighbors(res)
+				out[i] = resp.Neighbors
 			}
 		}()
 	}

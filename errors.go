@@ -22,6 +22,21 @@ var (
 	// ErrInvalidOptions reports malformed Options. Returned by New, Build
 	// and Options.Validate.
 	ErrInvalidOptions = errors.New("blobindex: invalid options")
+
+	// ErrInvalidSearchRequest reports a malformed SearchRequest — K and
+	// Radius both set (or neither), refine parameters on a non-refining
+	// request, and similar shape violations. Returned by
+	// SearchRequest.Validate and the Search entry points.
+	ErrInvalidSearchRequest = errors.New("blobindex: invalid search request")
+
+	// ErrInvalidRecallTarget reports a SearchRequest.TargetRecall outside
+	// (0, 1]. It is a refinement of ErrInvalidSearchRequest for the one
+	// field that is a calibrated knob rather than a structural choice.
+	ErrInvalidRecallTarget = errors.New("blobindex: recall target outside (0, 1]")
+
+	// ErrNoRefineStore reports a Refine request against an index with no
+	// full-feature side store attached (AttachRefine).
+	ErrNoRefineStore = errors.New("blobindex: no refine store attached")
 )
 
 // Storage failure classes surfaced by demand-paged indexes (Open). Searches

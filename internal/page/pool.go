@@ -1,9 +1,6 @@
 package page
 
-import (
-	"container/list"
-	"sync"
-)
+import "sync"
 
 // PoolStats is a snapshot of a PinnedPool's traffic counters and occupancy.
 // Retries and GaveUp are zero for the pool itself; file-backed stores that
@@ -51,17 +48,43 @@ type PinnedPool struct {
 	mu       sync.Mutex
 	capacity int
 	frames   map[PageID]*pframe
-	lru      *list.List // unpinned frames only; front = most recently used
+	lru      pframe // sentinel of an intrusive ring of unpinned frames; next = most recently used
 	pinned   int
 
 	hits, misses, evictions int64
 }
 
+// pframe is one resident frame. The LRU links are intrusive — a frame is
+// its own list node — so a pin/unpin cycle on a hot page allocates nothing.
 type pframe struct {
-	id   PageID
-	v    any
-	pins int
-	el   *list.Element // position in lru while unpinned, nil while pinned
+	id         PageID
+	v          any
+	pins       int
+	prev, next *pframe // ring position while unpinned, nil while pinned
+}
+
+// lruPushFront marks fr most recently used.
+func (p *PinnedPool) lruPushFront(fr *pframe) {
+	fr.prev = &p.lru
+	fr.next = p.lru.next
+	fr.next.prev = fr
+	p.lru.next = fr
+}
+
+// lruRemove detaches fr from the ring.
+func (p *PinnedPool) lruRemove(fr *pframe) {
+	fr.prev.next = fr.next
+	fr.next.prev = fr.prev
+	fr.prev, fr.next = nil, nil
+}
+
+// lruBack returns the least recently used unpinned frame, or nil when every
+// resident frame is pinned.
+func (p *PinnedPool) lruBack() *pframe {
+	if p.lru.prev == &p.lru {
+		return nil
+	}
+	return p.lru.prev
 }
 
 // NewPinnedPool returns a pool budgeted for capacity resident frames. A
@@ -71,11 +94,12 @@ func NewPinnedPool(capacity int) *PinnedPool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &PinnedPool{
+	p := &PinnedPool{
 		capacity: capacity,
 		frames:   make(map[PageID]*pframe),
-		lru:      list.New(),
 	}
+	p.lru.prev, p.lru.next = &p.lru, &p.lru
+	return p
 }
 
 // Pin returns the resident value for id, pinned, or ok == false on a miss.
@@ -90,8 +114,7 @@ func (p *PinnedPool) Pin(id PageID) (v any, ok bool) {
 	}
 	p.hits++
 	if fr.pins == 0 {
-		p.lru.Remove(fr.el)
-		fr.el = nil
+		p.lruRemove(fr)
 		p.pinned++
 	}
 	fr.pins++
@@ -107,8 +130,7 @@ func (p *PinnedPool) Insert(id PageID, v any) any {
 	defer p.mu.Unlock()
 	if fr := p.frames[id]; fr != nil {
 		if fr.pins == 0 {
-			p.lru.Remove(fr.el)
-			fr.el = nil
+			p.lruRemove(fr)
 			p.pinned++
 		}
 		fr.pins++
@@ -132,7 +154,7 @@ func (p *PinnedPool) Unpin(id PageID) {
 	}
 	fr.pins--
 	if fr.pins == 0 {
-		fr.el = p.lru.PushFront(fr)
+		p.lruPushFront(fr)
 		p.pinned--
 		p.evictOverflowLocked()
 	}
@@ -142,12 +164,11 @@ func (p *PinnedPool) Unpin(id PageID) {
 // pool fits its capacity (or only pinned frames remain).
 func (p *PinnedPool) evictOverflowLocked() {
 	for len(p.frames) > p.capacity {
-		oldest := p.lru.Back()
-		if oldest == nil {
+		fr := p.lruBack()
+		if fr == nil {
 			return // all pinned: tolerate transient overflow
 		}
-		fr := oldest.Value.(*pframe)
-		p.lru.Remove(oldest)
+		p.lruRemove(fr)
 		delete(p.frames, fr.id)
 		p.evictions++
 	}
@@ -165,7 +186,7 @@ func (p *PinnedPool) Remove(id PageID) {
 	if fr.pins > 0 {
 		p.pinned--
 	} else {
-		p.lru.Remove(fr.el)
+		p.lruRemove(fr)
 	}
 	delete(p.frames, fr.id)
 }
@@ -176,9 +197,8 @@ func (p *PinnedPool) Remove(id PageID) {
 func (p *PinnedPool) EvictAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for el := p.lru.Front(); el != nil; el = p.lru.Front() {
-		fr := el.Value.(*pframe)
-		p.lru.Remove(el)
+	for fr := p.lru.next; fr != &p.lru; fr = p.lru.next {
+		p.lruRemove(fr)
 		delete(p.frames, fr.id)
 	}
 }

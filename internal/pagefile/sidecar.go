@@ -1,0 +1,505 @@
+package pagefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"blobindex/internal/faultio"
+	"blobindex/internal/page"
+)
+
+// Sidecar format: the full-histogram side store behind the filter-and-refine
+// search tier. The 5-D index file answers the filter stage; the refine stage
+// needs every candidate's full 218-d feature vector, which would bloat leaf
+// pages ~44× if stored inline. Instead the full vectors live in a sidecar
+// pagefile keyed by RID, demand-paged through the same PinnedPool + CRC +
+// retry discipline as node pages, so a refined query faults in only the few
+// pages its candidates live on.
+//
+// Layout, sidecar format version 1 (little endian):
+//
+//	header page:  magic "BLOBSIDE", version byte, pageSize, fullDim,
+//	              indexDim, perPage, numDataPages, metaPages, count,
+//	              meta CRC32, header CRC32 (computed with the CRC field
+//	              zeroed)
+//	meta pages:   one contiguous blob, CRC-checked as a unit: the projection
+//	              mean (fullDim float64s), the projection components
+//	              (indexDim rows × fullDim float64s), and the page directory
+//	              (numDataPages int64s: the first RID on each data page)
+//	data pages:   numRecords uint16, zero uint16, page CRC32 (bytes 4:8,
+//	              computed with those bytes zeroed); then records at byte 8:
+//	              RID int64 + feature (fullDim float64s), sorted by RID
+//
+// Storing the SVD projection in the sidecar makes a refined request
+// self-contained: clients send the full-dimensionality query, the store
+// projects it for the filter stage, and the refine stage scores the same
+// vector against stored features — exactly the Blobworld pipeline shape.
+const (
+	sideMagic   = "BLOBSIDE"
+	sideVersion = 1
+)
+
+// sideHeaderFixed is the meaningful prefix of the sidecar header page.
+const sideHeaderFixed = len(sideMagic) + 1 + 4*6 + 8 + 4 + 4
+
+// ErrRIDNotFound marks a sidecar feature lookup for a RID the store does not
+// hold — a refined search over an index whose sidecar was generated from a
+// different corpus.
+var ErrRIDNotFound = errors.New("pagefile: rid not in sidecar")
+
+// sideHeader carries the decoded sidecar header fields.
+type sideHeader struct {
+	pageSize  int
+	fullDim   int
+	indexDim  int
+	perPage   int
+	dataPages int
+	metaPages int
+	count     int
+	metaCRC   uint32
+}
+
+// SidecarRecordsPerPage returns how many fullDim-dimensional records fit one
+// data page, for sizing and reporting.
+func SidecarRecordsPerPage(pageSize, fullDim int) int {
+	return (pageSize - 8) / (8 + fullDim*8)
+}
+
+// SaveSidecar writes the full-feature side store: one record per (rid,
+// feature) pair plus the dimensionality-reduction projection (mean and
+// row-major components) the filter stage uses to map full queries into index
+// space. rids and feats are parallel; records are sorted by RID internally,
+// so any order is accepted (RIDs must be unique — lookups binary-search).
+// Like Save, the write is crash-atomic: temp file, fsync, rename, directory
+// sync.
+func SaveSidecar(path string, pageSize int, mean []float64, components [][]float64, rids []int64, feats [][]float64) error {
+	if pageSize < 256 {
+		return fmt.Errorf("pagefile: sidecar page size %d too small", pageSize)
+	}
+	if len(rids) != len(feats) {
+		return fmt.Errorf("pagefile: %d rids for %d features", len(rids), len(feats))
+	}
+	if len(feats) == 0 {
+		return fmt.Errorf("pagefile: empty sidecar")
+	}
+	fullDim := len(mean)
+	for i, f := range feats {
+		if len(f) != fullDim {
+			return fmt.Errorf("pagefile: feature %d has dim %d, want %d", i, len(f), fullDim)
+		}
+	}
+	indexDim := len(components)
+	for i, c := range components {
+		if len(c) != fullDim {
+			return fmt.Errorf("pagefile: component %d has dim %d, want %d", i, len(c), fullDim)
+		}
+	}
+	perPage := SidecarRecordsPerPage(pageSize, fullDim)
+	if perPage < 1 {
+		return fmt.Errorf("pagefile: page size %d cannot hold one %d-d record", pageSize, fullDim)
+	}
+
+	// Sort (rid, feature) pairs by RID so the page directory supports binary
+	// search; reject duplicates, which would make lookups ambiguous.
+	order := make([]int, len(rids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rids[order[a]] < rids[order[b]] })
+	for i := 1; i < len(order); i++ {
+		if rids[order[i]] == rids[order[i-1]] {
+			return fmt.Errorf("pagefile: duplicate rid %d in sidecar", rids[order[i]])
+		}
+	}
+	dataPages := (len(order) + perPage - 1) / perPage
+
+	// Meta blob: mean + components + directory.
+	meta := make([]byte, 0, 8*(fullDim+indexDim*fullDim+dataPages))
+	var w8 [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(w8[:], math.Float64bits(v))
+		meta = append(meta, w8[:]...)
+	}
+	for _, v := range mean {
+		putF(v)
+	}
+	for _, row := range components {
+		for _, v := range row {
+			putF(v)
+		}
+	}
+	for p := 0; p < dataPages; p++ {
+		binary.LittleEndian.PutUint64(w8[:], uint64(rids[order[p*perPage]]))
+		meta = append(meta, w8[:]...)
+	}
+	metaPages := (len(meta) + pageSize - 1) / pageSize
+	metaCRC := crc32.ChecksumIEEE(meta)
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	writeErr := func() error {
+		w := bufio.NewWriterSize(f, 1<<20)
+
+		// Header page.
+		hdr := make([]byte, pageSize)
+		copy(hdr, sideMagic)
+		hdr[len(sideMagic)] = sideVersion
+		off := len(sideMagic) + 1
+		put32 := func(v uint32) {
+			binary.LittleEndian.PutUint32(hdr[off:], v)
+			off += 4
+		}
+		put32(uint32(pageSize))
+		put32(uint32(fullDim))
+		put32(uint32(indexDim))
+		put32(uint32(perPage))
+		put32(uint32(dataPages))
+		put32(uint32(metaPages))
+		binary.LittleEndian.PutUint64(hdr[off:], uint64(len(order)))
+		off += 8
+		binary.LittleEndian.PutUint32(hdr[off:], metaCRC)
+		off += 4
+		binary.LittleEndian.PutUint32(hdr[off:], crc32.ChecksumIEEE(hdr))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+
+		// Meta pages: the blob zero-padded to a page boundary.
+		if _, err := w.Write(meta); err != nil {
+			return err
+		}
+		if pad := metaPages*pageSize - len(meta); pad > 0 {
+			if _, err := w.Write(make([]byte, pad)); err != nil {
+				return err
+			}
+		}
+
+		// Data pages.
+		buf := make([]byte, pageSize)
+		for p := 0; p < dataPages; p++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			lo, hi := p*perPage, (p+1)*perPage
+			if hi > len(order) {
+				hi = len(order)
+			}
+			binary.LittleEndian.PutUint16(buf[0:], uint16(hi-lo))
+			pos := 8
+			for _, oi := range order[lo:hi] {
+				binary.LittleEndian.PutUint64(buf[pos:], uint64(rids[oi]))
+				pos += 8
+				for _, v := range feats[oi] {
+					binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(v))
+					pos += 8
+				}
+			}
+			binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}()
+	if writeErr == nil {
+		writeErr = f.Sync()
+	}
+	if cerr := f.Close(); writeErr == nil {
+		writeErr = cerr
+	}
+	if writeErr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pagefile: write sidecar %s: %w", tmp, writeErr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// SideStore serves full-feature lookups from a sidecar file, demand-paged
+// through a pinning LRU pool with the node-page retry discipline: transient
+// read failures retry with jittered exponential backoff, checksum mismatches
+// fail immediately. Safe for any number of concurrent readers.
+type SideStore struct {
+	f    faultio.File
+	h    sideHeader
+	pool *page.PinnedPool
+
+	mean []float64 // projection mean, length fullDim
+	comp []float64 // projection components, row-major indexDim×fullDim
+	dir  []int64   // first RID per data page, ascending
+
+	retries atomic.Int64
+	gaveUp  atomic.Int64
+	closed  atomic.Bool
+}
+
+// sidePage is one decoded, resident data page.
+type sidePage struct {
+	rids []int64
+	flat []float64 // len(rids)×fullDim, record i at flat[i*fullDim:]
+}
+
+// OpenSidecar opens a side store with a buffer pool of poolPages frames.
+func OpenSidecar(path string, poolPages int) (*SideStore, error) {
+	return OpenSidecarIO(path, poolPages, nil)
+}
+
+// OpenSidecarIO is OpenSidecar with an I/O shim for fault injection: when
+// wrap is non-nil, demand-paged record reads go through wrap(file). The
+// header and meta section are read from the real file, so a faulty shim
+// degrades lookups, not opening — mirroring OpenPagedIO.
+func OpenSidecarIO(path string, poolPages int, wrap func(faultio.File) faultio.File) (*SideStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := openSidecar(f, poolPages)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if wrap != nil {
+		s.f = wrap(f)
+	}
+	return s, nil
+}
+
+func openSidecar(f *os.File, poolPages int) (*SideStore, error) {
+	r := bufio.NewReaderSize(f, 1<<20)
+	fixed := make([]byte, sideHeaderFixed)
+	if _, err := io.ReadFull(r, fixed); err != nil {
+		return nil, fmt.Errorf("pagefile: short sidecar header: %w", err)
+	}
+	if string(fixed[:len(sideMagic)]) != sideMagic {
+		return nil, fmt.Errorf("%w: not a sidecar", ErrBadMagic)
+	}
+	if v := fixed[len(sideMagic)]; v != sideVersion {
+		return nil, fmt.Errorf("%w: sidecar version %d, want %d", ErrVersion, v, sideVersion)
+	}
+	var h sideHeader
+	off := len(sideMagic) + 1
+	get32 := func() int {
+		v := binary.LittleEndian.Uint32(fixed[off:])
+		off += 4
+		return int(v)
+	}
+	h.pageSize = get32()
+	h.fullDim = get32()
+	h.indexDim = get32()
+	h.perPage = get32()
+	h.dataPages = get32()
+	h.metaPages = get32()
+	h.count = int(binary.LittleEndian.Uint64(fixed[off:]))
+	off += 8
+	h.metaCRC = binary.LittleEndian.Uint32(fixed[off:])
+	off += 4
+	storedCRC := binary.LittleEndian.Uint32(fixed[off:])
+	if h.pageSize < 256 || h.fullDim < 1 || h.indexDim < 0 || h.perPage < 1 ||
+		h.dataPages < 1 || h.count < 1 || h.count > h.dataPages*h.perPage {
+		return nil, fmt.Errorf("pagefile: corrupt sidecar header (page=%d dim=%d/%d per=%d pages=%d count=%d)",
+			h.pageSize, h.fullDim, h.indexDim, h.perPage, h.dataPages, h.count)
+	}
+	rest := make([]byte, h.pageSize-sideHeaderFixed)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, fmt.Errorf("pagefile: short sidecar header page: %w", err)
+	}
+	binary.LittleEndian.PutUint32(fixed[off:], 0)
+	crc := crc32.ChecksumIEEE(fixed)
+	crc = crc32.Update(crc, crc32.IEEETable, rest)
+	if crc != storedCRC {
+		return nil, fmt.Errorf("%w: sidecar header", ErrChecksum)
+	}
+
+	// Meta section: projection + directory, verified as one blob.
+	metaLen := 8 * (h.fullDim + h.indexDim*h.fullDim + h.dataPages)
+	if metaLen > h.metaPages*h.pageSize {
+		return nil, fmt.Errorf("pagefile: sidecar meta (%dB) overflows %d meta pages", metaLen, h.metaPages)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, meta); err != nil {
+		return nil, fmt.Errorf("pagefile: short sidecar meta: %w", err)
+	}
+	if crc32.ChecksumIEEE(meta) != h.metaCRC {
+		return nil, fmt.Errorf("%w: sidecar meta", ErrChecksum)
+	}
+	s := &SideStore{
+		f:    f,
+		h:    h,
+		pool: page.NewPinnedPool(poolPages),
+		mean: make([]float64, h.fullDim),
+		comp: make([]float64, h.indexDim*h.fullDim),
+		dir:  make([]int64, h.dataPages),
+	}
+	pos := 0
+	for i := range s.mean {
+		s.mean[i] = math.Float64frombits(binary.LittleEndian.Uint64(meta[pos:]))
+		pos += 8
+	}
+	for i := range s.comp {
+		s.comp[i] = math.Float64frombits(binary.LittleEndian.Uint64(meta[pos:]))
+		pos += 8
+	}
+	for i := range s.dir {
+		s.dir[i] = int64(binary.LittleEndian.Uint64(meta[pos:]))
+		pos += 8
+		if i > 0 && s.dir[i] <= s.dir[i-1] {
+			return nil, fmt.Errorf("pagefile: sidecar directory not ascending at page %d", i)
+		}
+	}
+	return s, nil
+}
+
+// FullDim returns the stored feature dimensionality (218 for Blobworld).
+func (s *SideStore) FullDim() int { return s.h.fullDim }
+
+// IndexDim returns the projection's output dimensionality — the
+// dimensionality of the index the sidecar rides along with.
+func (s *SideStore) IndexDim() int { return s.h.indexDim }
+
+// Len returns the number of stored records.
+func (s *SideStore) Len() int { return s.h.count }
+
+// Project maps a full-dimensionality vector into index space with the stored
+// reduction, appending to dst (pass dst[:0] to reuse a buffer). The
+// arithmetic matches svd.PCA.Project term for term, so projecting a stored
+// feature reproduces its indexed key bit for bit.
+func (s *SideStore) Project(full []float64, dst []float64) []float64 {
+	for i := 0; i < s.h.indexDim; i++ {
+		row := s.comp[i*s.h.fullDim : (i+1)*s.h.fullDim]
+		var acc float64
+		for j := range row {
+			acc += row[j] * (full[j] - s.mean[j])
+		}
+		dst = append(dst, acc)
+	}
+	return dst
+}
+
+// Feature reads the full feature vector of rid, appending its fullDim
+// coordinates to dst (pass a reused dst[:0] for an allocation-free steady
+// state). Misses fault the record's page in through the pool with the retry
+// discipline of node pages; an unknown rid returns ErrRIDNotFound.
+func (s *SideStore) Feature(rid int64, dst []float64) ([]float64, error) {
+	// Last directory entry with first RID ≤ rid.
+	pi := sort.Search(len(s.dir), func(i int) bool { return s.dir[i] > rid }) - 1
+	if pi < 0 {
+		return dst, fmt.Errorf("%w: %d", ErrRIDNotFound, rid)
+	}
+	id := page.PageID(pi)
+	var sp *sidePage
+	if v, ok := s.pool.Pin(id); ok {
+		sp = v.(*sidePage)
+	} else {
+		loaded, err := s.readSidePageRetry(id)
+		if err != nil {
+			return dst, err
+		}
+		sp = s.pool.Insert(id, loaded).(*sidePage)
+	}
+	defer s.pool.Unpin(id)
+	ri := sort.Search(len(sp.rids), func(i int) bool { return sp.rids[i] >= rid })
+	if ri >= len(sp.rids) || sp.rids[ri] != rid {
+		return dst, fmt.Errorf("%w: %d", ErrRIDNotFound, rid)
+	}
+	return append(dst, sp.flat[ri*s.h.fullDim:(ri+1)*s.h.fullDim]...), nil
+}
+
+// readSidePageRetry reads a data page, retrying transient failures with the
+// same jittered backoff budget as node-page pins.
+func (s *SideStore) readSidePageRetry(id page.PageID) (*sidePage, error) {
+	for attempt := 0; ; attempt++ {
+		sp, err := s.readSidePage(id)
+		if err == nil {
+			return sp, nil
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= pinAttempts-1 {
+			if errors.Is(err, ErrTransient) {
+				s.gaveUp.Add(1)
+			}
+			return nil, err
+		}
+		s.retries.Add(1)
+		delay := float64(pinRetryBase<<attempt) * (0.5 + rand.Float64())
+		time.Sleep(time.Duration(delay))
+	}
+}
+
+// readSidePage reads and decodes one data page, verifying its CRC.
+func (s *SideStore) readSidePage(id page.PageID) (*sidePage, error) {
+	buf := make([]byte, s.h.pageSize)
+	off := int64(1+s.h.metaPages+int(id)) * int64(s.h.pageSize)
+	if _, err := s.f.ReadAt(buf, off); err != nil {
+		if transientRead(err) {
+			return nil, fmt.Errorf("pagefile: read sidecar page %d: %w (%w)", id, err, ErrTransient)
+		}
+		return nil, fmt.Errorf("pagefile: read sidecar page %d: %w", id, err)
+	}
+	storedCRC := binary.LittleEndian.Uint32(buf[4:])
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	if crc32.ChecksumIEEE(buf) != storedCRC {
+		return nil, fmt.Errorf("%w: sidecar page %d", ErrChecksum, id)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[0:]))
+	if n < 1 || n > s.h.perPage || 8+n*(8+s.h.fullDim*8) > s.h.pageSize {
+		return nil, fmt.Errorf("pagefile: sidecar page %d holds %d records", id, n)
+	}
+	sp := &sidePage{
+		rids: make([]int64, n),
+		flat: make([]float64, n*s.h.fullDim),
+	}
+	pos := 8
+	for i := 0; i < n; i++ {
+		sp.rids[i] = int64(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+		for d := 0; d < s.h.fullDim; d++ {
+			sp.flat[i*s.h.fullDim+d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+			pos += 8
+		}
+	}
+	return sp, nil
+}
+
+// PoolStats reports the side store's buffer traffic, with the retry counters
+// folded in the way Store.PoolStats does.
+func (s *SideStore) PoolStats() page.PoolStats {
+	st := s.pool.Stats()
+	st.Retries = s.retries.Load()
+	st.GaveUp = s.gaveUp.Load()
+	return st
+}
+
+// EvictAll empties the pool of unpinned frames (cold restart, for
+// experiments).
+func (s *SideStore) EvictAll() { s.pool.EvictAll() }
+
+// ResetStats zeroes the pool and retry counters.
+func (s *SideStore) ResetStats() {
+	s.pool.ResetStats()
+	s.retries.Store(0)
+	s.gaveUp.Store(0)
+}
+
+// Close releases the file. Idempotent, like Store.Close.
+func (s *SideStore) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,213 @@
+package pagefile
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blobindex/internal/faultio"
+	"blobindex/internal/geom"
+	"blobindex/internal/svd"
+)
+
+// sidecarFixture writes a sidecar of n records with fullDim features and an
+// indexDim projection fitted over the data, returning the path, the features
+// and the fitted PCA.
+func sidecarFixture(t *testing.T, n, fullDim, indexDim, pageSize int) (string, []int64, [][]float64, *svd.PCA) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	feats := make([][]float64, n)
+	vecs := make([]geom.Vector, n)
+	rids := make([]int64, n)
+	for i := range feats {
+		f := make([]float64, fullDim)
+		for d := range f {
+			f[d] = rng.Float64()
+		}
+		feats[i] = f
+		vecs[i] = f
+		// Shuffled, sparse RIDs: SaveSidecar must sort and the directory must
+		// cope with gaps.
+		rids[i] = int64(i * 7)
+	}
+	rng.Shuffle(n, func(a, b int) {
+		feats[a], feats[b] = feats[b], feats[a]
+		rids[a], rids[b] = rids[b], rids[a]
+	})
+	pca, err := svd.Fit(vecs, indexDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "side.idx")
+	if err := SaveSidecar(path, pageSize, pca.Mean, pca.Components, rids, feats); err != nil {
+		t.Fatal(err)
+	}
+	return path, rids, feats, pca
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	const (
+		n        = 137
+		fullDim  = 31
+		indexDim = 4
+		pageSize = 1024
+	)
+	path, rids, feats, pca := sidecarFixture(t, n, fullDim, indexDim, pageSize)
+	s, err := OpenSidecar(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.FullDim() != fullDim || s.IndexDim() != indexDim || s.Len() != n {
+		t.Fatalf("shape = (%d, %d, %d), want (%d, %d, %d)",
+			s.FullDim(), s.IndexDim(), s.Len(), fullDim, indexDim, n)
+	}
+
+	// Every record round-trips bit for bit under its (sparse) RID: the
+	// fixture shuffles (rid, feature) pairs together, so rids[i] owns
+	// feats[i] regardless of on-disk sort order.
+	var buf []float64
+	for i, f := range feats {
+		rid := rids[i]
+		got, err := s.Feature(rid, buf[:0])
+		if err != nil {
+			t.Fatalf("Feature(%d): %v", rid, err)
+		}
+		buf = got
+		for d := range f {
+			if got[d] != f[d] {
+				t.Fatalf("Feature(%d)[%d] = %v, want %v", rid, d, got[d], f[d])
+			}
+		}
+	}
+
+	// Unknown RIDs (holes in the sparse space and out-of-range ids) miss.
+	for _, rid := range []int64{-1, 3, int64(n*7) + 1} {
+		if _, err := s.Feature(rid, nil); !errors.Is(err, ErrRIDNotFound) {
+			t.Fatalf("Feature(%d) = %v, want ErrRIDNotFound", rid, err)
+		}
+	}
+
+	// The stored projection reproduces svd.PCA.Project bit for bit.
+	for _, f := range feats[:16] {
+		want := pca.Project(f)
+		got := s.Project(f, nil)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("Project[%d] = %v, want %v", d, got[d], want[d])
+			}
+		}
+	}
+}
+
+func TestSidecarRejectsDuplicateRIDs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.idx")
+	feats := [][]float64{{1, 2}, {3, 4}}
+	err := SaveSidecar(path, 512, []float64{0, 0}, nil, []int64{5, 5}, feats)
+	if err == nil {
+		t.Fatal("SaveSidecar accepted duplicate RIDs")
+	}
+}
+
+func TestSidecarChecksum(t *testing.T) {
+	path, _, _, _ := sidecarFixture(t, 40, 16, 3, 512)
+
+	// Flip one byte in the first data page; the read must fail ErrChecksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenSidecar(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaPages := s.h.metaPages
+	s.Close()
+
+	corrupted := append([]byte(nil), data...)
+	corrupted[(1+metaPages)*512+20] ^= 0xff
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenSidecar(path, 4)
+	if err != nil {
+		t.Fatal(err) // header and meta are intact; open succeeds
+	}
+	defer s.Close()
+	if _, err := s.Feature(0, nil); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Feature over corrupt page = %v, want ErrChecksum", err)
+	}
+
+	// Corrupt the header: open itself must fail.
+	corrupted = append([]byte(nil), data...)
+	corrupted[12] ^= 0xff
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSidecar(path, 4); err == nil {
+		t.Fatal("OpenSidecar accepted a corrupt header")
+	}
+}
+
+func TestSidecarTransientRetry(t *testing.T) {
+	path, _, _, _ := sidecarFixture(t, 40, 16, 3, 512)
+
+	// Every page read fails transiently twice, then succeeds: lookups must
+	// absorb the blips invisibly and count the retries.
+	var inj *faultio.Injector
+	s, err := OpenSidecarIO(path, 4, func(f faultio.File) faultio.File {
+		inj = faultio.Wrap(f, faultio.Config{
+			Seed:           7,
+			PageSize:       512,
+			Rates:          faultio.Rates{Transient: 1.0},
+			MaxConsecutive: 2,
+		})
+		return inj
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Feature(0, nil); err != nil {
+		t.Fatalf("Feature under transient faults: %v", err)
+	}
+	st := s.PoolStats()
+	if st.Retries == 0 {
+		t.Fatalf("expected retries to be counted, got %+v", st)
+	}
+	if st.GaveUp != 0 {
+		t.Fatalf("bounded faults must not exhaust the budget: %+v", st)
+	}
+
+	// Warm lookups never touch the injured file again.
+	before := inj.Stats()
+	if _, err := s.Feature(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after := inj.Stats(); after.Reads != before.Reads {
+		t.Fatalf("pool hit still read the file: %+v -> %+v", before, after)
+	}
+}
+
+func TestSidecarGivesUpOnPersistentFaults(t *testing.T) {
+	path, _, _, _ := sidecarFixture(t, 40, 16, 3, 512)
+	s, err := OpenSidecarIO(path, 4, func(f faultio.File) faultio.File {
+		return faultio.Wrap(f, faultio.Config{
+			Seed:     7,
+			PageSize: 512,
+			Rates:    faultio.Rates{Transient: 1.0}, // never clears
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Feature(0, nil); !errors.Is(err, ErrTransient) {
+		t.Fatalf("Feature = %v, want ErrTransient after budget", err)
+	}
+	if st := s.PoolStats(); st.GaveUp != 1 {
+		t.Fatalf("GaveUp = %d, want 1 (%+v)", st.GaveUp, st)
+	}
+}

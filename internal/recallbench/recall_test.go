@@ -1,0 +1,73 @@
+package recallbench
+
+import (
+	"testing"
+
+	"blobindex/internal/experiments"
+)
+
+// TestRecallSweep runs the calibration end to end at smoke scale and checks
+// the properties the artifact relies on: recall is monotone in the
+// multiplier, a full-coverage multiplier reaches exactly 1.0 (the refine
+// stage reproduces brute force bit for bit), and every calibration rung
+// resolves to a swept multiplier.
+func TestRecallSweep(t *testing.T) {
+	p := experiments.DefaultParams()
+	p.Images = 300
+	s, err := experiments.NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := RecallParams{
+		K:       50,
+		Queries: 8,
+		// The last multiplier covers the whole corpus (300 images ≈ 1.8k
+		// blobs < 50*64), forcing exact ground-truth agreement.
+		Multipliers: []int{1, 4, 64},
+		Targets:     []float64{0.90, 0.99},
+		PoolPages:   64,
+	}
+	r, err := Recall(s, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(rp.Multipliers) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(rp.Multipliers))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].MeanRecall < r.Rows[i-1].MeanRecall {
+			t.Errorf("recall not monotone: x%d=%.4f > x%d=%.4f",
+				r.Rows[i-1].Multiplier, r.Rows[i-1].MeanRecall,
+				r.Rows[i].Multiplier, r.Rows[i].MeanRecall)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.MeanRecall != 1 || last.MinRecall != 1 {
+		t.Errorf("full-coverage multiplier x%d: mean/min recall %.4f/%.4f, want exactly 1",
+			last.Multiplier, last.MeanRecall, last.MinRecall)
+	}
+	if int(last.FilterCandidates) != r.Blobs {
+		t.Errorf("full-coverage filter produced %.0f candidates, want %d", last.FilterCandidates, r.Blobs)
+	}
+	if len(r.Calibration) != len(rp.Targets) {
+		t.Fatalf("got %d rungs, want %d", len(r.Calibration), len(rp.Targets))
+	}
+	for _, rung := range r.Calibration {
+		if !rung.Met {
+			t.Errorf("target %.2f not met in smoke sweep (full coverage is swept)", rung.Target)
+		}
+		if rung.MeasuredRecall < rung.Target {
+			t.Errorf("rung %.2f reports multiplier x%d below target (measured %.4f)",
+				rung.Target, rung.Multiplier, rung.MeasuredRecall)
+		}
+	}
+	if !r.Pass {
+		t.Error("Pass unset despite a met 0.99 rung")
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Errorf("JSON render: %v", err)
+	}
+	if out := r.Render(); out == "" {
+		t.Error("empty render")
+	}
+}

@@ -223,12 +223,15 @@ func (c *resultCache) stats() CacheStats {
 const quantum = 1 << 16
 
 // searchKey builds the cache/coalescing key for one search: op
-// discriminator, access method, k, quantized radius (range only) and the
-// quantized query vector, binary-packed. The same key feeds both the result
-// cache and the single-flight group, so "identical query" means the same
-// thing in both layers.
-func searchKey(op byte, method blobindex.Method, k int, radius float64, q []float64) string {
-	b := make([]byte, 0, 2+len(method)+8+8+8*len(q))
+// discriminator, access method, k, quantized radius (range only), the
+// refine flag with its effective candidate multiplier, and the quantized
+// query vector, binary-packed. The same key feeds both the result cache and
+// the single-flight group, so "identical query" means the same thing in
+// both layers. Refined and unrefined searches over the same query never
+// share a key — their result sets differ in membership, order and metric —
+// and neither do refined searches at different effective multipliers.
+func searchKey(op byte, method blobindex.Method, k int, radius float64, q []float64, refine bool, multiplier int) string {
+	b := make([]byte, 0, 3+len(method)+8+8+8+8*len(q))
 	b = append(b, op)
 	b = append(b, method...)
 	b = append(b, 0) // method/terminator so "jb"+k cannot collide with "xjb"
@@ -236,6 +239,13 @@ func searchKey(op byte, method blobindex.Method, k int, radius float64, q []floa
 	binary.LittleEndian.PutUint64(w[:], uint64(k))
 	b = append(b, w[:]...)
 	binary.LittleEndian.PutUint64(w[:], uint64(int64(math.Round(radius*quantum))))
+	b = append(b, w[:]...)
+	if refine {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	binary.LittleEndian.PutUint64(w[:], uint64(multiplier))
 	b = append(b, w[:]...)
 	for _, v := range q {
 		binary.LittleEndian.PutUint64(w[:], uint64(int64(math.Round(v*quantum))))

@@ -18,7 +18,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 	c := newResultCache(4, 1) // one shard so LRU order is global
 	keys := make([]string, 5)
 	for i := range keys {
-		keys[i] = searchKey('k', blobindex.XJB, 10, 0, []float64{float64(i)})
+		keys[i] = searchKey('k', blobindex.XJB, 10, 0, []float64{float64(i)}, false, 0)
 	}
 	for i := 0; i < 4; i++ {
 		if _, ok := c.get(keys[i]); ok {
@@ -57,7 +57,7 @@ func TestCacheHitMissEvict(t *testing.T) {
 
 func TestCacheInvalidateGeneration(t *testing.T) {
 	c := newResultCache(8, 2)
-	key := searchKey('k', blobindex.JB, 5, 0, []float64{1, 2})
+	key := searchKey('k', blobindex.JB, 5, 0, []float64{1, 2}, false, 0)
 	c.put(key, res(1), c.generation())
 	if _, ok := c.get(key); !ok {
 		t.Fatal("miss before invalidation")
@@ -82,7 +82,7 @@ func TestCacheInvalidateGeneration(t *testing.T) {
 // the invalidate.
 func TestCachePutRacingWrite(t *testing.T) {
 	c := newResultCache(8, 2)
-	key := searchKey('k', blobindex.XJB, 5, 0, []float64{3, 4})
+	key := searchKey('k', blobindex.XJB, 5, 0, []float64{3, 4}, false, 0)
 	gen := c.generation() // search starts here...
 	c.invalidate()        // ...a delete completes while it runs...
 	c.put(key, res(1), gen)
@@ -99,7 +99,7 @@ func TestCachePutRacingWrite(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := newResultCache(0, 4)
-	key := searchKey('k', blobindex.XJB, 1, 0, []float64{1})
+	key := searchKey('k', blobindex.XJB, 1, 0, []float64{1}, false, 0)
 	c.put(key, res(1), c.generation())
 	if _, ok := c.get(key); ok {
 		t.Error("disabled cache returned a hit")
@@ -110,17 +110,19 @@ func TestCacheDisabled(t *testing.T) {
 }
 
 func TestSearchKeyQuantization(t *testing.T) {
-	base := searchKey('k', blobindex.XJB, 10, 0, []float64{1.5, -2.25})
-	same := searchKey('k', blobindex.XJB, 10, 0, []float64{1.5 + 1e-9, -2.25})
+	base := searchKey('k', blobindex.XJB, 10, 0, []float64{1.5, -2.25}, false, 0)
+	same := searchKey('k', blobindex.XJB, 10, 0, []float64{1.5 + 1e-9, -2.25}, false, 0)
 	if base != same {
 		t.Error("sub-quantum perturbation changed the key")
 	}
 	for name, other := range map[string]string{
-		"different k":      searchKey('k', blobindex.XJB, 11, 0, []float64{1.5, -2.25}),
-		"different method": searchKey('k', blobindex.JB, 10, 0, []float64{1.5, -2.25}),
-		"different op":     searchKey('r', blobindex.XJB, 10, 0, []float64{1.5, -2.25}),
-		"different coord":  searchKey('k', blobindex.XJB, 10, 0, []float64{1.25, -2.25}),
-		"different radius": searchKey('k', blobindex.XJB, 10, 3.5, []float64{1.5, -2.25}),
+		"different k":      searchKey('k', blobindex.XJB, 11, 0, []float64{1.5, -2.25}, false, 0),
+		"different method": searchKey('k', blobindex.JB, 10, 0, []float64{1.5, -2.25}, false, 0),
+		"different op":     searchKey('r', blobindex.XJB, 10, 0, []float64{1.5, -2.25}, false, 0),
+		"different coord":  searchKey('k', blobindex.XJB, 10, 0, []float64{1.25, -2.25}, false, 0),
+		"different radius": searchKey('k', blobindex.XJB, 10, 3.5, []float64{1.5, -2.25}, false, 0),
+		"refined":          searchKey('k', blobindex.XJB, 10, 0, []float64{1.5, -2.25}, true, 6),
+		"different mult":   searchKey('k', blobindex.XJB, 10, 0, []float64{1.5, -2.25}, true, 3),
 	} {
 		if other == base {
 			t.Errorf("%s produced an identical key", name)
@@ -136,7 +138,7 @@ func TestCacheConcurrentChurn(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				key := searchKey('k', blobindex.XJB, i%32, 0, []float64{float64(g % 3)})
+				key := searchKey('k', blobindex.XJB, i%32, 0, []float64{float64(g % 3)}, false, 0)
 				if _, ok := c.get(key); !ok {
 					c.put(key, res(int64(i)), c.generation())
 				}
@@ -250,7 +252,7 @@ func waitForUnit(t *testing.T, cond func() bool) {
 
 func ExampleCacheStats() {
 	c := newResultCache(2, 1)
-	k := searchKey('k', blobindex.XJB, 3, 0, []float64{1})
+	k := searchKey('k', blobindex.XJB, 3, 0, []float64{1}, false, 0)
 	c.put(k, res(42), c.generation())
 	_, hit := c.get(k)
 	fmt.Println(hit)

@@ -37,15 +37,11 @@ func (f *faultyIndex) current() error {
 	return nil
 }
 
-func (f *faultyIndex) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]blobindex.Neighbor, error) {
+func (f *faultyIndex) Search(ctx context.Context, req blobindex.SearchRequest) (blobindex.SearchResponse, error) {
 	if err := f.current(); err != nil {
-		return nil, err
+		return blobindex.SearchResponse{}, err
 	}
-	return f.res, nil
-}
-
-func (f *faultyIndex) SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]blobindex.Neighbor, error) {
-	return f.SearchKNNCtx(ctx, q, 0)
+	return blobindex.SearchResponse{Neighbors: f.res}, nil
 }
 
 func (f *faultyIndex) Insert(p blobindex.Point) error { return f.current() }
@@ -61,6 +57,10 @@ func (f *faultyIndex) Stats() blobindex.Stats {
 }
 func (f *faultyIndex) BufferStats() (blobindex.BufferStats, bool) {
 	return blobindex.BufferStats{Retries: 5, GaveUp: 1}, true
+}
+func (f *faultyIndex) RefineDim() (int, bool) { return 0, false }
+func (f *faultyIndex) RefineStats() (blobindex.BufferStats, bool) {
+	return blobindex.BufferStats{}, false
 }
 
 // TestStorageErrorStatuses pins the degraded-mode HTTP contract: a transient

@@ -31,15 +31,19 @@ import (
 
 // Queryer is the slice of the blobindex facade the server needs.
 // *blobindex.Index implements it; tests substitute controllable fakes.
+// Every search funnels through the unified Search(ctx, SearchRequest)
+// entry point, so the server sees per-stage counts and timings on each
+// response.
 type Queryer interface {
-	SearchKNNCtx(ctx context.Context, q []float64, k int) ([]blobindex.Neighbor, error)
-	SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]blobindex.Neighbor, error)
+	Search(ctx context.Context, req blobindex.SearchRequest) (blobindex.SearchResponse, error)
 	Insert(p blobindex.Point) error
 	Delete(key []float64, rid int64) (bool, error)
 	Tighten() error
 	Options() blobindex.Options
 	Stats() blobindex.Stats
 	BufferStats() (blobindex.BufferStats, bool)
+	RefineDim() (int, bool)
+	RefineStats() (blobindex.BufferStats, bool)
 }
 
 var _ Queryer = (*blobindex.Index)(nil)
@@ -87,6 +91,18 @@ type Server struct {
 	idx    Queryer
 	method blobindex.Method
 	dim    int
+	// refineDim is the full feature dimensionality of the index's refine
+	// store, 0 when none is attached at startup. Refining requests must
+	// carry refineDim-coordinate queries.
+	refineDim int
+
+	// Per-stage pipeline accounting for /v1/stats: one histogram and a
+	// cumulative candidate counter per search stage. Filter counts every
+	// index traversal; refine counts only refined ones.
+	filterHist       *histogram
+	refineHist       *histogram
+	filterCandidates atomic.Int64
+	refineCandidates atomic.Int64
 
 	adm     *admission
 	cache   *resultCache
@@ -151,16 +167,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	opts := cfg.Index.Options()
 	s := &Server{
-		cfg:     cfg,
-		idx:     cfg.Index,
-		method:  opts.Method,
-		dim:     opts.Dim,
-		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheShards),
-		flights: newFlightGroup(),
-		health:  newStorageHealth(cfg.ReadyWindow, cfg.ReadyErrorRate, int64(cfg.ReadyMinSamples)),
-		start:   time.Now(),
-		hists:   make(map[string]*histogram, len(endpointNames)),
+		cfg:        cfg,
+		idx:        cfg.Index,
+		method:     opts.Method,
+		dim:        opts.Dim,
+		adm:        newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueTimeout),
+		cache:      newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		flights:    newFlightGroup(),
+		health:     newStorageHealth(cfg.ReadyWindow, cfg.ReadyErrorRate, int64(cfg.ReadyMinSamples)),
+		start:      time.Now(),
+		hists:      make(map[string]*histogram, len(endpointNames)),
+		filterHist: &histogram{},
+		refineHist: &histogram{},
+	}
+	if rd, ok := cfg.Index.RefineDim(); ok {
+		s.refineDim = rd
 	}
 	for _, name := range endpointNames {
 		s.hists[name] = &histogram{}
@@ -197,6 +218,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 type KNNRequest struct {
 	Query []float64 `json:"query"`
 	K     int       `json:"k"`
+	// Refine asks for the filter-and-refine tier: query must then be a
+	// full feature vector (the refine store's dimensionality), and the
+	// returned distances are exact full-space quadratic-form distances.
+	Refine bool `json:"refine,omitempty"`
+	// TargetRecall picks the refine tier's calibrated candidate
+	// multiplier; 0 means the library default. Mutually exclusive with
+	// Multiplier, valid only with Refine.
+	TargetRecall float64 `json:"target_recall,omitempty"`
+	// Multiplier overrides the candidate multiplier directly. Valid only
+	// with Refine.
+	Multiplier int `json:"multiplier,omitempty"`
 	// IncludeKeys asks for each neighbor's coordinates in the response;
 	// default off, since serving typically needs only (rid, dist).
 	IncludeKeys bool `json:"include_keys,omitempty"`
@@ -219,6 +251,11 @@ type NeighborJSON struct {
 // SearchResponse is the POST /v1/knn and /v1/range response.
 type SearchResponse struct {
 	Neighbors []NeighborJSON `json:"neighbors"`
+	// Refined reports the refine tier re-ranked the results by exact
+	// full-space distance; Multiplier is the candidate multiplier the
+	// filter stage used (omitted on non-refined responses).
+	Refined    bool `json:"refined,omitempty"`
+	Multiplier int  `json:"multiplier,omitempty"`
 	// Cached reports the result was served from the result cache without an
 	// index search; Coalesced that it was shared from a concurrent
 	// identical request's search.
@@ -280,8 +317,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) validQuery(q []float64) error {
-	if len(q) != s.dim {
-		return fmt.Errorf("query dimension %d, index dimension %d", len(q), s.dim)
+	return s.validQueryDim(q, s.dim, "index")
+}
+
+func (s *Server) validQueryDim(q []float64, dim int, what string) error {
+	if len(q) != dim {
+		return fmt.Errorf("query dimension %d, %s dimension %d", len(q), what, dim)
 	}
 	for _, v := range q {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -301,8 +342,13 @@ func isCtxErr(err error) bool {
 // permanent fault of this replica's on-disk index (500).
 func searchStatus(err error) int {
 	switch {
-	case errors.Is(err, blobindex.ErrDimMismatch):
+	case errors.Is(err, blobindex.ErrDimMismatch),
+		errors.Is(err, blobindex.ErrInvalidSearchRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, blobindex.ErrNoRefineStore):
+		// The deployment has no full-feature sidecar; refine is not served
+		// here, and retrying the same replica cannot help.
+		return http.StatusNotImplemented
 	case errors.Is(err, blobindex.ErrEmptyIndex):
 		return http.StatusNotFound
 	case errors.Is(err, blobindex.ErrStorageTransient):
@@ -332,6 +378,18 @@ func (s *Server) recordStorage(err error) {
 	case errors.Is(err, blobindex.ErrStorageCorrupt):
 		s.storageCorrupt.Add(1)
 		s.health.record(false)
+	}
+}
+
+// recordStages feeds the per-stage pipeline metrics from one index
+// traversal's response. Called only for searches that actually ran — cache
+// hits and coalesced followers never touched the index.
+func (s *Server) recordStages(resp blobindex.SearchResponse) {
+	s.filterHist.observe(resp.Filter.Duration, false)
+	s.filterCandidates.Add(int64(resp.Filter.Candidates))
+	if resp.Refined {
+		s.refineHist.observe(resp.Refine.Duration, false)
+		s.refineCandidates.Add(int64(resp.Refine.Candidates))
 	}
 }
 
@@ -410,16 +468,53 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) int {
 	if err := decodeBody(w, r, &req); err != nil {
 		return writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 	}
-	if err := s.validQuery(req.Query); err != nil {
+	if req.Refine {
+		if s.refineDim == 0 {
+			return writeError(w, http.StatusNotImplemented, "refine not available: no full-feature store attached")
+		}
+		if err := s.validQueryDim(req.Query, s.refineDim, "refine store"); err != nil {
+			return writeError(w, http.StatusBadRequest, "%v", err)
+		}
+	} else if err := s.validQuery(req.Query); err != nil {
 		return writeError(w, http.StatusBadRequest, "%v", err)
 	}
 	if req.K <= 0 || req.K > s.cfg.MaxK {
 		return writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", s.cfg.MaxK, req.K)
 	}
+	sreq := blobindex.SearchRequest{
+		Query:        req.Query,
+		K:            req.K,
+		Refine:       req.Refine,
+		TargetRecall: req.TargetRecall,
+		Multiplier:   req.Multiplier,
+	}
+	if err := sreq.Validate(); err != nil {
+		return writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	// Resolve the effective multiplier up front: two requests asking for the
+	// same ladder rung by different knobs (target_recall vs multiplier) run
+	// the identical search, and the cache and single-flight keys must agree.
+	multiplier := 0
+	if req.Refine {
+		multiplier = req.Multiplier
+		if multiplier == 0 {
+			target := req.TargetRecall
+			if target == 0 {
+				target = blobindex.DefaultTargetRecall
+			}
+			multiplier = blobindex.MultiplierForRecall(target)
+		}
+		sreq.Multiplier, sreq.TargetRecall = multiplier, 0
+	}
 	ctx := r.Context()
-	key := searchKey('k', s.method, req.K, 0, req.Query)
+	key := searchKey('k', s.method, req.K, 0, req.Query, req.Refine, multiplier)
 	res, cached, coalesced, err := s.runSearch(ctx, key, func() ([]blobindex.Neighbor, error) {
-		return s.idx.SearchKNNCtx(ctx, req.Query, req.K)
+		resp, err := s.idx.Search(ctx, sreq)
+		if err != nil {
+			return nil, err
+		}
+		s.recordStages(resp)
+		return resp.Neighbors, nil
 	})
 	if err != nil {
 		if status, ok := admissionStatus(err); ok {
@@ -428,9 +523,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, searchStatus(err), "knn search: %v", err)
 	}
 	return writeJSON(w, http.StatusOK, SearchResponse{
-		Neighbors: neighborsJSON(res, req.IncludeKeys),
-		Cached:    cached,
-		Coalesced: coalesced,
+		Neighbors:  neighborsJSON(res, req.IncludeKeys),
+		Refined:    req.Refine,
+		Multiplier: multiplier,
+		Cached:     cached,
+		Coalesced:  coalesced,
 	})
 }
 
@@ -445,10 +542,20 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) int {
 	if req.Radius < 0 || math.IsNaN(req.Radius) || math.IsInf(req.Radius, 0) {
 		return writeError(w, http.StatusBadRequest, "radius must be finite and non-negative")
 	}
+	if req.Radius == 0 {
+		// The unified pipeline treats a zero radius as "no operation
+		// selected"; serve the always-empty result without a traversal.
+		return writeJSON(w, http.StatusOK, SearchResponse{Neighbors: []NeighborJSON{}})
+	}
 	ctx := r.Context()
-	key := searchKey('r', s.method, 0, req.Radius, req.Query)
+	key := searchKey('r', s.method, 0, req.Radius, req.Query, false, 0)
 	res, cached, coalesced, err := s.runSearch(ctx, key, func() ([]blobindex.Neighbor, error) {
-		return s.idx.SearchRangeCtx(ctx, req.Query, req.Radius)
+		resp, err := s.idx.Search(ctx, blobindex.SearchRequest{Query: req.Query, Radius: req.Radius})
+		if err != nil {
+			return nil, err
+		}
+		s.recordStages(resp)
+		return resp.Neighbors, nil
 	})
 	if err != nil {
 		if status, ok := admissionStatus(err); ok {
@@ -575,17 +682,34 @@ type StorageStats struct {
 	Ready           bool    `json:"ready"`
 }
 
+// StageInfo is one search-pipeline stage's row in Stats: how many index
+// traversals ran the stage, the cumulative candidates it produced, and its
+// latency distribution. Filter covers every traversal (candidate generation
+// in index space); Refine covers only refined searches (full-distance
+// re-ranking).
+type StageInfo struct {
+	Searches   int64          `json:"searches"`
+	Candidates int64          `json:"candidates"`
+	Latency    LatencySummary `json:"latency"`
+}
+
 // Stats is the full /v1/stats payload.
 type Stats struct {
-	UptimeSeconds float64                   `json:"uptime_seconds"`
-	Requests      int64                     `json:"requests"`
-	Index         IndexInfo                 `json:"index"`
-	Admission     AdmissionStats            `json:"admission"`
-	Cache         CacheStats                `json:"cache"`
-	Coalesce      CoalesceStats             `json:"coalesce"`
-	Storage       StorageStats              `json:"storage"`
-	Buffer        *BufferInfo               `json:"buffer,omitempty"`
-	Endpoints     map[string]LatencySummary `json:"endpoints"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      int64          `json:"requests"`
+	Index         IndexInfo      `json:"index"`
+	Admission     AdmissionStats `json:"admission"`
+	Cache         CacheStats     `json:"cache"`
+	Coalesce      CoalesceStats  `json:"coalesce"`
+	Storage       StorageStats   `json:"storage"`
+	Buffer        *BufferInfo    `json:"buffer,omitempty"`
+	// Stages breaks served index traversals into the search pipeline's
+	// filter and refine stages.
+	Stages map[string]StageInfo `json:"stages"`
+	// RefineBuffer is the refine store's demand-paging traffic; nil when no
+	// full-feature sidecar is attached.
+	RefineBuffer *BufferInfo               `json:"refine_buffer,omitempty"`
+	Endpoints    map[string]LatencySummary `json:"endpoints"`
 }
 
 // Stats snapshots every serving counter. Also the value behind the
@@ -625,6 +749,23 @@ func (s *Server) Stats() Stats {
 			GaveUp:    bs.GaveUp,
 			Resident:  bs.Resident,
 			Capacity:  bs.Capacity,
+		}
+	}
+	filter := s.filterHist.summary()
+	refine := s.refineHist.summary()
+	st.Stages = map[string]StageInfo{
+		"filter": {Searches: filter.Count, Candidates: s.filterCandidates.Load(), Latency: filter},
+		"refine": {Searches: refine.Count, Candidates: s.refineCandidates.Load(), Latency: refine},
+	}
+	if rs, ok := s.idx.RefineStats(); ok {
+		st.RefineBuffer = &BufferInfo{
+			Hits:      rs.Hits,
+			Misses:    rs.Misses,
+			Evictions: rs.Evictions,
+			Retries:   rs.Retries,
+			GaveUp:    rs.GaveUp,
+			Resident:  rs.Resident,
+			Capacity:  rs.Capacity,
 		}
 	}
 	for name, h := range s.hists {

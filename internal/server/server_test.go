@@ -31,20 +31,19 @@ type stubIndex struct {
 	deletes  atomic.Int64
 }
 
-func (s *stubIndex) SearchKNNCtx(ctx context.Context, q []float64, k int) ([]blobindex.Neighbor, error) {
+func (s *stubIndex) Search(ctx context.Context, req blobindex.SearchRequest) (blobindex.SearchResponse, error) {
 	s.searches.Add(1)
 	if s.block != nil {
 		select {
 		case <-s.block:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return blobindex.SearchResponse{}, ctx.Err()
 		}
 	}
-	return s.res, nil
-}
-
-func (s *stubIndex) SearchRangeCtx(ctx context.Context, q []float64, radius float64) ([]blobindex.Neighbor, error) {
-	return s.SearchKNNCtx(ctx, q, 0)
+	return blobindex.SearchResponse{
+		Neighbors: s.res,
+		Filter:    blobindex.StageStats{Candidates: len(s.res)},
+	}, nil
 }
 
 func (s *stubIndex) Insert(p blobindex.Point) error { s.inserts.Add(1); return nil }
@@ -60,6 +59,10 @@ func (s *stubIndex) Stats() blobindex.Stats {
 	return blobindex.Stats{Method: blobindex.RTree, Len: len(s.res)}
 }
 func (s *stubIndex) BufferStats() (blobindex.BufferStats, bool) {
+	return blobindex.BufferStats{}, false
+}
+func (s *stubIndex) RefineDim() (int, bool) { return 0, false }
+func (s *stubIndex) RefineStats() (blobindex.BufferStats, bool) {
 	return blobindex.BufferStats{}, false
 }
 

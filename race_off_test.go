@@ -1,0 +1,8 @@
+//go:build !race
+
+package blobindex
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops items at random to expose reuse races, so
+// allocation-count assertions are skipped there.
+const raceEnabled = false

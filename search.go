@@ -1,0 +1,304 @@
+package blobindex
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"blobindex/internal/blobworld"
+	"blobindex/internal/geom"
+	"blobindex/internal/nn"
+)
+
+// SearchRequest is the one request shape behind every facade search: plain
+// k-NN and range queries in index space, and the filter-and-refine tier that
+// re-ranks index candidates with the full-dimensionality quadratic-form
+// distance (paper §2.2's exact pipeline, served from the index's sidecar).
+//
+// Exactly one of K and Radius selects the query type. With Refine unset,
+// Query is an index-space vector (Options.Dim coordinates) and results carry
+// Euclidean distances — bit-identical to the pre-request-API SearchKNN and
+// SearchRange. With Refine set, Query is a full feature vector (RefineDim
+// coordinates, 218 for Blobworld); the index projects it through the
+// sidecar's stored SVD reduction for the filter stage and re-ranks the
+// candidates by exact quadratic-form distance.
+type SearchRequest struct {
+	// Query is the query vector: index-space (Options.Dim) normally,
+	// full-dimensionality (RefineDim) when Refine is set.
+	Query []float64
+
+	// K requests the K nearest neighbors. Mutually exclusive with Radius.
+	K int
+
+	// Radius requests all points within the given Euclidean distance in
+	// index space. Mutually exclusive with K.
+	Radius float64
+
+	// TargetRecall selects the refine tier's candidate multiplier from the
+	// offline calibration (blobbench "recall"): the smallest multiplier
+	// whose measured recall@200 reached the target. Valid only on refining
+	// k-NN requests; 0 means DefaultTargetRecall. Mutually exclusive with
+	// Multiplier.
+	TargetRecall float64
+
+	// Multiplier overrides the calibrated candidate multiplier directly:
+	// the filter stage fetches K × Multiplier candidates. Valid only on
+	// refining k-NN requests; 0 means derive it from TargetRecall.
+	Multiplier int
+
+	// Refine enables the second stage: candidates from the index are
+	// re-ranked by the full-dimensionality quadratic-form distance read
+	// from the attached side store (AttachRefine), and the response's
+	// distances are exact full-space distances.
+	Refine bool
+}
+
+// DefaultTargetRecall is the recall target a refining request gets when it
+// sets neither TargetRecall nor Multiplier.
+const DefaultTargetRecall = 0.99
+
+// refineLadder maps recall targets to the smallest candidate multiplier
+// whose measured recall@200 reached the target in the offline calibration
+// sweep (blobbench "recall" at the 8000-image/48k-blob artifact scale,
+// committed as RECALL_PR6.json: 0.90 -> x3 measured 0.922, 0.95 -> x6
+// measured 0.963, 0.99 -> x12 measured 1.000). The 1.00 rung adds headroom
+// above the smallest multiplier that measured perfect recall, since measured
+// recall on the calibration workload is not a guarantee. Targets between
+// rungs round up to the next rung; targets above the top rung clamp to the
+// top multiplier.
+var refineLadder = []struct {
+	Recall     float64
+	Multiplier int
+}{
+	{0.90, 3},
+	{0.95, 6},
+	{0.99, 12},
+	{1.00, 16},
+}
+
+// MultiplierForRecall returns the calibrated candidate multiplier for a
+// recall target — the ladder rung a refining SearchRequest with the given
+// TargetRecall would use.
+func MultiplierForRecall(target float64) int {
+	for _, rung := range refineLadder {
+		if rung.Recall >= target {
+			return rung.Multiplier
+		}
+	}
+	return refineLadder[len(refineLadder)-1].Multiplier
+}
+
+// Validate reports whether the request is well-formed, mirroring
+// Options.Validate: every violation wraps ErrInvalidSearchRequest (and
+// additionally ErrInvalidRecallTarget for an out-of-range TargetRecall) for
+// errors.Is matching. Query dimensionality is checked by Search itself,
+// which knows the index's dimensions.
+func (r SearchRequest) Validate() error {
+	if r.K < 0 {
+		return fmt.Errorf("%w: K must not be negative, got %d", ErrInvalidSearchRequest, r.K)
+	}
+	if r.Radius < 0 || math.IsNaN(r.Radius) {
+		return fmt.Errorf("%w: Radius must not be negative, got %v", ErrInvalidSearchRequest, r.Radius)
+	}
+	if r.K == 0 && r.Radius == 0 {
+		return fmt.Errorf("%w: one of K or Radius is required", ErrInvalidSearchRequest)
+	}
+	if r.K > 0 && r.Radius > 0 {
+		return fmt.Errorf("%w: K and Radius are mutually exclusive", ErrInvalidSearchRequest)
+	}
+	if r.TargetRecall != 0 {
+		if !r.Refine {
+			return fmt.Errorf("%w: TargetRecall requires Refine", ErrInvalidSearchRequest)
+		}
+		if r.K == 0 {
+			return fmt.Errorf("%w: TargetRecall applies to k-NN requests only", ErrInvalidSearchRequest)
+		}
+		if math.IsNaN(r.TargetRecall) || r.TargetRecall < 0 || r.TargetRecall > 1 {
+			return fmt.Errorf("%w: %w: got %v", ErrInvalidSearchRequest, ErrInvalidRecallTarget, r.TargetRecall)
+		}
+		if r.Multiplier != 0 {
+			return fmt.Errorf("%w: TargetRecall and Multiplier are mutually exclusive", ErrInvalidSearchRequest)
+		}
+	}
+	if r.Multiplier != 0 {
+		if r.Multiplier < 1 {
+			return fmt.Errorf("%w: Multiplier must be positive, got %d", ErrInvalidSearchRequest, r.Multiplier)
+		}
+		if !r.Refine {
+			return fmt.Errorf("%w: Multiplier requires Refine", ErrInvalidSearchRequest)
+		}
+		if r.K == 0 {
+			return fmt.Errorf("%w: Multiplier applies to k-NN requests only", ErrInvalidSearchRequest)
+		}
+	}
+	return nil
+}
+
+// StageStats describes one pipeline stage of a served search.
+type StageStats struct {
+	// Candidates is the number of candidates the stage handled: results the
+	// filter stage produced, full features the refine stage scored.
+	Candidates int
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+}
+
+// SearchResponse carries a search's results and its per-stage accounting.
+type SearchResponse struct {
+	// Neighbors holds the results, nearest first. On a refined request the
+	// distances are full-space quadratic-form distances; otherwise they are
+	// index-space Euclidean distances.
+	Neighbors []Neighbor
+
+	// Filter describes the candidate-generation stage over the index.
+	Filter StageStats
+
+	// Refine describes the full-distance re-ranking stage; zero when the
+	// request did not refine.
+	Refine StageStats
+
+	// Multiplier is the effective candidate multiplier the filter stage
+	// used (1 for non-refining requests).
+	Multiplier int
+
+	// Refined reports whether the refine stage ran.
+	Refined bool
+}
+
+// refineScratch is the pooled per-search scratch of the refine path: the
+// projected query and the feature read buffer, reused so a steady-state
+// refined search allocates nothing.
+type refineScratch struct {
+	proj []float64
+	feat []float64
+}
+
+var refineScratchPool = sync.Pool{New: func() any { return new(refineScratch) }}
+
+// Search answers one SearchRequest. It is the single pipeline every facade
+// search funnels through: the request is validated (ErrInvalidSearchRequest,
+// ErrInvalidRecallTarget), the query's dimensionality is checked before any
+// traversal (ErrDimMismatch), an empty index returns ErrEmptyIndex, and ctx
+// cancels mid-traversal. A refining request against an index with no side
+// store returns ErrNoRefineStore. Safe for any number of concurrent callers
+// alongside a single writer.
+func (ix *Index) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	return ix.SearchInto(ctx, req, nil)
+}
+
+// SearchInto is Search appending the neighbors to dst: with a caller-reused
+// dst the steady-state pipeline — validation, projection, traversal, refine
+// re-ranking, result conversion — allocates nothing. On error the response's
+// Neighbors is dst truncated to its original length; stage stats for stages
+// that ran are still filled in.
+func (ix *Index) SearchInto(ctx context.Context, req SearchRequest, dst []Neighbor) (SearchResponse, error) {
+	resp := SearchResponse{Neighbors: dst}
+	if err := req.Validate(); err != nil {
+		return resp, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Resolve the query into index space. A refined request carries the
+	// full-dimensionality vector and is projected through the sidecar's
+	// stored reduction; the projection reproduces the build-time reduction
+	// bit for bit, so the filter stage sees exactly the indexed geometry.
+	query := req.Query
+	var sc *refineScratch
+	if req.Refine {
+		if ix.side == nil {
+			return resp, ErrNoRefineStore
+		}
+		if len(req.Query) != ix.side.FullDim() {
+			return resp, fmt.Errorf("%w: query dimension %d, refine store dimension %d",
+				ErrDimMismatch, len(req.Query), ix.side.FullDim())
+		}
+		sc = refineScratchPool.Get().(*refineScratch)
+		defer refineScratchPool.Put(sc)
+		sc.proj = ix.side.Project(req.Query, sc.proj[:0])
+		query = sc.proj
+	}
+	if len(query) != ix.opts.Dim {
+		return resp, fmt.Errorf("%w: query dimension %d, index dimension %d",
+			ErrDimMismatch, len(query), ix.opts.Dim)
+	}
+	if ix.tree.Len() == 0 {
+		return resp, ErrEmptyIndex
+	}
+
+	// Filter stage: candidate generation in index space. A refining k-NN
+	// request over-fetches by the calibrated multiplier so the exact re-rank
+	// has enough candidates to recover full-space neighbors the reduced
+	// geometry mis-ordered.
+	resp.Multiplier = 1
+	fetch := req.K
+	if req.Refine && req.K > 0 {
+		resp.Multiplier = req.Multiplier
+		if resp.Multiplier == 0 {
+			target := req.TargetRecall
+			if target == 0 {
+				target = DefaultTargetRecall
+			}
+			resp.Multiplier = MultiplierForRecall(target)
+		}
+		fetch = req.K * resp.Multiplier
+	}
+
+	buf := getNNBuf()
+	defer putNNBuf(buf)
+	start := time.Now()
+	var (
+		res []nn.Result
+		err error
+	)
+	if req.K > 0 {
+		res, err = nn.SearchCtxInto(ctx, ix.tree, geom.Vector(query), fetch, nil, (*buf)[:0])
+	} else {
+		res, err = nn.RangeCtxInto(ctx, ix.tree, geom.Vector(query), req.Radius*req.Radius, nil, (*buf)[:0])
+	}
+	*buf = res
+	resp.Filter = StageStats{Candidates: len(res), Duration: time.Since(start)}
+	if err != nil {
+		return resp, err
+	}
+
+	// Refine stage: score every candidate with the exact quadratic-form
+	// distance over its stored full feature, re-rank, and keep the top K.
+	// Range requests keep their index-space membership but report exact
+	// distances in exact order.
+	if req.Refine {
+		start = time.Now()
+		scored := len(res)
+		for i := range res {
+			sc.feat, err = ix.side.Feature(res[i].RID, sc.feat[:0])
+			if err != nil {
+				return resp, fmt.Errorf("refine candidate %d: %w", res[i].RID, err)
+			}
+			res[i].Dist2 = blobworld.QFDist2(req.Query, sc.feat)
+		}
+		slices.SortFunc(res, func(a, b nn.Result) int {
+			switch {
+			case a.Dist2 < b.Dist2:
+				return -1
+			case a.Dist2 > b.Dist2:
+				return 1
+			case a.RID < b.RID:
+				return -1
+			case a.RID > b.RID:
+				return 1
+			}
+			return 0
+		})
+		if req.K > 0 && len(res) > req.K {
+			res = res[:req.K]
+		}
+		resp.Refine = StageStats{Candidates: scored, Duration: time.Since(start)}
+		resp.Refined = true
+	}
+	resp.Neighbors = appendNeighbors(dst, res)
+	return resp, nil
+}

@@ -1,0 +1,343 @@
+package blobindex
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"blobindex/internal/blobworld"
+	"blobindex/internal/geom"
+)
+
+// refineFixture builds an end-to-end filter-and-refine setup: a corpus of n
+// fullDim-dimensional features, a reducer to indexDim, an index over the
+// reduced keys and an attached sidecar holding the full features.
+func refineFixture(t *testing.T, n, fullDim, indexDim int) (*Index, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	feats := make([][]float64, n)
+	rids := make([]int64, n)
+	for i := range feats {
+		f := make([]float64, fullDim)
+		for d := range f {
+			f[d] = rng.Float64()
+		}
+		feats[i] = f
+		rids[i] = int64(i)
+	}
+	red, err := FitReducer(feats, indexDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, n)
+	for i, f := range feats {
+		pts[i] = Point{Key: red.Reduce(f), RID: rids[i]}
+	}
+	ix, err := Build(pts, Options{Method: XJB, Dim: indexDim, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := filepath.Join(t.TempDir(), "side.idx")
+	if err := SaveSidecar(side, 4096, red, rids, feats); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AttachRefine(side, 64); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix, feats
+}
+
+// bruteForceQF returns the k nearest RIDs and their distances by exact
+// quadratic-form distance over the full features, ties broken by RID — the
+// ground truth the refine tier approximates (and matches, when the
+// multiplier covers the corpus).
+func bruteForceQF(feats [][]float64, q []float64, k int) ([]int64, []float64) {
+	type scored struct {
+		rid   int64
+		dist2 float64
+	}
+	all := make([]scored, len(feats))
+	for i, f := range feats {
+		all[i] = scored{rid: int64(i), dist2: blobworld.QFDist2(geom.Vector(q), geom.Vector(f))}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].dist2 != all[b].dist2 {
+			return all[a].dist2 < all[b].dist2
+		}
+		return all[a].rid < all[b].rid
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	rids := make([]int64, k)
+	dists := make([]float64, k)
+	for i := range rids {
+		rids[i] = all[i].rid
+		dists[i] = math.Sqrt(all[i].dist2)
+	}
+	return rids, dists
+}
+
+func TestSearchRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  SearchRequest
+		want error
+	}{
+		{"negative K", SearchRequest{Query: []float64{1}, K: -1}, ErrInvalidSearchRequest},
+		{"negative radius", SearchRequest{Query: []float64{1}, Radius: -0.5}, ErrInvalidSearchRequest},
+		{"neither K nor Radius", SearchRequest{Query: []float64{1}}, ErrInvalidSearchRequest},
+		{"both K and Radius", SearchRequest{Query: []float64{1}, K: 3, Radius: 0.5}, ErrInvalidSearchRequest},
+		{"recall without refine", SearchRequest{Query: []float64{1}, K: 3, TargetRecall: 0.9}, ErrInvalidSearchRequest},
+		{"recall on range", SearchRequest{Query: []float64{1}, Radius: 0.5, Refine: true, TargetRecall: 0.9}, ErrInvalidSearchRequest},
+		{"recall above one", SearchRequest{Query: []float64{1}, K: 3, Refine: true, TargetRecall: 1.5}, ErrInvalidRecallTarget},
+		{"negative recall", SearchRequest{Query: []float64{1}, K: 3, Refine: true, TargetRecall: -0.1}, ErrInvalidRecallTarget},
+		{"recall and multiplier", SearchRequest{Query: []float64{1}, K: 3, Refine: true, TargetRecall: 0.9, Multiplier: 4}, ErrInvalidSearchRequest},
+		{"negative multiplier", SearchRequest{Query: []float64{1}, K: 3, Refine: true, Multiplier: -2}, ErrInvalidSearchRequest},
+		{"multiplier without refine", SearchRequest{Query: []float64{1}, K: 3, Multiplier: 4}, ErrInvalidSearchRequest},
+		{"multiplier on range", SearchRequest{Query: []float64{1}, Radius: 0.5, Refine: true, Multiplier: 4}, ErrInvalidSearchRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.req.Validate(); !errors.Is(err, c.want) {
+				t.Fatalf("Validate() = %v, want %v", err, c.want)
+			}
+		})
+	}
+	// An out-of-range recall target matches both sentinels.
+	err := SearchRequest{Query: []float64{1}, K: 3, Refine: true, TargetRecall: 2}.Validate()
+	if !errors.Is(err, ErrInvalidSearchRequest) || !errors.Is(err, ErrInvalidRecallTarget) {
+		t.Fatalf("recall violation should wrap both sentinels, got %v", err)
+	}
+	for _, ok := range []SearchRequest{
+		{Query: []float64{1}, K: 3},
+		{Query: []float64{1}, Radius: 0.5},
+		{Query: []float64{1}, K: 3, Refine: true},
+		{Query: []float64{1}, K: 3, Refine: true, TargetRecall: 0.95},
+		{Query: []float64{1}, K: 3, Refine: true, Multiplier: 4},
+		{Query: []float64{1}, Radius: 0.5, Refine: true},
+	} {
+		if err := ok.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", ok, err)
+		}
+	}
+}
+
+func TestSearchDimValidation(t *testing.T) {
+	ix, _ := refineFixture(t, 200, 16, 3)
+	ctx := context.Background()
+
+	// A zero-length or mismatched query fails before traversal.
+	for _, q := range [][]float64{nil, {}, {1}, {1, 2, 3, 4}} {
+		if _, err := ix.Search(ctx, SearchRequest{Query: q, K: 5}); !errors.Is(err, ErrDimMismatch) {
+			t.Fatalf("Search(dim %d) = %v, want ErrDimMismatch", len(q), err)
+		}
+	}
+	// A refining request must carry the full dimensionality, not the
+	// index's.
+	if _, err := ix.Search(ctx, SearchRequest{Query: []float64{1, 2, 3}, K: 5, Refine: true}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("refine with index-dim query = %v, want ErrDimMismatch", err)
+	}
+
+	// SearchIter with a bad query yields an exhausted iterator instead of
+	// traversing mismatched geometry.
+	it := ix.SearchIter(nil)
+	if _, ok := it.Next(); ok {
+		t.Fatal("SearchIter(nil).Next() returned a neighbor")
+	}
+	if _, ok := it.NextWithin(1); ok {
+		t.Fatal("SearchIter(nil).NextWithin() returned a neighbor")
+	}
+}
+
+func TestSearchNoRefineStore(t *testing.T) {
+	pts := []Point{{Key: []float64{0, 0}, RID: 1}, {Key: []float64{1, 1}, RID: 2}}
+	ix, err := Build(pts, Options{Method: RTree, Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ix.Search(context.Background(), SearchRequest{Query: []float64{0, 0}, K: 1, Refine: true})
+	if !errors.Is(err, ErrNoRefineStore) {
+		t.Fatalf("Search(Refine) without store = %v, want ErrNoRefineStore", err)
+	}
+}
+
+// TestSearchRefineMatchesBruteForce is the refine-tier property test: when
+// the multiplier covers the whole corpus, the refined top-k equals the
+// brute-force full-dimensionality top-k exactly; at smaller multipliers the
+// refined top-k stays a subset of a correspondingly deeper brute-force
+// prefix.
+func TestSearchRefineMatchesBruteForce(t *testing.T) {
+	const (
+		n        = 600
+		fullDim  = 32
+		indexDim = 4
+		k        = 10
+	)
+	ix, feats := refineFixture(t, n, fullDim, indexDim)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	for trial := 0; trial < 20; trial++ {
+		q := feats[rng.Intn(n)]
+
+		// Full coverage: k × multiplier ≥ n makes the filter stage a scan,
+		// so the refine stage must reproduce ground truth exactly.
+		resp, err := ix.Search(ctx, SearchRequest{Query: q, K: k, Refine: true, Multiplier: n/k + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Refined || resp.Refine.Candidates != resp.Filter.Candidates {
+			t.Fatalf("refine stage did not score every filter candidate: %+v", resp)
+		}
+		if len(resp.Neighbors) != k {
+			t.Fatalf("refined search returned %d results, want %d", len(resp.Neighbors), k)
+		}
+		if resp.Filter.Candidates != n {
+			t.Fatalf("full-coverage filter returned %d of %d candidates", resp.Filter.Candidates, n)
+		}
+		truth, truthDist := bruteForceQF(feats, q, k)
+		for i, nb := range resp.Neighbors {
+			if nb.RID != truth[i] {
+				t.Fatalf("trial %d rank %d: refined rid %d, brute force %d", trial, i, nb.RID, truth[i])
+			}
+		}
+		// Distances come back in the full quadratic-form metric, ascending.
+		for i := 1; i < len(resp.Neighbors); i++ {
+			if resp.Neighbors[i].Dist < resp.Neighbors[i-1].Dist {
+				t.Fatalf("refined distances not ascending at %d", i)
+			}
+		}
+
+		// Partial coverage: the refined top-k is the optimum over a subset of
+		// the corpus, so its rank-i distance can never beat the brute-force
+		// rank-i distance (exactly — identical arithmetic on both sides).
+		const mult = 4
+		resp, err = ix.Search(ctx, SearchRequest{Query: q, K: k, Refine: true, Multiplier: mult})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Filter.Candidates != k*mult {
+			t.Fatalf("filter returned %d candidates, want %d", resp.Filter.Candidates, k*mult)
+		}
+		for i, nb := range resp.Neighbors {
+			if nb.Dist < truthDist[i] {
+				t.Fatalf("trial %d rank %d: refined distance %v beats brute force %v", trial, i, nb.Dist, truthDist[i])
+			}
+		}
+	}
+}
+
+// TestSearchRefineRange checks the radius + refine combination: membership
+// is the index-space radius set, ordering and distances are full-space.
+func TestSearchRefineRange(t *testing.T) {
+	ix, _ := refineFixture(t, 400, 24, 3)
+	ctx := context.Background()
+	q := make([]float64, 24)
+	for d := range q {
+		q[d] = 0.5
+	}
+	plain, err := ix.Search(ctx, SearchRequest{Query: ix.side.Project(q, nil), Radius: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := ix.Search(ctx, SearchRequest{Query: q, Radius: 0.4, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Neighbors) != len(refined.Neighbors) {
+		t.Fatalf("refine changed range membership: %d vs %d", len(plain.Neighbors), len(refined.Neighbors))
+	}
+	got := make(map[int64]bool, len(refined.Neighbors))
+	for _, nb := range refined.Neighbors {
+		got[nb.RID] = true
+	}
+	for _, nb := range plain.Neighbors {
+		if !got[nb.RID] {
+			t.Fatalf("rid %d in plain range but not refined range", nb.RID)
+		}
+	}
+	for i := 1; i < len(refined.Neighbors); i++ {
+		if refined.Neighbors[i].Dist < refined.Neighbors[i-1].Dist {
+			t.Fatalf("refined range distances not ascending at %d", i)
+		}
+	}
+}
+
+// TestSearchRefineSteadyStateAlloc proves the refine path allocates nothing
+// once warm when the caller reuses the destination slice.
+func TestSearchRefineSteadyStateAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unreliable under -race: sync.Pool drops items randomly")
+	}
+	const k = 10
+	ix, feats := refineFixture(t, 600, 32, 4)
+	queries := feats[:32]
+	dst := make([]Neighbor, 0, 8*k)
+	run := func(i int) {
+		resp, err := ix.SearchInto(nil, SearchRequest{Query: queries[i%len(queries)], K: k, Refine: true, Multiplier: 4}, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = resp.Neighbors
+	}
+	for i := 0; i < 64; i++ {
+		run(i)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() { run(i); i++ }); avg != 0 {
+		t.Errorf("steady-state refined search: %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestMultiplierForRecall(t *testing.T) {
+	if got := MultiplierForRecall(DefaultTargetRecall); got < 2 {
+		t.Fatalf("default target maps to multiplier %d; refinement would be vacuous", got)
+	}
+	// Monotone: a stricter target never gets a smaller multiplier.
+	prev := 0
+	for _, target := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		m := MultiplierForRecall(target)
+		if m < prev {
+			t.Fatalf("MultiplierForRecall(%v) = %d < %d", target, m, prev)
+		}
+		prev = m
+	}
+}
+
+// TestSearchMatchesLegacyEntryPoints pins the unified pipeline to the
+// deprecated wrappers it replaced: identical results object for object.
+func TestSearchMatchesLegacyEntryPoints(t *testing.T) {
+	pts, queries := goldenCorpus()
+	ix, err := Build(pts, Options{Method: AMAP, Dim: 5, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		resp, err := ix.Search(ctx, SearchRequest{Query: q, K: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := ix.SearchKNNCtx(ctx, q, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Neighbors) != len(legacy) {
+			t.Fatalf("result count %d vs %d", len(resp.Neighbors), len(legacy))
+		}
+		for i := range legacy {
+			if resp.Neighbors[i].RID != legacy[i].RID || resp.Neighbors[i].Dist != legacy[i].Dist {
+				t.Fatalf("result %d differs: %+v vs %+v", i, resp.Neighbors[i], legacy[i])
+			}
+		}
+		if resp.Filter.Candidates != len(resp.Neighbors) || resp.Refined {
+			t.Fatalf("non-refining response misreports stages: %+v", resp)
+		}
+	}
+}

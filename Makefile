@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchall benchsmoke \
+.PHONY: check fmt vet build test race bench benchall benchsmoke benchdiff \
 	servebench servesmoke chaos chaossmoke fuzzsmoke \
 	recall recallsmoke vetdep
 
@@ -26,11 +26,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench regenerates the query-path performance artifact (BENCH_PR2.json)
-# and runs the allocation-focused search benchmarks.
+# bench regenerates the query-path performance artifact and runs the
+# allocation-focused search benchmarks. BENCH_ARTIFACT names the output
+# (the committed snapshot for this PR); BENCH_FLAGS scales the workload,
+# e.g. `make bench BENCH_FLAGS='-images 2000 -queries 64'` for a CI-sized run.
+BENCH_ARTIFACT ?= BENCH_PR7.json
+BENCH_FLAGS ?=
 bench:
 	$(GO) test -bench 'KNN|Range|Probe' -benchmem -run=^$$ ./internal/nn/ .
-	$(GO) run ./cmd/blobbench -experiment bench -benchout BENCH_PR2.json
+	$(GO) run ./cmd/blobbench $(BENCH_FLAGS) -experiment bench -benchout $(BENCH_ARTIFACT)
+
+# benchdiff guards the hot path: it compares the committed benchmark
+# artifacts row by row and fails if any (am, op) got more than 20% slower
+# than the baseline snapshot.
+BENCH_BASE ?= BENCH_PR2.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff -base $(BENCH_BASE) -new $(BENCH_ARTIFACT) -max-regress 0.20
 
 # benchall runs the full paper-evaluation benchmark suite.
 benchall:

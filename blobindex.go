@@ -469,12 +469,20 @@ func (ix *Index) Close() error {
 // and the store's transient-read retry counters.
 type BufferStats struct {
 	Hits      int64 // page accesses served from the pool
-	Misses    int64 // page accesses that read the file
+	Misses    int64 // page accesses whose read happened on their behalf
 	Evictions int64 // pages evicted to make room
 	Retries   int64 // page re-reads after a transient failure
 	GaveUp    int64 // page loads that exhausted the retry budget
-	Resident  int   // pages currently held
-	Capacity  int   // pool frame budget
+	// Prefetch counters of the descent load-ahead: pages read in the
+	// background before a traversal asked for them, how many of those a
+	// query then used (also counted in Misses — the read happened on that
+	// access's behalf, merely early), and how many were wasted (evicted
+	// unused or duplicating a demand read).
+	Prefetched     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	Resident       int // pages currently held
+	Capacity       int // pool frame budget
 }
 
 // BufferStats returns the buffer pool counters of a demand-paged index.
@@ -485,13 +493,16 @@ func (ix *Index) BufferStats() (s BufferStats, ok bool) {
 	}
 	ps := ix.store.PoolStats()
 	return BufferStats{
-		Hits:      ps.Hits,
-		Misses:    ps.Misses,
-		Evictions: ps.Evictions,
-		Retries:   ps.Retries,
-		GaveUp:    ps.GaveUp,
-		Resident:  ps.Resident,
-		Capacity:  ps.Capacity,
+		Hits:           ps.Hits,
+		Misses:         ps.Misses,
+		Evictions:      ps.Evictions,
+		Retries:        ps.Retries,
+		GaveUp:         ps.GaveUp,
+		Prefetched:     ps.Prefetched,
+		PrefetchHits:   ps.PrefetchHits,
+		PrefetchWasted: ps.PrefetchWasted,
+		Resident:       ps.Resident,
+		Capacity:       ps.Capacity,
 	}, true
 }
 

@@ -1,0 +1,96 @@
+// Command benchdiff compares two committed query-path benchmark artifacts
+// (cmd/blobbench -experiment bench) and fails when any operation regressed
+// beyond the allowed fraction. CI runs it over the checked-in baselines so a
+// hot-path slowdown fails the build instead of landing silently.
+//
+// Rows are matched by (am, op); rows present in only one artifact are listed
+// but never fail the diff, so adding a new operation or access method does
+// not require regenerating the old baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"blobindex/internal/experiments"
+)
+
+func main() {
+	base := flag.String("base", "", "baseline artifact (required)")
+	next := flag.String("new", "", "candidate artifact (required)")
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"maximum allowed ns/op increase as a fraction of the baseline")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+
+	b, err := load(*base)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := load(*next)
+	if err != nil {
+		fatal(err)
+	}
+
+	type key struct{ am, op string }
+	baseRows := make(map[key]experiments.BenchRow, len(b.Rows))
+	for _, row := range b.Rows {
+		baseRows[key{row.AM, row.Op}] = row
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (max regression %.0f%%)\n", *base, *next, *maxRegress*100)
+	fmt.Printf("%-8s %-10s %12s %12s %8s\n", "am", "op", "base ns/op", "new ns/op", "delta")
+	failed := 0
+	matched := make(map[key]bool, len(n.Rows))
+	for _, row := range n.Rows {
+		k := key{row.AM, row.Op}
+		old, ok := baseRows[k]
+		if !ok {
+			fmt.Printf("%-8s %-10s %12s %12.0f %8s\n", row.AM, row.Op, "-", row.NsPerOp, "new")
+			continue
+		}
+		matched[k] = true
+		delta := row.NsPerOp/old.NsPerOp - 1
+		verdict := fmt.Sprintf("%+.1f%%", delta*100)
+		if delta > *maxRegress {
+			verdict += " REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-8s %-10s %12.0f %12.0f %8s\n", row.AM, row.Op, old.NsPerOp, row.NsPerOp, verdict)
+	}
+	for _, row := range b.Rows {
+		if !matched[key{row.AM, row.Op}] {
+			fmt.Printf("%-8s %-10s %12.0f %12s %8s\n", row.AM, row.Op, row.NsPerOp, "-", "gone")
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d operation(s) regressed more than %.0f%%\n",
+			failed, *maxRegress*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*experiments.BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r experiments.BenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -308,6 +308,13 @@ func main() {
 			if err != nil {
 				return "", err
 			}
+			// The refine tier rides in the same artifact: same measurement
+			// harness, extra rows for the filter-and-refine serving path.
+			refineRows, err := recallbench.RefineBench(s, *benchIters)
+			if err != nil {
+				return "", err
+			}
+			r.Rows = append(r.Rows, refineRows...)
 			if *benchOut != "" {
 				data, err := r.JSON()
 				if err != nil {

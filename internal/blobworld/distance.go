@@ -18,7 +18,74 @@ const (
 
 // QFDist2 returns the banded quadratic-form squared distance between x and
 // y. It panics if the dimensionalities differ.
+//
+// This is the refine tier's hot kernel (218 dims per candidate, hundreds of
+// candidates per query), so the reference loop in qfDist2Generic is unrolled
+// gonum-style: the first two iterations are peeled to eliminate the
+// per-element band guards, then the body runs four elements per iteration
+// over a hoisted window so the compiler drops the per-element bounds checks.
+// Each of diag/off1/off2 stays a single serial accumulator updated in index
+// order — unrolling is over loop control only, never the summation order —
+// so results are Float64bits-identical to qfDist2Generic (enforced by
+// distance_test.go, including at the sidecar's 218 dims).
 func QFDist2(x, y geom.Vector) float64 {
+	if len(x) != len(y) {
+		panic("blobworld: dimension mismatch")
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	// Peel i = 0 and i = 1: the only iterations where the band terms are
+	// partially absent. p1 and p2 carry e[i-1] and e[i-2] into the body.
+	p1 := x[0] - y[0]
+	diag := p1 * p1
+	if n == 1 {
+		return diag
+	}
+	e := x[1] - y[1]
+	diag += e * e
+	off1 := e * p1
+	var off2 float64
+	p2, p1 := p1, e
+	i := 2
+	for ; i+4 <= n; i += 4 {
+		xs := x[i : i+4 : i+4]
+		ys := y[i : i+4 : i+4]
+		e = xs[0] - ys[0]
+		diag += e * e
+		off1 += e * p1
+		off2 += e * p2
+		p2, p1 = p1, e
+		e = xs[1] - ys[1]
+		diag += e * e
+		off1 += e * p1
+		off2 += e * p2
+		p2, p1 = p1, e
+		e = xs[2] - ys[2]
+		diag += e * e
+		off1 += e * p1
+		off2 += e * p2
+		p2, p1 = p1, e
+		e = xs[3] - ys[3]
+		diag += e * e
+		off1 += e * p1
+		off2 += e * p2
+		p2, p1 = p1, e
+	}
+	for ; i < n; i++ {
+		e = x[i] - y[i]
+		diag += e * e
+		off1 += e * p1
+		off2 += e * p2
+		p2, p1 = p1, e
+	}
+	return diag + 2*band1*off1 + 2*band2*off2
+}
+
+// qfDist2Generic is the reference scalar loop QFDist2 is defined against;
+// the bit-identity tests compare the unrolled kernel to it.
+func qfDist2Generic(x, y geom.Vector) float64 {
 	if len(x) != len(y) {
 		panic("blobworld: dimension mismatch")
 	}

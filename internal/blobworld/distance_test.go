@@ -1,0 +1,80 @@
+package blobworld
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blobindex/internal/geom"
+)
+
+// QFDist2's unrolled kernel claims Float64bits-identity with the reference
+// loop qfDist2Generic. The sweep covers the peeled iterations (0, 1, 2
+// dims), every remainder class of the 4-wide body, and the sidecar's 218-d
+// feature width.
+
+func TestQFDist2MatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	dims := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 31, 218}
+	for _, dim := range dims {
+		for trial := 0; trial < 200; trial++ {
+			x := make(geom.Vector, dim)
+			y := make(geom.Vector, dim)
+			for i := 0; i < dim; i++ {
+				x[i] = rng.NormFloat64() * 10
+				y[i] = rng.NormFloat64() * 10
+			}
+			got := QFDist2(x, y)
+			want := qfDist2Generic(x, y)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("dim %d: QFDist2=%v generic=%v", dim, got, want)
+			}
+		}
+	}
+}
+
+// FuzzQFDist2 drives arbitrary coordinates and lengths through the unrolled
+// kernel and cross-checks the reference loop bit for bit.
+func FuzzQFDist2(f *testing.F) {
+	f.Add(uint8(0), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint8(1), 1.5, -2.5, 0.25, 3.0, -1.0, 0.5)
+	f.Add(uint8(2), 1e-300, -1e300, 42.0, -42.0, 1e-9, 7.0)
+	f.Add(uint8(218), 0.25, -0.75, 1.0, 2.0, -3.0, 4.0)
+	f.Fuzz(func(t *testing.T, d uint8, a, b, c, e, g, h float64) {
+		dim := int(d)
+		coords := []float64{a, b, c, e, g, h}
+		for _, v := range coords {
+			if math.IsNaN(v) {
+				return // NaN breaks comparability
+			}
+		}
+		x := make(geom.Vector, dim)
+		y := make(geom.Vector, dim)
+		for i := 0; i < dim; i++ {
+			x[i] = coords[i%6]
+			y[i] = coords[(i+2)%6]
+		}
+		got := QFDist2(x, y)
+		want := qfDist2Generic(x, y)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("dim %d: QFDist2=%v generic=%v", dim, got, want)
+		}
+	})
+}
+
+// The refine re-rank calls QFDist2 once per candidate; it must stay off the
+// heap.
+func TestQFDist2DoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := make(geom.Vector, 218)
+	y := make(geom.Vector, 218)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	var sink float64
+	if avg := testing.AllocsPerRun(200, func() { sink += QFDist2(x, y) }); avg != 0 {
+		t.Errorf("QFDist2 allocates %.1f times per call; want 0", avg)
+	}
+	_ = sink
+}

@@ -112,17 +112,20 @@ func QueryBench(s *Scenario, iters int) (*BenchResult, error) {
 			warm = iters/10 + 1
 		}
 		for _, op := range ops {
-			res.Rows = append(res.Rows, measureOp(string(kind), op.name, warm, iters, op.run))
+			res.Rows = append(res.Rows, MeasureOp(string(kind), op.name, warm, iters, op.run))
 		}
 	}
 	return res, nil
 }
 
-// measureOp times iters calls of f and attributes the allocator deltas to
+// MeasureOp times iters calls of f and attributes the allocator deltas to
 // them. A warm-up ramp of warm calls first populates the scratch pools and
 // grows every reused buffer to its steady-state size; a forced GC then
-// isolates the measured window from warm-up garbage.
-func measureOp(amName, op string, warm, iters int, f func(i int)) BenchRow {
+// isolates the measured window from warm-up garbage. Exported so harnesses
+// that must live outside this package (recallbench drives the blobindex
+// facade, which this package must stay importable from) produce rows
+// measured identically to QueryBench's.
+func MeasureOp(amName, op string, warm, iters int, f func(i int)) BenchRow {
 	for i := 0; i < warm; i++ {
 		f(i)
 	}
@@ -155,9 +158,9 @@ func (r *BenchResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Query-path benchmark: %d blobs, %d queries, k=%d, dim=%d\n",
 		r.Blobs, r.Queries, r.K, r.Dim)
-	fmt.Fprintf(&b, "%-8s %-6s %12s %12s %10s\n", "am", "op", "ns/op", "B/op", "allocs/op")
+	fmt.Fprintf(&b, "%-8s %-10s %12s %12s %10s\n", "am", "op", "ns/op", "B/op", "allocs/op")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-8s %-6s %12.0f %12.1f %10.2f\n",
+		fmt.Fprintf(&b, "%-8s %-10s %12.0f %12.1f %10.2f\n",
 			row.AM, row.Op, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 	}
 	return strings.TrimRight(b.String(), "\n")

@@ -232,31 +232,21 @@ func (r Rect) MinDist2(p Vector) float64 {
 	return minDist2Generic(lo, hi, p)
 }
 
-// minDistTerm returns one dimension's MINDIST contribution.
+// minDistTerm returns one dimension's MINDIST contribution. The clamp is
+// written as a branchless max — exactly one of lo-p and p-hi is positive
+// when p lies outside the slab, both are non-positive inside — because the
+// two-comparison form mispredicts on essentially random query positions.
 func minDistTerm(lo, hi, p float64) float64 {
-	if p < lo {
-		d := lo - p
-		return d * d
-	}
-	if p > hi {
-		d := p - hi
-		return d * d
-	}
-	return 0
+	d := max(lo-p, p-hi, 0)
+	return d * d
 }
 
 // minDist2Generic is the reference MINDIST loop, also used above 8-D.
 func minDist2Generic(lo, hi Vector, p Vector) float64 {
 	var sum float64
 	for i := range lo {
-		switch {
-		case p[i] < lo[i]:
-			d := lo[i] - p[i]
-			sum += d * d
-		case p[i] > hi[i]:
-			d := p[i] - hi[i]
-			sum += d * d
-		}
+		d := max(lo[i]-p[i], p[i]-hi[i], 0)
+		sum += d * d
 	}
 	return sum
 }

@@ -12,13 +12,17 @@ func (t *Tree) RangeSearch(center geom.Vector, radius2 float64, trace *Trace) ([
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []int64
-	if err := t.rangeSearch(t.rootID, center, radius2, trace, &out); err != nil {
+	// Leaf-scan scratch, hoisted once per query and threaded through the
+	// recursion so every leaf is scored with one block-kernel call.
+	var idx []int32
+	var dists []float64
+	if err := t.rangeSearch(t.rootID, center, radius2, trace, &out, &idx, &dists); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (t *Tree) rangeSearch(id PageID, center geom.Vector, radius2 float64, trace *Trace, out *[]int64) error {
+func (t *Tree) rangeSearch(id PageID, center geom.Vector, radius2 float64, trace *Trace, out *[]int64, idx *[]int32, dists *[]float64) error {
 	n, err := t.store.Pin(id)
 	if err != nil {
 		return err
@@ -26,17 +30,15 @@ func (t *Tree) rangeSearch(id PageID, center geom.Vector, radius2 float64, trace
 	defer t.store.Unpin(n)
 	trace.Record(n)
 	if n.IsLeaf() {
-		flat, d := n.flatKeys, n.dim
-		for i := range n.rids {
-			if geom.Dist2Flat(center, flat, i, d) <= radius2 {
-				*out = append(*out, n.rids[i])
-			}
+		*idx, *dists = geom.RangeFlatBlock(center, n.flatKeys[:len(n.rids)*n.dim], n.dim, radius2, (*idx)[:0], (*dists)[:0])
+		for _, i := range *idx {
+			*out = append(*out, n.rids[i])
 		}
 		return nil
 	}
 	for i, pred := range n.preds {
 		if t.ext.MinDist2(pred, center) <= radius2 {
-			if err := t.rangeSearch(n.children[i], center, radius2, trace, out); err != nil {
+			if err := t.rangeSearch(n.children[i], center, radius2, trace, out, idx, dists); err != nil {
 				return err
 			}
 		}

@@ -46,32 +46,34 @@ func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 	t.RLock()
 	defer t.RUnlock()
 	store := t.Store()
+	pf, _ := store.(gist.Prefetcher)
 	sc := getScratch()
-	queue := sc.queue
-	seq := 1
-	queue.pushItem(item{dist2: 0, seq: 0, child: t.RootID(), isNode: true})
+	queue := sc.nqueue
+	seq := int32(1)
+	queue.push(nodeItem{d: 0, seq: 0, child: t.RootID()})
 
 	for len(queue) > 0 && len(dst)-base < k {
 		if err := ctxErr(ctx); err != nil {
-			sc.queue = queue
+			sc.nqueue = queue
 			sc.release()
 			return dst[:base], err
 		}
-		it := queue.popItem()
+		it := queue.pop()
 		n, err := store.Pin(it.child)
 		if err != nil {
-			sc.queue = queue
+			sc.nqueue = queue
 			sc.release()
 			return dst[:base], err
 		}
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, d := n.FlatKeys(), n.Dim()
-			for i := 0; i < n.NumEntries(); i++ {
+			sc.dists = geom.Dist2FlatBlock(q, flat[:n.NumEntries()*d], d, sc.dists[:0])
+			for i, dist := range sc.dists {
 				dst = append(dst, Result{
 					RID:   n.LeafRID(i),
 					Key:   n.LeafKey(i),
-					Dist2: geom.Dist2Flat(q, flat, i, d),
+					Dist2: dist,
 					Leaf:  n.ID(),
 				})
 			}
@@ -79,12 +81,19 @@ func SearchApproxCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int
 			continue
 		}
 		for i := 0; i < n.NumEntries(); i++ {
-			queue.pushItem(item{dist2: ext.MinDist2(n.ChildPred(i), q), seq: seq, child: n.ChildID(i), isNode: true})
+			queue.push(nodeItem{d: ext.MinDist2(n.ChildPred(i), q), seq: seq, child: n.ChildID(i)})
 			seq++
 		}
 		store.Unpin(n)
+		if pf != nil {
+			// Warm the frontier entries likeliest to be popped next; the
+			// harvest pins every popped page, so overlap pays directly.
+			for i := 1; i < len(queue) && i <= prefetchWidth; i++ {
+				pf.Prefetch(queue[i].child)
+			}
+		}
 	}
-	sc.queue = queue
+	sc.nqueue = queue
 	sc.release()
 	sortResults(dst[base:])
 	if base+k < len(dst) {

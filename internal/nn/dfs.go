@@ -30,6 +30,8 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 	t.RLock()
 	defer t.RUnlock()
 	store := t.Store()
+	sc := getScratch()
+	defer sc.release()
 	// best is a max-heap of the k nearest candidates so far.
 	best := &resultHeap{}
 
@@ -54,8 +56,8 @@ func SearchDFS(t *gist.Tree, q geom.Vector, k int, trace *gist.Trace) []Result {
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, dim := n.FlatKeys(), n.Dim()
-			for i := 0; i < n.NumEntries(); i++ {
-				d := geom.Dist2Flat(q, flat, i, dim)
+			sc.dists = geom.Dist2FlatBlock(q, flat[:n.NumEntries()*dim], dim, sc.dists[:0])
+			for i, d := range sc.dists {
 				if len(*best) < k {
 					best.push(Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: d, Leaf: n.ID()})
 				} else if d < (*best)[0].Dist2 {

@@ -82,11 +82,8 @@ func SearchExpandingCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k 
 		}
 		n = child
 	}
-	dists := sc.dists[:0]
 	flat, dim := n.FlatKeys(), n.Dim()
-	for i := 0; i < n.NumEntries(); i++ {
-		dists = append(dists, geom.Dist2Flat(q, flat, i, dim))
-	}
+	dists := geom.Dist2FlatBlock(q, flat[:n.NumEntries()*dim], dim, sc.dists[:0])
 	store.Unpin(n)
 	slices.Sort(dists)
 	sc.dists = dists
@@ -254,10 +251,10 @@ func compareResults(a, b Result) int {
 }
 
 // sortResults orders results nearest first, breaking distance ties by RID
-// for determinism. slices.SortFunc avoids the reflection overhead of
-// sort.Slice on the query hot path.
+// for determinism. The specialized introsort (sort.go) keeps the comparison
+// inline on the query hot path.
 func sortResults(out []Result) {
-	slices.SortFunc(out, compareResults)
+	sortResultsFast(out)
 }
 
 // rangeHarvest descends every subtree whose predicate intersects the query
@@ -271,6 +268,7 @@ func sortResults(out []Result) {
 func rangeHarvest(ctx context.Context, t *gist.Tree, root page.PageID, q geom.Vector, radius2 float64, trace *gist.Trace, out *[]Result, sc *searchScratch) error {
 	ext := t.Ext()
 	store := t.Store()
+	pf, _ := store.(gist.Prefetcher)
 	stack := append(sc.stack[:0], root)
 	for len(stack) > 0 {
 		if err := ctxErr(ctx); err != nil {
@@ -287,15 +285,14 @@ func rangeHarvest(ctx context.Context, t *gist.Tree, root page.PageID, q geom.Ve
 		trace.Record(n)
 		if n.IsLeaf() {
 			flat, d := n.FlatKeys(), n.Dim()
-			for i := 0; i < n.NumEntries(); i++ {
-				if dist := geom.Dist2Flat(q, flat, i, d); dist <= radius2 {
-					*out = append(*out, Result{
-						RID:   n.LeafRID(i),
-						Key:   n.LeafKey(i),
-						Dist2: dist,
-						Leaf:  n.ID(),
-					})
-				}
+			sc.idx, sc.dists = geom.RangeFlatBlock(q, flat[:n.NumEntries()*d], d, radius2, sc.idx[:0], sc.dists[:0])
+			for j, i := range sc.idx {
+				*out = append(*out, Result{
+					RID:   n.LeafRID(int(i)),
+					Key:   n.LeafKey(int(i)),
+					Dist2: sc.dists[j],
+					Leaf:  n.ID(),
+				})
 			}
 			store.Unpin(n)
 			continue
@@ -306,6 +303,13 @@ func rangeHarvest(ctx context.Context, t *gist.Tree, root page.PageID, q geom.Ve
 			}
 		}
 		store.Unpin(n)
+		if pf != nil {
+			// Warm the pages just below the descent top (the top itself is
+			// popped and pinned immediately after this iteration).
+			for i, hints := len(stack)-2, 0; i >= 0 && hints < prefetchWidth; i, hints = i-1, hints+1 {
+				pf.Prefetch(stack[i])
+			}
+		}
 	}
 	sc.stack = stack
 	return nil

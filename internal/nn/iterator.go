@@ -33,7 +33,15 @@ type Iterator struct {
 	selfLock bool            // public iterators lock per call; search funcs hold the lock themselves
 	queue    pq
 	seq      int
+	dists    []float64       // whole-leaf block-scoring scratch
+	pf       gist.Prefetcher // non-nil when the store can warm pages ahead
 }
+
+// prefetchWidth is how many frontier entries past the immediate top get a
+// page-warming hint after each expansion. The top itself is excluded — it
+// is about to be pinned synchronously, so a concurrent prefetch would only
+// duplicate the read.
+const prefetchWidth = 3
 
 // NewIterator starts an incremental nearest-neighbor scan from q. If trace
 // is non-nil every page read is recorded as the iteration proceeds.
@@ -46,6 +54,7 @@ func NewIterator(t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
 // means no cancellation.
 func NewIteratorCtx(ctx context.Context, t *gist.Tree, q geom.Vector, trace *gist.Trace) *Iterator {
 	it := &Iterator{tree: t, store: t.Store(), query: q, trace: trace, ctx: ctx, selfLock: true}
+	it.pf, _ = it.store.(gist.Prefetcher)
 	if t.Len() > 0 {
 		t.RLock()
 		it.push(item{dist2: 0, child: t.RootID(), isNode: true})
@@ -79,9 +88,23 @@ func (it *Iterator) canceled() bool {
 	return false
 }
 
+// prefetchFrontier hints the store at the node pages nearest the top of the
+// frontier, so a demand-paged descent overlaps the next reads with the
+// current expansion's compute.
+func (it *Iterator) prefetchFrontier() {
+	q := it.queue
+	for i := 1; i < len(q) && i <= prefetchWidth; i++ {
+		if q[i].isNode {
+			it.pf.Prefetch(q[i].child)
+		}
+	}
+}
+
 // expand pins the page behind top, records the access, and pushes the
 // node's contents onto the frontier: result items for leaf entries, child
-// page ids for internal entries. The pin is released before returning.
+// page ids for internal entries. Leaf entries are scored with one
+// whole-block kernel call rather than per key. The pin is released before
+// returning.
 func (it *Iterator) expand(top item) bool {
 	n, err := it.store.Pin(top.child)
 	if err != nil {
@@ -91,8 +114,8 @@ func (it *Iterator) expand(top item) bool {
 	it.trace.Record(n)
 	if n.IsLeaf() {
 		flat, d := n.FlatKeys(), n.Dim()
-		for i := 0; i < n.NumEntries(); i++ {
-			dist := geom.Dist2Flat(it.query, flat, i, d)
+		it.dists = geom.Dist2FlatBlock(it.query, flat[:n.NumEntries()*d], d, it.dists[:0])
+		for i, dist := range it.dists {
 			it.push(item{
 				dist2: dist,
 				res:   Result{RID: n.LeafRID(i), Key: n.LeafKey(i), Dist2: dist, Leaf: n.ID()},
@@ -101,14 +124,18 @@ func (it *Iterator) expand(top item) bool {
 	} else {
 		ext := it.tree.Ext()
 		for i := 0; i < n.NumEntries(); i++ {
+			d := ext.MinDist2(n.ChildPred(i), it.query)
 			it.push(item{
-				dist2:  ext.MinDist2(n.ChildPred(i), it.query),
+				dist2:  d,
 				child:  n.ChildID(i),
 				isNode: true,
 			})
 		}
 	}
 	it.store.Unpin(n)
+	if it.pf != nil {
+		it.prefetchFrontier()
+	}
 	return true
 }
 

@@ -89,7 +89,9 @@ func SearchCtx(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *g
 
 // SearchCtxInto is SearchCtx appending the results to dst and returning the
 // extended slice. On error dst is returned truncated to its original
-// length.
+// length. The engine is the two-heap bounded best-first search of knn.go,
+// output-identical to the incremental Iterator but without per-point
+// priority-queue traffic.
 func SearchCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trace *gist.Trace, dst []Result) ([]Result, error) {
 	base := len(dst)
 	if k <= 0 || t.Len() == 0 {
@@ -98,19 +100,19 @@ func SearchCtxInto(ctx context.Context, t *gist.Tree, q geom.Vector, k int, trac
 	t.RLock()
 	defer t.RUnlock()
 	sc := getScratch()
-	it := Iterator{tree: t, store: t.Store(), query: q, trace: trace, ctx: ctx, queue: sc.queue}
-	it.push(item{dist2: 0, child: t.RootID(), isNode: true})
-	for len(dst)-base < k {
-		r, ok := it.next()
-		if !ok {
-			break
-		}
-		dst = append(dst, r)
+	s := knnSearch{tree: t, store: t.Store(), query: q, trace: trace, ctx: ctx, k: k,
+		queue: sc.nqueue, dists: sc.dists, pairs: sc.pairs, pairs2: sc.pairs2,
+		hd: sc.bound[:0], hidx: sc.kidx[:0], res: sc.results[:0]}
+	s.pf, _ = s.store.(gist.Prefetcher)
+	s.run(t.RootID())
+	if s.err == nil {
+		dst = s.emit(dst)
 	}
-	sc.queue = it.queue
+	sc.nqueue, sc.dists, sc.bound, sc.kidx, sc.pairs, sc.pairs2, sc.results =
+		s.queue, s.dists, s.hd, s.hidx, s.pairs, s.pairs2, s.res
 	sc.release()
-	if it.err != nil {
-		return dst[:base], it.err
+	if s.err != nil {
+		return dst[:base], s.err
 	}
 	return dst, nil
 }

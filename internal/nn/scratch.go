@@ -13,9 +13,14 @@ import (
 // sync.Pool; a search borrows one for the duration of a single call, so
 // scratch never crosses goroutines.
 type searchScratch struct {
-	queue   pq
+	nqueue  npq // node frontier heap (knnSearch and SearchApprox)
 	stack   []page.PageID
 	dists   []float64
+	idx     []int32   // range-filter survivor indices (RangeFlatBlock)
+	bound   []float64 // k-NN bound-heap distance lane (knnSearch.hd)
+	kidx    []int32   // k-NN bound-heap result-index lane
+	pairs   []knnPair // k-NN emit sort scratch
+	pairs2  []knnPair // k-NN emit scatter space
 	results []Result
 }
 
@@ -23,17 +28,19 @@ var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
 
 func getScratch() *searchScratch { return scratchPool.Get().(*searchScratch) }
 
-// release empties the buffers and returns the scratch to the pool. Queue
-// items are cleared first so a pooled scratch never holds key views of an
-// index the caller has dropped; the descent stack holds only page ids.
-// (Queue slots past len were already zeroed by popItem.)
+// release empties the buffers and returns the scratch to the pool. Result
+// entries are cleared first so a pooled scratch never holds key views of an
+// index the caller has dropped; the frontier heap and descent stack hold
+// only page ids and scalars.
 func (s *searchScratch) release() {
-	for i := range s.queue {
-		s.queue[i] = item{}
-	}
-	s.queue = s.queue[:0]
+	s.nqueue = s.nqueue[:0]
 	s.stack = s.stack[:0]
 	s.dists = s.dists[:0]
+	s.idx = s.idx[:0]
+	s.bound = s.bound[:0]
+	s.kidx = s.kidx[:0]
+	s.pairs = s.pairs[:0]
+	s.pairs2 = s.pairs2[:0]
 	for i := range s.results {
 		s.results[i] = Result{}
 	}

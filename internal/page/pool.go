@@ -7,14 +7,28 @@ import "sync"
 // retry transient page reads (pagefile.Store) fill them in when reporting
 // their stats through this type.
 type PoolStats struct {
-	Hits      int64 // accesses served from a resident frame
-	Misses    int64 // accesses that required a page load
+	Hits      int64 // accesses served from a frame a real Pin loaded
+	Misses    int64 // accesses whose page load happened on their behalf (see below)
 	Evictions int64 // frames evicted to make room (EvictAll is not counted)
 	Retries   int64 // page re-reads after a transient failure (store-level)
 	GaveUp    int64 // loads that exhausted the retry budget (store-level)
-	Resident  int   // frames currently held (pinned + unpinned)
-	Pinned    int   // frames with a positive pin count
-	Capacity  int   // configured frame budget
+
+	// Prefetch accounting. Prefetched counts pages the store's prefetcher
+	// loaded ahead of use; PrefetchHits counts the first Pin that claimed
+	// such a frame; PrefetchWasted counts prefetched loads that never paid
+	// off (the frame was evicted unused, or the load duplicated one already
+	// resident or in flight). A prefetch-hit Pin is counted in Misses, not
+	// Hits: the physical read really happened on that access's behalf, it
+	// was merely issued early — which is what keeps Misses equal to real
+	// page reads attributable to the access pattern, the invariant the
+	// pagedio cross-check against the amdb simulation relies on.
+	Prefetched     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+
+	Resident int // frames currently held (pinned + unpinned)
+	Pinned   int // frames with a positive pin count
+	Capacity int // configured frame budget
 }
 
 // Sub returns the counter deltas s−before (occupancy fields are kept from s).
@@ -24,6 +38,9 @@ func (s PoolStats) Sub(before PoolStats) PoolStats {
 	s.Evictions -= before.Evictions
 	s.Retries -= before.Retries
 	s.GaveUp -= before.GaveUp
+	s.Prefetched -= before.Prefetched
+	s.PrefetchHits -= before.PrefetchHits
+	s.PrefetchWasted -= before.PrefetchWasted
 	return s
 }
 
@@ -51,7 +68,8 @@ type PinnedPool struct {
 	lru      pframe // sentinel of an intrusive ring of unpinned frames; next = most recently used
 	pinned   int
 
-	hits, misses, evictions int64
+	hits, misses, evictions               int64
+	prefetched, prefetchHits, prefetchBad int64
 }
 
 // pframe is one resident frame. The LRU links are intrusive — a frame is
@@ -60,6 +78,7 @@ type pframe struct {
 	id         PageID
 	v          any
 	pins       int
+	prefetched bool    // loaded ahead of use and not yet claimed by a Pin
 	prev, next *pframe // ring position while unpinned, nil while pinned
 }
 
@@ -105,20 +124,37 @@ func NewPinnedPool(capacity int) *PinnedPool {
 // Pin returns the resident value for id, pinned, or ok == false on a miss.
 // After a miss the caller must load the page and register it with Insert.
 func (p *PinnedPool) Pin(id PageID) (v any, ok bool) {
+	v, ok, _ = p.PinTracked(id)
+	return v, ok
+}
+
+// PinTracked is Pin reporting additionally whether this access is the first
+// to claim a prefetched frame. Such an access counts as a miss plus a
+// prefetch hit (see PoolStats), and the caller — who skipped the read the
+// prefetcher already did — can attribute the page load exactly as it would
+// a demand read.
+func (p *PinnedPool) PinTracked(id PageID) (v any, ok, prefetched bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fr := p.frames[id]
 	if fr == nil {
 		p.misses++
-		return nil, false
+		return nil, false, false
 	}
-	p.hits++
+	if fr.prefetched {
+		fr.prefetched = false
+		p.prefetchHits++
+		p.misses++
+		prefetched = true
+	} else {
+		p.hits++
+	}
 	if fr.pins == 0 {
 		p.lruRemove(fr)
 		p.pinned++
 	}
 	fr.pins++
-	return fr.v, true
+	return fr.v, true, prefetched
 }
 
 // Insert registers a freshly loaded page value, pinned once, and returns
@@ -129,6 +165,12 @@ func (p *PinnedPool) Insert(id PageID, v any) any {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if fr := p.frames[id]; fr != nil {
+		if fr.prefetched {
+			// A demand load raced a prefetch of the same page and both read
+			// it: the miss is already counted, the prefetch bought nothing.
+			fr.prefetched = false
+			p.prefetchBad++
+		}
 		if fr.pins == 0 {
 			p.lruRemove(fr)
 			p.pinned++
@@ -141,6 +183,25 @@ func (p *PinnedPool) Insert(id PageID, v any) any {
 	p.pinned++
 	p.evictOverflowLocked()
 	return v
+}
+
+// InsertPrefetch registers a page value loaded ahead of use. The frame goes
+// in unpinned at the most-recently-used end, flagged so the first Pin that
+// claims it counts as a prefetch hit. If the page is already resident the
+// value is discarded and the load counted as wasted. No counter of the
+// demand path (hits/misses) moves here — a prefetch is not an access.
+func (p *PinnedPool) InsertPrefetch(id PageID, v any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prefetched++
+	if p.frames[id] != nil {
+		p.prefetchBad++
+		return
+	}
+	fr := &pframe{id: id, v: v, prefetched: true}
+	p.frames[id] = fr
+	p.lruPushFront(fr)
+	p.evictOverflowLocked()
 }
 
 // Unpin releases one pin on id. When the last pin drops the frame joins
@@ -171,7 +232,18 @@ func (p *PinnedPool) evictOverflowLocked() {
 		p.lruRemove(fr)
 		delete(p.frames, fr.id)
 		p.evictions++
+		if fr.prefetched {
+			p.prefetchBad++
+		}
 	}
+}
+
+// Contains reports whether id is currently resident (pinned or not). The
+// prefetch worker uses it to skip loads the pool already holds.
+func (p *PinnedPool) Contains(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.frames[id] != nil
 }
 
 // Remove drops id from the pool regardless of pin state, used when a page
@@ -188,6 +260,9 @@ func (p *PinnedPool) Remove(id PageID) {
 	} else {
 		p.lruRemove(fr)
 	}
+	if fr.prefetched {
+		p.prefetchBad++
+	}
 	delete(p.frames, fr.id)
 }
 
@@ -200,6 +275,9 @@ func (p *PinnedPool) EvictAll() {
 	for fr := p.lru.next; fr != &p.lru; fr = p.lru.next {
 		p.lruRemove(fr)
 		delete(p.frames, fr.id)
+		if fr.prefetched {
+			p.prefetchBad++
+		}
 	}
 }
 
@@ -208,6 +286,7 @@ func (p *PinnedPool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits, p.misses, p.evictions = 0, 0, 0
+	p.prefetched, p.prefetchHits, p.prefetchBad = 0, 0, 0
 }
 
 // Stats returns a snapshot of the counters and occupancy.
@@ -215,11 +294,14 @@ func (p *PinnedPool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PoolStats{
-		Hits:      p.hits,
-		Misses:    p.misses,
-		Evictions: p.evictions,
-		Resident:  len(p.frames),
-		Pinned:    p.pinned,
-		Capacity:  p.capacity,
+		Hits:           p.hits,
+		Misses:         p.misses,
+		Evictions:      p.evictions,
+		Prefetched:     p.prefetched,
+		PrefetchHits:   p.prefetchHits,
+		PrefetchWasted: p.prefetchBad,
+		Resident:       len(p.frames),
+		Pinned:         p.pinned,
+		Capacity:       p.capacity,
 	}
 }

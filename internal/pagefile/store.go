@@ -52,6 +52,12 @@ type Store struct {
 	retries atomic.Int64
 	gaveUp  atomic.Int64
 
+	// prefetchCh feeds the single background load-ahead worker; see
+	// Prefetch. The worker exits when the channel closes (Close), and
+	// prefetchWG lets Close wait for it before releasing the file.
+	prefetchCh chan page.PageID
+	prefetchWG sync.WaitGroup
+
 	mu           sync.Mutex
 	closed       bool
 	dirty        map[page.PageID]*gist.Node
@@ -64,6 +70,7 @@ type Store struct {
 var (
 	_ gist.NodeStore     = (*Store)(nil)
 	_ gist.StatsProvider = (*Store)(nil)
+	_ gist.Prefetcher    = (*Store)(nil)
 )
 
 // OpenPaged opens a pagefile for demand-paged querying with a buffer pool
@@ -119,7 +126,55 @@ func OpenPagedIO(path string, opts am.Options, poolPages int, wrap func(faultio.
 		f.Close()
 		return nil, nil, err
 	}
+	s.prefetchCh = make(chan page.PageID, prefetchQueueCap)
+	s.prefetchWG.Add(1)
+	go s.prefetchLoop()
 	return tree, s, nil
+}
+
+// prefetchQueueCap bounds the pending load-ahead hints; Prefetch drops on
+// the floor past it rather than ever blocking a traversal.
+const prefetchQueueCap = 64
+
+// Prefetch implements gist.Prefetcher: a hint that id will likely be pinned
+// soon. The background worker reads and decodes the page and parks it in
+// the buffer pool unpinned, so the later Pin finds it resident (counted as
+// a miss plus a prefetch hit — the read happened on that Pin's behalf; see
+// page.PoolStats). Purely advisory: never blocks, errors are dropped, and
+// hints are discarded when the queue is full or the store is closed.
+func (s *Store) Prefetch(id page.PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.prefetchCh <- id:
+	default:
+	}
+}
+
+// prefetchLoop is the single background load-ahead worker. One worker (not
+// a pool) serializes prefetch reads, so duplicate hints for a page resolve
+// against the residency check instead of racing each other on the file.
+func (s *Store) prefetchLoop() {
+	defer s.prefetchWG.Done()
+	for id := range s.prefetchCh {
+		s.mu.Lock()
+		_, dirty := s.dirty[id]
+		skip := dirty || s.freed[id]
+		s.mu.Unlock()
+		if skip || s.pool.Contains(id) {
+			continue
+		}
+		// One attempt, no retries: a prefetch that fails transiently just
+		// leaves the page for the demand path's retrying Pin.
+		n, err := s.readPage(id)
+		if err != nil {
+			continue
+		}
+		s.pool.InsertPrefetch(id, n)
+	}
 }
 
 // Retry policy for transient page-read failures: pinAttempts total read
@@ -149,8 +204,21 @@ func (s *Store) Pin(id page.PageID) (*gist.Node, error) {
 		return nil, fmt.Errorf("pagefile: page %d: %w", id, ErrFreed)
 	}
 	s.mu.Unlock()
-	if v, ok := s.pool.Pin(id); ok {
-		return v.(*gist.Node), nil
+	if v, ok, prefetched := s.pool.PinTracked(id); ok {
+		n := v.(*gist.Node)
+		if prefetched {
+			// First use of a prefetched frame: the physical read happened on
+			// this pin's behalf, so attribute it per level exactly like a
+			// demand read — which keeps MissesByLevel equal to the amdb
+			// simulation's per-level I/Os regardless of prefetching.
+			s.mu.Lock()
+			for len(s.missByLevel) <= n.Level() {
+				s.missByLevel = append(s.missByLevel, 0)
+			}
+			s.missByLevel[n.Level()]++
+			s.mu.Unlock()
+		}
+		return n, nil
 	}
 	n, retried, err := s.readPageRetry(id)
 	if err != nil {
@@ -340,14 +408,20 @@ func (s *Store) Dirty() int {
 // Close releases the underlying file. It is idempotent — a second Close is
 // a nil no-op instead of an os.File double-close error, so stacked shutdown
 // paths (e.g. a daemon's signal handler and its deferred cleanup) compose.
-// Dirty nodes are not written back; persist with Save first if mutations
-// must survive.
+// The prefetch worker is drained and joined before the file closes, so no
+// background read ever touches a closed file. Dirty nodes are not written
+// back; persist with Save first if mutations must survive.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	if s.prefetchCh != nil {
+		close(s.prefetchCh) // Prefetch checks closed under mu, so no late sends
+		s.prefetchWG.Wait()
+	}
 	return s.f.Close()
 }

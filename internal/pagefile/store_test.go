@@ -9,6 +9,7 @@ import (
 	"blobindex/internal/geom"
 	"blobindex/internal/gist"
 	"blobindex/internal/nn"
+	"blobindex/internal/page"
 )
 
 // The headline acceptance check: a demand-paged index with a buffer pool at
@@ -253,4 +254,89 @@ func TestOpenPagedZeroCapacity(t *testing.T) {
 	if st.Hits != 0 {
 		t.Errorf("cold pool recorded %d hits", st.Hits)
 	}
+}
+
+// Descent prefetch is advisory: with the async prefetcher hinting frontier
+// pages during every paged k-NN, results must stay identical to the
+// in-memory tree, and the counters must balance — every prefetched load is
+// eventually claimed by a Pin or written off as wasted, never both.
+func TestPagedPrefetchIdenticalResultsAndCounters(t *testing.T) {
+	tree, _ := buildTree(t, am.KindRTree, 2500, 3, 2048)
+	path := filepath.Join(t.TempDir(), "prefetch.idx")
+	if err := Save(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	pool := tree.NumPages() / 4
+	paged, store, err := OpenPaged(path, am.Options{}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			store.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 16; trial++ {
+		q := geom.Vector{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		want := nn.Search(tree, q, 200, nil)
+		got := nn.Search(paged, q, 200, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].RID != want[i].RID || got[i].Dist2 != want[i].Dist2 {
+				t.Fatalf("trial %d result %d: (%d, %v) want (%d, %v)",
+					trial, i, got[i].RID, got[i].Dist2, want[i].RID, want[i].Dist2)
+			}
+		}
+	}
+	// Close drains the prefetch worker, so the counters are final.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closed = true
+	st := store.PoolStats()
+	if st.Prefetched == 0 {
+		t.Error("16 deep descents at 25%% pool capacity issued no prefetched loads")
+	}
+	if st.PrefetchHits+st.PrefetchWasted > st.Prefetched {
+		t.Errorf("prefetch ledger overdrawn: hits %d + wasted %d > prefetched %d",
+			st.PrefetchHits, st.PrefetchWasted, st.Prefetched)
+	}
+	if st.PrefetchHits > st.Misses {
+		t.Errorf("prefetch hits %d exceed misses %d — a claimed prefetch must count as a miss",
+			st.PrefetchHits, st.Misses)
+	}
+	if st.Pinned != 0 {
+		t.Errorf("queries left %d pages pinned", st.Pinned)
+	}
+}
+
+// Prefetch after Close must be a harmless no-op, and Close must be safe to
+// race with a burst of hints — the regression shape is a send on a closed
+// channel.
+func TestPrefetchAfterCloseIsNoop(t *testing.T) {
+	tree, _ := buildTree(t, am.KindRTree, 400, 2, 1024)
+	path := filepath.Join(t.TempDir(), "pfclose.idx")
+	if err := Save(path, tree); err != nil {
+		t.Fatal(err)
+	}
+	_, store, err := OpenPaged(path, am.Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			store.Prefetch(page.PageID(i % 8))
+		}
+	}()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	store.Prefetch(3) // after Close: dropped, no panic
 }

@@ -1,0 +1,120 @@
+package recallbench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"blobindex"
+	"blobindex/internal/experiments"
+)
+
+// RefineBench measures the filter-and-refine serving path end to end —
+// projection, block-scored over-fetch in index space, sidecar feature reads,
+// and the unrolled quadratic-form re-rank — in the same shape QueryBench
+// measures the raw traversals, so cmd/blobbench can append its rows to the
+// committed benchmark artifact. It lives here rather than in experiments for
+// the same import-cycle reason as Recall: it drives the blobindex facade.
+//
+// Two rows come back, both under the index's build method as the AM column:
+// "refine" runs the full pipeline at the default calibrated multiplier (what
+// a TargetRecall-less refining request gets), and "refine_x4" at a fixed x4
+// so the artifact has a rung whose candidate volume does not move when the
+// calibration ladder is retuned.
+func RefineBench(s *experiments.Scenario, iters int) ([]experiments.BenchRow, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	full := s.Corpus.Features()
+	feats := make([][]float64, len(full))
+	for i, f := range full {
+		feats[i] = f
+	}
+	n := len(feats)
+	k := s.Params.K
+	if k > n {
+		k = n
+	}
+	red, err := blobindex.FitReducer(feats, s.Params.Dim)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]blobindex.Point, n)
+	for i, f := range feats {
+		pts[i] = blobindex.Point{Key: red.Reduce(f), RID: int64(i)}
+	}
+	ix, err := blobindex.Build(pts, blobindex.Options{
+		Method:   blobindex.XJB,
+		Dim:      s.Params.Dim,
+		PageSize: s.Params.PageSize,
+		XJBBites: s.Params.XJBX,
+		Seed:     s.Params.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	dir, err := os.MkdirTemp("", "blobindex-refinebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	side := filepath.Join(dir, "refine.side")
+	rids := make([]int64, n)
+	for i := range rids {
+		rids[i] = int64(i)
+	}
+	if err := blobindex.SaveSidecar(side, s.Params.PageSize, red, rids, feats); err != nil {
+		return nil, err
+	}
+	// Budget the sidecar pool to hold every side page: the rows measure the
+	// steady-state serving compute — projection, filter traversal, and the
+	// QF re-rank — not cold paging, which the pagedio experiment covers.
+	if err := ix.AttachRefine(side, n); err != nil {
+		return nil, err
+	}
+
+	// Same query model as the recall calibration: full features of seeded
+	// sample blobs.
+	rng := rand.New(rand.NewSource(s.Params.Seed + 17))
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = feats[rng.Intn(n)]
+	}
+
+	am := string(blobindex.XJB)
+	warm := len(queries)
+	if warm < iters/10+1 {
+		warm = iters/10 + 1
+	}
+	dst := make([]blobindex.Neighbor, 0, 16*k)
+	var rows []experiments.BenchRow
+	var benchErr error
+	for _, cfg := range []struct {
+		op   string
+		mult int
+	}{
+		{"refine", 0}, // 0 = the default calibrated multiplier
+		{"refine_x4", 4},
+	} {
+		mult := cfg.mult
+		rows = append(rows, experiments.MeasureOp(am, cfg.op, warm, iters, func(i int) {
+			resp, err := ix.SearchInto(nil, blobindex.SearchRequest{
+				Query:      queries[i%len(queries)],
+				K:          k,
+				Refine:     true,
+				Multiplier: mult,
+			}, dst[:0])
+			if err != nil && benchErr == nil {
+				benchErr = fmt.Errorf("recallbench: %s query %d: %w", cfg.op, i, err)
+			}
+			dst = resp.Neighbors
+		}))
+		if benchErr != nil {
+			return nil, benchErr
+		}
+	}
+	return rows, nil
+}

@@ -663,13 +663,32 @@ type IndexInfo struct {
 // BufferInfo mirrors blobindex.BufferStats for demand-paged indexes; nil in
 // Stats when the served index is fully in memory.
 type BufferInfo struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Retries   int64 `json:"retries"`
-	GaveUp    int64 `json:"gave_up"`
-	Resident  int   `json:"resident"`
-	Capacity  int   `json:"capacity"`
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	Evictions      int64 `json:"evictions"`
+	Retries        int64 `json:"retries"`
+	GaveUp         int64 `json:"gave_up"`
+	Prefetched     int64 `json:"prefetched"`
+	PrefetchHits   int64 `json:"prefetch_hits"`
+	PrefetchWasted int64 `json:"prefetch_wasted"`
+	Resident       int   `json:"resident"`
+	Capacity       int   `json:"capacity"`
+}
+
+// bufferInfo converts the facade's counters to the stats wire shape.
+func bufferInfo(bs blobindex.BufferStats) *BufferInfo {
+	return &BufferInfo{
+		Hits:           bs.Hits,
+		Misses:         bs.Misses,
+		Evictions:      bs.Evictions,
+		Retries:        bs.Retries,
+		GaveUp:         bs.GaveUp,
+		Prefetched:     bs.Prefetched,
+		PrefetchHits:   bs.PrefetchHits,
+		PrefetchWasted: bs.PrefetchWasted,
+		Resident:       bs.Resident,
+		Capacity:       bs.Capacity,
+	}
 }
 
 // StorageStats is the degraded-mode section of Stats: lifetime failure
@@ -741,15 +760,7 @@ func (s *Server) Stats() Stats {
 		Ready:           ready,
 	}
 	if bs, ok := s.idx.BufferStats(); ok {
-		st.Buffer = &BufferInfo{
-			Hits:      bs.Hits,
-			Misses:    bs.Misses,
-			Evictions: bs.Evictions,
-			Retries:   bs.Retries,
-			GaveUp:    bs.GaveUp,
-			Resident:  bs.Resident,
-			Capacity:  bs.Capacity,
-		}
+		st.Buffer = bufferInfo(bs)
 	}
 	filter := s.filterHist.summary()
 	refine := s.refineHist.summary()
@@ -758,15 +769,7 @@ func (s *Server) Stats() Stats {
 		"refine": {Searches: refine.Count, Candidates: s.refineCandidates.Load(), Latency: refine},
 	}
 	if rs, ok := s.idx.RefineStats(); ok {
-		st.RefineBuffer = &BufferInfo{
-			Hits:      rs.Hits,
-			Misses:    rs.Misses,
-			Evictions: rs.Evictions,
-			Retries:   rs.Retries,
-			GaveUp:    rs.GaveUp,
-			Resident:  rs.Resident,
-			Capacity:  rs.Capacity,
-		}
+		st.RefineBuffer = bufferInfo(rs)
 	}
 	for name, h := range s.hists {
 		st.Endpoints[name] = h.summary()

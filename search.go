@@ -273,6 +273,20 @@ func (ix *Index) SearchInto(ctx context.Context, req SearchRequest, dst []Neighb
 	if req.Refine {
 		start = time.Now()
 		scored := len(res)
+		// Score in RID order: sidecar records are RID-sorted, so the feature
+		// reads walk the side pagefile sequentially (each side page faulted
+		// once) instead of hopping pages in candidate-rank order. Harmless to
+		// the response — the full-space sort below re-ranks from scratch and
+		// its (Dist2, RID) key is a total order.
+		slices.SortFunc(res, func(a, b nn.Result) int {
+			switch {
+			case a.RID < b.RID:
+				return -1
+			case a.RID > b.RID:
+				return 1
+			}
+			return 0
+		})
 		for i := range res {
 			sc.feat, err = ix.side.Feature(res[i].RID, sc.feat[:0])
 			if err != nil {

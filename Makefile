@@ -4,9 +4,9 @@ GO ?= go
 
 .PHONY: check fmt vet build test race bench benchall benchsmoke benchdiff \
 	servebench servesmoke chaos chaossmoke fuzzsmoke \
-	recall recallsmoke vetdep
+	recall recallsmoke ingest ingestsmoke vetdep
 
-check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke
+check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke ingestsmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -90,6 +90,21 @@ recall:
 # full sweep-and-calibrate path, brute-force ground truth included, but cheap.
 recallsmoke:
 	$(GO) run ./cmd/blobbench -images 500 -experiment recall -recall-queries 8
+
+# ingest measures the online write path at artifact scale — WAL-backed
+# durable inserts from concurrent writers with k-NN readers racing live
+# seals/compactions, crash-image WAL-replay recovery, torn-tail probes, and
+# equivalence of the compacted index against a one-shot bulk load — and
+# writes the committed artifact INGEST_PR8.json; it exits nonzero if any
+# recovery or equivalence query diverges.
+ingest:
+	$(GO) run ./cmd/blobbench -experiment ingest -ingestout INGEST_PR8.json
+
+# ingestsmoke is the toy-scale online-ingest run wired into `make check`:
+# the full pipeline — durable writes, racing readers, crash recovery,
+# torn tails, equivalence — at a scale that keeps the gate fast.
+ingestsmoke:
+	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment ingest
 
 # vetdep fails when non-test code in this repo still calls the entry points
 # the SearchRequest API deprecated. (staticcheck would flag these as SA1019;

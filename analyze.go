@@ -103,11 +103,15 @@ func (ix *Index) Analyze(queries []Query, opts AnalyzeOptions) (*Analysis, error
 // queries and is returned. Safe to run concurrently with searches; the
 // index is not modified.
 func (ix *Index) AnalyzeCtx(ctx context.Context, queries []Query, opts AnalyzeOptions) (*Analysis, error) {
+	tree, err := ix.primary()
+	if err != nil {
+		return nil, err
+	}
 	qs := make([]amdb.Query, len(queries))
 	for i, q := range queries {
 		qs[i] = amdb.Query{Center: geom.Vector(q.Center), K: q.K}
 	}
-	rep, err := amdb.AnalyzeCtx(ctx, ix.tree, qs, amdb.Config{
+	rep, err := amdb.AnalyzeCtx(ctx, tree, qs, amdb.Config{
 		TargetUtil:  opts.TargetUtil,
 		Seed:        opts.Seed,
 		SkipOptimal: opts.SkipOptimal,

@@ -39,6 +39,7 @@ import (
 	"blobindex/internal/gist"
 	"blobindex/internal/nn"
 	"blobindex/internal/pagefile"
+	"blobindex/internal/segment"
 	"blobindex/internal/str"
 	"blobindex/internal/viz"
 )
@@ -192,15 +193,33 @@ func (o Options) extension() (gist.Extension, error) {
 }
 
 // Index is a searchable access method over a point set.
+//
+// Internally an Index is a stack of segments (internal/segment): legacy
+// indexes — New, Build, Open — hold exactly one, and every read path then
+// takes a fast path identical to the pre-segmentation single-tree code.
+// Online indexes (CreateOnline, OpenOnline) grow more: a mutable memory
+// segment absorbs WAL-logged writes and background compaction seals it
+// into immutable pagefile segments, with queries merging across all of
+// them. See DESIGN.md §13.
 type Index struct {
-	tree *gist.Tree
-	opts Options
-	// store is non-nil for demand-paged indexes (Open); it owns the backing
-	// file and the pinning buffer pool.
-	store *pagefile.Store
+	stack *segment.Stack
+	opts  Options
 	// side is non-nil once AttachRefine has opened a full-feature sidecar;
 	// it serves the refine stage of Search.
 	side *pagefile.SideStore
+	// online is non-nil for WAL-backed online indexes (online.go); it owns
+	// the write-ahead log, the active memory segment and compaction.
+	online *onlineState
+}
+
+// primary returns the sole segment's tree — the shape every legacy
+// single-tree operation requires. A segmented (online) index with more
+// than one live segment or live tombstones reports ErrMultiSegment.
+func (ix *Index) primary() (*gist.Tree, error) {
+	if seg, ok := ix.stack.Only(); ok {
+		return seg.Tree(), nil
+	}
+	return nil, ErrMultiSegment
 }
 
 // New returns an empty index that accepts Insert.
@@ -216,7 +235,12 @@ func New(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: tree, opts: opts}, nil
+	return &Index{stack: singleStack(segment.WrapMem(tree, 0)), opts: opts}, nil
+}
+
+// singleStack wraps one segment as a legacy index's stack.
+func singleStack(seg segment.Segment) *segment.Stack {
+	return segment.NewStack([]segment.Segment{seg}, nil)
 }
 
 // Build bulk-loads an index: the points are arranged into STR tile order
@@ -251,35 +275,70 @@ func Build(points []Point, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: tree, opts: opts}, nil
+	return &Index{stack: singleStack(segment.WrapMem(tree, 0)), opts: opts}, nil
 }
 
 // Insert adds one point. Insertion maintains predicates conservatively; for
 // JB/XJB indexes call Tighten afterwards to restore bulk-load-quality
 // corner bites (the paper lists insertion support for JB/XJB as future
 // work, §8).
+//
+// On an online index (CreateOnline/OpenOnline) the write is appended to the
+// write-ahead log and fsynced before it is applied — when Insert returns
+// nil the point survives a crash. Legacy indexes keep the in-place,
+// memory-only mutation semantics (call Save to persist).
 func (ix *Index) Insert(p Point) error {
 	if len(p.Key) != ix.opts.Dim {
 		return fmt.Errorf("%w: key dimension %d, index dimension %d",
 			ErrDimMismatch, len(p.Key), ix.opts.Dim)
 	}
-	return ix.tree.Insert(gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID})
+	if ix.online != nil {
+		return ix.onlineInsert(p)
+	}
+	t, err := ix.primary()
+	if err != nil {
+		return err
+	}
+	return t.Insert(gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID})
 }
 
 // Delete removes the (key, rid) pair, reporting whether it was present.
+//
+// On an online index the delete is WAL-logged like Insert; a delete hitting
+// a sealed (immutable) segment is recorded as a tombstone that masks the
+// pair out of merged query results until the next full compaction applies
+// it physically.
 func (ix *Index) Delete(key []float64, rid int64) (bool, error) {
 	if len(key) != ix.opts.Dim {
 		return false, fmt.Errorf("%w: key dimension %d, index dimension %d",
 			ErrDimMismatch, len(key), ix.opts.Dim)
 	}
-	return ix.tree.Delete(geom.Vector(key), rid)
+	if ix.online != nil {
+		return ix.onlineDelete(key, rid)
+	}
+	t, err := ix.primary()
+	if err != nil {
+		return false, err
+	}
+	return t.Delete(geom.Vector(key), rid)
 }
 
 // Tighten recomputes every bounding predicate from the stored points,
-// restoring the predicate quality a fresh bulk load would produce. The
+// restoring the predicate quality a fresh bulk load would produce. On an
+// online index only the active (mutable) segment is tightened — sealed
+// segments are bulk-loaded, which already yields tight predicates. The
 // error is always nil for in-memory indexes; a demand-paged index can fail
 // on an unreadable page.
-func (ix *Index) Tighten() error { return ix.tree.TightenPredicates() }
+func (ix *Index) Tighten() error {
+	if ix.online != nil {
+		return ix.online.active.Tree().TightenPredicates()
+	}
+	t, err := ix.primary()
+	if err != nil {
+		return err
+	}
+	return t.TightenPredicates()
+}
 
 // SearchKNN returns the exact k nearest neighbors of q, nearest first,
 // using best-first search. It is a thin wrapper over Search that never
@@ -312,17 +371,104 @@ func (ix *Index) SearchRange(q []float64, radius float64) []Neighbor {
 // goroutines. Results already returned stay valid.
 type NeighborIterator struct {
 	it *nn.Iterator
+	// Multi-segment scan (online indexes past their first seal): one
+	// incremental iterator per segment, merged by peeking the per-segment
+	// heads and popping the global (Dist2, RID) minimum, with tombstoned
+	// RIDs masked. it is nil in this mode.
+	heads []segIterHead
+	tombs map[int64]uint64
+}
+
+// segIterHead is one segment's incremental scan plus its buffered next
+// result.
+type segIterHead struct {
+	it  *nn.Iterator
+	gen uint64
+	cur nn.Result
+	ok  bool
 }
 
 // SearchIter starts an incremental nearest-neighbor scan from q. A query of
 // the wrong dimensionality (including a zero-length one, which previously
 // reached the tree) yields an exhausted iterator rather than a traversal
-// over mismatched geometry.
+// over mismatched geometry. On a multi-segment index the scan merges the
+// per-segment incremental scans in global distance order; the
+// concurrent-modification contract extends to background compaction, so an
+// online index's iterator must be drained before the next seal or compact.
 func (ix *Index) SearchIter(q []float64) *NeighborIterator {
 	if len(q) != ix.opts.Dim {
 		return &NeighborIterator{}
 	}
-	return &NeighborIterator{it: nn.NewIterator(ix.tree, geom.Vector(q), nil)}
+	if seg, ok := ix.stack.Only(); ok {
+		return &NeighborIterator{it: nn.NewIterator(seg.Tree(), geom.Vector(q), nil)}
+	}
+	segs := ix.stack.Segments()
+	ni := &NeighborIterator{heads: make([]segIterHead, len(segs)), tombs: ix.stack.Tombstones()}
+	for i, seg := range segs {
+		ni.heads[i] = segIterHead{it: nn.NewIterator(seg.Tree(), geom.Vector(q), nil), gen: seg.Gen()}
+		ni.advance(i)
+	}
+	return ni
+}
+
+// advance refills head i's buffered result, skipping tombstone-masked RIDs.
+func (ni *NeighborIterator) advance(i int) {
+	h := &ni.heads[i]
+	for {
+		h.cur, h.ok = h.it.Next()
+		if !h.ok {
+			return
+		}
+		if w, masked := ni.tombs[h.cur.RID]; masked && h.gen < w {
+			continue
+		}
+		return
+	}
+}
+
+// nextMerged returns the globally next-nearest result across all heads.
+func (ni *NeighborIterator) nextMerged() (nn.Result, bool) {
+	best := -1
+	for i := range ni.heads {
+		h := &ni.heads[i]
+		if !h.ok {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := &ni.heads[best]
+		if h.cur.Dist2 < b.cur.Dist2 ||
+			(h.cur.Dist2 == b.cur.Dist2 && h.cur.RID < b.cur.RID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nn.Result{}, false
+	}
+	r := ni.heads[best].cur
+	ni.advance(best)
+	return r, true
+}
+
+// peekMerged returns the globally next-nearest result without consuming it.
+func (ni *NeighborIterator) peekMerged() (nn.Result, bool) {
+	best := -1
+	for i := range ni.heads {
+		h := &ni.heads[i]
+		if !h.ok {
+			continue
+		}
+		if best < 0 || h.cur.Dist2 < ni.heads[best].cur.Dist2 ||
+			(h.cur.Dist2 == ni.heads[best].cur.Dist2 && h.cur.RID < ni.heads[best].cur.RID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nn.Result{}, false
+	}
+	return ni.heads[best].cur, true
 }
 
 // All returns a Go 1.23 range-over-func adapter streaming the remaining
@@ -352,10 +498,16 @@ func (ni *NeighborIterator) All() iter.Seq2[int, Neighbor] {
 // Next returns the next-nearest neighbor, or ok == false when the index is
 // exhausted.
 func (ni *NeighborIterator) Next() (Neighbor, bool) {
-	if ni.it == nil {
-		return Neighbor{}, false
+	var (
+		r  nn.Result
+		ok bool
+	)
+	switch {
+	case ni.it != nil:
+		r, ok = ni.it.Next()
+	case ni.heads != nil:
+		r, ok = ni.nextMerged()
 	}
-	r, ok := ni.it.Next()
 	if !ok {
 		return Neighbor{}, false
 	}
@@ -366,10 +518,21 @@ func (ni *NeighborIterator) Next() (Neighbor, bool) {
 // or ok == false once the remaining neighbors are all farther; the scan can
 // be resumed with a larger radius.
 func (ni *NeighborIterator) NextWithin(radius float64) (Neighbor, bool) {
-	if ni.it == nil {
-		return Neighbor{}, false
+	var (
+		r  nn.Result
+		ok bool
+	)
+	switch {
+	case ni.it != nil:
+		r, ok = ni.it.NextWithin(radius * radius)
+	case ni.heads != nil:
+		r, ok = ni.peekMerged()
+		if ok && r.Dist2 > radius*radius {
+			ok = false
+		} else if ok {
+			r, ok = ni.nextMerged()
+		}
 	}
-	r, ok := ni.it.NextWithin(radius * radius)
 	if !ok {
 		return Neighbor{}, false
 	}
@@ -379,8 +542,33 @@ func (ni *NeighborIterator) NextWithin(radius float64) (Neighbor, bool) {
 // Save writes the index to a page-structured file: one fixed-size page per
 // tree node, predicates serialized in the float-word layout of the paper's
 // Table 3. Open reads it back.
+//
+// For a single-segment index this is byte-identical to the pre-segmented
+// Save. An online index is first compacted fully — seal the active segment,
+// merge every segment with tombstones applied, commit — so the saved file
+// is the same single tree a fresh bulk load of the live points would
+// produce; this is what makes the legacy "open, mutate, Save" flow and the
+// online flow equivalent at rest (DESIGN.md §13).
 func (ix *Index) Save(path string) error {
-	return pagefile.Save(path, ix.tree)
+	if ix.online != nil {
+		if err := ix.CompactAll(); err != nil {
+			return err
+		}
+		// The stack now holds the one merged pagefile segment plus a fresh,
+		// empty active memory segment; the merged tree is the artifact. A
+		// fully empty index has no file segment and saves its empty active.
+		for _, seg := range ix.stack.Segments() {
+			if fs, ok := seg.(*segment.File); ok {
+				return pagefile.Save(path, fs.Tree())
+			}
+		}
+		return pagefile.Save(path, ix.online.active.Tree())
+	}
+	seg, ok := ix.stack.Only()
+	if !ok {
+		return ErrMultiSegment
+	}
+	return pagefile.Save(path, seg.Tree())
 }
 
 // OpenOptions configures Open.
@@ -441,7 +629,13 @@ func OpenWithOptions(path string, oo OpenOptions) (*Index, error) {
 		}
 		return nil, err
 	}
-	return &Index{tree: tree, opts: opts, store: store}, nil
+	var seg segment.Segment
+	if store != nil {
+		seg = segment.WrapFile(tree, store, path, 0)
+	} else {
+		seg = segment.WrapMem(tree, 0)
+	}
+	return &Index{stack: singleStack(seg), opts: opts}, nil
 }
 
 // Close releases the file handles of a demand-paged index and its attached
@@ -456,10 +650,12 @@ func (ix *Index) Close() error {
 	if ix.side != nil {
 		sideErr = ix.side.Close()
 	}
-	if ix.store == nil {
-		return sideErr
+	if ix.online != nil {
+		if err := ix.online.close(); err != nil {
+			return err
+		}
 	}
-	if err := ix.store.Close(); err != nil {
+	if err := ix.stack.Close(); err != nil {
 		return err
 	}
 	return sideErr
@@ -485,25 +681,29 @@ type BufferStats struct {
 	Capacity       int // pool frame budget
 }
 
-// BufferStats returns the buffer pool counters of a demand-paged index.
-// ok is false for in-memory indexes, which have no pool.
+// BufferStats returns the buffer pool counters of a demand-paged index,
+// summed across every file-backed segment. ok is false for indexes with no
+// file-backed segment (purely in-memory), which have no pool.
 func (ix *Index) BufferStats() (s BufferStats, ok bool) {
-	if ix.store == nil {
-		return BufferStats{}, false
+	for _, seg := range ix.stack.Segments() {
+		fs, isFile := seg.(*segment.File)
+		if !isFile {
+			continue
+		}
+		ps := fs.Store().PoolStats()
+		s.Hits += ps.Hits
+		s.Misses += ps.Misses
+		s.Evictions += ps.Evictions
+		s.Retries += ps.Retries
+		s.GaveUp += ps.GaveUp
+		s.Prefetched += ps.Prefetched
+		s.PrefetchHits += ps.PrefetchHits
+		s.PrefetchWasted += ps.PrefetchWasted
+		s.Resident += ps.Resident
+		s.Capacity += ps.Capacity
+		ok = true
 	}
-	ps := ix.store.PoolStats()
-	return BufferStats{
-		Hits:           ps.Hits,
-		Misses:         ps.Misses,
-		Evictions:      ps.Evictions,
-		Retries:        ps.Retries,
-		GaveUp:         ps.GaveUp,
-		Prefetched:     ps.Prefetched,
-		PrefetchHits:   ps.PrefetchHits,
-		PrefetchWasted: ps.PrefetchWasted,
-		Resident:       ps.Resident,
-		Capacity:       ps.Capacity,
-	}, true
+	return s, ok
 }
 
 // WriteSVG renders the index's leaf geometry — bounding predicates
@@ -512,7 +712,11 @@ func (ix *Index) BufferStats() (s BufferStats, ok bool) {
 // the paper: the empty MBR corners that motivated the bite predicates are
 // directly visible. maxLeaves caps the drawing (0 = all).
 func (ix *Index) WriteSVG(w io.Writer, dimX, dimY, maxLeaves int) error {
-	return viz.WriteSVG(w, ix.tree, viz.Options{DimX: dimX, DimY: dimY, MaxLeaves: maxLeaves})
+	t, err := ix.primary()
+	if err != nil {
+		return err
+	}
+	return viz.WriteSVG(w, t, viz.Options{DimX: dimX, DimY: dimY, MaxLeaves: maxLeaves})
 }
 
 // Options returns the index's effective options — the caller's Options with
@@ -533,25 +737,32 @@ type Stats struct {
 	InnerCapacity int // max entries per internal node
 }
 
-// Stats returns the index shape.
+// Stats returns the index shape. For a multi-segment (online) index, Len,
+// Pages and Leaves sum across segments (Len net of tombstones), Height is
+// the tallest segment's, and the capacities are the common per-node
+// capacities every segment shares.
 func (ix *Index) Stats() Stats {
-	return Stats{
-		Method:        ix.opts.Method,
-		Len:           ix.tree.Len(),
-		Height:        ix.tree.Height(),
-		Pages:         ix.tree.NumPages(),
-		Leaves:        ix.tree.NumLeaves(),
-		LeafCapacity:  ix.tree.LeafCapacity(),
-		InnerCapacity: ix.tree.InnerCapacity(),
+	s := Stats{Method: ix.opts.Method, Len: ix.stack.Len()}
+	for _, seg := range ix.stack.Segments() {
+		t := seg.Tree()
+		s.Pages += t.NumPages()
+		s.Leaves += t.NumLeaves()
+		if h := t.Height(); h > s.Height {
+			s.Height = h
+		}
+		s.LeafCapacity = t.LeafCapacity()
+		s.InnerCapacity = t.InnerCapacity()
 	}
+	return s
 }
 
-// Len returns the number of stored points.
-func (ix *Index) Len() int { return ix.tree.Len() }
+// Len returns the number of stored points (net of delete tombstones).
+func (ix *Index) Len() int { return ix.stack.Len() }
 
 // SampleKeys returns up to n stored keys sampled uniformly at random
-// (reservoir sampling over the leaves), e.g. to build a query workload for
-// Analyze in the paper's style — query foci drawn from the data itself.
+// (reservoir sampling over the leaves of every segment, skipping
+// tombstoned points), e.g. to build a query workload for Analyze in the
+// paper's style — query foci drawn from the data itself.
 func (ix *Index) SampleKeys(n int, seed int64) [][]float64 {
 	if n <= 0 {
 		return nil
@@ -559,27 +770,41 @@ func (ix *Index) SampleKeys(n int, seed int64) [][]float64 {
 	rng := rand.New(rand.NewSource(seed))
 	sample := make([][]float64, 0, n)
 	seen := 0
-	ix.tree.Walk(func(node *gist.Node, _ gist.Predicate) {
-		if !node.IsLeaf() {
-			return
-		}
-		for i := 0; i < node.NumEntries(); i++ {
-			key := node.LeafKey(i).Clone()
-			if len(sample) < n {
-				sample = append(sample, key)
-			} else if j := rng.Intn(seen + 1); j < n {
-				sample[j] = key
+	tombs := ix.stack.Tombstones()
+	for _, seg := range ix.stack.Segments() {
+		gen := seg.Gen()
+		seg.Tree().Walk(func(node *gist.Node, _ gist.Predicate) {
+			if !node.IsLeaf() {
+				return
 			}
-			seen++
-		}
-	})
+			for i := 0; i < node.NumEntries(); i++ {
+				if w, masked := tombs[node.LeafRID(i)]; masked && gen < w {
+					continue
+				}
+				key := node.LeafKey(i).Clone()
+				if len(sample) < n {
+					sample = append(sample, key)
+				} else if j := rng.Intn(seen + 1); j < n {
+					sample[j] = key
+				}
+				seen++
+			}
+		})
+	}
 	return sample
 }
 
 // Check validates the index's structural invariants (predicates cover their
-// subtrees, nodes respect capacity, RIDs partition). Intended for tests and
-// debugging.
-func (ix *Index) Check() error { return ix.tree.CheckIntegrity() }
+// subtrees, nodes respect capacity, RIDs partition) in every live segment.
+// Intended for tests and debugging.
+func (ix *Index) Check() error {
+	for _, seg := range ix.stack.Segments() {
+		if err := seg.Tree().CheckIntegrity(); err != nil {
+			return fmt.Errorf("segment gen %d: %w", seg.Gen(), err)
+		}
+	}
+	return nil
+}
 
 func toNeighbors(res []nn.Result) []Neighbor {
 	out := make([]Neighbor, len(res))

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blobindex/internal/experiments"
+	"blobindex/internal/ingestbench"
 	"blobindex/internal/recallbench"
 	"blobindex/internal/servebench"
 )
@@ -27,7 +28,7 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall,ingest")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
@@ -35,6 +36,9 @@ func main() {
 	serveOut := flag.String("serveout", "", "write the serve experiment's JSON to this file")
 	chaosOut := flag.String("chaosout", "", "write the chaos experiment's JSON to this file")
 	recallOut := flag.String("recallout", "", "write the recall experiment's JSON to this file")
+	ingestOut := flag.String("ingestout", "", "write the ingest experiment's JSON to this file")
+	ingestWriters := flag.Int("ingest-writers", 4, "ingest experiment concurrent writers")
+	ingestSeal := flag.Int("ingest-seal", 0, "ingest experiment seal threshold (0 = points/8)")
 	recallQueries := flag.Int("recall-queries", 0, "recall experiment query count (0 = default)")
 	serveClients := flag.Int("serve-clients", 64, "serve experiment concurrent clients")
 	serveRequests := flag.Int("serve-requests", 4096, "serve experiment total requests")
@@ -300,6 +304,31 @@ func main() {
 				}
 			}
 			return r.Render(), nil
+		})
+	}
+	if has("ingest") {
+		run("ingest", func() (string, error) {
+			ip := ingestbench.DefaultIngestParams()
+			ip.Writers = *ingestWriters
+			ip.SealThreshold = *ingestSeal
+			r, err := ingestbench.IngestBench(s, ip)
+			if err != nil {
+				return "", err
+			}
+			if *ingestOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*ingestOut, data, 0o644); err != nil {
+					return "", err
+				}
+			}
+			out := r.Render()
+			if !r.Pass {
+				return "", fmt.Errorf("ingest experiment failed:\n%s", out)
+			}
+			return out, nil
 		})
 	}
 	if has("bench") {

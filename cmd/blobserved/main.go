@@ -20,6 +20,13 @@
 //	                                                storage error rate crosses -ready-error-rate)
 //	GET  /debug/vars                                expvar (includes "blobserved")
 //
+// With -online DIR the daemon serves a WAL-backed online index directory
+// instead of a saved file: acknowledged /v1/insert and /v1/delete calls are
+// fsynced to the write-ahead log before they are applied, WAL replay on
+// startup recovers every acknowledged write after a crash, and
+// -seal-threshold makes background maintenance seal and bulk-load-compact
+// the active memory segment as it fills (see DESIGN.md §13).
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // searches run to completion (bounded by -drain-timeout), then the index is
 // closed. A second signal aborts immediately.
@@ -48,7 +55,9 @@ import (
 
 func main() {
 	var (
-		indexPath    = flag.String("index", "", "saved index file to serve (required)")
+		indexPath    = flag.String("index", "", "saved index file to serve (or use -online)")
+		onlineDir    = flag.String("online", "", "online index directory to serve: WAL-replay on open, durable writes")
+		sealAt       = flag.Int("seal-threshold", 0, "with -online: seal+compact the active segment at this many points (0 = manual)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		poolPages    = flag.Int("pool", blobindex.DefaultPoolPages, "buffer pool capacity in pages")
 		eager        = flag.Bool("eager", false, "load the whole index into memory at startup")
@@ -70,20 +79,38 @@ func main() {
 	log.SetPrefix("blobserved: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	if *indexPath == "" {
-		log.Fatal("-index is required (create one with: go run ./cmd/datagen -idx blobs.idx)")
-	}
-	idx, err := blobindex.OpenWithOptions(*indexPath, blobindex.OpenOptions{
-		PoolPages: *poolPages,
-		Eager:     *eager,
-	})
-	if err != nil {
-		log.Fatalf("open %s: %v", *indexPath, err)
+	var idx *blobindex.Index
+	var err error
+	switch {
+	case *indexPath != "" && *onlineDir != "":
+		log.Fatal("-index and -online are mutually exclusive")
+	case *onlineDir != "":
+		idx, err = blobindex.OpenOnline(*onlineDir, blobindex.OnlineOptions{
+			PoolPages:     *poolPages,
+			SealThreshold: *sealAt,
+		})
+		if err != nil {
+			log.Fatalf("open online %s: %v", *onlineDir, err)
+		}
+		ist, _ := idx.IngestStats()
+		log.Printf("serving online %s: method=%s dim=%d points=%d segments=%d (replayed %d WAL records, %dB torn tail truncated, seal threshold %d)",
+			*onlineDir, idx.Stats().Method, idx.Options().Dim, idx.Len(),
+			len(idx.SegmentInfos()), ist.ReplayedRecords, ist.TornBytes, *sealAt)
+	case *indexPath != "":
+		idx, err = blobindex.OpenWithOptions(*indexPath, blobindex.OpenOptions{
+			PoolPages: *poolPages,
+			Eager:     *eager,
+		})
+		if err != nil {
+			log.Fatalf("open %s: %v", *indexPath, err)
+		}
+		st := idx.Stats()
+		log.Printf("serving %s: method=%s dim=%d points=%d pages=%d (pool %d pages, eager=%v)",
+			*indexPath, st.Method, idx.Options().Dim, st.Len, st.Pages, *poolPages, *eager)
+	default:
+		log.Fatal("-index or -online is required (create one with: go run ./cmd/datagen -idx blobs.idx)")
 	}
 	defer idx.Close()
-	st := idx.Stats()
-	log.Printf("serving %s: method=%s dim=%d points=%d pages=%d (pool %d pages, eager=%v)",
-		*indexPath, st.Method, idx.Options().Dim, st.Len, st.Pages, *poolPages, *eager)
 	if *sidePath != "" {
 		if err := idx.AttachRefine(*sidePath, *sidePool); err != nil {
 			log.Fatalf("attach refine sidecar %s: %v", *sidePath, err)

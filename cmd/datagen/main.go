@@ -2,7 +2,9 @@
 // reduction, and saves the reduced data set to a gob file that cmd/amdb can
 // analyze, so repeated analyses reuse one corpus. With -idx it additionally
 // bulk-loads the reduced data and saves a page-structured index file that
-// cmd/blobserved can serve directly.
+// cmd/blobserved can serve directly. With -online it instead ingests the
+// reduced data through the durable WAL path into an online index directory
+// (compacted to one bulk-loaded segment) for blobserved -online.
 package main
 
 import (
@@ -31,7 +33,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generation seed")
 		out    = flag.String("o", "blobs.gob", "output file")
 		idxOut = flag.String("idx", "", "also bulk-load and save an index file (for cmd/blobserved)")
-		method = flag.String("method", "xjb", "access method for -idx")
+		online = flag.String("online", "", "also create an online index directory, ingested through the WAL (for blobserved -online)")
+		method = flag.String("method", "xjb", "access method for -idx/-online")
 		side   = flag.String("side", "", "also save a full-feature refine sidecar (for blobserved -side)")
 	)
 	flag.Parse()
@@ -87,6 +90,33 @@ func main() {
 		st := idx.Stats()
 		fmt.Printf("wrote %s: %s index, %d points in %d pages\n",
 			*idxOut, st.Method, st.Len, st.Pages)
+	}
+
+	if *online != "" {
+		idx, err := blobindex.CreateOnline(*online, blobindex.Options{
+			Method: blobindex.Method(*method),
+			Dim:    *dim,
+			Seed:   *seed,
+		}, blobindex.OnlineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, k := range reduced {
+			if err := idx.Insert(blobindex.Point{Key: k, RID: int64(i)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Seal and bulk-load into one immutable segment so serving starts
+		// from a compact tree, not a WAL replay of every insert.
+		if err := idx.CompactAll(); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := idx.IngestStats()
+		if err := idx.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: online %s index, %d points in %d file segment(s)\n",
+			*online, *method, len(reduced), st.FileSegments)
 	}
 
 	if *side != "" {

@@ -113,7 +113,7 @@ func (ix *Index) BatchSearchKNN(ctx context.Context, queries [][]float64, k int,
 				ErrDimMismatch, i, len(q), ix.opts.Dim)
 		}
 	}
-	if ix.tree.Len() == 0 {
+	if ix.stack.Len() == 0 {
 		return nil, ErrEmptyIndex
 	}
 	if ctx == nil {

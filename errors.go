@@ -37,6 +37,17 @@ var (
 	// ErrNoRefineStore reports a Refine request against an index with no
 	// full-feature side store attached (AttachRefine).
 	ErrNoRefineStore = errors.New("blobindex: no refine store attached")
+
+	// ErrMultiSegment reports a single-tree operation (Analyze, WriteSVG,
+	// a direct Save) against an index currently holding more than one live
+	// segment or live tombstones. Run CompactAll first to merge the index
+	// back to one segment.
+	ErrMultiSegment = errors.New("blobindex: index holds multiple segments")
+
+	// ErrNotOnline reports an online-ingest operation (SealActive,
+	// CompactAll, IngestStats consumers) against a legacy index that was
+	// not opened with CreateOnline/OpenOnline.
+	ErrNotOnline = errors.New("blobindex: index is not online")
 )
 
 // Storage failure classes surfaced by demand-paged indexes (Open). Searches

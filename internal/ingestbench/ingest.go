@@ -1,0 +1,490 @@
+// Package ingestbench measures the online write path end to end: WAL-backed
+// durable inserts from concurrent writers, k-NN reads racing live seals and
+// compactions, WAL-replay recovery of a crash image, and equivalence of the
+// final segmented index against a one-shot bulk load. It lives outside
+// internal/experiments for the same reason servebench does — it imports the
+// blobindex facade, which experiments must stay importable from.
+package ingestbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobindex"
+	"blobindex/internal/experiments"
+)
+
+// IngestParams sizes the ingest experiment.
+type IngestParams struct {
+	// Writers is the number of concurrent insert goroutines. Default 4.
+	Writers int
+	// Readers is the number of concurrent k-NN readers querying while the
+	// writers run. Default 2.
+	Readers int
+	// SealThreshold triggers a background seal+compact when the active
+	// memory segment reaches this many points. Default: points/8, floored
+	// at 512, so both smoke and artifact scales see several seals.
+	SealThreshold int
+	// DeleteEvery deletes one in every DeleteEvery inserted points (after
+	// inserting it), exercising tombstones across segments. Default 10.
+	DeleteEvery int
+	// TornTrials is the number of torn-WAL-tail recovery probes. Default 4.
+	TornTrials int
+	// Method is the indexed access method. Default xjb (the paper's).
+	Method experiments.AMKind
+}
+
+// DefaultIngestParams returns the acceptance-scale shape.
+func DefaultIngestParams() IngestParams {
+	return IngestParams{Writers: 4, Readers: 2, DeleteEvery: 10, TornTrials: 4}
+}
+
+// IngestResult is the measurement blobbench's "ingest" experiment produces;
+// -ingestout serializes it into the INGEST_*.json artifact.
+type IngestResult struct {
+	Blobs         int    `json:"blobs"`
+	Dim           int    `json:"dim"`
+	Method        string `json:"method"`
+	Writers       int    `json:"writers"`
+	Readers       int    `json:"readers"`
+	SealThreshold int    `json:"seal_threshold"`
+	Inserts       int    `json:"inserts"`
+	Deletes       int    `json:"deletes"`
+
+	// Write path: wall-clock ingest throughput and per-insert latency
+	// (each insert is an fsynced WAL append plus the in-memory apply).
+	IngestSeconds float64 `json:"ingest_seconds"`
+	WritesPerSec  float64 `json:"writes_per_sec"`
+	InsertP50Us   float64 `json:"insert_p50_us"`
+	InsertP99Us   float64 `json:"insert_p99_us"`
+
+	// Read path while writing: k-NN queries answered during the ingest,
+	// racing live seals and background compactions.
+	QueriesDuringIngest int     `json:"queries_during_ingest"`
+	QueryP50Us          float64 `json:"query_p50_us"`
+	QueryP99Us          float64 `json:"query_p99_us"`
+
+	// Maintenance observed by the end of the ingest.
+	Seals        uint64 `json:"seals"`
+	Compactions  uint64 `json:"compactions"`
+	FileSegments int    `json:"file_segments"`
+	Tombstones   int    `json:"tombstones"`
+
+	// Recovery: a copy of the directory (the kill -9 disk image — every
+	// acknowledged write is fsynced in a listed WAL) reopened via replay.
+	RecoverySeconds  float64 `json:"recovery_seconds"`
+	ReplayedRecords  int64   `json:"replayed_records"`
+	RecoveryDiverged int     `json:"recovery_diverged"`
+
+	// Torn-tail probes: garbage appended to the crash image's active WAL
+	// must be truncated away without disturbing acknowledged state.
+	TornTrials   int `json:"torn_trials"`
+	TornSurvived int `json:"torn_survived"`
+
+	// Equivalence: after CompactAll, every workload query against the
+	// online index is compared against a one-shot Build over the same live
+	// set. Diverged counts mismatches — any nonzero value fails.
+	CompactAllSeconds float64 `json:"compact_all_seconds"`
+	QueriesCompared   int     `json:"queries_compared"`
+	Diverged          int     `json:"diverged"`
+
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// JSON renders the result for the INGEST_*.json artifact.
+func (r *IngestResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the result as a short report plus the verdict.
+func (r *IngestResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ingest: %d durable inserts (%d deletes) from %d writers, %d readers querying, seal threshold %d [%s, %dD]\n",
+		r.Inserts, r.Deletes, r.Writers, r.Readers, r.SealThreshold, r.Method, r.Dim)
+	fmt.Fprintf(&b, "  write path:  %.0f writes/s over %.2fs; insert latency p50 %.0fµs p99 %.0fµs\n",
+		r.WritesPerSec, r.IngestSeconds, r.InsertP50Us, r.InsertP99Us)
+	fmt.Fprintf(&b, "  read path:   %d queries during ingest; latency p50 %.0fµs p99 %.0fµs\n",
+		r.QueriesDuringIngest, r.QueryP50Us, r.QueryP99Us)
+	fmt.Fprintf(&b, "  maintenance: %d seals, %d compactions -> %d file segments, %d tombstones\n",
+		r.Seals, r.Compactions, r.FileSegments, r.Tombstones)
+	fmt.Fprintf(&b, "  recovery:    crash image replayed %d records in %.2fs, %d/%d queries diverged; torn tail %d/%d survived\n",
+		r.ReplayedRecords, r.RecoverySeconds, r.RecoveryDiverged, r.QueriesCompared, r.TornSurvived, r.TornTrials)
+	fmt.Fprintf(&b, "  equivalence: CompactAll %.2fs; %d/%d queries diverged from one-shot bulk load\n",
+		r.CompactAllSeconds, r.Diverged, r.QueriesCompared)
+	if r.Pass {
+		b.WriteString("  PASS\n")
+	} else {
+		fmt.Fprintf(&b, "  FAIL: %s\n", strings.Join(r.Failures, "; "))
+	}
+	return b.String()
+}
+
+// IngestBench runs the online write path over the scenario's reduced data
+// set: p.Writers goroutines insert every point durably (deleting one in
+// DeleteEvery), p.Readers run the shared k-NN workload against the moving
+// index, and background maintenance seals and compacts as the threshold
+// trips. It then (a) reopens a copy of the directory — the kill -9 crash
+// image — and checks WAL replay reconstructs the acknowledged state, (b)
+// probes torn WAL tails, and (c) CompactAlls and compares every workload
+// query against a one-shot bulk load of the same live set.
+func IngestBench(s *experiments.Scenario, p IngestParams) (*IngestResult, error) {
+	if p.Writers <= 0 {
+		p.Writers = 4
+	}
+	if p.Readers <= 0 {
+		p.Readers = 2
+	}
+	if p.DeleteEvery <= 0 {
+		p.DeleteEvery = 10
+	}
+	if p.TornTrials <= 0 {
+		p.TornTrials = 4
+	}
+	if p.Method == "" {
+		p.Method = "xjb"
+	}
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	reduced := s.Reduced(s.Params.Dim)
+	n := len(reduced)
+	if p.SealThreshold <= 0 {
+		p.SealThreshold = n / 8
+		if p.SealThreshold < 512 {
+			p.SealThreshold = 512
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "blobingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	live := filepath.Join(dir, "live")
+	opts := blobindex.Options{
+		Method:      blobindex.Method(p.Method),
+		Dim:         s.Params.Dim,
+		PageSize:    s.Params.PageSize,
+		XJBBites:    s.Params.XJBX,
+		AMAPSamples: s.Params.AMAPSamples,
+		Seed:        s.Params.Seed,
+	}
+	idx, err := blobindex.CreateOnline(live, opts, blobindex.OnlineOptions{SealThreshold: p.SealThreshold})
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close()
+
+	res := &IngestResult{
+		Blobs:         n,
+		Dim:           s.Params.Dim,
+		Method:        string(p.Method),
+		Writers:       p.Writers,
+		Readers:       p.Readers,
+		SealThreshold: p.SealThreshold,
+		TornTrials:    p.TornTrials,
+	}
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+	}
+
+	// Ingest: writers split the point range; every DeleteEvery-th point is
+	// deleted right after its insert, so deletes land both in the active
+	// memory segment and (after a seal slips in between) as tombstones.
+	var (
+		writeErr  atomic.Value
+		deletes   atomic.Int64
+		insertLat = make([][]time.Duration, p.Writers)
+		done      = make(chan struct{})
+	)
+	start := time.Now()
+	var writeWG sync.WaitGroup
+	for w := 0; w < p.Writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			lat := make([]time.Duration, 0, n/p.Writers+1)
+			for i := w; i < n; i += p.Writers {
+				pt := blobindex.Point{Key: reduced[i], RID: int64(i)}
+				t0 := time.Now()
+				if err := idx.Insert(pt); err != nil {
+					writeErr.Store(fmt.Errorf("insert rid %d: %w", i, err))
+					return
+				}
+				lat = append(lat, time.Since(t0))
+				if i%p.DeleteEvery == 0 {
+					ok, err := idx.Delete(reduced[i], int64(i))
+					if err != nil {
+						writeErr.Store(fmt.Errorf("delete rid %d: %w", i, err))
+						return
+					}
+					if !ok {
+						writeErr.Store(fmt.Errorf("delete rid %d: not acknowledged", i))
+						return
+					}
+					deletes.Add(1)
+				}
+			}
+			insertLat[w] = lat
+		}(w)
+	}
+
+	// Readers replay the workload round-robin until the writers finish,
+	// racing seals and compactions. Results move as data lands; the only
+	// invariant checked here is that queries never error and never return
+	// duplicate RIDs across the segment merge.
+	var (
+		readWG   sync.WaitGroup
+		queryLat = make([][]time.Duration, p.Readers)
+		readErr  atomic.Value
+	)
+	for rdr := 0; rdr < p.Readers; rdr++ {
+		readWG.Add(1)
+		go func(rdr int) {
+			defer readWG.Done()
+			lat := make([]time.Duration, 0, 1024)
+			for qi := rdr; ; qi++ {
+				select {
+				case <-done:
+					queryLat[rdr] = lat
+					return
+				default:
+				}
+				q := wl.Queries[qi%len(wl.Queries)]
+				t0 := time.Now()
+				got := idx.SearchKNN(q.Center, q.K)
+				lat = append(lat, time.Since(t0))
+				seen := make(map[int64]bool, len(got))
+				for _, nb := range got {
+					if seen[nb.RID] {
+						readErr.Store(fmt.Errorf("duplicate rid %d in merged k-NN result", nb.RID))
+						return
+					}
+					seen[nb.RID] = true
+				}
+			}
+		}(rdr)
+	}
+	writeWG.Wait()
+	res.IngestSeconds = time.Since(start).Seconds()
+	close(done)
+	readWG.Wait()
+	if err, ok := writeErr.Load().(error); ok {
+		return nil, err
+	}
+	if err, ok := readErr.Load().(error); ok {
+		fail("reader: %v", err)
+	}
+
+	res.Inserts = n
+	res.Deletes = int(deletes.Load())
+	res.WritesPerSec = float64(n+res.Deletes) / res.IngestSeconds
+	res.InsertP50Us, res.InsertP99Us = latPercentiles(insertLat)
+	res.QueryP50Us, res.QueryP99Us = latPercentiles(queryLat)
+	for _, lat := range queryLat {
+		res.QueriesDuringIngest += len(lat)
+	}
+
+	if st, ok := idx.IngestStats(); ok {
+		res.Seals = st.Seals
+		res.Compactions = st.Compactions
+		res.FileSegments = st.FileSegments
+		res.Tombstones = st.Tombstones
+	}
+	if res.Seals == 0 {
+		fail("no seal happened: threshold %d never tripped over %d inserts", p.SealThreshold, n)
+	}
+	wantLen := n - res.Deletes
+	if idx.Len() != wantLen {
+		fail("index length %d after ingest, want %d", idx.Len(), wantLen)
+	}
+
+	// Per-query reference answers from the live (quiesced) index: the
+	// yardstick for both the crash image and the compacted index.
+	ref := make([][]blobindex.Neighbor, len(wl.Queries))
+	for qi, q := range wl.Queries {
+		ref[qi] = idx.SearchKNN(q.Center, q.K)
+	}
+	res.QueriesCompared = len(wl.Queries)
+
+	// Crash image: every acknowledged write is fsynced in a manifest-listed
+	// WAL, so a byte copy of the directory is exactly what a kill -9 leaves.
+	crash := filepath.Join(dir, "crash")
+	if err := copyDir(live, crash); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	rec, err := blobindex.OpenOnline(crash, blobindex.OnlineOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("recover crash image: %w", err)
+	}
+	res.RecoverySeconds = time.Since(t0).Seconds()
+	if st, ok := rec.IngestStats(); ok {
+		res.ReplayedRecords = st.ReplayedRecords
+	}
+	for qi, q := range wl.Queries {
+		if !sameNeighbors(rec.SearchKNN(q.Center, q.K), ref[qi]) {
+			res.RecoveryDiverged++
+		}
+	}
+	rec.Close()
+	if res.RecoveryDiverged > 0 {
+		fail("%d queries diverged after WAL-replay recovery", res.RecoveryDiverged)
+	}
+
+	// Torn tails: append garbage to the crash image's newest WAL — a crash
+	// mid-append — and reopen; the tail is truncated, acknowledged state
+	// intact (spot-checked on a rotating subset of the workload).
+	for trial := 0; trial < p.TornTrials; trial++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn%d", trial))
+		if err := copyDir(live, torn); err != nil {
+			return nil, err
+		}
+		if err := appendGarbage(torn, 1+7*trial); err != nil {
+			return nil, err
+		}
+		tix, err := blobindex.OpenOnline(torn, blobindex.OnlineOptions{})
+		if err != nil {
+			fail("torn trial %d: reopen failed: %v", trial, err)
+			os.RemoveAll(torn)
+			continue
+		}
+		ok := tix.Len() == wantLen
+		for qi := trial; ok && qi < len(wl.Queries); qi += p.TornTrials {
+			ok = sameNeighbors(tix.SearchKNN(wl.Queries[qi].Center, wl.Queries[qi].K), ref[qi])
+		}
+		tix.Close()
+		os.RemoveAll(torn)
+		if ok {
+			res.TornSurvived++
+		} else {
+			fail("torn trial %d: acknowledged state disturbed", trial)
+		}
+	}
+
+	// Equivalence: merge everything into one bulk-loaded segment, then
+	// compare against a one-shot Build over the same live set. The loader,
+	// fill factor and STR order are shared, so answers must match exactly.
+	t0 = time.Now()
+	if err := idx.CompactAll(); err != nil {
+		return nil, err
+	}
+	res.CompactAllSeconds = time.Since(t0).Seconds()
+	livePts := make([]blobindex.Point, 0, wantLen)
+	for i := 0; i < n; i++ {
+		if i%p.DeleteEvery != 0 {
+			livePts = append(livePts, blobindex.Point{Key: reduced[i], RID: int64(i)})
+		}
+	}
+	oracle, err := blobindex.Build(livePts, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range wl.Queries {
+		if !sameNeighbors(idx.SearchKNN(q.Center, q.K), oracle.SearchKNN(q.Center, q.K)) {
+			res.Diverged++
+		}
+	}
+	if res.Diverged > 0 {
+		fail("%d queries diverged between the compacted online index and a one-shot bulk load", res.Diverged)
+	}
+
+	res.Pass = len(res.Failures) == 0
+	return res, nil
+}
+
+// latPercentiles merges the per-goroutine latency slices and returns the
+// p50 and p99 in microseconds.
+func latPercentiles(lat [][]time.Duration) (p50, p99 float64) {
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// sameNeighbors reports byte-identical answers: same RIDs in the same
+// order with bit-identical distances.
+func sameNeighbors(a, b []blobindex.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].RID != b[i].RID || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// copyDir copies the flat index directory src to dst.
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendGarbage appends nBytes of junk to the newest WAL in dir — the torn
+// partial record a crash mid-append leaves behind.
+func appendGarbage(dir string, nBytes int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	newest := ""
+	for _, e := range entries {
+		if ok, _ := filepath.Match("wal-*.log", e.Name()); ok && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		return fmt.Errorf("ingestbench: no WAL in %s", dir)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, newest), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	junk := make([]byte, nBytes)
+	for i := range junk {
+		junk[i] = byte(0xA5 ^ i)
+	}
+	if _, err := f.Write(junk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

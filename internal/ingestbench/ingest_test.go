@@ -1,0 +1,42 @@
+package ingestbench
+
+import (
+	"testing"
+
+	"blobindex/internal/experiments"
+)
+
+// TestIngestBenchSmoke runs the whole experiment at toy scale: concurrent
+// durable writers, racing readers, crash-image recovery, torn tails, and
+// the bulk-load equivalence check must all pass.
+func TestIngestBenchSmoke(t *testing.T) {
+	p := experiments.DefaultParams()
+	p.Images = 300
+	p.Queries = 12
+	p.K = 20
+	s, err := experiments.NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := DefaultIngestParams()
+	ip.Writers = 3
+	ip.Readers = 2
+	ip.SealThreshold = 400
+	ip.TornTrials = 2
+	r, err := IngestBench(s, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("ingest experiment failed:\n%s", r.Render())
+	}
+	if r.Seals == 0 {
+		t.Fatal("no seal at smoke scale; lower the threshold")
+	}
+	if r.QueriesDuringIngest == 0 {
+		t.Fatal("readers never ran during ingest")
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

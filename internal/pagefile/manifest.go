@@ -1,0 +1,188 @@
+package pagefile
+
+// Manifest v1 is the root of truth for a segmented (online) index
+// directory: it names every live segment pagefile and WAL generation, plus
+// the RID tombstones that mask deletes against sealed segments. The
+// directory layout it describes is
+//
+//	manifest.blob              this file
+//	seg-<gen>.idx              immutable pagefile segments (oldest first)
+//	wal-<gen>.log              write-ahead logs; the last listed gen is the
+//	                           active log, earlier gens are replay debt
+//
+// Opening an online index reads the manifest, opens the listed segments,
+// replays the listed WALs oldest-first into a fresh memory segment, and
+// ignores (then deletes) any file the manifest does not mention — which is
+// how a crash between "write new segment" and "commit manifest" resolves
+// to the pre-compaction state.
+//
+// Format (little endian): magic "BLOBMAN", version byte, method name
+// (16 bytes, zero padded), dim/pageSize/xjbX uint32, segment count,
+// WAL count, tombstone count uint32, then the segment generations uint64
+// (oldest first), WAL generations uint64 (active last), tombstones
+// (rid int64, watermark uint64), and a trailing CRC32 over everything
+// before it. Commit is the same discipline as Save: tmp → fsync → rename →
+// directory fsync.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	manifestMagic   = "BLOBMAN"
+	manifestVersion = 1
+	// ManifestName is the manifest's file name inside an index directory.
+	ManifestName = "manifest.blob"
+)
+
+// Tombstone masks a deleted RID in every segment whose generation is below
+// the watermark. Segments bulk-loaded at or after the watermark were built
+// with the delete already applied (or the RID re-inserted), so the mask
+// must not cover them.
+type Tombstone struct {
+	RID       int64
+	Watermark uint64
+}
+
+// Manifest describes one consistent view of a segmented index directory.
+type Manifest struct {
+	Method   string
+	Dim      int
+	PageSize int
+	XJBX     int
+	// SegmentGens lists the immutable segment generations, oldest first.
+	SegmentGens []uint64
+	// WALGens lists the live WAL generations, oldest first; the last one
+	// is the active log new writes append to.
+	WALGens    []uint64
+	Tombstones []Tombstone
+}
+
+// SegmentFileName returns the conventional segment pagefile name for gen.
+func SegmentFileName(gen uint64) string { return fmt.Sprintf("seg-%06d.idx", gen) }
+
+// WriteManifest atomically commits m to dir/ManifestName with the same
+// crash discipline as Save: the encoded bytes go to a temp file, are
+// fsynced, renamed over the manifest, and the directory is fsynced so the
+// rename is durable. A crash at any point leaves either the old or the new
+// manifest intact, never a mix.
+func WriteManifest(dir string, m *Manifest) error {
+	if len(m.Method) > 16 {
+		return fmt.Errorf("pagefile: method name %q too long", m.Method)
+	}
+	buf := make([]byte, 0, 64+8*(len(m.SegmentGens)+len(m.WALGens)+2*len(m.Tombstones)))
+	buf = append(buf, manifestMagic...)
+	buf = append(buf, manifestVersion)
+	var name [16]byte
+	copy(name[:], m.Method)
+	buf = append(buf, name[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.PageSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.XJBX))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.SegmentGens)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.WALGens)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Tombstones)))
+	for _, g := range m.SegmentGens {
+		buf = binary.LittleEndian.AppendUint64(buf, g)
+	}
+	for _, g := range m.WALGens {
+		buf = binary.LittleEndian.AppendUint64(buf, g)
+	}
+	for _, t := range m.Tombstones {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.RID))
+		buf = binary.LittleEndian.AppendUint64(buf, t.Watermark)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pagefile: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pagefile: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest reads and validates dir/ManifestName.
+func ReadManifest(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	fixed := len(manifestMagic) + 1 + 16 + 4*6
+	if len(buf) < fixed+4 {
+		return nil, fmt.Errorf("pagefile: manifest too short (%d bytes)", len(buf))
+	}
+	if string(buf[:len(manifestMagic)]) != manifestMagic {
+		return nil, ErrBadMagic
+	}
+	if v := buf[len(manifestMagic)]; v != manifestVersion {
+		return nil, fmt.Errorf("%w: manifest version %d, want %d", ErrVersion, v, manifestVersion)
+	}
+	stored := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != stored {
+		return nil, fmt.Errorf("%w: manifest", ErrChecksum)
+	}
+	off := len(manifestMagic) + 1
+	m := &Manifest{Method: trimZero(buf[off : off+16])}
+	off += 16
+	get32 := func() int {
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return int(v)
+	}
+	m.Dim = get32()
+	m.PageSize = get32()
+	m.XJBX = get32()
+	nSeg, nWAL, nTomb := get32(), get32(), get32()
+	want := fixed + 8*(nSeg+nWAL+2*nTomb) + 4
+	if len(buf) != want {
+		return nil, fmt.Errorf("pagefile: manifest is %d bytes, counts say %d", len(buf), want)
+	}
+	if m.Dim < 1 || m.PageSize < 256 || nWAL < 1 {
+		return nil, fmt.Errorf("pagefile: corrupt manifest (dim=%d page=%d wals=%d)",
+			m.Dim, m.PageSize, nWAL)
+	}
+	get64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v
+	}
+	m.SegmentGens = make([]uint64, nSeg)
+	for i := range m.SegmentGens {
+		m.SegmentGens[i] = get64()
+	}
+	m.WALGens = make([]uint64, nWAL)
+	for i := range m.WALGens {
+		m.WALGens[i] = get64()
+	}
+	if nTomb > 0 {
+		m.Tombstones = make([]Tombstone, nTomb)
+		for i := range m.Tombstones {
+			m.Tombstones[i] = Tombstone{RID: int64(get64()), Watermark: get64()}
+		}
+	}
+	return m, nil
+}

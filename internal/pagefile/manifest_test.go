@@ -1,0 +1,111 @@
+package pagefile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		Method:      "rtree",
+		Dim:         5,
+		PageSize:    4096,
+		XJBX:        3,
+		SegmentGens: []uint64{1, 2, 5},
+		WALGens:     []uint64{5, 6},
+		Tombstones:  []Tombstone{{RID: 42, Watermark: 6}, {RID: 7, Watermark: 3}},
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp manifest left behind: %v", err)
+	}
+}
+
+func TestManifestEmptySegments(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{Method: "jb", Dim: 2, PageSize: 512, WALGens: []uint64{1}}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if len(got.SegmentGens) != 0 || len(got.Tombstones) != 0 || len(got.WALGens) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestManifestOverwriteIsAtomicSwap(t *testing.T) {
+	dir := t.TempDir()
+	m1 := &Manifest{Method: "rtree", Dim: 3, PageSize: 1024, WALGens: []uint64{1}}
+	if err := WriteManifest(dir, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &Manifest{Method: "rtree", Dim: 3, PageSize: 1024,
+		SegmentGens: []uint64{1}, WALGens: []uint64{2}}
+	if err := WriteManifest(dir, m2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2, got) {
+		t.Fatalf("got %+v, want %+v", got, m2)
+	}
+}
+
+func TestManifestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{Method: "rtree", Dim: 5, PageSize: 4096,
+		SegmentGens: []uint64{1}, WALGens: []uint64{2}}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the middle: CRC must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt manifest: err = %v, want ErrChecksum", err)
+	}
+
+	// Truncated file.
+	if err := os.WriteFile(path, raw[:len(raw)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+
+	// Not a manifest at all.
+	if err := os.WriteFile(path, []byte("definitely not a manifest file, padded past the fixed header size"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+}

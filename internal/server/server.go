@@ -48,6 +48,31 @@ type Queryer interface {
 
 var _ Queryer = (*blobindex.Index)(nil)
 
+// The online-ingest surface is optional: the server discovers it by type
+// assertion so Queryer (and every test fake implementing it) is untouched.
+// *blobindex.Index implements all three; a fake that wants the segments
+// stats section or reorg-driven cache invalidation opts in per interface.
+type ingestStatser interface {
+	IngestStats() (blobindex.IngestStats, bool)
+}
+
+type segmentLister interface {
+	SegmentInfos() []blobindex.SegmentInfo
+}
+
+type reorgNotifier interface {
+	// SetReorgHook registers a callback run after every background segment
+	// reorganization (seal, compaction) — writes the server did not make
+	// itself but that advance the index state its cache snapshots.
+	SetReorgHook(fn func())
+}
+
+var (
+	_ ingestStatser = (*blobindex.Index)(nil)
+	_ segmentLister = (*blobindex.Index)(nil)
+	_ reorgNotifier = (*blobindex.Index)(nil)
+)
+
 // Config sizes the serving machinery. The zero value of every field except
 // Index picks a sensible default.
 type Config struct {
@@ -182,6 +207,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if rd, ok := cfg.Index.RefineDim(); ok {
 		s.refineDim = rd
+	}
+	// An online index compacts in the background: a seal or compaction swaps
+	// segments underneath the result cache exactly like a write would, so it
+	// must advance the cache generation the same way the write handlers do.
+	if rn, ok := cfg.Index.(reorgNotifier); ok {
+		rn.SetReorgHook(func() { s.cache.invalidate() })
 	}
 	for _, name := range endpointNames {
 		s.hists[name] = &histogram{}
@@ -701,6 +732,32 @@ type StorageStats struct {
 	Ready           bool    `json:"ready"`
 }
 
+// SegmentJSON is one live segment's row in the segments stats section.
+type SegmentJSON struct {
+	Gen       uint64 `json:"gen"`
+	Len       int    `json:"len"`
+	Pages     int    `json:"pages"`
+	SizeBytes int64  `json:"size_bytes"`
+	Mutable   bool   `json:"mutable"`
+}
+
+// SegmentsStats is the online-ingest section of Stats: the live segment
+// stack, the delete tombstones masking it, and the write-ahead log's depth
+// — present only when the served index is online (CreateOnline/OpenOnline).
+type SegmentsStats struct {
+	Count           int           `json:"count"`
+	Tombstones      int           `json:"tombstones"`
+	ActiveGen       uint64        `json:"active_gen"`
+	WALDepth        int64         `json:"wal_depth"`
+	WALBytes        int64         `json:"wal_bytes"`
+	Pending         int           `json:"pending"`
+	Seals           uint64        `json:"seals"`
+	Compactions     uint64        `json:"compactions"`
+	FullCompactions uint64        `json:"full_compactions"`
+	Appends         int64         `json:"appends"`
+	Segments        []SegmentJSON `json:"segments"`
+}
+
 // StageInfo is one search-pipeline stage's row in Stats: how many index
 // traversals ran the stage, the cumulative candidates it produced, and its
 // latency distribution. Filter covers every traversal (candidate generation
@@ -722,6 +779,9 @@ type Stats struct {
 	Coalesce      CoalesceStats  `json:"coalesce"`
 	Storage       StorageStats   `json:"storage"`
 	Buffer        *BufferInfo    `json:"buffer,omitempty"`
+	// Segments is the online-ingest view (segment stack, tombstones, WAL
+	// depth); nil when the served index is not online.
+	Segments *SegmentsStats `json:"segments,omitempty"`
 	// Stages breaks served index traversals into the search pipeline's
 	// filter and refine stages.
 	Stages map[string]StageInfo `json:"stages"`
@@ -761,6 +821,30 @@ func (s *Server) Stats() Stats {
 	}
 	if bs, ok := s.idx.BufferStats(); ok {
 		st.Buffer = bufferInfo(bs)
+	}
+	if ig, ok := s.idx.(ingestStatser); ok {
+		if snap, online := ig.IngestStats(); online {
+			seg := &SegmentsStats{
+				Tombstones:      snap.Tombstones,
+				ActiveGen:       snap.ActiveGen,
+				WALDepth:        snap.WALDepth,
+				WALBytes:        snap.WALBytes,
+				Pending:         snap.PendingSegments,
+				Seals:           snap.Seals,
+				Compactions:     snap.Compactions,
+				FullCompactions: snap.FullCompactions,
+				Appends:         snap.Appends,
+			}
+			if sl, ok := s.idx.(segmentLister); ok {
+				infos := sl.SegmentInfos()
+				seg.Count = len(infos)
+				seg.Segments = make([]SegmentJSON, len(infos))
+				for i, si := range infos {
+					seg.Segments[i] = SegmentJSON(si)
+				}
+			}
+			st.Segments = seg
+		}
 	}
 	filter := s.filterHist.summary()
 	refine := s.refineHist.summary()

@@ -1,0 +1,329 @@
+// Package wal is the write-ahead log of the online ingest path: every
+// facade Insert/Delete against an online index is appended (and fsynced)
+// here before it is applied to the in-memory segment, so acknowledged
+// writes survive kill -9. The log is the durability floor between
+// compactions — once a memory segment is sealed into an immutable pagefile
+// segment, its log generation is deleted.
+//
+// Format (little endian):
+//
+//	header (28 bytes): magic "BLOBWAL", version byte, dim uint32,
+//	                   reserved uint32, generation uint64,
+//	                   header CRC32 (computed with the CRC field zeroed)
+//	records:           length uint32 (payload bytes), CRC32 (payload),
+//	                   payload = op byte, rid int64, key dim×float64
+//
+// Appends are committed in batches: one Append call writes its records with
+// a single write(2) followed by a single fsync, so a caller batching N
+// writes pays one disk sync for all of them. The fsync completes before
+// Append returns — a record the caller has seen acknowledged is on disk.
+//
+// Replay tolerates a torn tail: a crash mid-append leaves a final record
+// that is short or fails its CRC, and Open truncates the file back to the
+// last whole record instead of failing — exactly the semantics of an
+// unacknowledged write. Corruption in the header (which is never appended
+// to) is not recoverable and reports pagefile.ErrChecksum-style sentinels
+// local to this package.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+const (
+	magic   = "BLOBWAL"
+	version = 1
+	// headerLen is the fixed header: magic, version, dim, reserved,
+	// generation, CRC.
+	headerLen = len(magic) + 1 + 4 + 4 + 8 + 4
+	// frameLen is the per-record frame overhead: payload length + CRC.
+	frameLen = 8
+)
+
+// Sentinel errors, mirroring the pagefile taxonomy: a bad magic or version
+// means the file is not (or no longer) a WAL of this format; a checksum
+// failure in the header means bytes that were written once and never
+// appended to are wrong — retrying cannot help.
+var (
+	ErrBadMagic = errors.New("wal: bad magic")
+	ErrVersion  = errors.New("wal: unsupported format version")
+	ErrChecksum = errors.New("wal: header checksum mismatch")
+)
+
+// Op is a logged mutation kind.
+type Op uint8
+
+const (
+	// OpInsert logs a facade Insert.
+	OpInsert Op = 1
+	// OpDelete logs a facade Delete.
+	OpDelete Op = 2
+)
+
+// Record is one logged mutation. Both kinds carry the full key: replay
+// needs it to re-apply an insert and to locate the victim of a delete.
+type Record struct {
+	Op  Op
+	RID int64
+	Key []float64
+}
+
+// Log is an append-only write-ahead log for one ingest generation.
+// Append is safe for concurrent callers; each call is one commit batch.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	dim     int
+	gen     uint64
+	size    int64 // current file size in bytes
+	records int64 // whole records in the file (replayed + appended)
+}
+
+// FileName returns the conventional file name of WAL generation gen inside
+// an online index directory.
+func FileName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// Create creates a fresh, empty log at path for dim-dimensional keys,
+// fsyncing the file and its directory so the log's existence survives a
+// crash before its first record does.
+func Create(path string, dim int, gen uint64) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	hdr[len(magic)] = version
+	off := len(magic) + 1
+	binary.LittleEndian.PutUint32(hdr[off:], uint32(dim))
+	off += 8 // dim + reserved
+	binary.LittleEndian.PutUint64(hdr[off:], gen)
+	off += 8
+	binary.LittleEndian.PutUint32(hdr[off:], 0)
+	binary.LittleEndian.PutUint32(hdr[off:], crc32.ChecksumIEEE(hdr))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, path: path, dim: dim, gen: gen, size: int64(headerLen)}, nil
+}
+
+// Open opens an existing log, replays every whole record through apply (in
+// append order), truncates a torn tail if the last append never completed,
+// and leaves the log ready for further Appends. tornBytes reports how many
+// trailing bytes were discarded (0 for a clean log). A missing file is the
+// caller's concern — durability code distinguishes "never created" from
+// "created empty".
+func Open(path string, apply func(Record) error) (l *Log, replayed int64, tornBytes int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("wal: short header: %w", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		f.Close()
+		return nil, 0, 0, ErrBadMagic
+	}
+	if v := hdr[len(magic)]; v != version {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, version)
+	}
+	off := len(magic) + 1
+	dim := int(binary.LittleEndian.Uint32(hdr[off:]))
+	off += 8
+	gen := binary.LittleEndian.Uint64(hdr[off:])
+	off += 8
+	stored := binary.LittleEndian.Uint32(hdr[off:])
+	binary.LittleEndian.PutUint32(hdr[off:], 0)
+	if crc32.ChecksumIEEE(hdr) != stored {
+		f.Close()
+		return nil, 0, 0, ErrChecksum
+	}
+	if dim < 1 || dim > 1<<16 {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("wal: implausible dimension %d", dim)
+	}
+
+	l = &Log{f: f, path: path, dim: dim, gen: gen, size: int64(headerLen)}
+	payloadLen := 1 + 8 + 8*dim
+	frame := make([]byte, frameLen+payloadLen)
+	r := io.NewSectionReader(f, int64(headerLen), 1<<62)
+	good := int64(headerLen)
+	for {
+		if _, err := io.ReadFull(r, frame[:frameLen]); err != nil {
+			break // clean EOF or torn frame header: truncate below
+		}
+		n := binary.LittleEndian.Uint32(frame[0:])
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if int(n) != payloadLen {
+			break // garbage length: torn tail
+		}
+		if _, err := io.ReadFull(r, frame[frameLen:]); err != nil {
+			break
+		}
+		payload := frame[frameLen:]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec := Record{Op: Op(payload[0]), RID: int64(binary.LittleEndian.Uint64(payload[1:])), Key: make([]float64, dim)}
+		for d := 0; d < dim; d++ {
+			rec.Key[d] = math.Float64frombits(binary.LittleEndian.Uint64(payload[9+8*d:]))
+		}
+		if rec.Op != OpInsert && rec.Op != OpDelete {
+			break // unknown op: treat as torn (this format has no others)
+		}
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				f.Close()
+				return nil, replayed, 0, err
+			}
+		}
+		replayed++
+		good += int64(frameLen + payloadLen)
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, replayed, 0, err
+	}
+	if end > good {
+		tornBytes = end - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, replayed, tornBytes, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, replayed, tornBytes, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, replayed, tornBytes, err
+	}
+	l.size = good
+	l.records = replayed
+	return l, replayed, tornBytes, nil
+}
+
+// Append commits a batch of records: every record is framed and written
+// with one write call, then the file is fsynced. When Append returns nil
+// the batch is durable; on error the caller must treat the batch as not
+// applied (a torn partial write will be truncated away on replay).
+func (l *Log) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payloadLen := 1 + 8 + 8*l.dim
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: %s: log closed", l.path)
+	}
+	buf := make([]byte, 0, len(recs)*(frameLen+payloadLen))
+	var payload = make([]byte, payloadLen)
+	for _, rec := range recs {
+		if len(rec.Key) != l.dim {
+			return fmt.Errorf("wal: record key dimension %d, log dimension %d", len(rec.Key), l.dim)
+		}
+		if rec.Op != OpInsert && rec.Op != OpDelete {
+			return fmt.Errorf("wal: unknown op %d", rec.Op)
+		}
+		payload[0] = byte(rec.Op)
+		binary.LittleEndian.PutUint64(payload[1:], uint64(rec.RID))
+		for d, c := range rec.Key {
+			binary.LittleEndian.PutUint64(payload[9+8*d:], math.Float64bits(c))
+		}
+		var frame [frameLen]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(payloadLen))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, frame[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.records += int64(len(recs))
+	return nil
+}
+
+// Depth returns the number of whole records in the log — the replay debt a
+// reopen would pay.
+func (l *Log) Depth() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// SizeBytes returns the log's current size.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Gen returns the log's generation number.
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Dim returns the key dimensionality the log was created with.
+func (l *Log) Dim() int { return l.dim }
+
+// Close releases the file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-created file survives a crash.
+// Filesystems that cannot sync directories (EINVAL/ENOTSUP) are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,814 @@
+package blobindex
+
+// Online ingest: the durable write path. An online index lives in a
+// directory governed by a manifest (internal/pagefile's manifest v1):
+// immutable segment pagefiles, one or more write-ahead logs, and the RID
+// tombstones masking deletes against sealed segments. Every Insert/Delete
+// is appended (and fsynced) to the active WAL before it is applied to the
+// active memory segment, so a write that has been acknowledged survives
+// kill -9; background maintenance seals the memory segment past a size
+// threshold, bulk-loads it into an immutable pagefile segment with the
+// same parallel STR loader Build uses, and commits the swap by atomically
+// rewriting the manifest. See DESIGN.md §13 for the full protocol and the
+// crash-window analysis.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"blobindex/internal/am"
+	"blobindex/internal/geom"
+	"blobindex/internal/gist"
+	"blobindex/internal/pagefile"
+	"blobindex/internal/segment"
+	"blobindex/internal/str"
+	"blobindex/internal/wal"
+)
+
+// poolOrDefault resolves a buffer pool budget, 0 meaning DefaultPoolPages.
+func poolOrDefault(n int) int {
+	if n <= 0 {
+		return DefaultPoolPages
+	}
+	return n
+}
+
+// OnlineOptions configures the maintenance policy of an online index.
+type OnlineOptions struct {
+	// SealThreshold is the active-segment point count past which a
+	// background seal + compaction starts. 0 disables automatic
+	// maintenance; SealActive, CompactPending and CompactAll still work.
+	SealThreshold int
+	// PoolPages is the buffer pool budget, in pages, of each sealed
+	// pagefile segment. 0 means DefaultPoolPages.
+	PoolPages int
+}
+
+// frozenMem is a sealed memory segment awaiting compaction, together with
+// the WAL generations whose records its points came from (normally one;
+// several when a crash recovery folded multiple logs into one segment).
+type frozenMem struct {
+	seg     *segment.Mem
+	walGens []uint64
+}
+
+// onlineState is the write-side machinery of an online index.
+type onlineState struct {
+	dir           string
+	poolPages     int
+	sealThreshold int
+
+	// wmu serializes writers (Insert/Delete) and the in-memory commit
+	// points of seal and compaction — the single-writer discipline of the
+	// facade, made explicit because maintenance is itself a writer.
+	wmu sync.Mutex
+	// mmu serializes maintenance sequences (seal, compact), which span
+	// long stretches outside wmu.
+	mmu sync.Mutex
+
+	active        *segment.Mem
+	activeGen     uint64
+	activeWALGens []uint64 // gens whose data lives in the active mem (last = activeGen)
+	log           *wal.Log
+	frozen        []frozenMem // oldest first; compaction always takes the head
+	closed        bool
+
+	reorgHook atomic.Value // func(), called after every seal/compact swap
+
+	seals           atomic.Uint64
+	compactions     atomic.Uint64
+	fullCompactions atomic.Uint64
+	appends         atomic.Int64
+	replayed        int64
+	tornBytes       int64
+}
+
+// IngestStats is a snapshot of an online index's write path.
+type IngestStats struct {
+	Dir       string
+	ActiveGen uint64
+	ActiveLen int // points in the active (mutable) segment
+	WALDepth  int64
+	WALBytes  int64
+	// PendingSegments counts sealed memory segments awaiting compaction;
+	// FileSegments counts immutable pagefile segments.
+	PendingSegments int
+	FileSegments    int
+	Tombstones      int
+	Seals           uint64
+	Compactions     uint64
+	FullCompactions uint64
+	Appends         int64
+	// ReplayedRecords and TornBytes describe the last open: WAL records
+	// replayed into the memory segment, and bytes of torn (unacknowledged)
+	// WAL tail truncated away.
+	ReplayedRecords int64
+	TornBytes       int64
+}
+
+// SegmentInfo describes one live segment, for stats surfaces (/v1/stats).
+type SegmentInfo struct {
+	Gen       uint64
+	Len       int // stored points, before tombstone masking
+	Pages     int
+	SizeBytes int64
+	Mutable   bool
+}
+
+// SegmentInfos lists the live segments, oldest first. A legacy index
+// reports its single wrapped segment.
+func (ix *Index) SegmentInfos() []SegmentInfo {
+	stats := ix.stack.SegmentStats()
+	out := make([]SegmentInfo, len(stats))
+	for i, s := range stats {
+		out[i] = SegmentInfo(s)
+	}
+	return out
+}
+
+// IngestStats returns the online write-path snapshot; ok is false for
+// legacy (non-online) indexes.
+func (ix *Index) IngestStats() (IngestStats, bool) {
+	o := ix.online
+	if o == nil {
+		return IngestStats{}, false
+	}
+	o.wmu.Lock()
+	s := IngestStats{
+		Dir:             o.dir,
+		ActiveGen:       o.activeGen,
+		ActiveLen:       o.active.Len(),
+		WALDepth:        o.log.Depth(),
+		WALBytes:        o.log.SizeBytes(),
+		PendingSegments: len(o.frozen),
+		ReplayedRecords: o.replayed,
+		TornBytes:       o.tornBytes,
+	}
+	o.wmu.Unlock()
+	for _, seg := range ix.stack.Segments() {
+		if _, isFile := seg.(*segment.File); isFile {
+			s.FileSegments++
+		}
+	}
+	s.Tombstones = ix.stack.NumTombstones()
+	s.Seals = o.seals.Load()
+	s.Compactions = o.compactions.Load()
+	s.FullCompactions = o.fullCompactions.Load()
+	s.Appends = o.appends.Load()
+	return s, true
+}
+
+// SetReorgHook registers fn to run after every segment reorganization —
+// seal, background compaction, full compaction. Serving layers use it to
+// advance their cache generation, exactly as they do after a write. A nil
+// fn clears the hook. No-op on legacy indexes.
+func (ix *Index) SetReorgHook(fn func()) {
+	if ix.online == nil {
+		return
+	}
+	if fn == nil {
+		fn = func() {}
+	}
+	ix.online.reorgHook.Store(fn)
+}
+
+func (o *onlineState) notifyReorg() {
+	if fn, ok := o.reorgHook.Load().(func()); ok {
+		fn()
+	}
+}
+
+// CreateOnline creates a new empty online index in dir (created if
+// missing): a manifest, an empty generation-1 WAL, and an empty active
+// memory segment. The returned Index serves reads like any other and
+// accepts durable, WAL-backed Insert/Delete.
+func CreateOnline(dir string, opts Options, oo OnlineOptions) (*Index, error) {
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ext, err := opts.extension()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	active, err := segment.NewMem(ext, gist.Config{Dim: opts.Dim, PageSize: opts.PageSize}, 1)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Create(filepath.Join(dir, wal.FileName(1)), opts.Dim, 1)
+	if err != nil {
+		return nil, err
+	}
+	o := &onlineState{
+		dir:           dir,
+		poolPages:     poolOrDefault(oo.PoolPages),
+		sealThreshold: oo.SealThreshold,
+		active:        active,
+		activeGen:     1,
+		activeWALGens: []uint64{1},
+		log:           log,
+	}
+	ix := &Index{stack: singleStack(active), opts: opts, online: o}
+	if err := o.commitManifest(ix, nil, []uint64{1}); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// OpenOnline opens the online index in dir: the manifest names the live
+// segment pagefiles and WALs, the segments are opened demand-paged, and
+// every listed WAL is replayed oldest-first into a fresh active memory
+// segment — so every write acknowledged before a crash is served again. A
+// torn WAL tail (a crash mid-append) is truncated away; it was never
+// acknowledged. Unreferenced segment/WAL/tmp files left by a crash
+// mid-compaction are removed.
+func OpenOnline(dir string, oo OnlineOptions) (*Index, error) {
+	m, err := pagefile.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{
+		Method:   Method(m.Method),
+		Dim:      m.Dim,
+		PageSize: m.PageSize,
+		XJBBites: m.XJBX,
+	}
+	if err := opts.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ext, err := opts.extension()
+	if err != nil {
+		return nil, err
+	}
+	pool := poolOrDefault(oo.PoolPages)
+
+	janitor(dir, m)
+
+	segs := make([]segment.Segment, 0, len(m.SegmentGens)+1)
+	closeAll := func() {
+		for _, s := range segs {
+			s.Close()
+		}
+	}
+	for _, gen := range m.SegmentGens {
+		// The pagefile header carries the access-method parameters, exactly
+		// as in OpenWithOptions; am.Options{} defers to it.
+		fs, err := segment.OpenFile(filepath.Join(dir, pagefile.SegmentFileName(gen)), am.Options{}, pool, gen)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("blobindex: open segment gen %d: %w", gen, err)
+		}
+		segs = append(segs, fs)
+	}
+
+	activeGen := m.WALGens[len(m.WALGens)-1]
+	active, err := segment.NewMem(ext, gist.Config{Dim: opts.Dim, PageSize: opts.PageSize}, activeGen)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	segs = append(segs, active)
+
+	tombs := make(map[int64]uint64, len(m.Tombstones))
+	for _, t := range m.Tombstones {
+		tombs[t.RID] = t.Watermark
+	}
+
+	o := &onlineState{
+		dir:           dir,
+		poolPages:     pool,
+		sealThreshold: oo.SealThreshold,
+		active:        active,
+		activeGen:     activeGen,
+		activeWALGens: slices.Clone(m.WALGens),
+	}
+	ix := &Index{stack: segment.NewStack(segs, tombs), opts: opts, online: o}
+
+	// Replay oldest-first: every log's records apply in append order, so
+	// the memory segment converges to exactly the acknowledged state. Only
+	// the youngest log stays open — it is the active log.
+	for i, gen := range m.WALGens {
+		log, n, torn, err := wal.Open(filepath.Join(dir, wal.FileName(gen)), func(rec wal.Record) error {
+			return o.applyReplayed(ix, rec)
+		})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("blobindex: replay wal gen %d: %w", gen, err)
+		}
+		if log.Dim() != opts.Dim {
+			log.Close()
+			closeAll()
+			return nil, fmt.Errorf("blobindex: wal gen %d has dimension %d, index has %d",
+				gen, log.Dim(), opts.Dim)
+		}
+		o.replayed += n
+		o.tornBytes += torn
+		if i == len(m.WALGens)-1 {
+			o.log = log
+		} else {
+			log.Close()
+		}
+	}
+	return ix, nil
+}
+
+// applyReplayed applies one replayed WAL record: the recovery-time image of
+// onlineInsert/onlineDelete minus the logging. Deletes re-derive their
+// placement — a point replayed into the memory segment is deleted there, a
+// point in a sealed file segment gets its tombstone back.
+func (o *onlineState) applyReplayed(ix *Index, rec wal.Record) error {
+	key := geom.Vector(rec.Key)
+	switch rec.Op {
+	case wal.OpInsert:
+		return o.active.Insert(gist.Point{Key: key, RID: rec.RID})
+	case wal.OpDelete:
+		if ok, err := o.active.Tree().Lookup(key, rec.RID); err != nil {
+			return err
+		} else if ok {
+			_, err := o.active.Delete(key, rec.RID)
+			return err
+		}
+		if ok, err := ix.stack.Contains(key, rec.RID, o.activeGen); err != nil {
+			return err
+		} else if ok {
+			ix.stack.AddTombstone(rec.RID, o.activeGen)
+		}
+		return nil
+	}
+	return fmt.Errorf("blobindex: unknown wal op %d", rec.Op)
+}
+
+// janitor removes files a crash left unreferenced: temp files from torn
+// saves and segment/WAL generations the manifest does not list (a
+// compaction that wrote its output but died before the manifest commit).
+func janitor(dir string, m *pagefile.Manifest) {
+	keep := map[string]bool{pagefile.ManifestName: true}
+	for _, g := range m.SegmentGens {
+		keep[pagefile.SegmentFileName(g)] = true
+	}
+	for _, g := range m.WALGens {
+		keep[wal.FileName(g)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
+		}
+		segMatch, _ := filepath.Match("seg-*.idx", name)
+		walMatch, _ := filepath.Match("wal-*.log", name)
+		if segMatch || walMatch || filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// onlineInsert is the durable insert: WAL append + fsync first, then the
+// in-memory apply. When it returns nil the point survives a crash.
+func (ix *Index) onlineInsert(p Point) error {
+	o := ix.online
+	o.wmu.Lock()
+	if o.closed {
+		o.wmu.Unlock()
+		return errors.New("blobindex: index closed")
+	}
+	if err := o.log.Append(wal.Record{Op: wal.OpInsert, RID: p.RID, Key: p.Key}); err != nil {
+		o.wmu.Unlock()
+		return err
+	}
+	err := o.active.Insert(gist.Point{Key: geom.Vector(p.Key).Clone(), RID: p.RID})
+	n := o.active.Len()
+	o.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	o.appends.Add(1)
+	if o.sealThreshold > 0 && n >= o.sealThreshold {
+		o.kickMaintenance(ix)
+	}
+	return nil
+}
+
+// onlineDelete is the durable delete. Presence decides acknowledgement
+// before anything is logged; a present pair is then WAL-logged and either
+// removed from the active memory segment or tombstoned against the sealed
+// segment holding it.
+func (ix *Index) onlineDelete(key []float64, rid int64) (bool, error) {
+	o := ix.online
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.closed {
+		return false, errors.New("blobindex: index closed")
+	}
+	kv := geom.Vector(key)
+	inMem, err := o.active.Tree().Lookup(kv, rid)
+	if err != nil {
+		return false, err
+	}
+	inSealed, err := ix.stack.Contains(kv, rid, o.activeGen)
+	if err != nil {
+		return false, err
+	}
+	if !inMem && !inSealed {
+		return false, nil
+	}
+	if err := o.log.Append(wal.Record{Op: wal.OpDelete, RID: rid, Key: key}); err != nil {
+		return false, err
+	}
+	if inMem {
+		if _, err := o.active.Delete(kv, rid); err != nil {
+			return false, err
+		}
+	}
+	if inSealed {
+		ix.stack.AddTombstone(rid, o.activeGen)
+	}
+	o.appends.Add(1)
+	return true, nil
+}
+
+// kickMaintenance starts a background seal+compact cycle unless one is
+// already running.
+func (o *onlineState) kickMaintenance(ix *Index) {
+	if !o.mmu.TryLock() {
+		return
+	}
+	go func() {
+		defer o.mmu.Unlock()
+		if o.sealLocked(ix) == nil {
+			o.compactPendingLocked(ix)
+		}
+	}()
+}
+
+// SealActive freezes the active memory segment and starts a fresh WAL and
+// memory segment: the frozen segment becomes immutable, keeps serving
+// reads, and waits for CompactPending to bulk-load it into a pagefile.
+// ErrNotOnline on legacy indexes.
+func (ix *Index) SealActive() error {
+	o := ix.online
+	if o == nil {
+		return ErrNotOnline
+	}
+	o.mmu.Lock()
+	defer o.mmu.Unlock()
+	return o.sealLocked(ix)
+}
+
+// sealLocked is SealActive with mmu held. Protocol: create the next WAL,
+// commit a manifest listing both logs (so a crash at any point replays
+// every acknowledged write), then swap the memory segments under wmu.
+func (o *onlineState) sealLocked(ix *Index) error {
+	o.wmu.Lock()
+	if o.closed {
+		o.wmu.Unlock()
+		return errors.New("blobindex: index closed")
+	}
+	oldGen := o.activeGen
+	newGen := oldGen + 1
+	o.wmu.Unlock()
+
+	ext, err := ix.opts.extension()
+	if err != nil {
+		return err
+	}
+	newMem, err := segment.NewMem(ext, gist.Config{Dim: ix.opts.Dim, PageSize: ix.opts.PageSize}, newGen)
+	if err != nil {
+		return err
+	}
+	newLog, err := wal.Create(filepath.Join(o.dir, wal.FileName(newGen)), ix.opts.Dim, newGen)
+	if err != nil {
+		return err
+	}
+	// Commit point: the manifest now lists both the old log (the frozen
+	// segment's replay source) and the new, empty active log. Writers keep
+	// appending to the old log until the swap below, which is fine — that
+	// log is listed.
+	walGens := o.liveWALGens()
+	walGens = append(walGens, newGen)
+	if err := o.commitManifest(ix, nil, walGens); err != nil {
+		newLog.Close()
+		os.Remove(newLog.Path())
+		return err
+	}
+
+	o.wmu.Lock()
+	oldMem, oldLog := o.active, o.log
+	oldMem.Seal()
+	o.frozen = append(o.frozen, frozenMem{seg: oldMem, walGens: o.activeWALGens})
+	o.active = newMem
+	o.activeGen = newGen
+	o.activeWALGens = []uint64{newGen}
+	o.log = newLog
+	ix.stack.Append(newMem)
+	o.wmu.Unlock()
+
+	oldLog.Close()
+	o.seals.Add(1)
+	o.notifyReorg()
+	return nil
+}
+
+// CompactPending bulk-loads every sealed memory segment into an immutable
+// pagefile segment, oldest first, committing each swap through the
+// manifest and deleting the logs it retires. ErrNotOnline on legacy
+// indexes.
+func (ix *Index) CompactPending() error {
+	o := ix.online
+	if o == nil {
+		return ErrNotOnline
+	}
+	o.mmu.Lock()
+	defer o.mmu.Unlock()
+	return o.compactPendingLocked(ix)
+}
+
+func (o *onlineState) compactPendingLocked(ix *Index) error {
+	for {
+		o.wmu.Lock()
+		if len(o.frozen) == 0 || o.closed {
+			o.wmu.Unlock()
+			return nil
+		}
+		fz := o.frozen[0]
+		o.wmu.Unlock()
+		if err := o.compactOne(ix, fz); err != nil {
+			return err
+		}
+		o.wmu.Lock()
+		o.frozen = o.frozen[1:]
+		o.wmu.Unlock()
+		o.compactions.Add(1)
+		o.notifyReorg()
+	}
+}
+
+// compactOne turns one frozen memory segment into a pagefile segment of
+// the SAME generation — tombstones recorded against it keep masking the
+// new representation, so no mask is applied during the harvest. WAL
+// retirement is strictly oldest-first (the compacted segment is always the
+// oldest frozen one), which is what keeps "replay the listed logs in
+// order" equivalent to the acknowledged write sequence after any crash.
+func (o *onlineState) compactOne(ix *Index, fz frozenMem) error {
+	gen := fz.seg.Gen()
+	pts, err := segment.CollectPoints(fz.seg, nil, nil)
+	if err != nil {
+		return err
+	}
+
+	var fileSeg segment.Segment
+	if len(pts) > 0 {
+		tree, err := o.bulkLoad(ix, pts)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(o.dir, pagefile.SegmentFileName(gen))
+		if err := pagefile.Save(path, tree); err != nil {
+			return err
+		}
+		fs, err := segment.OpenFile(path, am.Options{}, o.poolPages, gen)
+		if err != nil {
+			return err
+		}
+		fileSeg = fs
+	}
+
+	// Commit: the manifest gains the new segment and drops the retired
+	// logs. Before this write a crash replays the old logs (same data);
+	// after it the janitor removes them.
+	segGens := o.fileSegGens(ix)
+	if fileSeg != nil {
+		segGens = append(segGens, gen)
+		slices.Sort(segGens)
+	}
+	walGens := o.liveWALGensExcept(fz.walGens)
+	if err := o.commitManifest(ix, segGens, walGens); err != nil {
+		if fileSeg != nil {
+			fileSeg.Close()
+		}
+		return err
+	}
+
+	ix.stack.Replace([]segment.Segment{fz.seg}, fileSeg, false)
+	for _, g := range fz.walGens {
+		os.Remove(filepath.Join(o.dir, wal.FileName(g)))
+	}
+	return nil
+}
+
+// CompactAll merges every live segment — sealed pagefiles, frozen memory
+// segments and the active segment — into one freshly bulk-loaded pagefile
+// segment, applying and clearing all delete tombstones, then starts a new
+// empty WAL and active segment. Writers are blocked for the duration;
+// readers are not. ErrNotOnline on legacy indexes.
+func (ix *Index) CompactAll() error {
+	o := ix.online
+	if o == nil {
+		return ErrNotOnline
+	}
+	o.mmu.Lock()
+	defer o.mmu.Unlock()
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.closed {
+		return errors.New("blobindex: index closed")
+	}
+
+	mergedGen := o.activeGen
+	newGen := mergedGen + 1
+
+	// Harvest every live point, tombstone masks applied — the full
+	// compaction is the moment deletes become physical.
+	tombs := ix.stack.Tombstones()
+	var pts []gist.Point
+	oldSegs := ix.stack.Segments()
+	for _, seg := range oldSegs {
+		var err error
+		pts, err = segment.CollectPoints(seg, tombs, pts)
+		if err != nil {
+			return err
+		}
+	}
+
+	var fileSeg segment.Segment
+	var segGens []uint64
+	if len(pts) > 0 {
+		tree, err := o.bulkLoad(ix, pts)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(o.dir, pagefile.SegmentFileName(mergedGen))
+		if err := pagefile.Save(path, tree); err != nil {
+			return err
+		}
+		fs, err := segment.OpenFile(path, am.Options{}, o.poolPages, mergedGen)
+		if err != nil {
+			return err
+		}
+		fileSeg = fs
+		segGens = []uint64{mergedGen}
+	}
+
+	ext, err := ix.opts.extension()
+	if err != nil {
+		return err
+	}
+	newMem, err := segment.NewMem(ext, gist.Config{Dim: ix.opts.Dim, PageSize: ix.opts.PageSize}, newGen)
+	if err != nil {
+		return err
+	}
+	newLog, err := wal.Create(filepath.Join(o.dir, wal.FileName(newGen)), ix.opts.Dim, newGen)
+	if err != nil {
+		return err
+	}
+
+	// Commit point: one segment (or none), one empty log, no tombstones.
+	if err := o.commitManifestTombs(ix, segGens, []uint64{newGen}, nil); err != nil {
+		newLog.Close()
+		os.Remove(newLog.Path())
+		if fileSeg != nil {
+			fileSeg.Close()
+		}
+		return err
+	}
+
+	retiredWALs := o.liveWALGens()
+	ix.stack.Replace(oldSegs, fileSeg, true)
+	ix.stack.Append(newMem)
+	oldLog := o.log
+	o.active = newMem
+	o.activeGen = newGen
+	o.activeWALGens = []uint64{newGen}
+	o.log = newLog
+	o.frozen = nil
+
+	oldLog.Close()
+	for _, seg := range oldSegs {
+		seg.Close()
+	}
+	for _, g := range retiredWALs {
+		os.Remove(filepath.Join(o.dir, wal.FileName(g)))
+	}
+	for _, seg := range oldSegs {
+		if fs, ok := seg.(*segment.File); ok && fs.Gen() != mergedGen {
+			os.Remove(fs.Path())
+		}
+	}
+
+	o.fullCompactions.Add(1)
+	o.notifyReorg()
+	return nil
+}
+
+// bulkLoad STR-orders and bulk-loads pts with the index's options — the
+// same distribution-adaptive loader Build uses, so a compacted segment has
+// bulk-load-quality predicates.
+func (o *onlineState) bulkLoad(ix *Index, pts []gist.Point) (*gist.Tree, error) {
+	ext, err := ix.opts.extension()
+	if err != nil {
+		return nil, err
+	}
+	cfg := gist.Config{Dim: ix.opts.Dim, PageSize: ix.opts.PageSize}
+	probe, err := gist.New(ext, cfg)
+	if err != nil {
+		return nil, err
+	}
+	str.OrderParallel(pts, probe.LeafCapacity(), ix.opts.Parallelism)
+	return gist.BulkLoadParallel(ext, cfg, pts, ix.opts.FillFactor, ix.opts.Parallelism)
+}
+
+// liveWALGens returns every live WAL generation oldest-first: the frozen
+// segments' logs followed by the active segment's. Callers hold mmu, which
+// every mutator of frozen/activeWALGens also holds, so no wmu is needed
+// (CompactAll calls this with wmu already held).
+func (o *onlineState) liveWALGens() []uint64 {
+	var gens []uint64
+	for _, fz := range o.frozen {
+		gens = append(gens, fz.walGens...)
+	}
+	return append(gens, o.activeWALGens...)
+}
+
+func (o *onlineState) liveWALGensExcept(drop []uint64) []uint64 {
+	gens := o.liveWALGens()
+	out := gens[:0]
+	for _, g := range gens {
+		if !slices.Contains(drop, g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// fileSegGens lists the stack's pagefile segment generations, ascending.
+func (o *onlineState) fileSegGens(ix *Index) []uint64 {
+	var gens []uint64
+	for _, seg := range ix.stack.Segments() {
+		if fs, ok := seg.(*segment.File); ok {
+			gens = append(gens, fs.Gen())
+		}
+	}
+	slices.Sort(gens)
+	return gens
+}
+
+// commitManifest atomically commits the directory state: segGens (nil
+// means "derive from the stack"), the given WAL generations, and the
+// stack's current tombstones.
+func (o *onlineState) commitManifest(ix *Index, segGens []uint64, walGens []uint64) error {
+	if segGens == nil {
+		segGens = o.fileSegGens(ix)
+	}
+	tombs := ix.stack.Tombstones()
+	list := make([]pagefile.Tombstone, 0, len(tombs))
+	for rid, w := range tombs {
+		list = append(list, pagefile.Tombstone{RID: rid, Watermark: w})
+	}
+	slices.SortFunc(list, func(a, b pagefile.Tombstone) int {
+		switch {
+		case a.RID < b.RID:
+			return -1
+		case a.RID > b.RID:
+			return 1
+		}
+		return 0
+	})
+	return o.commitManifestTombs(ix, segGens, walGens, list)
+}
+
+func (o *onlineState) commitManifestTombs(ix *Index, segGens, walGens []uint64, tombs []pagefile.Tombstone) error {
+	return pagefile.WriteManifest(o.dir, &pagefile.Manifest{
+		Method:      string(ix.opts.Method),
+		Dim:         ix.opts.Dim,
+		PageSize:    ix.opts.PageSize,
+		XJBX:        ix.opts.XJBBites,
+		SegmentGens: segGens,
+		WALGens:     walGens,
+		Tombstones:  tombs,
+	})
+}
+
+// close shuts the write path down: waits out running maintenance, then
+// closes the active log. Segment closing is the stack's job.
+func (o *onlineState) close() error {
+	o.mmu.Lock()
+	defer o.mmu.Unlock()
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	if o.closed {
+		return nil
+	}
+	o.closed = true
+	return o.log.Close()
+}

@@ -226,7 +226,7 @@ func (ix *Index) SearchInto(ctx context.Context, req SearchRequest, dst []Neighb
 		return resp, fmt.Errorf("%w: query dimension %d, index dimension %d",
 			ErrDimMismatch, len(query), ix.opts.Dim)
 	}
-	if ix.tree.Len() == 0 {
+	if ix.stack.Len() == 0 {
 		return resp, ErrEmptyIndex
 	}
 
@@ -248,6 +248,9 @@ func (ix *Index) SearchInto(ctx context.Context, req SearchRequest, dst []Neighb
 		fetch = req.K * resp.Multiplier
 	}
 
+	// The filter stage fans out over the index's live segments and merges
+	// by (Dist2, RID); a single-segment index takes the stack's fast path,
+	// which is the exact pre-segmentation one-tree traversal.
 	buf := getNNBuf()
 	defer putNNBuf(buf)
 	start := time.Now()
@@ -256,9 +259,9 @@ func (ix *Index) SearchInto(ctx context.Context, req SearchRequest, dst []Neighb
 		err error
 	)
 	if req.K > 0 {
-		res, err = nn.SearchCtxInto(ctx, ix.tree, geom.Vector(query), fetch, nil, (*buf)[:0])
+		res, err = ix.stack.SearchKNN(ctx, geom.Vector(query), fetch, (*buf)[:0])
 	} else {
-		res, err = nn.RangeCtxInto(ctx, ix.tree, geom.Vector(query), req.Radius*req.Radius, nil, (*buf)[:0])
+		res, err = ix.stack.SearchRange(ctx, geom.Vector(query), req.Radius*req.Radius, (*buf)[:0])
 	}
 	*buf = res
 	resp.Filter = StageStats{Candidates: len(res), Duration: time.Since(start)}

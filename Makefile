@@ -4,9 +4,9 @@ GO ?= go
 
 .PHONY: check fmt vet build test race bench benchall benchsmoke benchdiff \
 	servebench servesmoke chaos chaossmoke fuzzsmoke \
-	recall recallsmoke ingest ingestsmoke vetdep
+	recall recallsmoke ingest ingestsmoke cluster clustersmoke vetdep
 
-check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke ingestsmoke
+check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke ingestsmoke clustersmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -105,6 +105,21 @@ ingest:
 # torn tails, equivalence — at a scale that keeps the gate fast.
 ingestsmoke:
 	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment ingest
+
+# cluster measures the sharded serving tier at artifact scale — 3
+# hash-partitioned shards plus a replica behind the scatter-gather router —
+# and writes the committed artifact CLUSTER_PR9.json; it exits nonzero if
+# any router result diverges from the unpartitioned oracle (including while
+# a killed primary's replica serves) or the failover probe drops a query.
+cluster:
+	$(GO) run ./cmd/blobbench -experiment cluster -clusterout CLUSTER_PR9.json
+
+# clustersmoke is the toy-scale cluster run wired into `make check`: real
+# TCP shard daemons, scatter-gather merge identity, and the kill-the-primary
+# failover probe, at a scale that keeps the gate fast.
+clustersmoke:
+	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment cluster \
+		-cluster-clients 8 -cluster-requests 256
 
 # vetdep fails when non-test code in this repo still calls the entry points
 # the SearchRequest API deprecated. (staticcheck would flag these as SA1019;

@@ -86,6 +86,12 @@ type Neighbor struct {
 	RID  int64
 	Key  []float64
 	Dist float64 // Euclidean distance to the query
+	// Dist2 is the squared distance exactly as the traversal computed it —
+	// the (Dist2, RID) key every merge in the stack orders by. Carrying the
+	// pre-sqrt bits lets downstream tiers (segment stacks, the cluster
+	// router's scatter-gather merge) re-merge result lists bit-identically
+	// instead of re-deriving the key from the rounded Dist.
+	Dist2 float64
 }
 
 // Options configures an Index.
@@ -511,7 +517,7 @@ func (ni *NeighborIterator) Next() (Neighbor, bool) {
 	if !ok {
 		return Neighbor{}, false
 	}
-	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}, true
+	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2), Dist2: r.Dist2}, true
 }
 
 // NextWithin returns the next neighbor within the given Euclidean radius,
@@ -536,7 +542,7 @@ func (ni *NeighborIterator) NextWithin(radius float64) (Neighbor, bool) {
 	if !ok {
 		return Neighbor{}, false
 	}
-	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}, true
+	return Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2), Dist2: r.Dist2}, true
 }
 
 // Save writes the index to a page-structured file: one fixed-size page per
@@ -809,7 +815,7 @@ func (ix *Index) Check() error {
 func toNeighbors(res []nn.Result) []Neighbor {
 	out := make([]Neighbor, len(res))
 	for i, r := range res {
-		out[i] = Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)}
+		out[i] = Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2), Dist2: r.Dist2}
 	}
 	return out
 }

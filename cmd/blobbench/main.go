@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"blobindex/internal/clusterbench"
 	"blobindex/internal/experiments"
 	"blobindex/internal/ingestbench"
 	"blobindex/internal/recallbench"
@@ -28,7 +29,7 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall,ingest")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall,ingest,cluster")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
@@ -42,6 +43,11 @@ func main() {
 	recallQueries := flag.Int("recall-queries", 0, "recall experiment query count (0 = default)")
 	serveClients := flag.Int("serve-clients", 64, "serve experiment concurrent clients")
 	serveRequests := flag.Int("serve-requests", 4096, "serve experiment total requests")
+	clusterOut := flag.String("clusterout", "", "write the cluster experiment's JSON to this file")
+	clusterShards := flag.Int("cluster-shards", 3, "cluster experiment shard count")
+	clusterScheme := flag.String("cluster-partition", "hash", "cluster experiment partition scheme (hash|space)")
+	clusterClients := flag.Int("cluster-clients", 32, "cluster experiment concurrent clients")
+	clusterRequests := flag.Int("cluster-requests", 2048, "cluster experiment total requests")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -327,6 +333,33 @@ func main() {
 			out := r.Render()
 			if !r.Pass {
 				return "", fmt.Errorf("ingest experiment failed:\n%s", out)
+			}
+			return out, nil
+		})
+	}
+	if has("cluster") {
+		run("cluster", func() (string, error) {
+			cp := clusterbench.DefaultClusterParams()
+			cp.Shards = *clusterShards
+			cp.Partition = *clusterScheme
+			cp.Clients = *clusterClients
+			cp.Requests = *clusterRequests
+			r, err := clusterbench.ClusterBench(s, cp)
+			if err != nil {
+				return "", err
+			}
+			if *clusterOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*clusterOut, data, 0o644); err != nil {
+					return "", err
+				}
+			}
+			out := r.Render()
+			if !r.Pass {
+				return "", fmt.Errorf("cluster experiment failed:\n%s", out)
 			}
 			return out, nil
 		})

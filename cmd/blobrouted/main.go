@@ -1,0 +1,181 @@
+// Command blobrouted is the cluster router: the single front door of a
+// sharded blobindex deployment. It reads a cluster manifest written by
+// datagen -shards, fans every search out to the blobserved daemon of each
+// shard (bounded concurrency, per-shard timeout, bounded replica failover,
+// optional hedging), merges the per-shard top-k by the same (Dist2, RID)
+// total order the index's own segment stack sorts by — so cluster results
+// are byte-identical to one merged index — and routes each write to the
+// owning shard's primary by the manifest's partition function.
+//
+// The wire protocol is blobserved's own: a client cannot tell the router
+// from a single shard.
+//
+//	POST /v1/knn     scatter-gather exact k-NN, (Dist2, RID) merge
+//	POST /v1/range   scatter-gather range search
+//	POST /v1/insert  routed to the owning shard's primary
+//	POST /v1/delete  routed to the owning shard's primary
+//	GET  /v1/stats   per-shard member health/latency + fan-out counters
+//	GET  /healthz    liveness (always 200 while up)
+//	GET  /readyz     503 + Retry-After once any partition has no healthy member
+//
+// A health tracker polls each member's /readyz (PR 5's degraded signal);
+// degraded or unreachable members sort behind their replicas, so the
+// router routes around them until they rejoin.
+//
+// Typical session (see README "Running a sharded cluster"):
+//
+//	go run ./cmd/datagen -images 2000 -shards 3 -cluster ./cluster
+//	go run ./cmd/blobserved -index ./cluster/shard-0.idx -addr 127.0.0.1:9080 &
+//	go run ./cmd/blobserved -index ./cluster/shard-1.idx -addr 127.0.0.1:9081 &
+//	go run ./cmd/blobserved -index ./cluster/shard-2.idx -addr 127.0.0.1:9082 &
+//	go run ./cmd/blobrouted -manifest ./cluster \
+//	    -members '127.0.0.1:9080;127.0.0.1:9081;127.0.0.1:9082' -addr :8080
+//	curl -s localhost:8080/v1/knn -d '{"query":[0,0,0,0,0],"k":10}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blobindex/internal/buildinfo"
+	"blobindex/internal/cluster"
+)
+
+func main() {
+	var (
+		manifestPath = flag.String("manifest", "", "cluster manifest file or directory (required; written by datagen -shards)")
+		members      = flag.String("members", "", "override the manifest's member addresses: per-shard groups separated by ';', replicas within a group by ',' (primary first), e.g. 'host:9080,host:9083;host:9081;host:9082'")
+		addr         = flag.String("addr", ":8080", "listen address")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "per-attempt timeout against one shard member")
+		retries      = flag.Int("retries", 1, "extra attempts per shard call, each on the next member in health order (replica failover)")
+		hedge        = flag.Duration("hedge", 0, "launch the next member's attempt if the current one is slower than this (0 disables)")
+		maxFanout    = flag.Int("max-fanout", 0, "max concurrently outstanding shard calls per query (0 = all shards)")
+		maxK         = flag.Int("max-k", 4096, "largest accepted per-request k")
+		healthEvery  = flag.Duration("health-interval", time.Second, "shard /readyz polling period")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("blobrouted"))
+		return
+	}
+	log.SetPrefix("blobrouted: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.Print(buildinfo.Line("blobrouted"))
+
+	if *manifestPath == "" {
+		log.Fatal("-manifest is required (create one with: go run ./cmd/datagen -shards 3 -cluster DIR)")
+	}
+	man, err := cluster.ReadManifest(*manifestPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *members != "" {
+		if err := applyMembers(man, *members); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, s := range man.Shards {
+		if len(s.Members) == 0 {
+			log.Fatalf("shard %d has no member addresses: bake them into the manifest (datagen -members) or pass -members", s.ID)
+		}
+	}
+
+	r, err := cluster.NewRouter(cluster.Config{
+		Manifest:       man,
+		ShardTimeout:   *shardTimeout,
+		Retries:        *retries,
+		HedgeDelay:     *hedge,
+		MaxFanout:      *maxFanout,
+		MaxK:           *maxK,
+		HealthInterval: *healthEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	log.Printf("routing %d-shard %s cluster: partition=%s dim=%d, %s",
+		len(man.Shards), man.Method, man.Partition, man.Dim, memberSummary(man))
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s, draining (budget %s; signal again to abort)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			<-sigCh
+			log.Print("second signal, aborting drain")
+			cancel()
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete (%v); hard-closing listener", err)
+			hs.Close()
+		}
+		cancel()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+
+	st := r.Stats()
+	log.Printf("served %d requests over %d shard calls; %d retries, %d hedges, %d failovers, %d partition failures",
+		st.Requests, st.Fanout.ShardRequests,
+		st.Fanout.Retries, st.Fanout.Hedges, st.Fanout.Failovers, st.Fanout.PartitionFailures)
+}
+
+// applyMembers overrides the manifest's member addresses from the -members
+// flag: shard groups separated by ';', replicas within a group by ','.
+func applyMembers(man *cluster.Manifest, spec string) error {
+	groups := strings.Split(spec, ";")
+	if len(groups) != len(man.Shards) {
+		return fmt.Errorf("-members has %d shard groups, manifest has %d shards", len(groups), len(man.Shards))
+	}
+	for i, g := range groups {
+		var ms []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				ms = append(ms, a)
+			}
+		}
+		if len(ms) == 0 {
+			return fmt.Errorf("-members shard group %d is empty", i)
+		}
+		man.Shards[i].Members = ms
+	}
+	return nil
+}
+
+func memberSummary(man *cluster.Manifest) string {
+	var b strings.Builder
+	for i, s := range man.Shards {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "shard %d (%d pts): %s", s.ID, s.Points, strings.Join(s.Members, ","))
+	}
+	return b.String()
+}

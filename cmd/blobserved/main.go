@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"blobindex"
+	"blobindex/internal/buildinfo"
 	"blobindex/internal/server"
 )
 
@@ -74,10 +76,17 @@ func main() {
 		readyWindow  = flag.Duration("ready-window", 30*time.Second, "sliding window for the /readyz storage error rate")
 		readyRate    = flag.Float64("ready-error-rate", 0.5, "storage error rate at which /readyz reports degraded")
 		readySamples = flag.Int("ready-min-samples", 16, "min windowed index ops before /readyz may flip")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Line("blobserved"))
+		return
+	}
 	log.SetPrefix("blobserved: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.Print(buildinfo.Line("blobserved"))
 
 	var idx *blobindex.Index
 	var err error

@@ -4,7 +4,9 @@
 // bulk-loads the reduced data and saves a page-structured index file that
 // cmd/blobserved can serve directly. With -online it instead ingests the
 // reduced data through the durable WAL path into an online index directory
-// (compacted to one bulk-loaded segment) for blobserved -online.
+// (compacted to one bulk-loaded segment) for blobserved -online. With
+// -cluster DIR -shards N it partitions the corpus into N per-shard
+// pagefiles plus a CRC'd cluster manifest that cmd/blobrouted fronts.
 package main
 
 import (
@@ -13,8 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"blobindex"
+	"blobindex/internal/cluster"
 )
 
 // Dataset is the on-disk format shared with cmd/amdb.
@@ -36,6 +41,11 @@ func main() {
 		online = flag.String("online", "", "also create an online index directory, ingested through the WAL (for blobserved -online)")
 		method = flag.String("method", "xjb", "access method for -idx/-online")
 		side   = flag.String("side", "", "also save a full-feature refine sidecar (for blobserved -side)")
+
+		clusterDir = flag.String("cluster", "", "also partition into a sharded cluster directory: N pagefiles + a CRC'd cluster manifest (for blobrouted)")
+		shards     = flag.Int("shards", 3, "with -cluster: shard count")
+		partition  = flag.String("partition", cluster.PartitionHash, "with -cluster: partition scheme, hash|space")
+		members    = flag.String("members", "", "with -cluster: bake member addresses into the manifest; per-shard groups separated by ';', replicas by ',' (primary first)")
 	)
 	flag.Parse()
 
@@ -117,6 +127,57 @@ func main() {
 		}
 		fmt.Printf("wrote %s: online %s index, %d points in %d file segment(s)\n",
 			*online, *method, len(reduced), st.FileSegments)
+	}
+
+	if *clusterDir != "" {
+		points := make([]blobindex.Point, len(reduced))
+		for i, k := range reduced {
+			points[i] = blobindex.Point{Key: k, RID: int64(i)}
+		}
+		groups, man, err := cluster.Partition(points, *partition, *shards, *seed, *dim, *method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*clusterDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, g := range groups {
+			idx, err := blobindex.Build(g, blobindex.Options{
+				Method: blobindex.Method(*method),
+				Dim:    *dim,
+				Seed:   *seed,
+			})
+			if err != nil {
+				log.Fatalf("shard %d: %v", i, err)
+			}
+			name := fmt.Sprintf("shard-%d.idx", i)
+			if err := idx.Save(filepath.Join(*clusterDir, name)); err != nil {
+				log.Fatalf("shard %d: %v", i, err)
+			}
+			man.Shards[i].Pagefile = name
+		}
+		if *members != "" {
+			ms := strings.Split(*members, ";")
+			if len(ms) != *shards {
+				log.Fatalf("-members has %d shard groups for %d shards", len(ms), *shards)
+			}
+			for i, g := range ms {
+				for _, a := range strings.Split(g, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						man.Shards[i].Members = append(man.Shards[i].Members, a)
+					}
+				}
+			}
+		}
+		if err := cluster.WriteManifest(*clusterDir, man); err != nil {
+			log.Fatal(err)
+		}
+		for _, s := range man.Shards {
+			fmt.Printf("  shard %d: %d points (rid %d..%d) -> %s\n",
+				s.ID, s.Points, s.RIDLow, s.RIDHigh, s.Pagefile)
+		}
+		fmt.Printf("wrote %s: %d-shard %s-partitioned cluster (%s)\n",
+			*clusterDir, *shards, man.Partition, cluster.ManifestName)
 	}
 
 	if *side != "" {

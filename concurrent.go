@@ -31,7 +31,7 @@ func putNNBuf(buf *[]nn.Result) {
 // appendNeighbors converts index results onto the end of dst.
 func appendNeighbors(dst []Neighbor, res []nn.Result) []Neighbor {
 	for _, r := range res {
-		dst = append(dst, Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2)})
+		dst = append(dst, Neighbor{RID: r.RID, Key: r.Key, Dist: math.Sqrt(r.Dist2), Dist2: r.Dist2})
 	}
 	return dst
 }

@@ -1,0 +1,56 @@
+// Package buildinfo identifies a build of this module's daemons. The
+// cluster router talks to shard daemons over the network and trusts them to
+// compute bit-identical distances; knowing exactly which build each member
+// runs (startup log lines, the "server" section of /v1/stats, blobserved
+// -version) is how an operator verifies a mixed-version deployment before
+// blaming a merge mismatch on the math.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the module's best self-description: the main module
+// version when built from a versioned module, otherwise the VCS revision
+// (12-hex prefix, "+dirty" when the worktree was modified), otherwise
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// Line formats the one-line banner the daemons log at startup, e.g.
+// "blobserved 1a2b3c4d5e6f (go1.24.0 linux/amd64)".
+func Line(daemon string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", daemon, Version(), GoVersion(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobindex/internal/apiclient"
+	"blobindex/internal/server"
+)
+
+// MemberState is a shard member's last known health.
+type MemberState int32
+
+const (
+	// StateUnknown is the boot state, before the first probe lands; the
+	// router treats unknown members as routable.
+	StateUnknown MemberState = iota
+	// StateHealthy: /readyz answered 200 (or a query just succeeded).
+	StateHealthy
+	// StateDegraded: the process is up but /readyz reports 503 — PR 5's
+	// degraded signal, its windowed storage error rate over threshold. The
+	// router routes around degraded members while any healthy member of
+	// the shard remains.
+	StateDegraded
+	// StateDown: the member is unreachable.
+	StateDown
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// member is one daemon address of one shard, with its health, its observed
+// build (from the shard's /v1/stats server section) and its serving
+// counters.
+type member struct {
+	addr    string
+	primary bool
+	cli     *apiclient.Client
+
+	state       atomic.Int32
+	consecFails atomic.Int64
+	served      atomic.Int64
+	lastErr     atomic.Value // string
+	version     atomic.Value // string
+	lat         server.Histogram
+}
+
+func (m *member) setState(s MemberState) { m.state.Store(int32(s)) }
+func (m *member) getState() MemberState  { return MemberState(m.state.Load()) }
+
+// noteSuccess is the passive health signal from the query path: a served
+// request proves the member routable, faster than waiting for the next
+// probe (a shard rejoining after a restart starts taking traffic on its
+// first successful response).
+func (m *member) noteSuccess() {
+	m.consecFails.Store(0)
+	m.setState(StateHealthy)
+}
+
+// noteFailure records a query-path failure. Transport errors mark the
+// member down immediately so the next query orders it last; an explicit
+// daemon error keeps the probed state (one 503 under load does not mean
+// the process is gone).
+func (m *member) noteFailure(err error) {
+	m.consecFails.Add(1)
+	m.lastErr.Store(err.Error())
+	var se *apiclient.StatusError
+	if !errors.As(err, &se) {
+		m.setState(StateDown)
+	}
+}
+
+// healthTracker polls every member's /readyz on an interval and keeps the
+// per-member states the router's ordering and readiness decisions read.
+type healthTracker struct {
+	shards   [][]*member
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+func newHealthTracker(shards [][]*member, interval time.Duration) *healthTracker {
+	return &healthTracker{shards: shards, interval: interval, stop: make(chan struct{})}
+}
+
+func (t *healthTracker) start() {
+	t.done.Add(1)
+	go func() {
+		defer t.done.Done()
+		t.pollAll() // prime the states before the first tick
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.pollAll()
+			}
+		}
+	}()
+}
+
+func (t *healthTracker) close() {
+	close(t.stop)
+	t.done.Wait()
+}
+
+func (t *healthTracker) pollAll() {
+	var wg sync.WaitGroup
+	for _, ms := range t.shards {
+		for _, m := range ms {
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				t.poll(m)
+			}(m)
+		}
+	}
+	wg.Wait()
+}
+
+func (t *healthTracker) poll(m *member) {
+	ctx, cancel := context.WithTimeout(context.Background(), t.interval)
+	defer cancel()
+	err := m.cli.Ready(ctx)
+	switch {
+	case err == nil:
+		was := m.getState()
+		m.consecFails.Store(0)
+		m.setState(StateHealthy)
+		// On every transition into healthy (first contact, rejoin after a
+		// kill, recovery from degraded) ask the member what it is: the
+		// /v1/stats server section carries its build info.
+		if was != StateHealthy {
+			if st, err := m.cli.Stats(ctx); err == nil {
+				m.version.Store(st.Server.Version)
+			}
+		}
+	default:
+		m.consecFails.Add(1)
+		m.lastErr.Store(err.Error())
+		var se *apiclient.StatusError
+		if errors.As(err, &se) {
+			m.setState(StateDegraded)
+		} else {
+			m.setState(StateDown)
+		}
+	}
+}

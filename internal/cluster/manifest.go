@@ -1,0 +1,185 @@
+// Package cluster is the sharded serving tier above internal/server: the
+// machinery that partitions one Blobworld corpus across N blobserved shard
+// daemons and serves it back as if it were a single index. A Manifest
+// describes the partition (scheme, per-shard pagefiles, member addresses);
+// a Partitioner routes writes to the owning shard; the Router fans each
+// search out to every shard with bounded concurrency, per-shard timeouts
+// and replica failover, and merges the per-shard top-k by the same
+// (Dist2, RID) total order the index's own segment stack sorts by — so the
+// cluster's results are bit-identical to a single merged index. See
+// DESIGN.md §14.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	// ManifestName is the cluster manifest's conventional file name inside
+	// a cluster directory (datagen -shards writes it next to the per-shard
+	// pagefiles).
+	ManifestName = "cluster.json"
+
+	// manifestMagic heads the manifest file; the second line is the CRC32
+	// (IEEE, 8 hex digits) of everything after it, so a truncated or
+	// hand-mangled manifest is rejected before any shard is contacted.
+	manifestMagic = "BLOBCLUSTER v1"
+
+	// The partition schemes.
+	PartitionHash  = "hash"
+	PartitionSpace = "space"
+)
+
+// Shard describes one partition of the corpus: the pagefile holding its
+// points and the daemon members serving that pagefile — the primary first,
+// replicas (serving byte-identical copies) after it.
+type Shard struct {
+	ID       int    `json:"id"`
+	Pagefile string `json:"pagefile"`
+	Points   int    `json:"points"`
+	// RIDLow/RIDHigh are the observed RID range of the shard's points —
+	// informational (hash partitions interleave RIDs), recorded so an
+	// operator can sanity-check a partition at a glance.
+	RIDLow  int64 `json:"rid_low"`
+	RIDHigh int64 `json:"rid_high"`
+	// Members are the HTTP addresses serving this shard, primary first.
+	Members []string `json:"members"`
+}
+
+// Manifest is the cluster's root of truth: how the corpus was partitioned
+// and who serves each partition. datagen -shards writes it; blobrouted and
+// the partitioner read it.
+type Manifest struct {
+	// Partition is the scheme: PartitionHash (by RID hash) or
+	// PartitionSpace (by a coordinate split).
+	Partition string `json:"partition"`
+	// HashSeed seeds the RID hash for PartitionHash.
+	HashSeed uint64 `json:"hash_seed,omitempty"`
+	// SplitDim and Bounds define PartitionSpace: shard i owns keys whose
+	// SplitDim coordinate lies in [Bounds[i-1], Bounds[i]), with the first
+	// and last intervals open-ended. len(Bounds) == len(Shards)-1,
+	// ascending.
+	SplitDim int       `json:"split_dim,omitempty"`
+	Bounds   []float64 `json:"bounds,omitempty"`
+	// Method and Dim mirror the per-shard indexes' options, so the router
+	// can validate queries without contacting a shard.
+	Method string  `json:"method"`
+	Dim    int     `json:"dim"`
+	Shards []Shard `json:"shards"`
+}
+
+// Validate reports whether the manifest is structurally sound.
+func (m *Manifest) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: manifest has no shards")
+	}
+	if m.Dim <= 0 {
+		return fmt.Errorf("cluster: manifest dim %d", m.Dim)
+	}
+	switch m.Partition {
+	case PartitionHash:
+	case PartitionSpace:
+		if len(m.Bounds) != len(m.Shards)-1 {
+			return fmt.Errorf("cluster: space partition has %d bounds for %d shards, want %d",
+				len(m.Bounds), len(m.Shards), len(m.Shards)-1)
+		}
+		if m.SplitDim < 0 || m.SplitDim >= m.Dim {
+			return fmt.Errorf("cluster: split dim %d outside [0, %d)", m.SplitDim, m.Dim)
+		}
+		for i := 1; i < len(m.Bounds); i++ {
+			if m.Bounds[i] < m.Bounds[i-1] {
+				return fmt.Errorf("cluster: bounds not ascending at %d", i)
+			}
+		}
+	default:
+		return fmt.Errorf("cluster: unknown partition scheme %q", m.Partition)
+	}
+	for i, s := range m.Shards {
+		if s.ID != i {
+			return fmt.Errorf("cluster: shard %d has id %d (ids must be dense, in order)", i, s.ID)
+		}
+	}
+	return nil
+}
+
+// WriteManifest atomically commits m to dir/ManifestName: magic line, CRC
+// line, JSON payload, written to a temp file, fsynced and renamed so a
+// crash leaves either the old or the new manifest, never a mix.
+func WriteManifest(dir string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	buf := fmt.Appendf(nil, "%s\n%08x\n", manifestMagic, crc32.ChecksumIEEE(payload))
+	buf = append(buf, payload...)
+
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadManifest reads and validates a manifest file (a path to the file
+// itself, or to a directory containing ManifestName).
+func ReadManifest(path string) (*Manifest, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, ManifestName)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	head, rest, ok := strings.Cut(string(buf), "\n")
+	if !ok || head != manifestMagic {
+		return nil, fmt.Errorf("cluster: %s is not a cluster manifest (bad magic)", path)
+	}
+	crcLine, payload, ok := strings.Cut(rest, "\n")
+	if !ok {
+		return nil, fmt.Errorf("cluster: %s: truncated manifest", path)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcLine, "%08x", &want); err != nil {
+		return nil, fmt.Errorf("cluster: %s: bad CRC line %q", path, crcLine)
+	}
+	if got := crc32.ChecksumIEEE([]byte(payload)); got != want {
+		return nil, fmt.Errorf("cluster: %s: manifest CRC mismatch (stored %08x, computed %08x)", path, want, got)
+	}
+	m := new(Manifest)
+	if err := json.Unmarshal([]byte(payload), m); err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}

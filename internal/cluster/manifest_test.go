@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Partition: PartitionHash,
+		HashSeed:  12345,
+		Method:    "xjb",
+		Dim:       5,
+		Shards: []Shard{
+			{ID: 0, Pagefile: "shard-0.idx", Points: 100, RIDLow: 0, RIDHigh: 297,
+				Members: []string{"127.0.0.1:19080", "127.0.0.1:19083"}},
+			{ID: 1, Pagefile: "shard-1.idx", Points: 100, RIDLow: 1, RIDHigh: 298,
+				Members: []string{"127.0.0.1:19081"}},
+			{ID: 2, Pagefile: "shard-2.idx", Points: 100, RIDLow: 2, RIDHigh: 299,
+				Members: []string{"127.0.0.1:19082"}},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := testManifest()
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Read by directory and by file path.
+	for _, p := range []string{dir, filepath.Join(dir, ManifestName)} {
+		got, err := ReadManifest(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		if got.Partition != m.Partition || got.HashSeed != m.HashSeed || len(got.Shards) != 3 {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+		if got.Shards[0].Members[1] != "127.0.0.1:19083" {
+			t.Fatalf("members lost: %+v", got.Shards[0])
+		}
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteManifest(dir, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	mut := []byte(strings.Replace(string(buf), "19081", "19099", 1))
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("want CRC error, got %v", err)
+	}
+	// Truncation.
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("want error for truncated manifest")
+	}
+	// Wrong magic.
+	if err := os.WriteFile(path, []byte("NOTACLUSTER\n00000000\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	m := testManifest()
+	m.Partition = "roundrobin"
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+	m = testManifest()
+	m.Partition = PartitionSpace
+	m.Bounds = []float64{0.5} // needs 2 for 3 shards
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for wrong bounds count")
+	}
+	m.Bounds = []float64{0.7, 0.3}
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for descending bounds")
+	}
+	m = testManifest()
+	m.Shards[2].ID = 7
+	if err := m.Validate(); err == nil {
+		t.Fatal("want error for non-dense shard ids")
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blobindex"
+)
+
+// A Partitioner maps a point to the shard that owns it. Both schemes are
+// pure functions of the manifest's parameters, so the bulk partitioner at
+// datagen time and the router's write path agree on ownership forever.
+type Partitioner interface {
+	// Owner returns the owning shard's index for a point.
+	Owner(key []float64, rid int64) int
+	// Shards returns the shard count.
+	Shards() int
+}
+
+// hashPartitioner owns points by a seeded finalizer hash of the RID —
+// uniform regardless of key geometry, and routable from a write request's
+// RID alone.
+type hashPartitioner struct {
+	seed uint64
+	n    int
+}
+
+func (p hashPartitioner) Owner(_ []float64, rid int64) int {
+	return int(mix64(p.seed^uint64(rid)) % uint64(p.n))
+}
+
+func (p hashPartitioner) Shards() int { return p.n }
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mix, so
+// sequential RIDs spread uniformly across shards.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// spacePartitioner owns points by a coordinate split: shard i owns keys
+// whose split-dimension coordinate lies in [bounds[i-1], bounds[i]), the
+// clustered-partition discipline of the related indexing literature —
+// range queries near a region mostly hit the shards owning it.
+type spacePartitioner struct {
+	dim    int
+	bounds []float64
+	n      int
+}
+
+func (p spacePartitioner) Owner(key []float64, _ int64) int {
+	v := key[p.dim]
+	return sort.Search(len(p.bounds), func(i int) bool { return v < p.bounds[i] })
+}
+
+func (p spacePartitioner) Shards() int { return p.n }
+
+// PartitionerFor builds the partitioner a manifest describes.
+func PartitionerFor(m *Manifest) (Partitioner, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	switch m.Partition {
+	case PartitionHash:
+		return hashPartitioner{seed: m.HashSeed, n: len(m.Shards)}, nil
+	case PartitionSpace:
+		return spacePartitioner{dim: m.SplitDim, bounds: m.Bounds, n: len(m.Shards)}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown partition scheme %q", m.Partition)
+}
+
+// Partition splits points into n shards under the given scheme and returns
+// the per-shard point groups plus a manifest skeleton recording the
+// partition parameters (Shards[i] carries ID, Points and the observed RID
+// range; pagefile names and member addresses are the caller's to fill in).
+// For PartitionSpace the split dimension is the one with the widest value
+// spread and the boundaries are equal-count quantiles; assignment is always
+// by boundary value, so later writes route identically.
+func Partition(points []blobindex.Point, scheme string, n int, seed int64, dim int, method string) ([][]blobindex.Point, *Manifest, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("cluster: shard count %d", n)
+	}
+	if len(points) < n {
+		return nil, nil, fmt.Errorf("cluster: %d points cannot fill %d shards", len(points), n)
+	}
+	m := &Manifest{Partition: scheme, Method: method, Dim: dim}
+	switch scheme {
+	case PartitionHash:
+		m.HashSeed = mix64(uint64(seed))
+	case PartitionSpace:
+		m.SplitDim = widestDim(points, dim)
+		vals := make([]float64, len(points))
+		for i, p := range points {
+			vals[i] = p.Key[m.SplitDim]
+		}
+		sort.Float64s(vals)
+		m.Bounds = make([]float64, n-1)
+		for i := 1; i < n; i++ {
+			m.Bounds[i-1] = vals[i*len(vals)/n]
+		}
+		for i := 1; i < len(m.Bounds); i++ {
+			if m.Bounds[i] <= m.Bounds[i-1] {
+				return nil, nil, fmt.Errorf("cluster: split dim %d too duplicated for %d space shards (boundary %d collapses); use -partition hash",
+					m.SplitDim, n, i)
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("cluster: unknown partition scheme %q", scheme)
+	}
+	m.Shards = make([]Shard, n)
+	for i := range m.Shards {
+		m.Shards[i] = Shard{ID: i, RIDLow: math.MaxInt64, RIDHigh: math.MinInt64}
+	}
+	part, err := PartitionerFor(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := make([][]blobindex.Point, n)
+	for _, p := range points {
+		o := part.Owner(p.Key, p.RID)
+		groups[o] = append(groups[o], p)
+		s := &m.Shards[o]
+		s.Points++
+		if p.RID < s.RIDLow {
+			s.RIDLow = p.RID
+		}
+		if p.RID > s.RIDHigh {
+			s.RIDHigh = p.RID
+		}
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, nil, fmt.Errorf("cluster: shard %d is empty after %s partition", i, scheme)
+		}
+	}
+	return groups, m, nil
+}
+
+// widestDim picks the dimension with the largest value spread — the split
+// axis that separates space shards most cleanly.
+func widestDim(points []blobindex.Point, dim int) int {
+	best, bestSpread := 0, math.Inf(-1)
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range points {
+			v := p.Key[d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			best, bestSpread = d, spread
+		}
+	}
+	return best
+}

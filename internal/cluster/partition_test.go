@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"blobindex"
+	"blobindex/internal/server"
+)
+
+// clusterCorpus builds a deterministic, mildly clustered point set (so the
+// bite-based methods have corners to carve) plus mixed k-NN/range queries
+// centered on data points — ties included, since duplicated coordinates are
+// exactly where a sloppy merge order would diverge.
+func clusterCorpus(n, dim int, seed int64) ([]blobindex.Point, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]blobindex.Point, n)
+	for i := range pts {
+		key := make([]float64, dim)
+		for d := range key {
+			key[d] = math.Floor(rng.Float64()*8)/8 + rng.Float64()*0.125
+		}
+		pts[i] = blobindex.Point{Key: key, RID: int64(i)}
+	}
+	queries := make([][]float64, 12)
+	for i := range queries {
+		q := make([]float64, dim)
+		copy(q, pts[rng.Intn(n)].Key)
+		queries[i] = q
+	}
+	return pts, queries
+}
+
+func toWire(res []blobindex.Neighbor) []server.NeighborJSON {
+	out := make([]server.NeighborJSON, len(res))
+	for i, nb := range res {
+		out[i] = server.NeighborJSON{RID: nb.RID, Dist: nb.Dist, Dist2: nb.Dist2}
+	}
+	return out
+}
+
+func sameBits(t *testing.T, what string, got, want []server.NeighborJSON) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, oracle has %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].RID != want[i].RID ||
+			math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) ||
+			math.Float64bits(got[i].Dist2) != math.Float64bits(want[i].Dist2) {
+			t.Fatalf("%s: result %d diverges: got (rid %d, dist %x, dist2 %x), oracle (rid %d, dist %x, dist2 %x)",
+				what, i,
+				got[i].RID, math.Float64bits(got[i].Dist), math.Float64bits(got[i].Dist2),
+				want[i].RID, math.Float64bits(want[i].Dist), math.Float64bits(want[i].Dist2))
+		}
+	}
+}
+
+// TestMergeIdentityAcrossPartitions is the cluster's core correctness
+// property: for every access method and both partition schemes, scattering
+// a query over any partition of the corpus and merging the per-shard
+// results by (Dist2, RID) is byte-identical — RID and squared-distance
+// bits — to the same query on the unpartitioned index.
+func TestMergeIdentityAcrossPartitions(t *testing.T) {
+	const dim = 5
+	pts, queries := clusterCorpus(1500, dim, 20260807)
+	opts := func(m blobindex.Method) blobindex.Options {
+		return blobindex.Options{Method: m, Dim: dim, AMAPSamples: 64, Seed: 1}
+	}
+	ctx := context.Background()
+	for _, method := range blobindex.Methods() {
+		oracle, err := blobindex.Build(pts, opts(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []string{PartitionHash, PartitionSpace} {
+			for _, nShards := range []int{2, 3, 5} {
+				groups, man, err := Partition(pts, scheme, nShards, 42, dim, string(method))
+				if err != nil {
+					t.Fatalf("%s/%s/%d: %v", method, scheme, nShards, err)
+				}
+				part, err := PartitionerFor(man)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shards := make([]*blobindex.Index, nShards)
+				for i, g := range groups {
+					// Ownership must be a pure function of the manifest:
+					// every point in group i routes back to shard i.
+					for _, p := range g {
+						if o := part.Owner(p.Key, p.RID); o != i {
+							t.Fatalf("%s/%d: point rid %d grouped into %d but owned by %d",
+								scheme, nShards, p.RID, i, o)
+						}
+					}
+					if shards[i], err = blobindex.Build(g, opts(method)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				scatter := func(req blobindex.SearchRequest) [][]server.NeighborJSON {
+					lists := make([][]server.NeighborJSON, nShards)
+					for i, sh := range shards {
+						resp, err := sh.Search(ctx, req)
+						if err != nil {
+							t.Fatalf("shard %d: %v", i, err)
+						}
+						lists[i] = toWire(resp.Neighbors)
+					}
+					return lists
+				}
+				for qi, q := range queries {
+					for _, k := range []int{1, 10, 64} {
+						req := blobindex.SearchRequest{Query: q, K: k}
+						want, err := oracle.Search(ctx, req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := Merge(scatter(req), k)
+						sameBits(t, string(method)+"/"+scheme, got, toWire(want.Neighbors))
+						_ = qi
+					}
+					for _, radius := range []float64{0.05, 0.2} {
+						req := blobindex.SearchRequest{Query: q, Radius: radius}
+						want, err := oracle.Search(ctx, req)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := Merge(scatter(req), 0)
+						sameBits(t, string(method)+"/"+scheme+"/range", got, toWire(want.Neighbors))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWireRoundTripPreservesBits pins the encoding assumption the merge
+// rests on: Go's JSON float encoding is shortest-round-trippable, so Dist2
+// survives daemon → router bit for bit.
+func TestWireRoundTripPreservesBits(t *testing.T) {
+	const dim = 5
+	pts, queries := clusterCorpus(400, dim, 7)
+	idx, err := blobindex.Build(pts, blobindex.Options{Method: blobindex.XJB, Dim: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := idx.Search(context.Background(), blobindex.SearchRequest{Query: queries[0], K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := toWire(resp.Neighbors)
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []server.NeighborJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "json round trip", back, wire)
+}
+
+func TestHashPartitionSpreads(t *testing.T) {
+	pts, _ := clusterCorpus(3000, 5, 99)
+	groups, man, err := Partition(pts, PartitionHash, 4, 1, 5, "xjb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		if len(g) < 3000/4/2 {
+			t.Fatalf("hash shard %d badly skewed: %d of 3000", i, len(g))
+		}
+		if man.Shards[i].Points != len(g) {
+			t.Fatalf("manifest points mismatch on shard %d", i)
+		}
+	}
+}
+
+func TestSpacePartitionRoutesByValue(t *testing.T) {
+	pts, _ := clusterCorpus(2000, 5, 123)
+	_, man, err := Partition(pts, PartitionSpace, 3, 1, 5, "xjb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionerFor(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh write with a key left of the first bound goes to shard 0,
+	// right of the last bound to the last shard.
+	lo := make([]float64, 5)
+	hi := make([]float64, 5)
+	for d := range lo {
+		lo[d], hi[d] = -100, 100
+	}
+	if o := part.Owner(lo, 999999); o != 0 {
+		t.Fatalf("low key owned by %d", o)
+	}
+	if o := part.Owner(hi, 999998); o != 2 {
+		t.Fatalf("high key owned by %d", o)
+	}
+}

@@ -1,0 +1,397 @@
+// Package clusterbench measures the sharded serving tier (internal/cluster)
+// end to end: it partitions the scenario's corpus across N shard daemons
+// served over real TCP listeners (shard 0 with a replica), fronts them with
+// the scatter-gather router, and runs three legs — a merge-identity check
+// against the unpartitioned single-index oracle, a fan-out throughput
+// measurement under concurrent clients, and a failover probe that kills a
+// primary mid-run and asserts the replica serves byte-identical results.
+// It lives outside internal/experiments for the same reason servebench
+// does: it imports the blobindex facade.
+package clusterbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blobindex"
+	"blobindex/internal/apiclient"
+	"blobindex/internal/cluster"
+	"blobindex/internal/experiments"
+	"blobindex/internal/server"
+)
+
+// ClusterParams sizes the cluster benchmark.
+type ClusterParams struct {
+	// Shards is the partition count. Default 3.
+	Shards int
+	// Partition is the scheme, cluster.PartitionHash or PartitionSpace.
+	// Default hash.
+	Partition string
+	// Clients is the number of concurrent load-generator clients in the
+	// throughput leg. Default 32.
+	Clients int
+	// Requests is the total request count in the throughput leg. Default 2048.
+	Requests int
+	// Method is the served access method. Default xjb.
+	Method experiments.AMKind
+	// PoolPages is each shard's buffer pool budget (shards serve saved
+	// pagefiles demand-paged, the deployment regime). Default
+	// blobindex.DefaultPoolPages.
+	PoolPages int
+}
+
+// DefaultClusterParams returns the artifact-scale shape: 3 hash-partitioned
+// shards plus a replica, 32 concurrent clients.
+func DefaultClusterParams() ClusterParams {
+	return ClusterParams{Shards: 3, Partition: cluster.PartitionHash, Clients: 32, Requests: 2048}
+}
+
+// IdentityLeg reports one merge-identity pass: every router answer compared
+// bit-for-bit (RID + Dist and Dist2 float bits) against the oracle.
+type IdentityLeg struct {
+	Queries    int   `json:"queries"`
+	Verified   int   `json:"verified"`
+	Mismatches int   `json:"mismatches"`
+	Errors     int   `json:"errors"`
+	Failovers  int64 `json:"failovers,omitempty"`
+}
+
+// ClusterResult is the committed artifact of blobbench's "cluster"
+// experiment (CLUSTER_PR9.json).
+type ClusterResult struct {
+	Blobs     int    `json:"blobs"`
+	Dim       int    `json:"dim"`
+	Method    string `json:"method"`
+	Shards    int    `json:"shards"`
+	Partition string `json:"partition"`
+	Replicas  int    `json:"replicas"`
+
+	// Identity is the fault-free merge-identity leg: scatter-gather over
+	// all shards vs the unpartitioned oracle, k-NN and range.
+	Identity IdentityLeg `json:"identity"`
+
+	// Throughput is the fan-out load leg.
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	QPS            float64 `json:"qps"`
+	P50Us          float64 `json:"p50_us"`
+	P95Us          float64 `json:"p95_us"`
+	P99Us          float64 `json:"p99_us"`
+	ShardRequests  int64   `json:"shard_requests"`
+
+	// Failover is the identity leg rerun with shard 0's primary hard-killed:
+	// every query must still succeed, byte-identical, via the replica.
+	Failover IdentityLeg `json:"failover"`
+
+	Pass bool `json:"pass"`
+}
+
+// member is one served daemon in the benchmark cluster.
+type member struct {
+	idx *blobindex.Index
+	hs  *http.Server
+	ln  net.Listener
+}
+
+func (m *member) close() {
+	if m.hs != nil {
+		m.hs.Close()
+	}
+	if m.idx != nil {
+		m.idx.Close()
+	}
+}
+
+func serveMember(idx *blobindex.Index) (*member, error) {
+	// Default server config: result cache on, as blobserved deploys it.
+	srv, err := server.New(server.Config{Index: idx})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	m := &member{idx: idx, hs: &http.Server{Handler: srv.Handler()}, ln: ln}
+	go m.hs.Serve(ln)
+	return m, nil
+}
+
+// ClusterBench runs the cluster experiment. It fails (Pass=false) if any
+// merge-identity comparison diverges, the failover leg drops a query, or no
+// failover is observed after the kill.
+func ClusterBench(s *experiments.Scenario, p ClusterParams) (*ClusterResult, error) {
+	if p.Shards <= 0 {
+		p.Shards = 3
+	}
+	if p.Partition == "" {
+		p.Partition = cluster.PartitionHash
+	}
+	if p.Clients <= 0 {
+		p.Clients = 32
+	}
+	if p.Requests <= 0 {
+		p.Requests = 2048
+	}
+	if p.Method == "" {
+		p.Method = "xjb"
+	}
+	if p.PoolPages <= 0 {
+		p.PoolPages = blobindex.DefaultPoolPages
+	}
+	wl, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	reduced := s.Reduced(s.Params.Dim)
+	points := make([]blobindex.Point, len(reduced))
+	for i, v := range reduced {
+		points[i] = blobindex.Point{Key: v, RID: int64(i)}
+	}
+	opts := blobindex.Options{
+		Method:      blobindex.Method(p.Method),
+		Dim:         s.Params.Dim,
+		PageSize:    s.Params.PageSize,
+		XJBBites:    s.Params.XJBX,
+		AMAPSamples: s.Params.AMAPSamples,
+		Seed:        s.Params.Seed,
+	}
+	oracle, err := blobindex.Build(points, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	groups, man, err := cluster.Partition(points, p.Partition, p.Shards, s.Params.Seed, s.Params.Dim, string(p.Method))
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "blobcluster")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Serve every shard demand-paged from a saved pagefile — the deployment
+	// regime — with a replica for shard 0 opened over the same file.
+	var members []*member
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+	openAndServe := func(path string) (*member, error) {
+		idx, err := blobindex.OpenWithOptions(path, blobindex.OpenOptions{PoolPages: p.PoolPages})
+		if err != nil {
+			return nil, err
+		}
+		m, err := serveMember(idx)
+		if err != nil {
+			idx.Close()
+			return nil, err
+		}
+		members = append(members, m)
+		return m, nil
+	}
+	for i, g := range groups {
+		idx, err := blobindex.Build(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.idx", i))
+		if err := idx.Save(path); err != nil {
+			return nil, err
+		}
+		m, err := openAndServe(path)
+		if err != nil {
+			return nil, err
+		}
+		man.Shards[i].Pagefile = path
+		man.Shards[i].Members = []string{m.ln.Addr().String()}
+	}
+	replica, err := openAndServe(man.Shards[0].Pagefile)
+	if err != nil {
+		return nil, err
+	}
+	man.Shards[0].Members = append(man.Shards[0].Members, replica.ln.Addr().String())
+
+	router, err := cluster.NewRouter(cluster.Config{
+		Manifest:       man,
+		HealthInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fhs := &http.Server{Handler: router.Handler()}
+	go fhs.Serve(front)
+	defer fhs.Close()
+	cli := apiclient.New(front.Addr().String(), apiclient.Options{})
+
+	r := &ClusterResult{
+		Blobs:     len(reduced),
+		Dim:       s.Params.Dim,
+		Method:    string(p.Method),
+		Shards:    p.Shards,
+		Partition: p.Partition,
+		Replicas:  1,
+		Clients:   p.Clients,
+	}
+
+	// Leg 1: merge identity, fault-free. k-NN at the workload's k plus a
+	// range query at the k-th-neighbor radius (guaranteed non-trivial).
+	ctx := context.Background()
+	identity := func() IdentityLeg {
+		var leg IdentityLeg
+		for _, q := range wl.Queries {
+			leg.Queries++
+			want, err := oracle.Search(ctx, blobindex.SearchRequest{Query: q.Center, K: q.K})
+			if err != nil {
+				leg.Errors++
+				continue
+			}
+			got, err := cli.KNN(ctx, server.KNNRequest{Query: q.Center, K: q.K})
+			if err != nil {
+				leg.Errors++
+				continue
+			}
+			if !sameBits(got.Neighbors, want.Neighbors) {
+				leg.Mismatches++
+				continue
+			}
+			if n := len(want.Neighbors); n > 0 {
+				radius := want.Neighbors[n-1].Dist
+				rwant, err := oracle.Search(ctx, blobindex.SearchRequest{Query: q.Center, Radius: radius})
+				if err != nil {
+					leg.Errors++
+					continue
+				}
+				rgot, err := cli.Range(ctx, server.RangeRequest{Query: q.Center, Radius: radius})
+				if err != nil {
+					leg.Errors++
+					continue
+				}
+				if !sameBits(rgot.Neighbors, rwant.Neighbors) {
+					leg.Mismatches++
+					continue
+				}
+			}
+			leg.Verified++
+		}
+		return leg
+	}
+	r.Identity = identity()
+
+	// Leg 2: fan-out throughput under concurrent clients.
+	reqs := make([]server.KNNRequest, len(wl.Queries))
+	for i, q := range wl.Queries {
+		reqs[i] = server.KNNRequest{Query: q.Center, K: q.K}
+	}
+	perClient := (p.Requests + p.Clients - 1) / p.Clients
+	total := perClient * p.Clients
+	clientLats := make([][]time.Duration, p.Clients)
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, perClient)
+			off := c * len(reqs) / p.Clients
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				if _, err := cli.KNN(ctx, reqs[(off+i)%len(reqs)]); err != nil {
+					errCount.Add(1)
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			clientLats[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var lats []time.Duration
+	for _, l := range clientLats {
+		lats = append(lats, l...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(q*float64(len(lats)-1))].Nanoseconds()) / 1e3
+	}
+	r.Requests = total
+	r.Errors = int(errCount.Load())
+	r.ElapsedSeconds = elapsed.Seconds()
+	r.QPS = float64(total) / elapsed.Seconds()
+	r.P50Us, r.P95Us, r.P99Us = pct(0.50), pct(0.95), pct(0.99)
+	r.ShardRequests = router.Stats().Fanout.ShardRequests
+
+	// Leg 3: failover probe. Hard-kill shard 0's primary (members[0]) and
+	// rerun the identity leg: every query must succeed via the replica,
+	// byte-identical, and the router must count failovers.
+	members[0].close()
+	r.Failover = identity()
+	r.Failover.Failovers = router.Stats().Fanout.Failovers
+
+	r.Pass = r.Identity.Mismatches == 0 && r.Identity.Errors == 0 &&
+		r.Failover.Mismatches == 0 && r.Failover.Errors == 0 &&
+		r.Failover.Failovers > 0 && r.Errors == 0
+	return r, nil
+}
+
+func sameBits(got []server.NeighborJSON, want []blobindex.Neighbor) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].RID != want[i].RID ||
+			math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) ||
+			math.Float64bits(got[i].Dist2) != math.Float64bits(want[i].Dist2) {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the result as a committable artifact (blobbench -clusterout).
+func (r *ClusterResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the result for the terminal.
+func (r *ClusterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded cluster: %d blobs over %d %s-partitioned %s shards (+%d replica)\n",
+		r.Blobs, r.Shards, r.Partition, r.Method, r.Replicas)
+	fmt.Fprintf(&b, "  %-22s %d/%d verified, %d mismatches, %d errors\n",
+		"merge identity", r.Identity.Verified, r.Identity.Queries, r.Identity.Mismatches, r.Identity.Errors)
+	fmt.Fprintf(&b, "  %-22s %.0f req/s over %d clients (%d reqs, %d errors, %d shard calls)\n",
+		"fan-out throughput", r.QPS, r.Clients, r.Requests, r.Errors, r.ShardRequests)
+	fmt.Fprintf(&b, "  %-22s p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",
+		"router latency", r.P50Us, r.P95Us, r.P99Us)
+	fmt.Fprintf(&b, "  %-22s %d/%d verified via replica, %d mismatches, %d errors, %d failovers\n",
+		"failover probe", r.Failover.Verified, r.Failover.Queries, r.Failover.Mismatches,
+		r.Failover.Errors, r.Failover.Failovers)
+	fmt.Fprintf(&b, "  %-22s %v\n", "pass", r.Pass)
+	return strings.TrimRight(b.String(), "\n")
+}

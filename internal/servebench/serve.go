@@ -5,7 +5,6 @@
 package servebench
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -20,6 +19,7 @@ import (
 	"time"
 
 	"blobindex"
+	"blobindex/internal/apiclient"
 	"blobindex/internal/experiments"
 	"blobindex/internal/server"
 )
@@ -157,23 +157,23 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 	go func() { serveErr <- hs.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
-	// Pre-encode every distinct request body once; clients only POST.
-	bodies := make([][]byte, len(wl.Queries))
+	// Pre-build every distinct request once; clients only POST.
+	reqs := make([]server.KNNRequest, len(wl.Queries))
 	for i, q := range wl.Queries {
-		body, err := json.Marshal(server.KNNRequest{Query: q.Center, K: q.K})
-		if err != nil {
-			return nil, err
-		}
-		bodies[i] = body
+		reqs[i] = server.KNNRequest{Query: q.Center, K: q.K}
 	}
 
-	client := &http.Client{
-		Transport: &http.Transport{
-			MaxIdleConns:        p.Clients,
-			MaxIdleConnsPerHost: p.Clients,
+	// The shared typed client (no retries: the benchmark counts failures
+	// instead of papering over them).
+	cli := apiclient.New(base, apiclient.Options{
+		HTTPClient: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        p.Clients,
+				MaxIdleConnsPerHost: p.Clients,
+			},
+			Timeout: 60 * time.Second,
 		},
-		Timeout: 60 * time.Second,
-	}
+	})
 
 	perClient := (p.Requests + p.Clients - 1) / p.Clients
 	total := perClient * p.Clients
@@ -192,20 +192,16 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 			// Staggered starting offsets: client c begins partway through
 			// the workload, so distinct clients issue the same query at
 			// overlapping times.
-			off := c * len(bodies) / p.Clients
+			off := c * len(reqs) / p.Clients
 			for i := 0; i < perClient; i++ {
-				body := bodies[(off+i)%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/knn", "application/json", bytes.NewReader(body))
+				sr, err := cli.KNN(context.Background(), reqs[(off+i)%len(reqs)])
 				if err != nil {
 					errCount.Add(1)
 					continue
 				}
-				var sr server.SearchResponse
-				decErr := json.NewDecoder(resp.Body).Decode(&sr)
-				resp.Body.Close()
 				lats = append(lats, time.Since(t0))
-				if decErr != nil || resp.StatusCode != http.StatusOK || len(sr.Neighbors) == 0 {
+				if len(sr.Neighbors) == 0 {
 					errCount.Add(1)
 				}
 			}
@@ -220,7 +216,7 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 	}
 
 	// Server-side counters before shutdown.
-	stats, err := fetchStats(client, base)
+	stats, err := cli.Stats(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -265,19 +261,6 @@ func ServeBench(s *experiments.Scenario, p ServeParams) (*ServeResult, error) {
 		r.BufferHits = stats.Buffer.Hits
 	}
 	return r, nil
-}
-
-func fetchStats(client *http.Client, base string) (*server.Stats, error) {
-	resp, err := client.Get(base + "/v1/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var st server.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
 }
 
 // JSON renders the result as a committable artifact (blobbench -serveout).

@@ -69,6 +69,18 @@ func (h *histogram) observe(d time.Duration, failed bool) {
 	}
 }
 
+// Histogram is the exported face of the latency histogram for the serving
+// tiers built on top of this package (the cluster router records per-shard
+// and per-endpoint latencies with it). Zero value ready to use; safe for
+// concurrent observers.
+type Histogram struct{ h histogram }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration, failed bool) { h.h.observe(d, failed) }
+
+// Summary snapshots the distribution.
+func (h *Histogram) Summary() LatencySummary { return h.h.summary() }
+
 // LatencySummary is one endpoint's row in the /v1/stats payload. Quantiles
 // are estimated from the log-spaced buckets (upper boundary of the bucket
 // containing the quantile rank), so they are accurate to the ~19% bucket

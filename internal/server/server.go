@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"blobindex"
+	"blobindex/internal/buildinfo"
 )
 
 // Queryer is the slice of the blobindex facade the server needs.
@@ -272,11 +273,16 @@ type RangeRequest struct {
 	IncludeKeys bool      `json:"include_keys,omitempty"`
 }
 
-// NeighborJSON is one search result on the wire.
+// NeighborJSON is one search result on the wire. Dist2 carries the squared
+// distance exactly as the traversal computed it — Go's JSON encoding is the
+// shortest round-trippable decimal, so the float64 bits survive the wire —
+// which is what lets a cluster router re-merge per-shard result lists by the
+// same (Dist2, RID) total order the index itself sorts by, bit for bit.
 type NeighborJSON struct {
-	RID  int64     `json:"rid"`
-	Dist float64   `json:"dist"`
-	Key  []float64 `json:"key,omitempty"`
+	RID   int64     `json:"rid"`
+	Dist  float64   `json:"dist"`
+	Dist2 float64   `json:"dist2"`
+	Key   []float64 `json:"key,omitempty"`
 }
 
 // SearchResponse is the POST /v1/knn and /v1/range response.
@@ -474,7 +480,7 @@ func (s *Server) runSearch(ctx context.Context, key string, search func() ([]blo
 func neighborsJSON(res []blobindex.Neighbor, includeKeys bool) []NeighborJSON {
 	out := make([]NeighborJSON, len(res))
 	for i, n := range res {
-		out[i] = NeighborJSON{RID: n.RID, Dist: n.Dist}
+		out[i] = NeighborJSON{RID: n.RID, Dist: n.Dist, Dist2: n.Dist2}
 		if includeKeys {
 			out[i].Key = n.Key
 		}
@@ -769,10 +775,20 @@ type StageInfo struct {
 	Latency    LatencySummary `json:"latency"`
 }
 
+// ServerInfo is the "server" section of Stats: which build this process is
+// and how long it has been up. A cluster router's health tracker reads it to
+// report what each shard member is actually running.
+type ServerInfo struct {
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 // Stats is the full /v1/stats payload.
 type Stats struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Requests      int64          `json:"requests"`
+	Server        ServerInfo     `json:"server"`
 	Index         IndexInfo      `json:"index"`
 	Admission     AdmissionStats `json:"admission"`
 	Cache         CacheStats     `json:"cache"`
@@ -798,6 +814,11 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		Server: ServerInfo{
+			Version:       buildinfo.Version(),
+			GoVersion:     buildinfo.GoVersion(),
+			UptimeSeconds: time.Since(s.start).Seconds(),
+		},
 		Index: IndexInfo{
 			Method: string(is.Method),
 			Dim:    s.dim,

@@ -4,9 +4,10 @@ GO ?= go
 
 .PHONY: check fmt vet build test race bench benchall benchsmoke benchdiff \
 	servebench servesmoke chaos chaossmoke fuzzsmoke \
-	recall recallsmoke ingest ingestsmoke cluster clustersmoke vetdep
+	recall recallsmoke ingest ingestsmoke cluster clustersmoke vetdep \
+	chaose2e chaose2esmoke
 
-check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke ingestsmoke clustersmoke
+check: fmt vet vetdep build test race benchsmoke servesmoke chaossmoke recallsmoke ingestsmoke clustersmoke chaose2esmoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -120,6 +121,24 @@ cluster:
 clustersmoke:
 	$(GO) run ./cmd/blobbench -images 500 -queries 16 -experiment cluster \
 		-cluster-clients 8 -cluster-requests 256
+
+# chaose2e runs the black-box cluster chaos harness at acceptance scale —
+# real blobserved/blobrouted binaries, 3 shards + replica, >=256 seeded
+# actions x 2 seeds with kill -9 mid-save, SIGSTOP stalls, graceful
+# restarts and router<->shard partitions — and writes the committed
+# artifact CHAOSE2E_PR10.json. It exits nonzero on any divergence from the
+# fault-free oracle or any acknowledged write lost. Reproduce a failure
+# with the recorded seed: the whole sequence is a pure function of it.
+chaose2e:
+	$(GO) run ./cmd/blobbench -images 1000 -experiment chaose2e \
+		-chaose2e-seeds 2 -chaose2e-actions 256 -chaose2e-images 900 \
+		-chaose2eout CHAOSE2E_PR10.json
+
+# chaose2esmoke is the cheap chaos leg wired into `make check`: one seed,
+# 64 actions, small corpus — the forced fault coverage (kill -9, partition,
+# restart) still applies, so the whole harness runs end to end.
+chaose2esmoke:
+	$(GO) test -run TestChaosSmoke -count=1 -timeout 600s ./test/e2e/
 
 # vetdep fails when non-test code in this repo still calls the entry points
 # the SearchRequest API deprecated. (staticcheck would flag these as SA1019;

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"blobindex/internal/chaoscluster"
 	"blobindex/internal/clusterbench"
 	"blobindex/internal/experiments"
 	"blobindex/internal/ingestbench"
@@ -29,7 +30,7 @@ func main() {
 	flag.IntVar(&p.XJBX, "xjbx", p.XJBX, "XJB bite count X")
 	flag.IntVar(&p.AMAPSamples, "amap-samples", p.AMAPSamples, "aMAP candidate partitions")
 	flag.StringVar(&which, "experiment", "all",
-		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall,ingest,cluster")
+		"comma-separated subset of: fig6,tab2,fig7,fig8,tab3,fig14,fig15,fig16,scan,structure,buffer,pagedio,quality,skew,dynamic,replay,ablations,bench,serve,chaos,recall,ingest,cluster (plus chaose2e, which only runs when named explicitly)")
 	workers := flag.Int("workers", 0, "replay worker pool size (0 = GOMAXPROCS)")
 	benchIters := flag.Int("bench-iters", 100, "iterations per bench operation")
 	benchOut := flag.String("benchout", "", "write the bench experiment's JSON to this file")
@@ -48,6 +49,10 @@ func main() {
 	clusterScheme := flag.String("cluster-partition", "hash", "cluster experiment partition scheme (hash|space)")
 	clusterClients := flag.Int("cluster-clients", 32, "cluster experiment concurrent clients")
 	clusterRequests := flag.Int("cluster-requests", 2048, "cluster experiment total requests")
+	chaosE2EOut := flag.String("chaose2eout", "", "write the chaose2e experiment's JSON to this file")
+	chaosE2ESeeds := flag.Int("chaose2e-seeds", 2, "chaose2e experiment seed count (seeds 1..N)")
+	chaosE2EActions := flag.Int("chaose2e-actions", 256, "chaose2e experiment minimum actions per seed")
+	chaosE2EImages := flag.Int("chaose2e-images", 900, "chaose2e experiment corpus size in images")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -360,6 +365,44 @@ func main() {
 			out := r.Render()
 			if !r.Pass {
 				return "", fmt.Errorf("cluster experiment failed:\n%s", out)
+			}
+			return out, nil
+		})
+	}
+	// chaose2e is never part of "all": it compiles the daemons, boots a real
+	// sharded cluster per seed and injects process faults — minutes of wall
+	// clock. It must be named explicitly (CI's chaos-e2e job and
+	// `make chaose2e` do).
+	if want["chaose2e"] {
+		run("chaose2e", func() (string, error) {
+			seeds := make([]int64, *chaosE2ESeeds)
+			for i := range seeds {
+				seeds[i] = int64(i + 1)
+			}
+			r, err := chaoscluster.Run(chaoscluster.Config{
+				Seeds:   seeds,
+				Actions: *chaosE2EActions,
+				Images:  *chaosE2EImages,
+				K:       p.K,
+				Log: func(format string, args ...any) {
+					fmt.Printf("# "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return "", err
+			}
+			if *chaosE2EOut != "" {
+				data, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*chaosE2EOut, data, 0o644); err != nil {
+					return "", err
+				}
+			}
+			out := r.Render()
+			if !r.Pass {
+				return "", fmt.Errorf("chaose2e experiment failed:\n%s", out)
 			}
 			return out, nil
 		})

@@ -20,7 +20,20 @@
 //
 // A health tracker polls each member's /readyz (PR 5's degraded signal);
 // degraded or unreachable members sort behind their replicas, so the
-// router routes around them until they rejoin.
+// router routes around them until they rejoin. A member that accepts TCP
+// but never answers (wedged, SIGSTOP'd) is classed degraded, not down — it
+// is demoted the same way.
+//
+// Process management: -pid-file writes the router's PID after the listener
+// is bound (removed on clean shutdown; stale after kill -9), the effective
+// listen address is logged on startup (bind to :0 and read it back), and
+// exit codes are deterministic:
+//
+//	0  clean shutdown (drain completed)
+//	1  internal error
+//	2  flag/usage error
+//	3  manifest read/validate failure
+//	4  listen or serve failure
 //
 // Typical session (see README "Running a sharded cluster"):
 //
@@ -39,9 +52,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +64,19 @@ import (
 	"blobindex/internal/buildinfo"
 	"blobindex/internal/cluster"
 )
+
+// The documented exit codes (mirroring blobserved's scheme).
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitOpen     = 3
+	exitServe    = 4
+)
+
+func fatalf(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -62,6 +90,7 @@ func main() {
 		maxK         = flag.Int("max-k", 4096, "largest accepted per-request k")
 		healthEvery  = flag.Duration("health-interval", time.Second, "shard /readyz polling period")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		pidFile      = flag.String("pid-file", "", "write the router's PID here once listening (removed on clean exit)")
 
 		version = flag.Bool("version", false, "print build information and exit")
 	)
@@ -75,20 +104,20 @@ func main() {
 	log.Print(buildinfo.Line("blobrouted"))
 
 	if *manifestPath == "" {
-		log.Fatal("-manifest is required (create one with: go run ./cmd/datagen -shards 3 -cluster DIR)")
+		fatalf(exitUsage, "-manifest is required (create one with: go run ./cmd/datagen -shards 3 -cluster DIR)")
 	}
 	man, err := cluster.ReadManifest(*manifestPath)
 	if err != nil {
-		log.Fatal(err)
+		fatalf(exitOpen, "%v", err)
 	}
 	if *members != "" {
 		if err := applyMembers(man, *members); err != nil {
-			log.Fatal(err)
+			fatalf(exitUsage, "%v", err)
 		}
 	}
 	for _, s := range man.Shards {
 		if len(s.Members) == 0 {
-			log.Fatalf("shard %d has no member addresses: bake them into the manifest (datagen -members) or pass -members", s.ID)
+			fatalf(exitUsage, "shard %d has no member addresses: bake them into the manifest (datagen -members) or pass -members", s.ID)
 		}
 	}
 
@@ -102,21 +131,31 @@ func main() {
 		HealthInterval: *healthEvery,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf(exitInternal, "%v", err)
 	}
 	defer r.Close()
 	log.Printf("routing %d-shard %s cluster: partition=%s dim=%d, %s",
 		len(man.Shards), man.Method, man.Partition, man.Dim, memberSummary(man))
 
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           r.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Bind explicitly so a :0 request logs the port the kernel assigned.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf(exitServe, "listen %s: %v", *addr, err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if *pidFile != "" {
+		if err := os.WriteFile(*pidFile, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+			fatalf(exitInternal, "write pid file %s: %v", *pidFile, err)
+		}
+		defer os.Remove(*pidFile)
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		errCh <- hs.ListenAndServe()
+		errCh <- hs.Serve(ln)
 	}()
 
 	sigCh := make(chan os.Signal, 2)
@@ -137,7 +176,7 @@ func main() {
 		cancel()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			fatalf(exitServe, "serve: %v", err)
 		}
 	}
 

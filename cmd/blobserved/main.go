@@ -31,6 +31,18 @@
 // searches run to completion (bounded by -drain-timeout), then the index is
 // closed. A second signal aborts immediately.
 //
+// Process management: -pid-file writes the daemon's PID after the listener
+// is bound (and removes it on clean shutdown; a kill -9 leaves it stale, so
+// supervisors must treat the file as advisory), the effective listen address
+// is logged on startup (bind to :0 and read it back), and exit codes are
+// deterministic:
+//
+//	0  clean shutdown (drain completed)
+//	1  internal error
+//	2  flag/usage error
+//	3  index or sidecar open failure
+//	4  listen or serve failure
+//
 // Typical session:
 //
 //	go run ./cmd/datagen -images 2000 -idx blobs.idx
@@ -44,9 +56,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -54,6 +68,29 @@ import (
 	"blobindex/internal/buildinfo"
 	"blobindex/internal/server"
 )
+
+// The documented exit codes. log.Fatal would always exit 1; a supervisor
+// (or the chaos harness) distinguishing "bad flags" from "index won't open"
+// from "port taken" needs the cause in the code.
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitOpen     = 3
+	exitServe    = 4
+)
+
+func fatalf(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
+
+// writePIDFile records the process's PID for supervisors. Removal is the
+// caller's to defer — only a clean exit removes it.
+func writePIDFile(path string) {
+	if err := os.WriteFile(path, []byte(strconv.Itoa(os.Getpid())+"\n"), 0o644); err != nil {
+		fatalf(exitInternal, "write pid file %s: %v", path, err)
+	}
+}
 
 func main() {
 	var (
@@ -72,6 +109,7 @@ func main() {
 		cacheShards  = flag.Int("cache-shards", 16, "result cache shards")
 		maxK         = flag.Int("max-k", 4096, "largest accepted per-request k")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		pidFile      = flag.String("pid-file", "", "write the daemon's PID here once listening (removed on clean exit)")
 
 		readyWindow  = flag.Duration("ready-window", 30*time.Second, "sliding window for the /readyz storage error rate")
 		readyRate    = flag.Float64("ready-error-rate", 0.5, "storage error rate at which /readyz reports degraded")
@@ -92,14 +130,14 @@ func main() {
 	var err error
 	switch {
 	case *indexPath != "" && *onlineDir != "":
-		log.Fatal("-index and -online are mutually exclusive")
+		fatalf(exitUsage, "-index and -online are mutually exclusive")
 	case *onlineDir != "":
 		idx, err = blobindex.OpenOnline(*onlineDir, blobindex.OnlineOptions{
 			PoolPages:     *poolPages,
 			SealThreshold: *sealAt,
 		})
 		if err != nil {
-			log.Fatalf("open online %s: %v", *onlineDir, err)
+			fatalf(exitOpen, "open online %s: %v", *onlineDir, err)
 		}
 		ist, _ := idx.IngestStats()
 		log.Printf("serving online %s: method=%s dim=%d points=%d segments=%d (replayed %d WAL records, %dB torn tail truncated, seal threshold %d)",
@@ -111,18 +149,18 @@ func main() {
 			Eager:     *eager,
 		})
 		if err != nil {
-			log.Fatalf("open %s: %v", *indexPath, err)
+			fatalf(exitOpen, "open %s: %v", *indexPath, err)
 		}
 		st := idx.Stats()
 		log.Printf("serving %s: method=%s dim=%d points=%d pages=%d (pool %d pages, eager=%v)",
 			*indexPath, st.Method, idx.Options().Dim, st.Len, st.Pages, *poolPages, *eager)
 	default:
-		log.Fatal("-index or -online is required (create one with: go run ./cmd/datagen -idx blobs.idx)")
+		fatalf(exitUsage, "-index or -online is required (create one with: go run ./cmd/datagen -idx blobs.idx)")
 	}
 	defer idx.Close()
 	if *sidePath != "" {
 		if err := idx.AttachRefine(*sidePath, *sidePool); err != nil {
-			log.Fatalf("attach refine sidecar %s: %v", *sidePath, err)
+			fatalf(exitOpen, "attach refine sidecar %s: %v", *sidePath, err)
 		}
 		rd, _ := idx.RefineDim()
 		rn, _ := idx.RefineLen()
@@ -144,18 +182,28 @@ func main() {
 		ReadyMinSamples: *readySamples,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf(exitInternal, "%v", err)
 	}
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Bind explicitly so a :0 request logs the port the kernel actually
+	// assigned — the line a harness (or an operator's script) scrapes.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf(exitServe, "listen %s: %v", *addr, err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if *pidFile != "" {
+		writePIDFile(*pidFile)
+		defer os.Remove(*pidFile)
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
-		errCh <- hs.ListenAndServe()
+		errCh <- hs.Serve(ln)
 	}()
 
 	sigCh := make(chan os.Signal, 2)
@@ -180,7 +228,7 @@ func main() {
 		cancel()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			fatalf(exitServe, "serve: %v", err)
 		}
 	}
 

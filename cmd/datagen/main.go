@@ -42,10 +42,12 @@ func main() {
 		method = flag.String("method", "xjb", "access method for -idx/-online")
 		side   = flag.String("side", "", "also save a full-feature refine sidecar (for blobserved -side)")
 
-		clusterDir = flag.String("cluster", "", "also partition into a sharded cluster directory: N pagefiles + a CRC'd cluster manifest (for blobrouted)")
-		shards     = flag.Int("shards", 3, "with -cluster: shard count")
-		partition  = flag.String("partition", cluster.PartitionHash, "with -cluster: partition scheme, hash|space")
-		members    = flag.String("members", "", "with -cluster: bake member addresses into the manifest; per-shard groups separated by ';', replicas by ',' (primary first)")
+		clusterDir    = flag.String("cluster", "", "also partition into a sharded cluster directory: N pagefiles + a CRC'd cluster manifest (for blobrouted)")
+		shards        = flag.Int("shards", 3, "with -cluster: shard count")
+		partition     = flag.String("partition", cluster.PartitionHash, "with -cluster: partition scheme, hash|space")
+		members       = flag.String("members", "", "with -cluster: bake member addresses into the manifest; per-shard groups separated by ';', replicas by ',' (primary first)")
+		clusterOnline = flag.Bool("cluster-online", false, "with -cluster: build shards 1..N-1 as online WAL-backed directories (shard 0 stays a saved pagefile so it can be replicated)")
+		clusterSide   = flag.Bool("cluster-side", false, "with -cluster: also save a per-shard refine sidecar (shard-N.side) recorded in the manifest")
 	)
 	flag.Parse()
 
@@ -141,12 +143,37 @@ func main() {
 		if err := os.MkdirAll(*clusterDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
+		opts := blobindex.Options{
+			Method: blobindex.Method(*method),
+			Dim:    *dim,
+			Seed:   *seed,
+		}
 		for i, g := range groups {
-			idx, err := blobindex.Build(g, blobindex.Options{
-				Method: blobindex.Method(*method),
-				Dim:    *dim,
-				Seed:   *seed,
-			})
+			// With -cluster-online, shards 1..N-1 ingest through the durable
+			// WAL path into online directories (they accept writes in serving);
+			// shard 0 stays a saved pagefile, the replicable read-only member.
+			if *clusterOnline && i > 0 {
+				name := fmt.Sprintf("shard-%d.online", i)
+				idx, err := blobindex.CreateOnline(filepath.Join(*clusterDir, name), opts, blobindex.OnlineOptions{})
+				if err != nil {
+					log.Fatalf("shard %d: %v", i, err)
+				}
+				for _, p := range g {
+					if err := idx.Insert(p); err != nil {
+						log.Fatalf("shard %d: %v", i, err)
+					}
+				}
+				if err := idx.CompactAll(); err != nil {
+					log.Fatalf("shard %d: %v", i, err)
+				}
+				if err := idx.Close(); err != nil {
+					log.Fatalf("shard %d: %v", i, err)
+				}
+				man.Shards[i].Pagefile = name
+				man.Shards[i].Online = true
+				continue
+			}
+			idx, err := blobindex.Build(g, opts)
 			if err != nil {
 				log.Fatalf("shard %d: %v", i, err)
 			}
@@ -155,6 +182,24 @@ func main() {
 				log.Fatalf("shard %d: %v", i, err)
 			}
 			man.Shards[i].Pagefile = name
+		}
+		if *clusterSide {
+			// Per-shard sidecars: each shard re-ranks only the candidates it
+			// itself serves, so its sidecar holds exactly its own RIDs' full
+			// features.
+			for i, g := range groups {
+				rids := make([]int64, len(g))
+				feats := make([][]float64, len(g))
+				for j, p := range g {
+					rids[j] = p.RID
+					feats[j] = corpus.Feature(int(p.RID))
+				}
+				name := fmt.Sprintf("shard-%d.side", i)
+				if err := blobindex.SaveSidecar(filepath.Join(*clusterDir, name), 0, reducer, rids, feats); err != nil {
+					log.Fatalf("shard %d sidecar: %v", i, err)
+				}
+				man.Shards[i].Sidecar = name
+			}
 		}
 		if *members != "" {
 			ms := strings.Split(*members, ";")

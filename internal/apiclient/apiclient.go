@@ -137,6 +137,17 @@ func (c *Client) Delete(ctx context.Context, req server.WriteRequest) (*server.W
 	return &resp, nil
 }
 
+// Compact asks an online daemon to seal its active segment and compact
+// everything pending, now. Daemons serving a legacy (non-online) index
+// answer 501.
+func (c *Client) Compact(ctx context.Context) (*server.WriteResponse, error) {
+	var resp server.WriteResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/compact", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches the daemon's /v1/stats payload.
 func (c *Client) Stats(ctx context.Context) (*server.Stats, error) {
 	var st server.Stats
@@ -155,6 +166,51 @@ func (c *Client) Ready(ctx context.Context) error {
 // Healthy probes /healthz: nil while the process is up.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.probe(ctx, "/healthz")
+}
+
+// WaitReady polls /readyz with exponential backoff until the daemon reports
+// ready or ctx expires. This is the startup/rejoin synchronization point for
+// anything that just launched a daemon: unlike a fixed sleep it is exactly as
+// slow as the daemon, and unlike a bare probe loop each attempt is bounded,
+// so a half-dead process (accepting TCP, never answering) cannot wedge the
+// waiter past ctx.
+func (c *Client) WaitReady(ctx context.Context) error {
+	return c.waitProbe(ctx, "/readyz", c.Ready)
+}
+
+// WaitHealthy polls /healthz with exponential backoff until the process
+// answers or ctx expires.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	return c.waitProbe(ctx, "/healthz", c.Healthy)
+}
+
+func (c *Client) waitProbe(ctx context.Context, path string, probe func(context.Context) error) error {
+	// Bound each attempt so one stalled connection costs a retry, not the
+	// whole wait budget.
+	attemptTimeout := c.opts.RequestTimeout
+	if attemptTimeout <= 0 || attemptTimeout > time.Second {
+		attemptTimeout = time.Second
+	}
+	wait := 10 * time.Millisecond
+	var lastErr error
+	for {
+		pctx, cancel := context.WithTimeout(ctx, attemptTimeout)
+		lastErr = probe(pctx)
+		cancel()
+		if lastErr == nil {
+			return nil
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("apiclient: %s%s not ready: %w (last probe: %v)", c.base, path, ctx.Err(), lastErr)
+		case <-t.C:
+		}
+		if wait *= 2; wait > 500*time.Millisecond {
+			wait = 500 * time.Millisecond
+		}
+	}
 }
 
 func (c *Client) probe(ctx context.Context, path string) error {

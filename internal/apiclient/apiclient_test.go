@@ -3,6 +3,7 @@ package apiclient
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -97,6 +98,62 @@ func TestTransportErrorRetriesStopAtBudget(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("retry loop ran far past its budget")
+	}
+}
+
+func TestWaitReadyPollsUntilReady(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Not ready for the first few probes — the startup window WaitReady
+		// exists to absorb.
+		if calls.Add(1) < 4 {
+			http.Error(w, "degraded: warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := New(ts.URL, Options{}).WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	if n := calls.Load(); n < 4 {
+		t.Fatalf("want >= 4 probes, got %d", n)
+	}
+}
+
+func TestWaitReadyGivesUpAtDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "never ready", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := New(ts.URL, Options{}).WaitReady(ctx)
+	if err == nil {
+		t.Fatal("want deadline error")
+	}
+	// The error must carry both the giving-up and the last probe's failure.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/compact" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(server.WriteResponse{OK: true})
+	}))
+	defer ts.Close()
+
+	resp, err := New(ts.URL, Options{}).Compact(context.Background())
+	if err != nil || !resp.OK {
+		t.Fatalf("compact: %v %+v", err, resp)
 	}
 }
 

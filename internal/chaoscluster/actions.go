@@ -1,0 +1,284 @@
+package chaoscluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// actionKind enumerates everything the harness can do to the cluster.
+type actionKind int
+
+const (
+	actKNN actionKind = iota
+	actRange
+	actRefine
+	actSig
+	actInsert
+	actDelete
+	actCompact
+	actRestart   // graceful SIGTERM + restart + rejoin, synchronous
+	actKill9     // kill -9, lined up mid-save on online members; opens a window
+	actStall     // SIGSTOP; opens a window
+	actPartition // black-hole the member's router-facing proxy; opens a window
+	actHeal      // closes the open fault window, then a checkpoint runs
+)
+
+func (k actionKind) String() string {
+	switch k {
+	case actKNN:
+		return "knn"
+	case actRange:
+		return "range"
+	case actRefine:
+		return "refine"
+	case actSig:
+		return "sig"
+	case actInsert:
+		return "insert"
+	case actDelete:
+		return "delete"
+	case actCompact:
+		return "compact"
+	case actRestart:
+		return "restart"
+	case actKill9:
+		return "kill9"
+	case actStall:
+		return "stall"
+	case actPartition:
+		return "partition"
+	case actHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("actionKind(%d)", int(k))
+	}
+}
+
+// action is one pre-generated step. The whole sequence is a pure function
+// of (seed, corpus), so any step is replayable by index.
+type action struct {
+	Index int
+	Kind  actionKind
+
+	// Query parameters.
+	Query      []float64
+	K          int
+	Radius     float64
+	Multiplier int
+	HammingT   int
+
+	// Write parameters.
+	RID int64
+	Key []float64
+
+	// Fault parameters. Target indexes the harness member table.
+	Target      int
+	SaveDelayMs int
+}
+
+// genEnv is what the generator needs to know about the cluster under test.
+type genEnv struct {
+	dim     int
+	fullDim int
+	// keys/rids are the initial corpus; scale is its typical inter-point
+	// distance, used to size radii and insert jitter.
+	keys  [][]float64
+	rids  []int64
+	scale float64
+	// owner maps a RID to its shard (hash partitioning: key-independent).
+	owner func(rid int64) int
+	// onlineShard flags which shards accept writes.
+	onlineShard []bool
+	// faultables are member-table indices faults may target; online flags
+	// which of them are online daemons (kill -9 mid-save targets).
+	faultables     []int
+	faultableIsOn  []bool
+	k              int
+	actions        int
+	firstInsertRID int64
+}
+
+// corpusScale estimates the typical inter-point distance from sampled pairs.
+func corpusScale(rng *rand.Rand, keys [][]float64) float64 {
+	if len(keys) < 2 {
+		return 1
+	}
+	var sum float64
+	const pairs = 64
+	for i := 0; i < pairs; i++ {
+		a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+		var d2 float64
+		for d := range a {
+			diff := a[d] - b[d]
+			d2 += diff * diff
+		}
+		sum += d2
+	}
+	return math.Sqrt(sum / pairs)
+}
+
+// genActions produces the full deterministic sequence for one seed: a
+// weighted mix of queries, writes and maintenance, with at most one fault
+// window open at a time (4–12 actions, closed by an explicit heal). If the
+// weighted draw misses a required fault class, the generator appends it —
+// every run covers at least one kill -9 mid-save, one partition window and
+// one graceful restart-rejoin.
+func genActions(rng *rand.Rand, env *genEnv) []action {
+	type liveEntry struct {
+		rid int64
+		key []float64
+	}
+	var (
+		out     []action
+		window  int // actions left in the open fault window; 0 = closed
+		nextRID = env.firstInsertRID
+		// live simulates the acknowledged-write outcome optimistically: the
+		// generator only needs plausible delete targets (rid + key, since
+		// deletes address by both), the oracle tracks ground truth at
+		// execution time.
+		live                   []liveEntry
+		kills, parts, restarts int
+	)
+	for i, rid := range env.rids {
+		if env.onlineShard[env.owner(rid)] {
+			live = append(live, liveEntry{rid: rid, key: env.keys[i]})
+		}
+	}
+
+	query := func() []float64 {
+		base := env.keys[rng.Intn(len(env.keys))]
+		q := make([]float64, env.dim)
+		for d := range q {
+			q[d] = base[d] + (rng.Float64()-0.5)*0.2*env.scale
+		}
+		return q
+	}
+	fullQuery := func() []float64 {
+		q := make([]float64, env.fullDim)
+		for d := range q {
+			q[d] = rng.NormFloat64()
+		}
+		return q
+	}
+	emit := func(a action) {
+		a.Index = len(out)
+		out = append(out, a)
+	}
+	emitQueryOrWrite := func() {
+		switch w := rng.Float64(); {
+		case w < 0.26:
+			emit(action{Kind: actKNN, Query: query(), K: 1 + rng.Intn(3*env.k)})
+		case w < 0.42:
+			emit(action{Kind: actRange, Query: query(), Radius: env.scale * (0.1 + 0.3*rng.Float64())})
+		case w < 0.54:
+			emit(action{Kind: actRefine, Query: fullQuery(), K: env.k,
+				Multiplier: 2 + rng.Intn(4)})
+		case w < 0.66:
+			emit(action{Kind: actSig, Query: query(), K: env.k,
+				HammingT: 1 + rng.Intn(env.dim)})
+		case w < 0.84:
+			// Insert: hash partitioning owns by RID, so draw RIDs until one
+			// lands on a write-accepting (online) shard.
+			rid := nextRID
+			for !env.onlineShard[env.owner(rid)] {
+				rid++
+			}
+			nextRID = rid + 1
+			base := env.keys[rng.Intn(len(env.keys))]
+			key := make([]float64, env.dim)
+			for d := range key {
+				key[d] = base[d] + (rng.Float64()-0.5)*0.1*env.scale
+			}
+			emit(action{Kind: actInsert, RID: rid, Key: key})
+			live = append(live, liveEntry{rid: rid, key: key})
+		case w < 0.95 && len(live) > 0:
+			i := rng.Intn(len(live))
+			emit(action{Kind: actDelete, RID: live[i].rid, Key: live[i].key})
+			live = append(live[:i], live[i+1:]...)
+		default:
+			t := rng.Intn(len(env.faultables))
+			for !env.faultableIsOn[t] { // compact needs an online daemon
+				t = rng.Intn(len(env.faultables))
+			}
+			emit(action{Kind: actCompact, Target: env.faultables[t]})
+		}
+	}
+	openWindow := func(kind actionKind, target int, isOnline bool) {
+		a := action{Kind: kind, Target: target}
+		if kind == actKill9 {
+			kills++
+			if isOnline {
+				a.SaveDelayMs = rng.Intn(26) // line the SIGKILL up mid-save
+			}
+		}
+		if kind == actPartition {
+			parts++
+		}
+		emit(a)
+		window = 4 + rng.Intn(9)
+	}
+
+	for len(out) < env.actions {
+		if window > 0 {
+			window--
+			if window == 0 {
+				emit(action{Kind: actHeal})
+				continue
+			}
+			emitQueryOrWrite()
+			continue
+		}
+		if rng.Float64() < 0.06 {
+			t := rng.Intn(len(env.faultables))
+			target, isOnline := env.faultables[t], env.faultableIsOn[t]
+			switch rng.Intn(4) {
+			case 0:
+				openWindow(actKill9, target, isOnline)
+			case 1:
+				openWindow(actPartition, target, isOnline)
+			case 2:
+				openWindow(actStall, target, isOnline)
+			default:
+				restarts++
+				emit(action{Kind: actRestart, Target: target})
+			}
+			continue
+		}
+		emitQueryOrWrite()
+	}
+	if window > 0 {
+		emit(action{Kind: actHeal})
+		window = 0
+	}
+
+	// Forced coverage: required fault classes the weighted draw missed.
+	onlineTarget := -1
+	for i, t := range env.faultables {
+		if env.faultableIsOn[i] {
+			onlineTarget = t
+			break
+		}
+	}
+	forceWindow := func(kind actionKind, target int, isOnline bool) {
+		openWindow(kind, target, isOnline)
+		for window > 1 {
+			window--
+			emitQueryOrWrite()
+		}
+		window = 0
+		emit(action{Kind: actHeal})
+	}
+	if kills == 0 && onlineTarget >= 0 {
+		forceWindow(actKill9, onlineTarget, true)
+	}
+	if parts == 0 {
+		// Partition shard 0's primary: the replica must keep the answers
+		// byte-identical through the window.
+		forceWindow(actPartition, env.faultables[0], env.faultableIsOn[0])
+	}
+	if restarts == 0 {
+		emit(action{Kind: actRestart, Target: env.faultables[rng.Intn(len(env.faultables))]})
+	}
+	return out
+}

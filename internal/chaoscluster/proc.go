@@ -1,0 +1,104 @@
+package chaoscluster
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// proc is one spawned daemon process under chaos control.
+type proc struct {
+	name string
+	bin  string
+	args []string
+	log  *os.File
+	cmd  *exec.Cmd
+	// waited guards cmd.Wait, which may only be called once.
+	waited chan struct{}
+}
+
+// startProc spawns bin with args, teeing stdout+stderr into logPath
+// (appending across restarts so one file tells the member's whole story).
+func startProc(name, bin string, args []string, logPath string) (*proc, error) {
+	lf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &proc{name: name, bin: bin, args: args, log: lf}
+	if err := p.start(); err != nil {
+		lf.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *proc) start() error {
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = p.log
+	cmd.Stderr = p.log
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", p.name, err)
+	}
+	p.cmd = cmd
+	p.waited = make(chan struct{})
+	waited := p.waited
+	go func() {
+		cmd.Wait()
+		close(waited)
+	}()
+	return nil
+}
+
+// signal delivers sig to the live process.
+func (p *proc) signal(sig syscall.Signal) error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("%s: no process", p.name)
+	}
+	return p.cmd.Process.Signal(sig)
+}
+
+// kill9 SIGKILLs the process and reaps it.
+func (p *proc) kill9() error {
+	if err := p.signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	return p.waitExit(5 * time.Second)
+}
+
+// stop SIGTERMs the process and waits for a clean exit, escalating to
+// SIGKILL at the deadline.
+func (p *proc) stop(timeout time.Duration) error {
+	if err := p.signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := p.waitExit(timeout); err != nil {
+		p.signal(syscall.SIGKILL)
+		return p.waitExit(5 * time.Second)
+	}
+	return nil
+}
+
+func (p *proc) waitExit(timeout time.Duration) error {
+	select {
+	case <-p.waited:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%s: did not exit within %v", p.name, timeout)
+	}
+}
+
+// restart spawns a fresh process with the same arguments.
+func (p *proc) restart() error { return p.start() }
+
+// destroy force-kills the process if still running and closes the log.
+func (p *proc) destroy() {
+	if p.cmd != nil && p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		<-p.waited
+	}
+	if p.log != nil {
+		p.log.Close()
+	}
+}

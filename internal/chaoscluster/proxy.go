@@ -1,0 +1,135 @@
+package chaoscluster
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// proxyMode is what the proxy does with router traffic.
+type proxyMode int32
+
+const (
+	// modeForward pipes bytes to the backend daemon.
+	modeForward proxyMode = iota
+	// modeBlackhole accepts connections and then never answers — to the
+	// router the member looks half-dead: TCP up, requests time out. Entering
+	// this mode also severs existing piped connections so pooled keep-alive
+	// streams cannot tunnel through the partition.
+	modeBlackhole
+	// modeRefuse closes every connection on accept — the member looks down.
+	modeRefuse
+)
+
+// proxy is the in-process TCP partition injector. Every shard member sits
+// behind one: the router only ever knows the proxy's address, so flipping
+// the mode partitions exactly that member from the router without touching
+// the daemon process.
+type proxy struct {
+	ln      net.Listener
+	backend string
+	mode    atomic.Int32
+	closed  atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// newProxy listens on a fresh loopback port forwarding to backend.
+func newProxy(backend string) (*proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// addr is the router-facing address.
+func (p *proxy) addr() string { return p.ln.Addr().String() }
+
+// setMode flips the partition state. Leaving forward mode severs every
+// established pipe so the partition is immediate, not lazily discovered.
+func (p *proxy) setMode(m proxyMode) {
+	p.mode.Store(int32(m))
+	if m != modeForward {
+		p.severAll()
+	}
+}
+
+func (p *proxy) severAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+}
+
+func (p *proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *proxy) close() {
+	p.closed.Store(true)
+	p.ln.Close()
+	p.severAll()
+}
+
+func (p *proxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			if p.closed.Load() {
+				return
+			}
+			continue
+		}
+		switch proxyMode(p.mode.Load()) {
+		case modeRefuse:
+			c.Close()
+		case modeBlackhole:
+			// Hold the connection open and swallow whatever arrives; the
+			// request never completes and the caller's deadline fires.
+			p.track(c)
+			go func() {
+				io.Copy(io.Discard, c)
+				c.Close()
+				p.untrack(c)
+			}()
+		default:
+			go p.pipe(c)
+		}
+	}
+}
+
+// pipe forwards both directions until either side closes or the proxy
+// severs the pair.
+func (p *proxy) pipe(c net.Conn) {
+	b, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		c.Close()
+		return
+	}
+	p.track(c)
+	p.track(b)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); io.Copy(b, c); b.(*net.TCPConn).CloseWrite() }()
+	go func() { defer wg.Done(); io.Copy(c, b); c.(*net.TCPConn).CloseWrite() }()
+	wg.Wait()
+	c.Close()
+	b.Close()
+	p.untrack(c)
+	p.untrack(b)
+}

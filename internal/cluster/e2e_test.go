@@ -103,22 +103,14 @@ func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 	return d
 }
 
-// waitHealthy polls addr's /healthz until it answers or the deadline hits.
+// waitHealthy blocks on addr's /healthz via the apiclient backoff helper —
+// exactly as slow as the daemon's startup, never a fixed sleep.
 func waitHealthy(t *testing.T, addr string, timeout time.Duration) {
 	t.Helper()
-	cli := apiclient.New(addr, apiclient.Options{})
-	deadline := time.Now().Add(timeout)
-	for {
-		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
-		err := cli.Healthy(ctx)
-		cancel()
-		if err == nil {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon at %s never became healthy: %v", addr, err)
-		}
-		time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := apiclient.New(addr, apiclient.Options{}).WaitHealthy(ctx); err != nil {
+		t.Fatalf("daemon at %s never became healthy: %v", addr, err)
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,12 +21,15 @@ const (
 	StateUnknown MemberState = iota
 	// StateHealthy: /readyz answered 200 (or a query just succeeded).
 	StateHealthy
-	// StateDegraded: the process is up but /readyz reports 503 — PR 5's
-	// degraded signal, its windowed storage error rate over threshold. The
+	// StateDegraded: the process is up but not answering usefully — /readyz
+	// reports 503 (PR 5's degraded signal, its windowed storage error rate
+	// over threshold), or the member accepts TCP but stalls past the probe
+	// deadline (a SIGSTOP'd or wedged process: half-dead, not gone). The
 	// router routes around degraded members while any healthy member of
 	// the shard remains.
 	StateDegraded
-	// StateDown: the member is unreachable.
+	// StateDown: the member is unreachable — connections are refused or
+	// reset, the process itself is gone.
 	StateDown
 )
 
@@ -69,17 +73,36 @@ func (m *member) noteSuccess() {
 	m.setState(StateHealthy)
 }
 
-// noteFailure records a query-path failure. Transport errors mark the
-// member down immediately so the next query orders it last; an explicit
-// daemon error keeps the probed state (one 503 under load does not mean
-// the process is gone).
+// noteFailure records a query-path failure. Refused/reset transport errors
+// mark the member down immediately so the next query orders it last; a
+// timeout on a member that accepted the connection marks it degraded — the
+// process is alive but stalled, and must sort behind healthy and unprobed
+// replicas without being written off as gone; an explicit daemon error
+// keeps the probed state (one 503 under load does not mean the process is
+// gone).
 func (m *member) noteFailure(err error) {
 	m.consecFails.Add(1)
 	m.lastErr.Store(err.Error())
 	var se *apiclient.StatusError
-	if !errors.As(err, &se) {
+	switch {
+	case errors.As(err, &se):
+	case isTimeout(err):
+		m.setState(StateDegraded)
+	default:
 		m.setState(StateDown)
 	}
+}
+
+// isTimeout distinguishes the half-dead member (TCP accepted, no answer
+// before the deadline) from the dead one (connection refused or reset).
+// Context expiry shows up here too: the probe's own deadline firing means
+// the member sat on an open connection without answering.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // healthTracker polls every member's /readyz on an interval and keeps the
@@ -153,9 +176,17 @@ func (t *healthTracker) poll(m *member) {
 		m.consecFails.Add(1)
 		m.lastErr.Store(err.Error())
 		var se *apiclient.StatusError
-		if errors.As(err, &se) {
+		switch {
+		case errors.As(err, &se):
+			// The daemon answered — it is up but not ready (503 from the
+			// /readyz error-rate gate).
 			m.setState(StateDegraded)
-		} else {
+		case isTimeout(err):
+			// Half-dead: the member accepted the connection but never
+			// answered before the probe deadline. A SIGSTOP'd or wedged
+			// process looks exactly like this — demote it, don't bury it.
+			m.setState(StateDegraded)
+		default:
 			m.setState(StateDown)
 		}
 	}

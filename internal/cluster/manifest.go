@@ -49,6 +49,13 @@ type Shard struct {
 	RIDHigh int64 `json:"rid_high"`
 	// Members are the HTTP addresses serving this shard, primary first.
 	Members []string `json:"members"`
+	// Online marks a shard whose Pagefile is an online-ingest directory
+	// (WAL + segment manifest, served with blobserved -online) rather than
+	// a single saved pagefile. Online shards accept writes durably.
+	Online bool `json:"online,omitempty"`
+	// Sidecar is the shard's refine sidecar pagefile (blobserved -side),
+	// empty when the cluster was generated without one.
+	Sidecar string `json:"sidecar,omitempty"`
 }
 
 // Manifest is the cluster's root of truth: how the corpus was partitioned

@@ -122,7 +122,15 @@ func Partition(points []blobindex.Point, scheme string, n int, seed int64, dim i
 		return nil, nil, err
 	}
 	groups := make([][]blobindex.Point, n)
+	seen := make(map[int64]struct{}, len(points))
 	for _, p := range points {
+		// RIDs are the cluster-wide identity: a duplicate would land two
+		// points with one name on (possibly) two shards, and deletes and
+		// oracle checks would silently target only one of them.
+		if _, dup := seen[p.RID]; dup {
+			return nil, nil, fmt.Errorf("cluster: duplicate rid %d in corpus (rids must be unique cluster-wide)", p.RID)
+		}
+		seen[p.RID] = struct{}{}
 		o := part.Owner(p.Key, p.RID)
 		groups[o] = append(groups[o], p)
 		s := &m.Shards[o]

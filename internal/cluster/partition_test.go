@@ -179,6 +179,106 @@ func TestHashPartitionSpreads(t *testing.T) {
 	}
 }
 
+// TestPartitionSingleShard pins the degenerate-but-legal cluster: one shard
+// owns everything under both schemes, and Owner never says otherwise.
+func TestPartitionSingleShard(t *testing.T) {
+	pts, _ := clusterCorpus(200, 5, 17)
+	for _, scheme := range []string{PartitionHash, PartitionSpace} {
+		groups, man, err := Partition(pts, scheme, 1, 3, 5, "xjb")
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if len(groups) != 1 || len(groups[0]) != len(pts) {
+			t.Fatalf("%s: single shard does not hold the corpus: %d groups, %d points", scheme, len(groups), len(groups[0]))
+		}
+		if man.Shards[0].Points != len(pts) {
+			t.Fatalf("%s: manifest points %d", scheme, man.Shards[0].Points)
+		}
+		part, err := PartitionerFor(man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts[:20] {
+			if o := part.Owner(p.Key, p.RID); o != 0 {
+				t.Fatalf("%s: owner %d with one shard", scheme, o)
+			}
+		}
+	}
+}
+
+// TestPartitionMoreShardsThanPoints: a shard that can never hold a point is
+// a misconfiguration, rejected up front rather than surfacing later as an
+// empty pagefile some daemon fails to serve.
+func TestPartitionMoreShardsThanPoints(t *testing.T) {
+	pts, _ := clusterCorpus(3, 5, 17)
+	for _, scheme := range []string{PartitionHash, PartitionSpace} {
+		if _, _, err := Partition(pts, scheme, 4, 3, 5, "xjb"); err == nil {
+			t.Fatalf("%s: 3 points across 4 shards did not error", scheme)
+		}
+	}
+}
+
+// TestPartitionRejectsDuplicateRIDs: RIDs are the cluster-wide identity a
+// delete or an oracle probe addresses; two points sharing one must be
+// rejected before any shard is written.
+func TestPartitionRejectsDuplicateRIDs(t *testing.T) {
+	pts, _ := clusterCorpus(100, 5, 17)
+	pts[63].RID = pts[12].RID
+	for _, scheme := range []string{PartitionHash, PartitionSpace} {
+		_, _, err := Partition(pts, scheme, 2, 3, 5, "xjb")
+		if err == nil {
+			t.Fatalf("%s: duplicate rid accepted", scheme)
+		}
+	}
+}
+
+// TestSpacePartitionBoundaryOwnership pins the half-open interval contract
+// at the exact quantile boundaries: a coordinate equal to bounds[i] belongs
+// to shard i+1 ([bounds[i-1], bounds[i]) ownership), one ULP below it to
+// shard i — and the bulk partitioner's grouping agrees with Owner on both.
+func TestSpacePartitionBoundaryOwnership(t *testing.T) {
+	pts, _ := clusterCorpus(2000, 5, 123)
+	groups, man, err := Partition(pts, PartitionSpace, 4, 1, 5, "xjb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionerFor(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]float64, 5)
+	for i, b := range man.Bounds {
+		key[man.SplitDim] = b
+		if o := part.Owner(key, 1); o != i+1 {
+			t.Fatalf("value exactly at bounds[%d]=%v owned by %d, want %d", i, b, o, i+1)
+		}
+		key[man.SplitDim] = math.Nextafter(b, math.Inf(-1))
+		if o := part.Owner(key, 1); o != i {
+			t.Fatalf("value one ULP below bounds[%d]=%v owned by %d, want %d", i, b, o, i)
+		}
+	}
+	// The quantile boundaries are data values, so at least one real point sits
+	// exactly on some boundary in a corpus this size; every such point must
+	// have been grouped where Owner says it lives.
+	onBoundary := 0
+	for gi, g := range groups {
+		for _, p := range g {
+			v := p.Key[man.SplitDim]
+			for bi, b := range man.Bounds {
+				if v == b {
+					onBoundary++
+					if gi != bi+1 {
+						t.Fatalf("rid %d sits on bounds[%d] but was grouped into shard %d, not %d", p.RID, bi, gi, bi+1)
+					}
+				}
+			}
+		}
+	}
+	if onBoundary == 0 {
+		t.Fatal("no corpus point landed exactly on a quantile boundary; the test lost its teeth")
+	}
+}
+
 func TestSpacePartitionRoutesByValue(t *testing.T) {
 	pts, _ := clusterCorpus(2000, 5, 123)
 	_, man, err := Partition(pts, PartitionSpace, 3, 1, 5, "xjb")

@@ -120,6 +120,81 @@ func TestServeOnlineIndex(t *testing.T) {
 	}
 }
 
+// TestCompactEndpoint: POST /v1/compact seals the active segment and
+// compacts everything pending on demand — the deterministic maintenance
+// trigger the chaos harness lines kill -9 up against — and invalidates the
+// result cache like any other reorganization. On a legacy index it is 501.
+func TestCompactEndpoint(t *testing.T) {
+	idx, err := blobindex.CreateOnline(t.TempDir(),
+		blobindex.Options{Method: blobindex.RTree, Dim: 3, PageSize: 2048}, blobindex.OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	rng := rand.New(rand.NewSource(5))
+	for rid := int64(0); rid < 300; rid++ {
+		key := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		if err := idx.Insert(blobindex.Point{Key: key, RID: rid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := New(Config{Index: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := []float64{50, 50, 50}
+	_, body := postJSON(t, ts.Client(), ts.URL+"/v1/knn", knnBody(q, 10))
+	var before SearchResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/compact", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status = %d, body %s", resp.StatusCode, body)
+	}
+	var wr WriteResponse
+	if err := json.Unmarshal(body, &wr); err != nil || !wr.OK {
+		t.Fatalf("compact response: %v %s", err, body)
+	}
+
+	// The stack is compacted down to one immutable segment plus the fresh
+	// active, and the same query re-runs (no stale cache) with the same answer.
+	_, body = postJSON(t, ts.Client(), ts.URL+"/v1/knn", knnBody(q, 10))
+	var after SearchResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("query served from cache across an on-demand compaction")
+	}
+	if len(after.Neighbors) != len(before.Neighbors) {
+		t.Fatalf("result size changed across compaction: %d -> %d", len(before.Neighbors), len(after.Neighbors))
+	}
+	for i := range after.Neighbors {
+		if after.Neighbors[i].RID != before.Neighbors[i].RID {
+			t.Fatalf("neighbor %d changed across compaction: rid %d -> %d",
+				i, before.Neighbors[i].RID, after.Neighbors[i].RID)
+		}
+	}
+
+	// Legacy index: 501, a definitive answer.
+	legacy := buildIndex(t, 100, 3)
+	lsrv, err := New(Config{Index: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(lsrv.Handler())
+	defer lts.Close()
+	resp, body = postJSON(t, ts.Client(), lts.URL+"/v1/compact", struct{}{})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("legacy compact status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
 // TestServeLegacyIndexNoSegmentsSection pins the legacy shape: an index that
 // is not online serves /v1/stats without the segments section.
 func TestServeLegacyIndexNoSegmentsSection(t *testing.T) {

@@ -68,10 +68,20 @@ type reorgNotifier interface {
 	SetReorgHook(fn func())
 }
 
+// compactor is the optional maintenance surface behind POST /v1/compact: an
+// online index can be told to seal its active segment and compact what's
+// pending, on demand rather than waiting for the background threshold. A
+// chaos harness leans on this to line a kill -9 up with an in-flight save.
+type compactor interface {
+	SealActive() error
+	CompactPending() error
+}
+
 var (
 	_ ingestStatser = (*blobindex.Index)(nil)
 	_ segmentLister = (*blobindex.Index)(nil)
 	_ reorgNotifier = (*blobindex.Index)(nil)
+	_ compactor     = (*blobindex.Index)(nil)
 )
 
 // Config sizes the serving machinery. The zero value of every field except
@@ -109,7 +119,7 @@ type Config struct {
 }
 
 // endpoint names, which are also the keys of Stats.Endpoints.
-var endpointNames = []string{"knn", "range", "insert", "delete", "tighten", "stats"}
+var endpointNames = []string{"knn", "range", "insert", "delete", "tighten", "compact", "stats"}
 
 // Server serves one index over HTTP. Create with New, mount Handler.
 type Server struct {
@@ -224,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.handleInsert))
 	s.mux.HandleFunc("POST /v1/delete", s.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/tighten", s.instrument("tighten", s.handleTighten))
+	s.mux.HandleFunc("POST /v1/compact", s.instrument("compact", s.handleCompact))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -653,6 +664,31 @@ func (s *Server) handleTighten(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, searchStatus(err), "tighten: %v", err)
 	}
+	s.cache.invalidate()
+	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
+}
+
+// handleCompact seals the active segment and compacts every pending one, on
+// demand. 501 when the served index has no online-ingest layer: retrying the
+// same replica cannot help, exactly like refine without a sidecar.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) int {
+	c, ok := s.idx.(compactor)
+	if !ok {
+		return writeError(w, http.StatusNotImplemented, "compact not available: index has no maintenance surface")
+	}
+	err := c.SealActive()
+	if err == nil {
+		err = c.CompactPending()
+	}
+	if errors.Is(err, blobindex.ErrNotOnline) {
+		return writeError(w, http.StatusNotImplemented, "compact: %v", err)
+	}
+	s.recordStorage(err)
+	if err != nil {
+		return writeError(w, searchStatus(err), "compact: %v", err)
+	}
+	// The reorg hook already advanced the cache generation for the swap, but
+	// invalidate here too so a compactor without a hook stays correct.
 	s.cache.invalidate()
 	return writeJSON(w, http.StatusOK, WriteResponse{OK: true})
 }

@@ -1,0 +1,106 @@
+// Package e2e holds the black-box chaos end-to-end suite: the real
+// blobserved and blobrouted binaries, compiled in-test, booted as a sharded
+// cluster (saved-pagefile shard with a replica plus online WAL-backed
+// shards) on real TCP ports, driven by a seeded action sequence with real
+// fault injection — kill -9 mid-save, SIGSTOP stalls, graceful restarts,
+// router↔shard partitions — and checked against the in-process fault-free
+// oracle for byte-identical convergence. See DESIGN.md §15.
+//
+// Replaying a failure needs only the recorded (seed, action index): run
+// the same seed again and every action, fault and checkpoint re-occurs at
+// the same index.
+package e2e
+
+import (
+	"os"
+	"testing"
+
+	"blobindex/internal/chaoscluster"
+)
+
+func runChaos(t *testing.T, cfg chaoscluster.Config) *chaoscluster.Report {
+	t.Helper()
+	cfg.Log = t.Logf
+	rep, err := chaoscluster.Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+	for _, run := range rep.Runs {
+		for _, d := range run.Divergences {
+			t.Errorf("seed %d action %d: %s: %s", d.Seed, d.ActionIndex, d.Kind, d.Detail)
+		}
+		for _, lost := range run.AckedLost {
+			t.Errorf("seed %d: acked write lost: %s", run.Seed, lost)
+		}
+	}
+	if !rep.Pass {
+		t.Fatal("chaos run failed: the cluster diverged from the fault-free oracle")
+	}
+	return rep
+}
+
+// assertCoverage checks the run exercised what the suite promises: at least
+// one kill -9, one partition window with a heal, and one restart-rejoin.
+func assertCoverage(t *testing.T, rep *chaoscluster.Report) {
+	t.Helper()
+	for _, run := range rep.Runs {
+		kills, parts := 0, 0
+		for _, f := range run.Faults {
+			switch f.Kind {
+			case "kill9":
+				kills++
+			case "partition":
+				parts++
+			}
+			if f.HealAction <= f.OpenAction {
+				t.Errorf("seed %d: fault %s on %s never healed (open %d, heal %d)",
+					run.Seed, f.Kind, f.Target, f.OpenAction, f.HealAction)
+			}
+		}
+		if kills == 0 || parts == 0 || run.Restarts == 0 {
+			t.Errorf("seed %d: coverage hole: %d kill -9, %d partitions, %d restarts",
+				run.Seed, kills, parts, run.Restarts)
+		}
+		if len(run.Checkpoints) == 0 {
+			t.Errorf("seed %d: no convergence checkpoints ran", run.Seed)
+		}
+		if run.QueriesVerified == 0 {
+			t.Errorf("seed %d: no queries were verified against the oracle", run.Seed)
+		}
+		if run.WritesAcked == 0 {
+			t.Errorf("seed %d: no writes were acknowledged", run.Seed)
+		}
+	}
+}
+
+// TestChaosSmoke is the tier-1 leg: one seed, 64 actions, small corpus —
+// every fault class still forced in by the generator.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-binary chaos e2e skipped in -short mode")
+	}
+	rep := runChaos(t, chaoscluster.Config{
+		Seeds:   []int64{1},
+		Actions: 64,
+		Images:  400,
+	})
+	assertCoverage(t, rep)
+}
+
+// TestChaosFull is the acceptance-scale run: >= 256 actions x 2 seeds
+// against the 3-shard + replica cluster. It takes minutes, so it only runs
+// when CHAOSE2E_FULL=1 (the chaos-e2e CI job and `make chaose2e` set it).
+func TestChaosFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-binary chaos e2e skipped in -short mode")
+	}
+	if os.Getenv("CHAOSE2E_FULL") == "" {
+		t.Skip("full chaos run skipped; set CHAOSE2E_FULL=1 (or use `make chaose2e`)")
+	}
+	rep := runChaos(t, chaoscluster.Config{
+		Seeds:   []int64{1, 2},
+		Actions: 256,
+		Images:  900,
+	})
+	assertCoverage(t, rep)
+}
